@@ -1,0 +1,84 @@
+"""Ablation: per-region third-party selection vs a uniform policy.
+
+The Meta-CDN selects third-party CDNs per mapping region (us/eu/apac
+load balancers with region-specific CDN lists and shares).  This bench
+compares the measured regional design against a uniform worldwide split
+on one metric an operator cares about: client-to-cache distance of the
+third-party answers (regional selection keeps Limelight's APAC clients
+on the APAC handover, etc.).
+"""
+
+import statistics
+
+from conftest import write_output
+
+from repro.dns.query import QueryContext
+from repro.net.geo import Continent, Coordinates, MappingRegion, great_circle_km
+from repro.net.ipv4 import IPv4Address
+from repro.simulation import ScenarioConfig, Sep2017Scenario
+from repro.workload import TIMELINE
+
+_CLIENTS = (
+    (Continent.EUROPE, "de", (50.11, 8.68)),
+    (Continent.NORTH_AMERICA, "us", (40.71, -74.0)),
+    (Continent.ASIA, "jp", (35.67, 139.65)),
+    (Continent.OCEANIA, "au", (-33.87, 151.21)),
+)
+
+
+def _median_distance(scenario, regional):
+    """Median client->answer distance for third-party resolutions."""
+    estate = scenario.estate
+    for region in MappingRegion:
+        estate.controller.observe_demand(region, 1e6)  # force third-party
+    server_coords = {}
+    for deployment in (estate.akamai, estate.limelight):
+        for placed in deployment.servers:
+            server_coords[placed.server.address] = placed.location.coordinates
+    distances = []
+    try:
+        for host in range(60):
+            for continent, country, coords in _CLIENTS:
+                query_coords = coords if regional else (50.11, 8.68)
+                context = QueryContext(
+                    client=IPv4Address.parse(f"198.51.{host}.3"),
+                    coordinates=Coordinates(*query_coords),
+                    continent=continent if regional else Continent.EUROPE,
+                    country=country if regional else "de",
+                    now=TIMELINE.at(9, 19, 20),
+                )
+                resolution = estate.resolver(cache=False).resolve(
+                    estate.names.entry_point, context
+                )
+                client_location = Coordinates(*coords)
+                for address in resolution.addresses:
+                    if address in server_coords:
+                        distances.append(
+                            great_circle_km(client_location, server_coords[address])
+                        )
+    finally:
+        for region in MappingRegion:
+            estate.controller.observe_demand(region, 0.0)
+    return statistics.median(distances)
+
+
+def test_bench_ablation_regional_selection(benchmark):
+    scenario = Sep2017Scenario(
+        ScenarioConfig(global_probe_count=1, isp_probe_count=1)
+    )
+    regional = _median_distance(scenario, regional=True)
+    uniform = _median_distance(scenario, regional=False)
+    benchmark(_median_distance, scenario, True)
+
+    lines = [
+        "Ablation — regional vs uniform third-party selection",
+        "",
+        f"    regional (us/eu/apac lbs): median distance {regional:8.0f} km",
+        f"    uniform (everyone as EU):  median distance {uniform:8.0f} km",
+    ]
+    text = "\n".join(lines)
+    write_output("ablation_regions.txt", text)
+    print("\n" + text)
+
+    # Regional selection serves clients from much closer caches.
+    assert regional < uniform * 0.7

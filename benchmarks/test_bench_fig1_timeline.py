@@ -1,0 +1,25 @@
+"""Figure 1: the active measurement timeline.
+
+Regenerates the timeline rows (campaign windows and release events) and
+benchmarks timeline arithmetic, the cheapest sanity layer of the
+reproduction.
+"""
+
+from conftest import write_output
+
+from repro.workload import TIMELINE
+
+
+def test_bench_fig1_timeline(benchmark):
+    rows = benchmark(TIMELINE.figure1_rows)
+    lines = ["Figure 1 — active measurement timeline", ""]
+    for name, start, end in rows:
+        span = start if start == end else f"{start} - {end}"
+        lines.append(f"    {name:<14}{span}")
+    text = "\n".join(lines)
+    write_output("fig1_timeline.txt", text)
+    print("\n" + text)
+
+    names = {name for name, _, _ in rows}
+    assert {"ripe-isp", "ripe-global", "aws-vms", "ios-11.0"} <= names
+    assert dict((n, (s, e)) for n, s, e in rows)["ios-11.0"] == ("Sep 19", "Sep 19")

@@ -1,0 +1,66 @@
+"""Validation bench: agent-level behaviour vs the fluid controller.
+
+Sweeps the EU demand level and compares, at each level, the Apple share
+the Meta-CDN controller dictates with the share a population of real
+device agents (manifest polls, DNS resolution, downloads) actually
+experiences.  Agreement across the sweep is the evidence that the
+aggregate engine and the per-device mechanisms tell one story.
+"""
+
+from conftest import write_output
+
+from repro.net.geo import MappingRegion
+from repro.simulation import MicroSimulation, ScenarioConfig, Sep2017Scenario
+from repro.workload import TIMELINE
+
+
+def _agent_share(scenario, demand_gbps, seed):
+    scenario.estate.controller.observe_demand(MappingRegion.EU, demand_gbps)
+    try:
+        sim = MicroSimulation(
+            scenario, agent_count=250, mean_adoption_delay=1200.0, seed=seed
+        )
+        release = TIMELINE.ios_11_0_release
+        stats = sim.run(
+            release - 3600.0,
+            release + 6 * 3600.0,
+            release_time=release,
+            step_seconds=900.0,
+        )
+        return stats.operator_share("Apple")
+    finally:
+        scenario.estate.controller.observe_demand(MappingRegion.EU, 0.0)
+
+
+def test_bench_microsim_validation(benchmark):
+    scenario = Sep2017Scenario(
+        ScenarioConfig(global_probe_count=1, isp_probe_count=1)
+    )
+    controller = scenario.estate.controller
+    levels = (0.0, 3000.0, 5000.0, 8000.0, 12000.0)
+    rows = []
+    for seed, demand in enumerate(levels, start=1):
+        controller.observe_demand(MappingRegion.EU, demand)
+        dictated = controller.apple_share(MappingRegion.EU)
+        observed = _agent_share(scenario, demand, seed)
+        rows.append((demand, dictated, observed))
+    benchmark(_agent_share, scenario, 5000.0, 99)
+
+    lines = [
+        "Validation — controller-dictated vs agent-observed Apple share",
+        "",
+        f"    {'EU demand':>10}  {'dictated':>9}  {'observed':>9}",
+    ]
+    for demand, dictated, observed in rows:
+        lines.append(
+            f"    {demand:>8.0f}G  {dictated * 100:>8.1f}%  {observed * 100:>8.1f}%"
+        )
+    text = "\n".join(lines)
+    write_output("microsim_validation.txt", text)
+    print("\n" + text)
+
+    for demand, dictated, observed in rows:
+        assert abs(dictated - observed) < 0.12, demand
+    # The sweep actually exercises the offload knee.
+    shares = [dictated for _, dictated, _ in rows]
+    assert max(shares) > 0.6 and min(shares) < 0.35

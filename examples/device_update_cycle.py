@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""One iOS device's update cycle (Section 3.1), step by step.
+
+Walks a single iPhone through the observed behaviour: the hourly
+manifest poll against ``mesu.apple.com``, the user notification, the
+user-initiated download from ``appldnld.apple.com`` over plain HTTP,
+and the install — with every DNS and HTTP interaction shown.
+
+Run:  python examples/device_update_cycle.py
+"""
+
+from repro.apple import (
+    CHECK_INTERVAL_SECONDS,
+    IosDevice,
+    build_manifest,
+    build_updatebrain,
+)
+from repro.dns import QueryContext
+from repro.net import Continent, Coordinates, IPv4Address
+from repro.simulation import ScenarioConfig, Sep2017Scenario
+from repro.workload import TIMELINE
+
+
+def main() -> None:
+    scenario = Sep2017Scenario(
+        ScenarioConfig(global_probe_count=1, isp_probe_count=1)
+    )
+    estate = scenario.estate
+    device = IosDevice("iPhone9,1", "10.3")
+    client_address = IPv4Address.parse("89.0.12.34")
+
+    def context(now):
+        return QueryContext(
+            client=client_address,
+            coordinates=Coordinates(52.52, 13.40),  # Berlin
+            continent=Continent.EUROPE,
+            country="de",
+            now=now,
+        )
+
+    manifest = build_manifest(target_version="11.0")
+    updatebrain = build_updatebrain()
+    print(f"Device: {device}")
+    print(f"Manifest: {manifest.entry_count} entries "
+          f"(paper: ~1800 as of July 2017); "
+          f"UpdateBrain: {updatebrain.entry_count} entries\n")
+
+    # Hourly polls before the release find nothing.
+    resolver = estate.resolver()
+    release = TIMELINE.ios_11_0_release
+    old_manifest = build_manifest(target_version="10.3")
+    for tick in range(2):
+        now = release - (2 - tick) * CHECK_INTERVAL_SECONDS
+        poll = device.manifest_request()
+        mesu = resolver.resolve(poll.host, context(now))
+        found = device.check(old_manifest, now)
+        print(f"[{TIMELINE.datetime(now):%b %d %H:%M}] poll {poll.url}")
+        print(f"    mesu.apple.com -> {mesu.addresses[0]}, "
+              f"update found: {found is not None}")
+
+    # The release lands; the next hourly poll discovers it.
+    now = release + 600.0
+    entry = device.check(manifest, now)
+    print(f"\n[{TIMELINE.datetime(now):%b %d %H:%M}] new manifest entry:")
+    print(f"    {entry.device_model} {entry.from_version} -> "
+          f"{entry.target_version}, {entry.size_bytes / 1e9:.1f} GB")
+    print(f"    user notified: {device.state.value}")
+
+    # The user taps install: resolve appldnld and download.
+    request = device.start_update(client_address=str(client_address))
+    resolution = resolver.resolve(request.host, context(now))
+    print(f"\nUser starts the update; resolving {request.host}:")
+    print("    " + " -> ".join(resolution.chain_names))
+    vip = resolution.addresses[0]
+    site = estate.apple.site_for(vip)
+    print(f"    delivery server {vip} "
+          f"({site.location.city}, site {site.site_id})")
+    served = estate.apple.serve(vip, request, size=entry.size_bytes)
+    print(f"    HTTP {served.response.status}, "
+          f"{served.response.body_size / 1e9:.1f} GB")
+    print(f"    X-Cache: {served.response.headers.get('X-Cache')}")
+
+    device.finish_update()
+    print(f"\nAfter install: {device}")
+    assert device.check(manifest, now + CHECK_INTERVAL_SECONDS) is None
+    print("Next hourly poll: up to date.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""metacdn-repro: a reproduction of "Dissecting Apple's Meta-CDN during
+an iOS Update" (IMC 2018).
+
+The package is organised bottom-up:
+
+* :mod:`repro.net` — IPv4, prefix tries, ASs, geography, UN/LOCODE;
+* :mod:`repro.dns` — records, zones, answer policies, recursion;
+* :mod:`repro.http` — messages plus Via / X-Cache conventions;
+* :mod:`repro.cdn` — caches, edge sites, CDN deployments;
+* :mod:`repro.apple` — the Apple Meta-CDN (naming scheme, 34-site
+  estate, Figure 2 mapping chain, offload policy, device behaviour);
+* :mod:`repro.atlas` — RIPE-Atlas-style probes and campaigns;
+* :mod:`repro.isp` — the eyeball ISP (BGP, Netflow, SNMP, classify);
+* :mod:`repro.workload` — timeline, populations, flash-crowd demand;
+* :mod:`repro.simulation` — the Sep 2017 scenario and engine;
+* :mod:`repro.analysis` — regeneration of every table and figure.
+
+Quickstart::
+
+    from repro.simulation import Sep2017Scenario, SimulationEngine
+    from repro.workload import TIMELINE
+
+    scenario = Sep2017Scenario()
+    engine = SimulationEngine(scenario)
+    engine.run(TIMELINE.at(9, 17), TIMELINE.at(9, 22))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,122 @@
+"""Edge-site structure inference from HTTP headers (Section 3.3).
+
+From download responses the paper inferred: client requests hit a
+``vip-bx`` load balancer (invisible in ``Via`` — it is an L4 device),
+land on one of four associated ``edge-bx`` caches, fall back to an
+``edge-lx`` node on a miss, and originate from a CloudFront host; the
+caches run Apache Traffic Server.  :func:`infer_hierarchy` re-derives
+all of that from a sample of responses.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..apple.naming import NamingError, parse_hostname
+from ..cdn.server import SecondaryFunction, ServerFunction
+from ..http.headers import parse_via, parse_x_cache
+from ..http.messages import HttpResponse
+from ..net.ipv4 import IPv4Address
+
+__all__ = ["HierarchyInference", "infer_hierarchy"]
+
+
+@dataclass
+class HierarchyInference:
+    """What the header analysis concluded."""
+
+    layer_order: tuple = ()  # roles origin-most first, e.g. (origin, lx, bx)
+    edge_bx_hosts: set = field(default_factory=set)
+    edge_lx_hosts: set = field(default_factory=set)
+    origin_hosts: set = field(default_factory=set)
+    software: set = field(default_factory=set)
+    edge_bx_per_vip: dict = field(default_factory=dict)  # vip -> set of bx hosts
+    responses_analyzed: int = 0
+    inconsistent_headers: int = 0  # Via/X-Cache hop-count mismatches
+
+    @property
+    def fanout_per_vip(self) -> Optional[int]:
+        """The inferred edge-bx count behind each vip (the paper: four)."""
+        if not self.edge_bx_per_vip:
+            return None
+        sizes = {len(hosts) for hosts in self.edge_bx_per_vip.values()}
+        return max(sizes)
+
+    @property
+    def uses_traffic_server(self) -> bool:
+        """Whether the caches identify as Apache Traffic Server."""
+        return any("ApacheTrafficServer" in agent for agent in self.software)
+
+    def render(self) -> str:
+        """Text rendering of the Section 3.3 inference."""
+        lines = [
+            f"Analyzed {self.responses_analyzed} responses",
+            f"layer order (origin first): {' -> '.join(self.layer_order)}",
+            f"edge-bx hosts seen: {len(self.edge_bx_hosts)}",
+            f"edge-lx hosts seen: {len(self.edge_lx_hosts)}",
+            f"origins: {sorted(self.origin_hosts)}",
+            f"cache software: {sorted(self.software)}",
+        ]
+        if self.fanout_per_vip is not None:
+            lines.append(f"edge-bx per vip: {self.fanout_per_vip}")
+        return "\n".join(lines)
+
+
+def _role_of(host: str) -> str:
+    try:
+        name = parse_hostname(host)
+    except NamingError:
+        return "origin"
+    if name.function is ServerFunction.EDGE:
+        if name.secondary is SecondaryFunction.BX:
+            return "edge-bx"
+        if name.secondary is SecondaryFunction.LX:
+            return "edge-lx"
+    return str(name.role)
+
+
+def infer_hierarchy(
+    samples: Iterable[tuple[Optional[IPv4Address], HttpResponse]],
+) -> HierarchyInference:
+    """Infer the edge-site structure from ``(vip address, response)`` pairs.
+
+    The vip address (the one DNS handed out, ``None`` if unknown) lets
+    the analysis count how many distinct edge-bx hosts answer behind
+    each vip — the "one vip IP represents four servers" conclusion.
+    """
+    inference = HierarchyInference()
+    per_vip: dict = defaultdict(set)
+    layer_orders: set = set()
+
+    for vip, response in samples:
+        via_header = response.headers.get("Via")
+        if not via_header:
+            continue
+        inference.responses_analyzed += 1
+        entries = parse_via(via_header)
+        roles = []
+        for entry in entries:
+            role = _role_of(entry.host)
+            roles.append(role)
+            if role == "edge-bx":
+                inference.edge_bx_hosts.add(entry.host)
+                if vip is not None:
+                    per_vip[vip].add(entry.host)
+            elif role == "edge-lx":
+                inference.edge_lx_hosts.add(entry.host)
+            elif role == "origin":
+                inference.origin_hosts.add(entry.host)
+            if entry.agent:
+                inference.software.add(entry.agent)
+        layer_orders.add(tuple(roles))
+        x_cache = response.headers.get("X-Cache")
+        if x_cache and len(parse_x_cache(x_cache)) != len(entries):
+            inference.inconsistent_headers += 1
+
+    inference.edge_bx_per_vip = dict(per_vip)
+    # The canonical full chain is the longest role sequence observed.
+    if layer_orders:
+        inference.layer_order = max(layer_orders, key=len)
+    return inference

@@ -1,0 +1,135 @@
+"""Reconstructing the request-mapping graph (Figure 2).
+
+The authors rebuilt the mapping infrastructure from full recursive
+resolutions: every CNAME hop observed, its TTL, and which operator's
+DNS answered it.  :class:`MappingGraph` does the same over a set of
+:class:`~repro.dns.resolver.Resolution` objects (the AWS-VM-style
+detailed measurements) and recovers the paper's structural findings:
+the chain's names and TTLs, the decision points, and the operator
+attribution ("two of the three selection steps run on Akamai").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..dns.records import RecordType
+from ..dns.resolver import Resolution
+
+__all__ = ["MappingEdge", "MappingGraph"]
+
+
+@dataclass(frozen=True)
+class MappingEdge:
+    """One observed CNAME redirect."""
+
+    source: str
+    target: str
+    ttl: int
+
+
+@dataclass
+class MappingGraph:
+    """The CNAME graph with operator attribution per name."""
+
+    operators: dict = field(default_factory=dict)  # name -> operator
+    edges: set = field(default_factory=set)  # set[MappingEdge]
+    terminal_names: set = field(default_factory=set)  # names answering A records
+
+    @classmethod
+    def from_resolutions(cls, resolutions: Iterable[Resolution]) -> "MappingGraph":
+        """Accumulate the graph from observed resolutions."""
+        graph = cls()
+        for resolution in resolutions:
+            graph.add(resolution)
+        return graph
+
+    def add(self, resolution: Resolution) -> None:
+        """Fold one resolution's chain into the graph."""
+        for step in resolution.steps:
+            for record in step.records:
+                if record.rtype is RecordType.CNAME:
+                    self.operators.setdefault(record.name, step.operator)
+                    self.edges.add(
+                        MappingEdge(record.name, record.target, record.ttl)
+                    )
+                elif record.rtype is RecordType.A:
+                    self.operators.setdefault(record.name, step.operator)
+                    self.terminal_names.add(record.name)
+
+    # ----- structural queries ------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Every DNS name observed, sorted."""
+        seen = set(self.operators)
+        for edge in self.edges:
+            seen.add(edge.source)
+            seen.add(edge.target)
+        return tuple(sorted(seen))
+
+    def targets_of(self, name: str) -> tuple[MappingEdge, ...]:
+        """The outgoing redirects of ``name``, sorted by target."""
+        return tuple(
+            sorted(
+                (edge for edge in self.edges if edge.source == name),
+                key=lambda edge: edge.target,
+            )
+        )
+
+    def decision_points(self) -> tuple[str, ...]:
+        """Names observed redirecting to more than one target.
+
+        These are the selection steps of the Meta-CDN service: the
+        country split, the Apple/third-party decision, and the
+        third-party CDN selection.
+        """
+        return tuple(
+            sorted(
+                name
+                for name in {edge.source for edge in self.edges}
+                if len({e.target for e in self.targets_of(name)}) > 1
+            )
+        )
+
+    def operator_of(self, name: str) -> Optional[str]:
+        """Which operator's DNS answers ``name``."""
+        return self.operators.get(name)
+
+    def selection_operators(self) -> dict:
+        """Operator per decision point (the paper's 2-Akamai/1-Apple)."""
+        return {name: self.operators.get(name) for name in self.decision_points()}
+
+    def ttl_of(self, source: str, target: str) -> Optional[int]:
+        """The TTL observed on a specific redirect."""
+        for edge in self.edges:
+            if edge.source == source and edge.target == target:
+                return edge.ttl
+        return None
+
+    def chains_from(self, entry: str, _prefix: tuple = ()) -> list[tuple[str, ...]]:
+        """Every distinct name chain reachable from ``entry``."""
+        outgoing = self.targets_of(entry)
+        if not outgoing or entry in _prefix:
+            return [(*_prefix, entry)]
+        chains: list[tuple[str, ...]] = []
+        for edge in outgoing:
+            chains.extend(self.chains_from(edge.target, (*_prefix, entry)))
+        return chains
+
+    def render(self) -> str:
+        """Text rendering of the graph (the Figure 2 regeneration)."""
+        lines = ["Request-mapping graph (reconstructed from resolutions):", ""]
+        for name in self.names:
+            operator = self.operators.get(name, "?")
+            marker = " [delivery]" if name in self.terminal_names else ""
+            lines.append(f"{name}  ({operator}){marker}")
+            for edge in self.targets_of(name):
+                lines.append(f"    --CNAME ttl={edge.ttl}--> {edge.target}")
+        decisions = self.selection_operators()
+        lines.append("")
+        lines.append(f"decision points: {len(decisions)}")
+        for name, operator in decisions.items():
+            lines.append(f"    {name}  run by {operator}")
+        return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Traceroute analysis: paths and cache geolocation.
+
+The paper ran hourly traceroutes to every server IP identified via DNS
+(Section 3.2) to corroborate the cache locations derived from the
+naming scheme.  This module recovers locations by the classic
+minimum-RTT constraint: among all probes that traced a cache, the one
+with the lowest RTT bounds the cache to its own vicinity (light in
+fibre travels ~100 km per millisecond of RTT).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Optional
+
+from ..atlas.probe import AtlasProbe
+from ..atlas.results import TracerouteMeasurement
+from ..net.geo import Coordinates, great_circle_km
+from ..net.ipv4 import IPv4Address
+
+__all__ = ["GeolocationEstimate", "geolocate_caches", "PathSummary", "summarize_paths"]
+
+# Conservative km-per-ms bound (speed of light in fibre, round trip).
+KM_PER_RTT_MS = 100.0
+
+
+@dataclass(frozen=True)
+class GeolocationEstimate:
+    """A cache address located at the min-RTT probe's metro."""
+
+    address: IPv4Address
+    coordinates: Coordinates
+    min_rtt_ms: float
+    probe_id: int
+
+    @property
+    def radius_km(self) -> float:
+        """The constraint radius implied by the best RTT."""
+        return self.min_rtt_ms * KM_PER_RTT_MS
+
+    def error_km(self, truth: Coordinates) -> float:
+        """Distance between the estimate and the true metro."""
+        return great_circle_km(self.coordinates, truth)
+
+
+def geolocate_caches(
+    traceroutes: Iterable[TracerouteMeasurement],
+    probes: Iterable[AtlasProbe],
+) -> dict[IPv4Address, GeolocationEstimate]:
+    """Min-RTT geolocation of every traced destination."""
+    probe_index = {probe.probe_id: probe for probe in probes}
+    best: dict[IPv4Address, GeolocationEstimate] = {}
+    for trace in traceroutes:
+        if not trace.reached or not trace.hops:
+            continue
+        probe = probe_index.get(trace.probe_id)
+        if probe is None:
+            continue
+        rtt = trace.hops[-1].rtt_ms
+        current = best.get(trace.destination)
+        if current is None or rtt < current.min_rtt_ms:
+            best[trace.destination] = GeolocationEstimate(
+                address=trace.destination,
+                coordinates=probe.coordinates,
+                min_rtt_ms=rtt,
+                probe_id=probe.probe_id,
+            )
+    return best
+
+
+@dataclass(frozen=True)
+class PathSummary:
+    """Aggregate facts about a traceroute dataset."""
+
+    trace_count: int
+    reached_ratio: float
+    median_rtt_ms: float
+    as_path_lengths: dict  # length -> count
+
+    def render(self) -> str:
+        """Text rendering for reports."""
+        lengths = ", ".join(
+            f"{length} ASes: {count}"
+            for length, count in sorted(self.as_path_lengths.items())
+        )
+        return (
+            f"{self.trace_count} traceroutes, "
+            f"{self.reached_ratio * 100:.1f}% reached, "
+            f"median RTT {self.median_rtt_ms:.1f} ms; paths: {lengths}"
+        )
+
+
+def summarize_paths(
+    traceroutes: Iterable[TracerouteMeasurement],
+) -> PathSummary:
+    """Reach, RTT and AS-path-length statistics."""
+    traces = list(traceroutes)
+    if not traces:
+        return PathSummary(0, 0.0, 0.0, {})
+    reached = [trace for trace in traces if trace.reached]
+    rtts = sorted(trace.hops[-1].rtt_ms for trace in reached if trace.hops)
+    lengths: dict[int, int] = defaultdict(int)
+    for trace in reached:
+        lengths[len(trace.as_path)] += 1
+    return PathSummary(
+        trace_count=len(traces),
+        reached_ratio=len(reached) / len(traces),
+        median_rtt_ms=rtts[len(rtts) // 2] if rtts else 0.0,
+        as_path_lengths=dict(lengths),
+    )
+
+
+def geolocation_errors_km(
+    estimates: Mapping[IPv4Address, GeolocationEstimate],
+    truth: Mapping[IPv4Address, Coordinates],
+) -> list[float]:
+    """Per-cache estimation error against ground-truth metros."""
+    errors = []
+    for address, estimate in estimates.items():
+        true_coords = truth.get(address)
+        if true_coords is not None:
+            errors.append(estimate.error_km(true_coords))
+    return sorted(errors)

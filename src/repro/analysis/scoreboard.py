@@ -1,0 +1,147 @@
+"""The reproduction scoreboard: every paper target, checked in one pass.
+
+EXPERIMENTS.md is the human-readable comparison; this module is the
+machine-checkable one.  :data:`PAPER_TARGETS` lists the paper's headline
+quantities with tolerances calibrated to the reproduction's scale, and
+:func:`evaluate_scoreboard` measures each from a completed event run and
+returns pass/fail verdicts — the bench prints it as the final word on
+the reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from ..isp.classify import ClassifiedFlow
+from ..net.geo import Continent
+from ..workload.timeline import Timeline
+from .categories import CdnCategorizer
+from .offload import summarize_offload
+from .overflow import overflow_share_series, peak_share
+from .sites import discover_sites
+from .unique_ips import peak_vs_baseline, unique_ip_series
+
+__all__ = ["TargetCheck", "PAPER_TARGETS", "evaluate_scoreboard", "render_scoreboard"]
+
+
+@dataclass(frozen=True)
+class TargetCheck:
+    """One scoreboard row."""
+
+    name: str
+    paper_value: str
+    measured: float
+    low: float
+    high: float
+    unit: str = ""
+
+    @property
+    def passed(self) -> bool:
+        """Whether the measured value falls inside the accepted band."""
+        return self.low <= self.measured <= self.high
+
+    def render(self) -> str:
+        """One table row."""
+        verdict = "ok " if self.passed else "FAIL"
+        return (
+            f"    [{verdict}] {self.name:<42} paper {self.paper_value:>10}   "
+            f"measured {self.measured:>8.2f}{self.unit} "
+            f"(accepted {self.low:g}..{self.high:g})"
+        )
+
+
+# name -> (paper value label, accepted band).  Bands encode the
+# shape-not-absolute philosophy: exact where the model is exact
+# (structure), generous where probe-scale matters (unique-IP factors).
+PAPER_TARGETS: dict[str, tuple[str, float, float, str]] = {
+    "apple-sites": ("34", 34, 34, ""),
+    "apple-edge-bx": ("1072", 1072, 1072, ""),
+    "fig7-apple-peak-ratio": ("211%", 1.7, 2.6, "x"),
+    "fig7-limelight-peak-ratio": ("438%", 3.2, 5.5, "x"),
+    "fig7-akamai-peak-ratio": ("113%", 1.0, 1.5, "x"),
+    "fig7-excess-apple": ("33%", 0.2, 0.5, ""),
+    "fig7-excess-limelight": ("44%", 0.35, 0.65, ""),
+    "fig7-excess-akamai": ("23%", 0.05, 0.35, ""),
+    "fig8-asd-peak-overflow-share": (">40%", 0.4, 0.8, ""),
+    "fig8-asd-saturated-links": ("2 of 4", 2, 2, ""),
+    "fig4-europe-spike-factor": ("5.1x", 2.5, 8.0, "x"),
+}
+
+
+def evaluate_scoreboard(
+    scenario,
+    classified: Iterable[ClassifiedFlow],
+    timeline: Optional[Timeline] = None,
+    new_as=None,
+) -> list[TargetCheck]:
+    """Measure every target from a completed event run."""
+    from ..simulation.scenario import AS_TRANSIT_D
+
+    tl = timeline if timeline is not None else scenario.timeline
+    release = tl.ios_11_0_release
+    release_day = tl.day_start(release)
+    asd = new_as if new_as is not None else AS_TRANSIT_D
+    classified = list(classified)
+    checks: list[TargetCheck] = []
+
+    def add(name: str, measured: float) -> None:
+        paper_value, low, high, unit = PAPER_TARGETS[name]
+        checks.append(TargetCheck(name, paper_value, measured, low, high, unit))
+
+    # Structure (Figure 3 / Table 1).
+    discovery = discover_sites(scenario.estate.apple.reverse_dns_table())
+    add("apple-sites", discovery.site_count)
+    add("apple-edge-bx", discovery.total_edge_bx)
+
+    # Figure 7.
+    offload = summarize_offload(classified, release_day)
+    add("fig7-apple-peak-ratio", offload.ratio_peaks.get("Apple", 0.0))
+    add("fig7-limelight-peak-ratio", offload.ratio_peaks.get("Limelight", 0.0))
+    add("fig7-akamai-peak-ratio", offload.ratio_peaks.get("Akamai", 0.0))
+    add("fig7-excess-apple", offload.excess_shares_release_day.get("Apple", 0.0))
+    add(
+        "fig7-excess-limelight",
+        offload.excess_shares_release_day.get("Limelight", 0.0),
+    )
+    add("fig7-excess-akamai", offload.excess_shares_release_day.get("Akamai", 0.0))
+
+    # Figure 8.
+    series = overflow_share_series(classified, bin_seconds=21600.0,
+                                   operator="Limelight")
+    add("fig8-asd-peak-overflow-share", peak_share(series, asd))
+    saturated = set()
+    for hour in range(48):
+        saturated.update(
+            link
+            for link in scenario.snmp.saturated_links(
+                scenario.isp, release + hour * 3600.0, threshold=0.95
+            )
+            if link.startswith("transit-d-")
+        )
+    add("fig8-asd-saturated-links", len(saturated))
+
+    # Figure 4 (needs the global campaign).
+    measurements = scenario.global_campaign.store.dns
+    if measurements:
+        categorizer = CdnCategorizer(scenario.estate.deployments)
+        europe = unique_ip_series(
+            measurements, categorizer.category, 7200.0, continent=Continent.EUROPE
+        )
+        peak, baseline = peak_vs_baseline(europe, release)
+        add(
+            "fig4-europe-spike-factor",
+            peak / baseline if baseline else 0.0,
+        )
+    return checks
+
+
+def render_scoreboard(checks: list[TargetCheck]) -> str:
+    """The full scoreboard as text."""
+    passed = sum(1 for check in checks if check.passed)
+    lines = [
+        f"Reproduction scoreboard: {passed}/{len(checks)} targets in band",
+        "",
+    ]
+    lines.extend(check.render() for check in checks)
+    return "\n".join(lines)

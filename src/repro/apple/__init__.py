@@ -1,0 +1,74 @@
+"""The paper's subject: Apple's self-operated Meta-CDN.
+
+* :mod:`repro.apple.naming` — the Table 1 server naming scheme;
+* :mod:`repro.apple.deployment` — the 34-site own-CDN estate (Figure 3);
+* :mod:`repro.apple.policy` — the Meta-CDN selection (Apple-first offload);
+* :mod:`repro.apple.mapping` — the full Figure 2 DNS request-mapping chain;
+* :mod:`repro.apple.manifest` / :mod:`repro.apple.device` — the iOS
+  update discovery and download behaviour of Section 3.1.
+"""
+
+from .deployment import (
+    APPLE_DELIVERY_PREFIX,
+    APPLE_METRO_PLANS,
+    EDGE_BX_PER_VIP,
+    AppleCdn,
+    AppleSite,
+    MetroPlan,
+)
+from .device import CHECK_INTERVAL_SECONDS, DeviceState, IosDevice
+from .manifest import (
+    DEVICE_MODELS,
+    DOWNLOAD_HOST,
+    MANIFEST_HOST,
+    MANIFEST_PATH,
+    UPDATEBRAIN_PATH,
+    UpdateEntry,
+    UpdateManifest,
+    build_manifest,
+    build_updatebrain,
+)
+from .mapping import NAMES, MappingNames, MetaCdnEstate, build_meta_cdn
+from .naming import (
+    AAPLIMG_DOMAIN,
+    TS_APPLE_DOMAIN,
+    AppleServerName,
+    NamingError,
+    format_hostname,
+    parse_hostname,
+)
+from .policy import AkamaiHandoverPolicy, MetaCdnController, OffloadCnamePolicy
+
+__all__ = [
+    "AppleServerName",
+    "parse_hostname",
+    "format_hostname",
+    "NamingError",
+    "AAPLIMG_DOMAIN",
+    "TS_APPLE_DOMAIN",
+    "MetroPlan",
+    "APPLE_METRO_PLANS",
+    "APPLE_DELIVERY_PREFIX",
+    "EDGE_BX_PER_VIP",
+    "AppleSite",
+    "AppleCdn",
+    "MetaCdnController",
+    "OffloadCnamePolicy",
+    "AkamaiHandoverPolicy",
+    "MappingNames",
+    "NAMES",
+    "MetaCdnEstate",
+    "build_meta_cdn",
+    "UpdateEntry",
+    "UpdateManifest",
+    "build_manifest",
+    "build_updatebrain",
+    "DEVICE_MODELS",
+    "MANIFEST_HOST",
+    "DOWNLOAD_HOST",
+    "MANIFEST_PATH",
+    "UPDATEBRAIN_PATH",
+    "IosDevice",
+    "DeviceState",
+    "CHECK_INTERVAL_SECONDS",
+]

@@ -1,0 +1,106 @@
+"""iOS device update behaviour (Section 3.1).
+
+The paper observed (from an Apple TV and an iPhone 7 Plus) that iOS
+devices download the manifest from ``mesu.apple.com`` once per hour; if
+it advertises a newer build, the user is notified, and when the user
+manually starts the update the image is fetched from
+``appldnld.apple.com`` over plain HTTP.
+
+:class:`IosDevice` reproduces that loop.  The flash-crowd simulation
+aggregates millions of devices statistically, but this class is the
+faithful per-device model used by examples and integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from ..http.messages import Headers, HttpRequest
+from .manifest import (
+    DOWNLOAD_HOST,
+    MANIFEST_HOST,
+    MANIFEST_PATH,
+    UpdateEntry,
+    UpdateManifest,
+)
+
+__all__ = ["DeviceState", "IosDevice", "CHECK_INTERVAL_SECONDS"]
+
+CHECK_INTERVAL_SECONDS = 3600.0  # manifest poll period observed in traffic
+
+
+class DeviceState(str, Enum):
+    """Where a device stands in the update cycle."""
+
+    IDLE = "idle"
+    UPDATE_AVAILABLE = "update-available"
+    DOWNLOADING = "downloading"
+    UP_TO_DATE = "up-to-date"
+
+
+@dataclass
+class IosDevice:
+    """One device: model, installed build and the hourly check loop."""
+
+    device_model: str
+    os_version: str
+    state: DeviceState = DeviceState.IDLE
+    pending: Optional[UpdateEntry] = None
+    last_check: Optional[float] = field(default=None)
+
+    def needs_check(self, now: float) -> bool:
+        """Whether the hourly manifest poll is due."""
+        if self.last_check is None:
+            return True
+        return now - self.last_check >= CHECK_INTERVAL_SECONDS
+
+    def manifest_request(self) -> HttpRequest:
+        """The hourly poll request to ``mesu.apple.com``."""
+        return HttpRequest(method="GET", host=MANIFEST_HOST, path=MANIFEST_PATH)
+
+    def check(self, manifest: UpdateManifest, now: float) -> Optional[UpdateEntry]:
+        """Process one manifest poll; returns a newly found update.
+
+        On a hit the user is notified (state becomes UPDATE_AVAILABLE);
+        the download itself only starts when the user acts — see
+        :meth:`start_update`.
+        """
+        self.last_check = now
+        if self.state is DeviceState.DOWNLOADING:
+            return None
+        entry = manifest.lookup(self.device_model, self.os_version)
+        if entry is None:
+            if self.state is DeviceState.IDLE:
+                self.state = DeviceState.UP_TO_DATE
+            return None
+        self.pending = entry
+        self.state = DeviceState.UPDATE_AVAILABLE
+        return entry
+
+    def start_update(self, client_address: str = "") -> HttpRequest:
+        """The user-initiated image download from ``appldnld.apple.com``."""
+        if self.pending is None:
+            raise RuntimeError("no update pending; poll the manifest first")
+        self.state = DeviceState.DOWNLOADING
+        headers = Headers()
+        if client_address:
+            headers.add("X-Client", client_address)
+        return HttpRequest(
+            method="GET",
+            host=DOWNLOAD_HOST,
+            path=self.pending.path,
+            headers=headers,
+        )
+
+    def finish_update(self) -> None:
+        """Installation completed; the device now runs the new build."""
+        if self.pending is None or self.state is not DeviceState.DOWNLOADING:
+            raise RuntimeError("no download in progress")
+        self.os_version = self.pending.target_version
+        self.pending = None
+        self.state = DeviceState.UP_TO_DATE
+
+    def __str__(self) -> str:
+        return f"{self.device_model} (iOS {self.os_version}, {self.state.value})"

@@ -1,0 +1,135 @@
+"""Apple's CDN server naming scheme (Table 1).
+
+The scheme is ``ab-c-d-e.aaplimg.com`` where
+
+* ``a`` — UN/LOCODE location, e.g. ``deber`` for Berlin (with Apple's
+  known deviation ``uklon`` for London);
+* ``b`` — location site id, e.g. ``1``;
+* ``c`` — function: ``vip``, ``edge``, ``gslb``, ``dns``, ``ntp``, ``tool``;
+* ``d`` — secondary function identifier: ``bx``, ``lx``, ``sx``;
+* ``e`` — id for same-function servers, zero-padded, e.g. ``004``.
+
+Example: ``usnyc3-vip-bx-008.aaplimg.com``.  The HTTP ``Via`` headers
+show the same host part under ``ts.apple.com``
+(``defra1-edge-lx-011.ts.apple.com``), so the parser accepts any domain.
+
+The paper reconstructed this scheme by scanning Apple's ``17.0.0.0/8``
+range and enumerating reverse DNS names; :func:`parse_hostname` is the
+code that turns such names back into structured facts, and it is what
+the Figure 3 site-discovery analysis runs on.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cdn.server import SecondaryFunction, ServerFunction, ServerRole
+from ..net.locode import LocodeDatabase
+
+__all__ = ["AppleServerName", "parse_hostname", "format_hostname", "NamingError",
+           "AAPLIMG_DOMAIN", "TS_APPLE_DOMAIN"]
+
+AAPLIMG_DOMAIN = "aaplimg.com"
+TS_APPLE_DOMAIN = "ts.apple.com"
+
+_HOST_PART = re.compile(
+    r"^(?P<locode>[a-z]{5})(?P<site_id>\d+)"
+    r"-(?P<function>vip|edge|gslb|dns|ntp|tool)"
+    r"(?:-(?P<secondary>bx|lx|sx))?"
+    r"-(?P<server_id>\d+)$"
+)
+
+
+class NamingError(ValueError):
+    """Raised for hostnames that do not follow the Table 1 scheme."""
+
+
+@dataclass(frozen=True)
+class AppleServerName:
+    """A parsed Apple server name."""
+
+    locode: str
+    site_id: int
+    function: ServerFunction
+    secondary: Optional[SecondaryFunction]
+    server_id: int
+    domain: str = AAPLIMG_DOMAIN
+
+    @property
+    def role(self) -> ServerRole:
+        """The (function, secondary) role of this server."""
+        return ServerRole(self.function, self.secondary)
+
+    @property
+    def site_key(self) -> tuple[str, int]:
+        """Identifies the edge site: (locode, site id)."""
+        return (self.locode, self.site_id)
+
+    @property
+    def canonical_locode(self) -> str:
+        """The real UN/LOCODE (resolves Apple's ``uklon`` deviation)."""
+        return LocodeDatabase.canonical_code(self.locode)
+
+    def hostname(self) -> str:
+        """Render back to a full hostname."""
+        return format_hostname(
+            self.locode,
+            self.site_id,
+            self.function,
+            self.secondary,
+            self.server_id,
+            self.domain,
+        )
+
+    def __str__(self) -> str:
+        return self.hostname()
+
+
+def format_hostname(
+    locode: str,
+    site_id: int,
+    function: ServerFunction,
+    secondary: Optional[SecondaryFunction],
+    server_id: int,
+    domain: str = AAPLIMG_DOMAIN,
+) -> str:
+    """Build a hostname following the Table 1 scheme.
+
+    >>> format_hostname("usnyc", 3, ServerFunction.VIP, SecondaryFunction.BX, 8)
+    'usnyc3-vip-bx-008.aaplimg.com'
+    """
+    if len(locode) != 5 or not locode.isalpha():
+        raise NamingError(f"bad locode {locode!r}")
+    if site_id < 0 or server_id < 0:
+        raise NamingError("site and server ids must be non-negative")
+    middle = function.value if secondary is None else f"{function.value}-{secondary.value}"
+    return f"{locode.lower()}{site_id}-{middle}-{server_id:03d}.{domain}"
+
+
+def parse_hostname(hostname: str) -> AppleServerName:
+    """Parse a full hostname into an :class:`AppleServerName`.
+
+    >>> name = parse_hostname("usnyc3-vip-bx-008.aaplimg.com")
+    >>> name.site_key
+    ('usnyc', 3)
+    >>> str(name.role)
+    'vip-bx'
+    """
+    cleaned = hostname.strip().lower().rstrip(".")
+    host_part, _, domain = cleaned.partition(".")
+    if not domain:
+        raise NamingError(f"hostname has no domain: {hostname!r}")
+    match = _HOST_PART.match(host_part)
+    if match is None:
+        raise NamingError(f"not an Apple server name: {hostname!r}")
+    secondary_text = match.group("secondary")
+    return AppleServerName(
+        locode=match.group("locode"),
+        site_id=int(match.group("site_id")),
+        function=ServerFunction(match.group("function")),
+        secondary=SecondaryFunction(secondary_text) if secondary_text else None,
+        server_id=int(match.group("server_id")),
+        domain=domain,
+    )

@@ -1,0 +1,167 @@
+"""The Meta-CDN service: Apple's CDN-selection policy.
+
+Section 5.3's key finding is the *Apple-first* shape of the offload:
+"Apple uses its own CDN first before offloading" — its CDN runs at high
+capacity through the event while third-party CDNs absorb the spill, with
+the third-party split changing day by day (Akamai only on release day,
+Limelight throughout).
+
+:class:`MetaCdnController` implements that decision: given the demand a
+region currently offers and Apple's regional capacity, it computes the
+share of requests kept on Apple's own CDN; the remainder is handed to
+the third-party selection step.  :class:`OffloadCnamePolicy` is the
+DNS-facing half — the policy bound to ``appldnld.g.applimg.com``, whose
+15 s TTL is what makes this control loop responsive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from ..dns.policies import stable_fraction
+from ..dns.query import QueryContext
+from ..dns.records import CnameRecord, ResourceRecord
+from ..net.geo import MappingRegion
+
+__all__ = ["MetaCdnController", "OffloadCnamePolicy", "AkamaiHandoverPolicy"]
+
+
+class MetaCdnController:
+    """Decides, per region and instant, the share Apple's CDN keeps.
+
+    ``capacity_gbps`` is Apple's own delivery capacity per region;
+    ``target_utilization`` is the fill level Apple is willing to run at
+    before spilling (the ISP data shows Apple "runs at high capacity"
+    on the busiest days).  Demand is fed in by the simulation loop via
+    :meth:`observe_demand`; with no observation yet, everything stays
+    on Apple.
+    """
+
+    def __init__(
+        self,
+        capacity_gbps: Mapping[MappingRegion, float],
+        target_utilization: float = 0.95,
+        min_third_party_share: float = 0.0,
+    ) -> None:
+        if not 0.0 < target_utilization <= 1.0:
+            raise ValueError("target_utilization must be in (0, 1]")
+        if not 0.0 <= min_third_party_share < 1.0:
+            raise ValueError("min_third_party_share must be in [0, 1)")
+        self._capacity = dict(capacity_gbps)
+        self.target_utilization = target_utilization
+        self.min_third_party_share = min_third_party_share
+        self._demand: dict[MappingRegion, float] = {}
+
+    def observe_demand(self, region: MappingRegion, gbps: float) -> None:
+        """Report the demand currently offered in ``region``."""
+        if gbps < 0:
+            raise ValueError("demand cannot be negative")
+        self._demand[region] = gbps
+
+    def demand(self, region: MappingRegion) -> float:
+        """The last observed demand for ``region`` (0 before any)."""
+        return self._demand.get(region, 0.0)
+
+    def capacity(self, region: MappingRegion) -> float:
+        """Apple's own capacity in ``region``."""
+        return self._capacity.get(region, 0.0)
+
+    def apple_share(self, region: MappingRegion) -> float:
+        """Fraction of requests kept on Apple's own CDN right now.
+
+        Apple-first: the full non-contracted share while demand fits
+        under the utilisation target, then exactly the servable
+        fraction — the spill goes to third parties.  A standing
+        ``min_third_party_share`` (commercial volume contracts; the
+        reason Europe shows ~50 % third-party cache IPs even before the
+        event) is always routed away.  A region without Apple capacity
+        gets 0.0.
+        """
+        ceiling = 1.0 - self.min_third_party_share
+        usable = self.capacity(region) * self.target_utilization
+        if usable <= 0.0:
+            return 0.0
+        demand = self.demand(region)
+        if demand * ceiling <= usable:
+            return ceiling
+        return usable / demand
+
+    def offload_gbps(self, region: MappingRegion) -> float:
+        """The demand volume currently spilled to third parties."""
+        return self.demand(region) * (1.0 - self.apple_share(region))
+
+    def apple_utilization(self, region: MappingRegion) -> float:
+        """Apple's own fill level (1.0 == at the utilisation target)."""
+        usable = self.capacity(region) * self.target_utilization
+        if usable <= 0.0:
+            return 0.0
+        return min(1.0, self.demand(region) / usable)
+
+
+@dataclass(frozen=True)
+class OffloadCnamePolicy:
+    """The ``appldnld.g.applimg.com`` decision (step 2 of Figure 2).
+
+    Keeps ``controller.apple_share`` of clients on Apple's GSLB names
+    (``{a|b}.gslb.applimg.com``) and redirects the rest to the region's
+    third-party selection name.  Selection is sticky per 15 s bucket,
+    matching the measured TTL.
+    """
+
+    controller: MetaCdnController
+    gslb_targets: tuple[str, ...] = ("a.gslb.applimg.com", "b.gslb.applimg.com")
+    third_party_pattern: str = "ios8-{region}-lb.apple.com.akadns.net"
+    ttl: int = 15
+    salt: str = ""
+
+    def answer(self, name: str, context: QueryContext) -> tuple[ResourceRecord, ...]:
+        target = self.select(name, context)
+        return (CnameRecord(name, target, self.ttl),)
+
+    def select(self, name: str, context: QueryContext) -> str:
+        """The CNAME target for this client: Apple GSLB or third-party."""
+        share = self.controller.apple_share(context.region)
+        bucket = int(context.now // self.ttl) if self.ttl > 0 else 0
+        fraction = stable_fraction(name, context.client, bucket, self.salt)
+        if fraction < share:
+            pick = stable_fraction("gslb", context.client, bucket, self.salt)
+            index = int(pick * len(self.gslb_targets))
+            return self.gslb_targets[index]
+        return self.third_party_pattern.format(region=context.region.value)
+
+
+@dataclass(frozen=True)
+class AkamaiHandoverPolicy:
+    """The ``appldnld2.apple.com.edgesuite.net`` hop with the rollout change.
+
+    Normally a CNAME to ``a1271.gi3.akamai.net``.  Six hours into the
+    iOS 11 rollout (Sep 19 around 23h UTC) Akamai added
+    ``a1015.gi3.akamai.net`` for requests arriving via the EU load
+    balancer; from ``secondary_from`` onwards, EU clients split between
+    the two handover names.
+    """
+
+    primary: str = "a1271.gi3.akamai.net"
+    secondary: str = "a1015.gi3.akamai.net"
+    secondary_from: Optional[float] = None  # simulation seconds; None = never
+    secondary_region: MappingRegion = MappingRegion.EU
+    secondary_share: float = 0.5
+    ttl: int = 300
+    salt: str = ""
+
+    def answer(self, name: str, context: QueryContext) -> tuple[ResourceRecord, ...]:
+        return (CnameRecord(name, self.select(name, context), self.ttl),)
+
+    def select(self, name: str, context: QueryContext) -> str:
+        """Which ``gi3.akamai.net`` name this client is handed to."""
+        if (
+            self.secondary_from is not None
+            and context.now >= self.secondary_from
+            and context.region is self.secondary_region
+        ):
+            bucket = int(context.now // self.ttl) if self.ttl > 0 else 0
+            fraction = stable_fraction(name, context.client, bucket, self.salt)
+            if fraction < self.secondary_share:
+                return self.secondary
+        return self.primary

@@ -1,0 +1,113 @@
+"""Measurement campaigns: scheduled DNS (and traceroute) sweeps.
+
+The paper's cadence: the 800 global probes resolved
+``appldnld.apple.com`` every 5 minutes for a week either side of the
+release; the 400 ISP probes every 12 hours from Aug 21 to Dec 31;
+traceroutes ran hourly against all server IPs seen in DNS.
+
+A campaign is driven by the simulation clock: the engine calls
+:meth:`DnsCampaign.maybe_run` every step and the campaign fires when a
+tick is due.  This keeps DNS observations interleaved with the demand
+and exposure dynamics they are supposed to witness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..workload.timeline import MeasurementWindow
+from .probe import AtlasProbe
+from .results import MeasurementStore
+
+__all__ = ["DnsCampaign", "TracerouteCampaign"]
+
+
+@dataclass
+class DnsCampaign:
+    """A scheduled DNS measurement over a probe set."""
+
+    probes: Sequence[AtlasProbe]
+    target: str
+    interval: float
+    window: MeasurementWindow
+    store: MeasurementStore = field(default_factory=MeasurementStore)
+    _next_due: Optional[float] = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+        if not self.probes:
+            raise ValueError("campaign needs at least one probe")
+
+    def due(self, now: float) -> bool:
+        """Whether a tick should fire at ``now``."""
+        if not self.window.contains(now):
+            return False
+        if self._next_due is None:
+            return True
+        return now >= self._next_due
+
+    def maybe_run(self, now: float) -> int:
+        """Fire a tick if due; returns the number of measurements taken."""
+        if not self.due(now):
+            return 0
+        for probe in self.probes:
+            self.store.add_dns(probe.measure_dns(self.target, now))
+        if self._next_due is None:
+            self._next_due = now + self.interval
+        else:
+            # Keep the grid aligned even if the engine stepped past a tick.
+            while self._next_due <= now:
+                self._next_due += self.interval
+        return len(self.probes)
+
+    def run_window(self, step: Optional[float] = None) -> MeasurementStore:
+        """Run the whole window standalone (no engine), returning the store.
+
+        Useful for analyses that do not need demand dynamics; ``step``
+        defaults to the campaign interval.
+        """
+        stride = step if step is not None else self.interval
+        now = self.window.start
+        while now < self.window.end:
+            self.maybe_run(now)
+            now += stride
+        return self.store
+
+
+@dataclass
+class TracerouteCampaign:
+    """Hourly traceroutes to every cache address seen in DNS so far."""
+
+    probes: Sequence[AtlasProbe]
+    dns_store: MeasurementStore
+    interval: float
+    window: MeasurementWindow
+    tracer: Callable  # (probe, destination, now) -> TracerouteMeasurement
+    store: MeasurementStore = field(default_factory=MeasurementStore)
+    max_targets_per_tick: int = 64
+    _next_due: Optional[float] = field(default=None, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+
+    def maybe_run(self, now: float) -> int:
+        """Fire a traceroute sweep if due; returns measurements taken."""
+        if not self.window.contains(now):
+            return 0
+        if self._next_due is not None and now < self._next_due:
+            return 0
+        targets = sorted(self.dns_store.unique_addresses())[
+            : self.max_targets_per_tick
+        ]
+        taken = 0
+        for probe in self.probes:
+            for destination in targets:
+                self.store.add_traceroute(self.tracer(probe, destination, now))
+                taken += 1
+        self._next_due = (now + self.interval) if self._next_due is None else self._next_due
+        while self._next_due <= now:
+            self._next_due += self.interval
+        return taken

@@ -1,0 +1,109 @@
+"""RIPE Atlas probes.
+
+A probe is a small measurement device in a volunteer's network: it has
+a public address, lives in an AS, has a location, and resolves DNS via
+a local recursive resolver (so each probe sees its own TTL-cached view
+of the mapping chain — exactly the vantage-point diversity the paper's
+methodology is built on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..dns.query import QueryContext, RCode
+from ..dns.resolver import RecursiveResolver, ResolutionError
+from ..dns.zone import AuthoritativeServer
+from ..net.asys import ASN
+from ..net.geo import Continent, Coordinates
+from ..net.ipv4 import IPv4Address
+from ..net.locode import Location
+from .results import DnsMeasurement
+
+__all__ = ["AtlasProbe"]
+
+
+@dataclass
+class AtlasProbe:
+    """One probe: identity, placement and its local resolver."""
+
+    probe_id: int
+    address: IPv4Address
+    asn: ASN
+    location: Location
+    resolver: RecursiveResolver
+
+    @classmethod
+    def create(
+        cls,
+        probe_id: int,
+        address: IPv4Address,
+        asn: ASN,
+        location: Location,
+        servers: Iterable[AuthoritativeServer],
+        cache: bool = True,
+    ) -> "AtlasProbe":
+        """Build a probe with its own recursive resolver."""
+        return cls(
+            probe_id=probe_id,
+            address=address,
+            asn=asn,
+            location=location,
+            resolver=RecursiveResolver(servers, cache=cache),
+        )
+
+    @property
+    def continent(self) -> Continent:
+        """The continent the probe reports from."""
+        return self.location.continent
+
+    @property
+    def country(self) -> str:
+        """ISO country code of the probe's metro."""
+        return self.location.country
+
+    @property
+    def coordinates(self) -> Coordinates:
+        """The probe's location."""
+        return self.location.coordinates
+
+    def context(self, now: float) -> QueryContext:
+        """The DNS query context this probe presents."""
+        return QueryContext(
+            client=self.address,
+            coordinates=self.coordinates,
+            continent=self.continent,
+            country=self.country,
+            now=now,
+        )
+
+    def measure_dns(self, target: str, now: float) -> DnsMeasurement:
+        """Perform one DNS measurement, RIPE-Atlas style.
+
+        Resolution failures are recorded as results with an error
+        rcode, not raised — a probe in the field reports what it saw.
+        """
+        try:
+            resolution = self.resolver.resolve(target, self.context(now))
+            rcode = resolution.rcode.name
+            chain = resolution.chain_names
+            addresses = resolution.addresses
+        except ResolutionError:
+            rcode = RCode.SERVFAIL.name
+            chain = (target,)
+            addresses = ()
+        return DnsMeasurement(
+            probe_id=self.probe_id,
+            timestamp=now,
+            target=target,
+            probe_asn=self.asn,
+            continent=self.continent,
+            country=self.country,
+            rcode=rcode,
+            chain=chain,
+            addresses=addresses,
+        )
+
+    def __str__(self) -> str:
+        return f"probe#{self.probe_id} ({self.location.city}, {self.asn})"

@@ -1,0 +1,131 @@
+"""RIPE-Atlas-style measurement result records and their store.
+
+The public dataset behind the paper (RIPE Atlas measurement #9299652)
+delivers, per probe and tick, the DNS answer seen by the probe's local
+resolver.  The reproduction's records carry the same analytical payload:
+who measured (probe, AS, continent), when, what the CNAME chain was and
+which addresses came back.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from ..net.asys import ASN
+from ..net.geo import Continent
+from ..net.ipv4 import IPv4Address
+
+__all__ = ["DnsMeasurement", "TracerouteHop", "TracerouteMeasurement", "MeasurementStore"]
+
+
+@dataclass(frozen=True)
+class DnsMeasurement:
+    """One DNS measurement: a probe's resolution at one tick."""
+
+    probe_id: int
+    timestamp: float
+    target: str
+    probe_asn: ASN
+    continent: Continent
+    country: str
+    rcode: str
+    chain: tuple[str, ...]  # names visited, query name first
+    addresses: tuple[IPv4Address, ...]
+
+    @property
+    def final_name(self) -> str:
+        """The terminal name of the CNAME chain."""
+        return self.chain[-1] if self.chain else self.target
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether addresses were obtained."""
+        return self.rcode == "NOERROR" and bool(self.addresses)
+
+
+@dataclass(frozen=True)
+class TracerouteHop:
+    """One traceroute hop."""
+
+    ttl: int
+    address: IPv4Address
+    asn: Optional[ASN]
+    rtt_ms: float
+
+
+@dataclass(frozen=True)
+class TracerouteMeasurement:
+    """One traceroute from a probe to a cache address."""
+
+    probe_id: int
+    timestamp: float
+    destination: IPv4Address
+    hops: tuple[TracerouteHop, ...]
+
+    @property
+    def reached(self) -> bool:
+        """Whether the destination answered."""
+        return bool(self.hops) and self.hops[-1].address == self.destination
+
+    @property
+    def as_path(self) -> tuple[ASN, ...]:
+        """The AS-level path (consecutive duplicates collapsed)."""
+        path: list[ASN] = []
+        for hop in self.hops:
+            if hop.asn is not None and (not path or path[-1] != hop.asn):
+                path.append(hop.asn)
+        return tuple(path)
+
+
+class MeasurementStore:
+    """An append-only, time-ordered store of measurement records."""
+
+    def __init__(self) -> None:
+        self._dns: list[DnsMeasurement] = []
+        self._dns_times: list[float] = []
+        self._traceroutes: list[TracerouteMeasurement] = []
+
+    def add_dns(self, measurement: DnsMeasurement) -> None:
+        """Record a DNS measurement (must be appended in time order)."""
+        if self._dns_times and measurement.timestamp < self._dns_times[-1]:
+            raise ValueError("measurements must be appended in time order")
+        self._dns.append(measurement)
+        self._dns_times.append(measurement.timestamp)
+
+    def add_traceroute(self, measurement: TracerouteMeasurement) -> None:
+        """Record a traceroute measurement."""
+        self._traceroutes.append(measurement)
+
+    @property
+    def dns(self) -> tuple[DnsMeasurement, ...]:
+        """All DNS measurements, oldest first."""
+        return tuple(self._dns)
+
+    @property
+    def traceroutes(self) -> tuple[TracerouteMeasurement, ...]:
+        """All traceroute measurements."""
+        return tuple(self._traceroutes)
+
+    def dns_between(self, start: float, end: float) -> Iterator[DnsMeasurement]:
+        """DNS measurements with ``start <= timestamp < end``."""
+        lo = bisect.bisect_left(self._dns_times, start)
+        hi = bisect.bisect_left(self._dns_times, end)
+        return iter(self._dns[lo:hi])
+
+    def dns_where(
+        self, predicate: Callable[[DnsMeasurement], bool]
+    ) -> Iterator[DnsMeasurement]:
+        """DNS measurements satisfying ``predicate``."""
+        return (m for m in self._dns if predicate(m))
+
+    def unique_addresses(self) -> set[IPv4Address]:
+        """Every cache address observed across all DNS measurements."""
+        addresses: set[IPv4Address] = set()
+        for measurement in self._dns:
+            addresses.update(measurement.addresses)
+        return addresses
+
+    def __len__(self) -> int:
+        return len(self._dns) + len(self._traceroutes)

@@ -1,0 +1,94 @@
+"""Simulated traceroute.
+
+The paper ran hourly traceroutes to every server IP identified via DNS
+(Section 3.2) to corroborate cache locations and paths.  The simulated
+tracer builds an AS-level path — probe AS, optional transit hops, the
+destination's AS — with distance-derived RTTs, enough for the analysis
+layer to recover AS paths and rough geography.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..net.asys import ASN, ASRegistry
+from ..net.geo import Coordinates, great_circle_km
+from ..net.ipv4 import IPv4Address, IPv4Prefix
+from .probe import AtlasProbe
+from .results import TracerouteHop, TracerouteMeasurement
+
+__all__ = ["SimulatedTracer", "TRANSIT_HOP_PREFIX"]
+
+# Synthetic addresses for anonymous transit routers (TEST-NET-3).
+TRANSIT_HOP_PREFIX = IPv4Prefix.parse("203.0.113.0/24")
+
+_SPEED_MS_PER_KM = 0.015  # ~2/3 c in fibre, both directions
+_BASE_RTT_MS = 1.2
+
+
+@dataclass
+class SimulatedTracer:
+    """Produces traceroute measurements over a registry-backed topology.
+
+    ``server_coordinates`` maps known cache addresses to their metro, so
+    RTTs reflect real distances; unknown destinations get a default
+    1500 km path.  ``transit_asn`` attributes mid-path hops (a single
+    synthetic transit AS keeps AS-path analysis meaningful without a
+    full inter-domain topology).
+    """
+
+    registry: ASRegistry
+    server_coordinates: dict[IPv4Address, Coordinates]
+    transit_asn: Optional[ASN] = None
+
+    def trace(
+        self, probe: AtlasProbe, destination: IPv4Address, now: float
+    ) -> TracerouteMeasurement:
+        """One traceroute from ``probe`` to ``destination``."""
+        destination_asn = self.registry.asn_for(destination)
+        coords = self.server_coordinates.get(destination)
+        distance_km = (
+            great_circle_km(probe.coordinates, coords) if coords is not None else 1500.0
+        )
+        path_rtt = _BASE_RTT_MS + distance_km * _SPEED_MS_PER_KM
+
+        hops: list[TracerouteHop] = []
+        # Hop 1: the probe's home gateway inside its own AS.
+        hops.append(
+            TracerouteHop(
+                ttl=1,
+                address=probe.address.shifted(1),
+                asn=probe.asn,
+                rtt_ms=round(_BASE_RTT_MS, 3),
+            )
+        )
+        # Mid-path: one transit hop per ~2000 km, capped at 4.
+        transit_hops = min(4, max(1, int(distance_km // 2000) + 1))
+        for index in range(transit_hops):
+            fraction = (index + 1) / (transit_hops + 1)
+            hops.append(
+                TracerouteHop(
+                    ttl=2 + index,
+                    address=TRANSIT_HOP_PREFIX.host(
+                        1 + (destination.value + index) % 250
+                    ),
+                    asn=self.transit_asn,
+                    rtt_ms=round(_BASE_RTT_MS + path_rtt * fraction, 3),
+                )
+            )
+        # Final hop: the destination itself.
+        hops.append(
+            TracerouteHop(
+                ttl=2 + transit_hops,
+                address=destination,
+                asn=destination_asn,
+                rtt_ms=round(path_rtt, 3),
+            )
+        )
+        return TracerouteMeasurement(
+            probe_id=probe.probe_id,
+            timestamp=now,
+            destination=destination,
+            hops=tuple(hops),
+        )

@@ -1,0 +1,124 @@
+"""Content caches with LRU eviction and hit statistics.
+
+Every cache node in the reproduction (Apple edge-bx/edge-lx, third-party
+delivery servers) holds an LRU-evicted content store sized in bytes.
+Bodies are never materialised: an object is a key plus a size, which is
+all the Section 3.3 hierarchy analysis and the traffic accounting need.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Optional
+
+__all__ = ["ContentCache", "CacheStats"]
+
+
+@dataclass
+class CacheStats:
+    """Cumulative hit/miss/eviction counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    bytes_served: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over lookups; 0.0 before any lookup."""
+        if self.requests == 0:
+            return 0.0
+        return self.hits / self.requests
+
+
+class ContentCache:
+    """A byte-capacity LRU cache of ``key -> object size``.
+
+    >>> cache = ContentCache(capacity_bytes=100)
+    >>> cache.admit("ios11.ipsw", 60)
+    >>> cache.lookup("ios11.ipsw")
+    60
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive: {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._objects: "OrderedDict[str, tuple[int, Any]]" = OrderedDict()
+        self._used = 0
+        self.stats = CacheStats()
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently stored."""
+        return self._used
+
+    @property
+    def object_count(self) -> int:
+        """Number of stored objects."""
+        return len(self._objects)
+
+    def lookup(self, key: str) -> int | None:
+        """Object size if cached (counts a hit), else ``None`` (a miss)."""
+        entry = self._objects.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        size, _ = entry
+        self._objects.move_to_end(key)
+        self.stats.hits += 1
+        self.stats.bytes_served += size
+        return size
+
+    def metadata(self, key: str) -> Optional[Any]:
+        """The metadata stored with ``key`` (no stats/LRU effect).
+
+        Edge caches store the upstream response headers here so a hit
+        can replay them — the mechanism that lets the Section 3.3
+        analysis see the full Via chain on cached responses.
+        """
+        entry = self._objects.get(key)
+        return entry[1] if entry is not None else None
+
+    def contains(self, key: str) -> bool:
+        """Presence check without touching LRU order or stats."""
+        return key in self._objects
+
+    def admit(self, key: str, size: int, metadata: Any = None) -> None:
+        """Store an object, evicting LRU entries to make room.
+
+        Objects larger than the whole cache are refused silently (they
+        stream through without being cached, like any proxy would).
+        """
+        if size < 0:
+            raise ValueError(f"negative object size: {size}")
+        if size > self.capacity_bytes:
+            return
+        if key in self._objects:
+            old_size, _ = self._objects.pop(key)
+            self._used -= old_size
+        while self._used + size > self.capacity_bytes:
+            _, (evicted_size, _) = self._objects.popitem(last=False)
+            self._used -= evicted_size
+            self.stats.evictions += 1
+        self._objects[key] = (size, metadata)
+        self._used += size
+
+    def evict(self, key: str) -> bool:
+        """Explicitly drop ``key``; returns whether it was present."""
+        entry = self._objects.pop(key, None)
+        if entry is None:
+            return False
+        self._used -= entry[0]
+        return True
+
+    def clear(self) -> None:
+        """Drop everything (stats are kept)."""
+        self._objects.clear()
+        self._used = 0

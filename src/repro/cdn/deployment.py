@@ -1,0 +1,274 @@
+"""CDN deployments: server fleets, regional pools and load-driven exposure.
+
+A :class:`CdnDeployment` is one operator's delivery estate as seen from
+DNS: a set of delivery addresses grouped by mapping region, of which a
+load-dependent subset is *exposed* (handed out in answers) at any time.
+
+The exposure mechanism reproduces the paper's central observation about
+unique-IP counts (Figures 4 and 5): when the iOS 11 flash crowd hit,
+Limelight and Akamai raised the number of distinct cache IPs visible to
+probes — Akamai taking about six hours to reach its load-dependent peak
+— while Apple's own IP count stayed flat.  :class:`ExposureController`
+models that as a first-order lag from offered demand to active servers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional
+
+from ..dns.query import QueryContext
+from ..net.asys import ASN
+from ..net.geo import MappingRegion, great_circle_km
+from ..net.ipv4 import IPv4Address
+from ..net.locode import Location
+from .server import CacheServer
+
+__all__ = ["ExposureController", "PlacedServer", "CdnDeployment"]
+
+
+@dataclass
+class ExposureController:
+    """First-order-lag mapping from offered demand to active server count.
+
+    ``tau_seconds`` is the ramp time constant (the paper observed ~6 h
+    for Akamai's EU expansion); ``release_tau_seconds`` governs how fast
+    capacity is withdrawn once demand falls — operators release
+    conservatively, which is why Limelight kept the AS-D caches in
+    rotation for about three days (Section 5.4); ``headroom`` is the
+    over-provisioning factor kept above smoothed demand;
+    ``min_servers`` is the baseline kept active regardless of load.
+    """
+
+    per_server_gbps: float
+    min_servers: int = 1
+    headroom: float = 1.3
+    tau_seconds: float = 3600.0
+    release_tau_seconds: Optional[float] = None  # defaults to tau_seconds
+
+    def __post_init__(self) -> None:
+        if self.per_server_gbps <= 0:
+            raise ValueError("per_server_gbps must be positive")
+        if self.min_servers < 0:
+            raise ValueError("min_servers must be >= 0")
+        if self.headroom < 1.0:
+            raise ValueError("headroom must be >= 1.0")
+        if self.tau_seconds <= 0:
+            raise ValueError("tau_seconds must be positive")
+        if self.release_tau_seconds is not None and self.release_tau_seconds <= 0:
+            raise ValueError("release_tau_seconds must be positive")
+        self._smoothed_gbps = 0.0
+        self._last_update: Optional[float] = None
+
+    def offer(self, now: float, demand_gbps: float) -> None:
+        """Feed the demand observed at ``now`` into the lag filter."""
+        if demand_gbps < 0:
+            raise ValueError("demand cannot be negative")
+        if self._last_update is None:
+            self._smoothed_gbps = demand_gbps if self.tau_seconds == 0 else 0.0
+        else:
+            dt = max(0.0, now - self._last_update)
+            if demand_gbps >= self._smoothed_gbps:
+                tau = self.tau_seconds
+            else:
+                tau = (
+                    self.release_tau_seconds
+                    if self.release_tau_seconds is not None
+                    else self.tau_seconds
+                )
+            alpha = 1.0 - math.exp(-dt / tau)
+            self._smoothed_gbps += (demand_gbps - self._smoothed_gbps) * alpha
+        self._last_update = now
+
+    @property
+    def smoothed_gbps(self) -> float:
+        """The lag-filtered demand estimate."""
+        return self._smoothed_gbps
+
+    def active_count(self, pool_size: int) -> int:
+        """How many of ``pool_size`` servers to expose right now."""
+        wanted = math.ceil(self._smoothed_gbps * self.headroom / self.per_server_gbps)
+        return max(min(self.min_servers, pool_size), min(wanted, pool_size))
+
+    def reset(self) -> None:
+        """Forget all demand history."""
+        self._smoothed_gbps = 0.0
+        self._last_update = None
+
+
+@dataclass(frozen=True)
+class PlacedServer:
+    """A delivery server plus the metro it is deployed in."""
+
+    server: CacheServer
+    location: Location
+
+
+class CdnDeployment:
+    """One CDN operator's delivery fleet, grouped by mapping region.
+
+    ``exposure_factory`` builds a per-region :class:`ExposureController`;
+    passing ``None`` makes the whole fleet always exposed, which models
+    Apple's own CDN (its observed IP count did not react to the event).
+    """
+
+    def __init__(
+        self,
+        operator: str,
+        asn: ASN,
+        exposure_factory: Optional[Callable[[], ExposureController]] = None,
+        pool_limit: int = 0,
+    ) -> None:
+        self.operator = operator
+        self.asn = asn
+        self._servers: list[PlacedServer] = []
+        self._by_address: dict[IPv4Address, PlacedServer] = {}
+        self._by_region: dict[MappingRegion, list[PlacedServer]] = {
+            region: [] for region in MappingRegion
+        }
+        self._exposure_factory = exposure_factory
+        self._exposure: dict[MappingRegion, ExposureController] = {}
+        self.pool_limit = pool_limit  # max addresses per answer pool; 0 = all
+        # Distance rankings are immutable per (region, client metro,
+        # active count); campaigns re-query from fixed probe locations
+        # thousands of times, so this memo is the resolution hot path.
+        self._ranking_memo: dict[tuple, list[IPv4Address]] = {}
+
+    def add_server(self, server: CacheServer, location: Location) -> PlacedServer:
+        """Deploy ``server`` at ``location``; returns the placement."""
+        placed = PlacedServer(server, location)
+        self._servers.append(placed)
+        self._by_address[server.address] = placed
+        region = MappingRegion.for_continent(location.continent)
+        self._by_region[region].append(placed)
+        # Deterministic exposure order regardless of insertion order.
+        self._by_region[region].sort(key=lambda p: p.server.hostname)
+        self._ranking_memo.clear()
+        return placed
+
+    def add_servers(self, placements: Iterable[tuple[CacheServer, Location]]) -> None:
+        """Deploy several servers at once."""
+        for server, location in placements:
+            self.add_server(server, location)
+
+    @property
+    def servers(self) -> tuple[PlacedServer, ...]:
+        """Every placed server."""
+        return tuple(self._servers)
+
+    def servers_in_region(self, region: MappingRegion) -> tuple[PlacedServer, ...]:
+        """All placements whose metro maps to ``region``."""
+        return tuple(self._by_region[region])
+
+    def server_at(self, address: IPv4Address) -> Optional[CacheServer]:
+        """The server owning ``address``, if any."""
+        placed = self._by_address.get(address)
+        return placed.server if placed is not None else None
+
+    def placement_at(self, address: IPv4Address) -> Optional[PlacedServer]:
+        """The placement (server + metro) owning ``address``, if any."""
+        return self._by_address.get(address)
+
+    def serve(self, address: IPv4Address, request: "HttpRequest", size: int) -> "HttpResponse":
+        """Serve an HTTP request at one of this fleet's delivery servers.
+
+        Third-party fleets are flat (no vip/lx hierarchy): the cache at
+        ``address`` answers directly, recording a single Via hop.  This
+        is what the AWS-VM availability checks exercise (Section 3.2).
+        """
+        from ..http.headers import CacheStatus, record_cache_hop
+        from ..http.messages import HttpResponse
+
+        placed = self._by_address.get(address)
+        if placed is None:
+            raise KeyError(f"{address} is not a {self.operator} delivery server")
+        server = placed.server
+        if server.cache is None:
+            raise ValueError(f"{server.hostname} is not a cache")
+        key = f"{request.host}{request.path}"
+        cached = server.cache.lookup(key)
+        if cached is not None:
+            response = HttpResponse(status=200, body_size=cached)
+            status = CacheStatus.HIT_FRESH
+            size = cached
+        else:
+            server.cache.admit(key, size)
+            response = HttpResponse(status=200, body_size=size)
+            status = CacheStatus.MISS
+        record_cache_hop(
+            response, server.hostname, status, agent=f"{self.operator}CacheServer"
+        )
+        server.account(size)
+        return response
+
+    # ----- exposure ---------------------------------------------------
+
+    def _controller(self, region: MappingRegion) -> Optional[ExposureController]:
+        if self._exposure_factory is None:
+            return None
+        if region not in self._exposure:
+            self._exposure[region] = self._exposure_factory()
+        return self._exposure[region]
+
+    def offer_demand(self, now: float, region: MappingRegion, gbps: float) -> None:
+        """Report the demand this deployment carries in ``region``."""
+        controller = self._controller(region)
+        if controller is not None:
+            controller.offer(now, gbps)
+
+    def active_servers(self, region: MappingRegion) -> tuple[PlacedServer, ...]:
+        """The exposed subset for ``region`` under current demand."""
+        placements = self._by_region[region]
+        controller = self._controller(region)
+        if controller is None:
+            return tuple(placements)
+        count = controller.active_count(len(placements))
+        return tuple(placements[:count])
+
+    def active_capacity_gbps(self, region: MappingRegion) -> float:
+        """Capacity of the currently exposed servers in ``region``."""
+        return sum(p.server.capacity_gbps for p in self.active_servers(region))
+
+    def region_capacity_gbps(self, region: MappingRegion) -> float:
+        """Total (exposed or not) capacity in ``region``."""
+        return sum(p.server.capacity_gbps for p in self._by_region[region])
+
+    # ----- DNS answer pools --------------------------------------------
+
+    def pool_for(self, context: QueryContext) -> list[IPv4Address]:
+        """The candidate addresses a GSLB should answer with.
+
+        Active servers in the client's region, nearest metro first; the
+        ``pool_limit`` nearest are returned (all of them when 0).  This
+        is the ``pool`` callable plugged into
+        :class:`repro.dns.policies.GslbAddressPolicy`.
+        """
+        active = self.active_servers(context.region)
+        memo_key = (
+            context.region,
+            len(active),
+            round(context.coordinates.latitude, 2),
+            round(context.coordinates.longitude, 2),
+        )
+        cached = self._ranking_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        ranked = sorted(
+            active,
+            key=lambda placed: (
+                great_circle_km(context.coordinates, placed.location.coordinates),
+                placed.server.hostname,
+            ),
+        )
+        if self.pool_limit > 0:
+            ranked = ranked[: self.pool_limit]
+        addresses = [placed.server.address for placed in ranked]
+        self._ranking_memo[memo_key] = addresses
+        return addresses
+
+    def __len__(self) -> int:
+        return len(self._servers)
+
+    def __str__(self) -> str:
+        return f"CdnDeployment({self.operator}, {len(self)} servers)"

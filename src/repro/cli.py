@@ -1,0 +1,189 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the common workflows:
+
+* ``simulate`` — run the Sep-2017 scenario over a date window and print
+  per-step aggregates (demand, offload split, measurements, flows);
+* ``report`` — run the event window and emit the full reproduction
+  report (Figures 2-8 in one document);
+* ``survey`` — the paper's generic CDN-survey methodology: mapping
+  graph, site discovery and header inference, no time simulation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis import MappingGraph, discover_sites, infer_hierarchy
+from .analysis.report import generate_report
+from .dns.query import QueryContext
+from .dns.trace import DelegationTree
+from .http.messages import Headers, HttpRequest
+from .net.geo import Continent, Coordinates, MappingRegion
+from .net.ipv4 import IPv4Address
+from .simulation import ScenarioConfig, Sep2017Scenario, SimulationEngine
+from .workload import TIMELINE
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Dissecting Apple's Meta-CDN during "
+                    "an iOS Update' (IMC 2018)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    simulate = commands.add_parser(
+        "simulate", help="run the Sep-2017 scenario over a date window"
+    )
+    simulate.add_argument("--start", default="9-17", metavar="M-D",
+                          help="start date in 2017 (default 9-17)")
+    simulate.add_argument("--end", default="9-21", metavar="M-D",
+                          help="end date in 2017 (default 9-21)")
+    simulate.add_argument("--step", type=float, default=1800.0,
+                          help="engine step in seconds (default 1800)")
+    simulate.add_argument("--probes", type=int, default=60,
+                          help="global probe count (default 60)")
+    simulate.add_argument("--isp-probes", type=int, default=30,
+                          help="ISP probe count (default 30)")
+
+    report = commands.add_parser(
+        "report", help="run the event window and print the full report"
+    )
+    report.add_argument("--probes", type=int, default=80)
+    report.add_argument("--isp-probes", type=int, default=40)
+    report.add_argument("--step", type=float, default=1800.0)
+
+    commands.add_parser(
+        "survey", help="survey the mapping chain, sites and headers"
+    )
+    return parser
+
+
+def _parse_date(text: str) -> float:
+    month, _, day = text.partition("-")
+    try:
+        return TIMELINE.at(int(month), int(day))
+    except (ValueError, TypeError) as exc:
+        raise SystemExit(f"bad date {text!r}; expected M-D, e.g. 9-19") from exc
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    start = _parse_date(args.start)
+    end = _parse_date(args.end)
+    scenario = Sep2017Scenario(
+        ScenarioConfig(
+            global_probe_count=args.probes, isp_probe_count=args.isp_probes
+        )
+    )
+    engine = SimulationEngine(scenario, step_seconds=args.step)
+
+    day_cursor = [None]
+
+    def progress(report):
+        day = TIMELINE.date_label(report.now)
+        if day != day_cursor[0]:
+            day_cursor[0] = day
+            split = ", ".join(
+                f"{op}={gbps:.0f}G" for op, gbps in sorted(report.operator_gbps.items())
+            )
+            print(f"{day}: EU demand "
+                  f"{report.demand_gbps[MappingRegion.EU]:.0f} Gbps ({split})")
+
+    steps = engine.run(start, end, progress=progress)
+    print(f"\n{steps} steps; "
+          f"{len(scenario.global_campaign.store.dns)} global + "
+          f"{len(scenario.isp_campaign.store.dns)} ISP DNS measurements; "
+          f"{len(scenario.netflow.records)} flow records")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    scenario = Sep2017Scenario(
+        ScenarioConfig(
+            global_probe_count=args.probes, isp_probe_count=args.isp_probes
+        )
+    )
+    engine = SimulationEngine(scenario, step_seconds=args.step)
+    engine.run(TIMELINE.at(9, 15), TIMELINE.at(9, 23))
+    print(generate_report(scenario))
+    return 0
+
+
+def _cmd_survey(_args: argparse.Namespace) -> int:
+    scenario = Sep2017Scenario(
+        ScenarioConfig(global_probe_count=1, isp_probe_count=1)
+    )
+    estate = scenario.estate
+    vantage_points = (
+        (Continent.EUROPE, "de", (50.11, 8.68)),
+        (Continent.NORTH_AMERICA, "us", (40.71, -74.0)),
+        (Continent.ASIA, "jp", (35.67, 139.65)),
+        (Continent.ASIA, "in", (19.07, 72.87)),
+        (Continent.SOUTH_AMERICA, "br", (-23.55, -46.63)),
+    )
+    resolutions = []
+    for load in (0.0, 1e6):
+        for region in MappingRegion:
+            estate.controller.observe_demand(region, load)
+        for index in range(20):
+            for continent, country, coords in vantage_points:
+                context = QueryContext(
+                    client=IPv4Address.parse(f"198.51.{index}.1"),
+                    coordinates=Coordinates(*coords),
+                    continent=continent,
+                    country=country,
+                    now=0.0,
+                )
+                resolutions.append(
+                    estate.resolver(cache=False).resolve(
+                        estate.names.entry_point, context
+                    )
+                )
+    for region in MappingRegion:
+        estate.controller.observe_demand(region, 0.0)
+    print(MappingGraph.from_resolutions(resolutions).render())
+    print()
+    # Delegation attribution, dig-+trace style.
+    tree = DelegationTree(estate.servers)
+    for name in (
+        estate.names.entry_point,
+        estate.names.akadns_entry,
+        estate.names.selection,
+        estate.names.limelight_us_eu,
+    ):
+        print(tree.trace(name).render())
+        print()
+    print(discover_sites(estate.apple.reverse_dns_table()).render())
+    print()
+    site = estate.apple.sites[0]
+    samples = []
+    for vip in site.vip_addresses[:2]:
+        for index in range(10):
+            request = HttpRequest(
+                "GET", "appldnld.apple.com", f"/survey/file{index}.ipsw",
+                headers=Headers({"X-Client": f"198.51.99.{index}"}),
+            )
+            samples.append((vip, estate.apple.serve(vip, request, 1000).response))
+    print(infer_hierarchy(samples).render())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "report": _cmd_report,
+        "survey": _cmd_survey,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,248 @@
+"""Policy-driven authoritative answers.
+
+Each decision point in the Figure 2 mapping chain is a DNS name whose
+answer depends on the querying client, the current time, or operator
+configuration:
+
+* step 1: country split (India / China vs. the world) — Akamai akadns;
+* step 2: Meta-CDN service — Apple selects its own CDN or hands over to
+  the third-party selection, with a 15 s TTL for quick reroutes;
+* step 3: per-region third-party CDN selection — Akamai akadns with
+  operator-controlled distribution shares;
+* step 4: Apple's own GSLB returning cache-server A records.
+
+Policies are deterministic: selection hashes the client address and a
+time bucket, so repeated runs and parallel analyses agree while the
+population-level distribution still follows the configured weights.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Optional, Protocol, Sequence
+
+from ..net.ipv4 import IPv4Address
+from .query import QueryContext
+from .records import ARecord, CnameRecord, ResourceRecord, normalize_name
+
+__all__ = [
+    "AnswerPolicy",
+    "StaticPolicy",
+    "CnamePolicy",
+    "CountrySplitPolicy",
+    "RegionSplitPolicy",
+    "WeightSchedule",
+    "WeightedCnamePolicy",
+    "GslbAddressPolicy",
+    "RoundRobinAddressPolicy",
+    "stable_fraction",
+]
+
+
+class AnswerPolicy(Protocol):
+    """Produces the answer records for one owner name."""
+
+    def answer(self, name: str, context: QueryContext) -> tuple[ResourceRecord, ...]:
+        """Records answering a query for ``name`` from ``context``."""
+        ...  # pragma: no cover - protocol
+
+
+def stable_fraction(*parts: object) -> float:
+    """A deterministic pseudo-uniform fraction in ``[0, 1)`` of the inputs.
+
+    Used wherever a policy needs an unbiased but reproducible choice
+    (weighted CDN selection, server rotation).  BLAKE2b keeps the value
+    stable across processes, unlike Python's salted ``hash``.
+    """
+    digest = hashlib.blake2b(
+        "|".join(str(part) for part in parts).encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class StaticPolicy:
+    """Always answer with the same fixed records."""
+
+    records: tuple[ResourceRecord, ...]
+
+    def answer(self, name: str, context: QueryContext) -> tuple[ResourceRecord, ...]:
+        return self.records
+
+
+@dataclass(frozen=True)
+class CnamePolicy:
+    """Unconditional CNAME redirect (e.g. the 21600 s entry-point hop)."""
+
+    target: str
+    ttl: int
+
+    def answer(self, name: str, context: QueryContext) -> tuple[ResourceRecord, ...]:
+        return (CnameRecord(name, self.target, self.ttl),)
+
+
+@dataclass(frozen=True)
+class CountrySplitPolicy:
+    """Step 1: route selected countries to dedicated targets.
+
+    ``overrides`` maps ISO country codes to CNAME targets (the paper
+    observed ``{china|india}-lb.itunes-apple.com.akadns.net``); everyone
+    else goes to ``default``.
+    """
+
+    default: str
+    overrides: Mapping[str, str]
+    ttl: int
+
+    def answer(self, name: str, context: QueryContext) -> tuple[ResourceRecord, ...]:
+        target = self.overrides.get(context.country, self.default)
+        return (CnameRecord(name, target, self.ttl),)
+
+
+@dataclass(frozen=True)
+class RegionSplitPolicy:
+    """Route by mapping region (us/eu/apac) to region-specific targets."""
+
+    targets: Mapping[str, str]  # region value -> CNAME target
+    ttl: int
+
+    def answer(self, name: str, context: QueryContext) -> tuple[ResourceRecord, ...]:
+        region = context.region.value
+        if region not in self.targets:
+            raise KeyError(f"no target configured for region {region!r}")
+        return (CnameRecord(name, self.targets[region], self.ttl),)
+
+
+class WeightSchedule:
+    """Time-varying CNAME target weights.
+
+    The Meta-CDN operator changes distribution shares over time — most
+    visibly six hours into the iOS 11 rollout, when Akamai's
+    ``a1015.gi3.akamai.net`` entered the EU chain.  A schedule is a
+    sorted sequence of ``(effective_from, {target: weight})`` steps; the
+    weights in force at time ``t`` come from the last step at or before
+    ``t``.
+    """
+
+    def __init__(self, steps: Iterable[tuple[float, Mapping[str, float]]]) -> None:
+        ordered = sorted(steps, key=lambda step: step[0])
+        if not ordered:
+            raise ValueError("empty weight schedule")
+        self._steps: list[tuple[float, dict[str, float]]] = []
+        for effective_from, weights in ordered:
+            cleaned = {
+                normalize_name(target): float(weight)
+                for target, weight in weights.items()
+                if weight > 0.0
+            }
+            if not cleaned:
+                raise ValueError(f"no positive weights at t={effective_from}")
+            self._steps.append((float(effective_from), cleaned))
+
+    @classmethod
+    def constant(cls, weights: Mapping[str, float]) -> "WeightSchedule":
+        """A schedule with a single, always-active step."""
+        return cls([(float("-inf"), weights)])
+
+    def weights_at(self, now: float) -> dict[str, float]:
+        """The weight map in force at time ``now``."""
+        active = self._steps[0][1]
+        for effective_from, weights in self._steps:
+            if effective_from <= now:
+                active = weights
+            else:
+                break
+        return active
+
+    def targets_at(self, now: float) -> tuple[str, ...]:
+        """The targets with positive weight at ``now``, sorted."""
+        return tuple(sorted(self.weights_at(now)))
+
+    def change_times(self) -> tuple[float, ...]:
+        """The times at which the schedule switches steps."""
+        return tuple(step[0] for step in self._steps)
+
+
+@dataclass(frozen=True)
+class WeightedCnamePolicy:
+    """Steps 2 and 3: weighted choice among CNAME targets.
+
+    The choice is sticky per ``(client, TTL bucket)``: a client keeps its
+    CDN for one TTL interval, then may be remapped — exactly the quick
+    reroute behaviour the 15 s TTL exists to enable.
+    """
+
+    schedule: WeightSchedule
+    ttl: int
+    salt: str = ""
+
+    def answer(self, name: str, context: QueryContext) -> tuple[ResourceRecord, ...]:
+        target = self.select(name, context)
+        return (CnameRecord(name, target, self.ttl),)
+
+    def select(self, name: str, context: QueryContext) -> str:
+        """The CNAME target chosen for this client at this time."""
+        weights = self.schedule.weights_at(context.now)
+        bucket = int(context.now // self.ttl) if self.ttl > 0 else 0
+        fraction = stable_fraction(name, context.client, bucket, self.salt)
+        total = sum(weights.values())
+        threshold = fraction * total
+        cumulative = 0.0
+        ordered = sorted(weights.items())
+        for target, weight in ordered:
+            cumulative += weight
+            if threshold < cumulative:
+                return target
+        return ordered[-1][0]
+
+
+@dataclass(frozen=True)
+class GslbAddressPolicy:
+    """Step 4: a global server load balancer answering with A records.
+
+    ``pool`` maps a query context to the candidate server addresses
+    (the CDN deployment supplies nearest-site, load-aware pools);
+    ``answer_count`` addresses are drawn with client/time-stable
+    rotation so the whole pool is exposed across clients — this is what
+    makes the unique-IP counts of Figures 4 and 5 grow when a CDN
+    activates more servers.
+    """
+
+    pool: Callable[[QueryContext], Sequence[IPv4Address]]
+    ttl: int
+    answer_count: int = 4
+    salt: str = ""
+
+    def answer(self, name: str, context: QueryContext) -> tuple[ResourceRecord, ...]:
+        candidates = list(self.pool(context))
+        if not candidates:
+            return ()
+        bucket = int(context.now // self.ttl) if self.ttl > 0 else 0
+        offset = int(
+            stable_fraction(name, context.client, bucket, self.salt) * len(candidates)
+        )
+        count = min(self.answer_count, len(candidates))
+        chosen = [candidates[(offset + index) % len(candidates)] for index in range(count)]
+        return tuple(ARecord(name, address, self.ttl) for address in chosen)
+
+
+@dataclass(frozen=True)
+class RoundRobinAddressPolicy:
+    """A records rotated purely by time bucket (client-independent)."""
+
+    addresses: tuple[IPv4Address, ...]
+    ttl: int
+    answer_count: int = 4
+
+    def answer(self, name: str, context: QueryContext) -> tuple[ResourceRecord, ...]:
+        if not self.addresses:
+            return ()
+        bucket = int(context.now // self.ttl) if self.ttl > 0 else 0
+        count = min(self.answer_count, len(self.addresses))
+        offset = bucket % len(self.addresses)
+        chosen = [
+            self.addresses[(offset + index) % len(self.addresses)]
+            for index in range(count)
+        ]
+        return tuple(ARecord(name, address, self.ttl) for address in chosen)

@@ -1,0 +1,107 @@
+"""DNS query context and responses.
+
+Authoritative answers in the Apple Meta-CDN depend on *who* asks and
+*when* (location-based dynamic DNS resolution, Section 3.2), so every
+query carries a :class:`QueryContext` describing the resolving client.
+Real CDNs see the recursive resolver's address (or EDNS Client Subnet);
+the reproduction passes the client's own attributes, which is equivalent
+for RIPE Atlas probes since they resolve locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from ..net.geo import Continent, Coordinates, MappingRegion
+from ..net.ipv4 import IPv4Address
+from .records import RecordType, ResourceRecord, normalize_name
+
+__all__ = ["QueryContext", "RCode", "Question", "DnsResponse"]
+
+
+@dataclass(frozen=True)
+class QueryContext:
+    """Everything a policy-driven authoritative server may consider.
+
+    ``now`` is simulation time in seconds since the scenario epoch.
+    ``country`` is ISO 3166-1 alpha-2, lowercase (step 1 of the mapping
+    chain splits out ``in`` and ``cn``).
+    """
+
+    client: IPv4Address
+    coordinates: Coordinates
+    continent: Continent
+    country: str
+    now: float = 0.0
+
+    @property
+    def region(self) -> MappingRegion:
+        """The Apple mapping region (us/eu/apac) for this client."""
+        return MappingRegion.for_continent(self.continent)
+
+
+class RCode(Enum):
+    """DNS response codes the reproduction distinguishes."""
+
+    NOERROR = 0
+    NXDOMAIN = 3
+    SERVFAIL = 2
+    REFUSED = 5
+
+
+@dataclass(frozen=True)
+class Question:
+    """A query for one name and record type."""
+
+    name: str
+    rtype: RecordType = RecordType.A
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", normalize_name(self.name))
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.rtype}"
+
+
+@dataclass(frozen=True)
+class DnsResponse:
+    """An authoritative (or resolved) answer.
+
+    ``answers`` preserves order: for a resolved query the CNAME chain
+    comes first, final A records last — mirroring a real DNS answer
+    section, which is what the RIPE Atlas probes recorded.
+    """
+
+    question: Question
+    rcode: RCode = RCode.NOERROR
+    answers: tuple[ResourceRecord, ...] = field(default_factory=tuple)
+    authoritative: bool = True
+
+    @property
+    def cname_chain(self) -> tuple[ResourceRecord, ...]:
+        """The CNAME records, in redirect order."""
+        return tuple(
+            record for record in self.answers if record.rtype is RecordType.CNAME
+        )
+
+    @property
+    def addresses(self) -> tuple[IPv4Address, ...]:
+        """The A record addresses in the answer."""
+        return tuple(
+            record.address for record in self.answers if record.rtype is RecordType.A
+        )
+
+    @property
+    def final_name(self) -> str:
+        """The last name in the chain (the one the A records belong to)."""
+        name = self.question.name
+        for record in self.answers:
+            if record.rtype is RecordType.CNAME and record.name == name:
+                name = record.target
+        return name
+
+    def is_empty(self) -> bool:
+        """True when the response carries no records."""
+        return not self.answers

@@ -1,0 +1,257 @@
+"""Recursive resolution: CNAME chasing across operators, with a TTL cache.
+
+RIPE Atlas probes performed full recursive resolutions of
+``appldnld.apple.com`` every five minutes; each resolution walks the
+whole Figure 2 chain.  :class:`RecursiveResolver` reproduces that walk:
+
+* it finds the authoritative server for each name in the chain,
+* follows CNAME redirects until A records (or an error) appear,
+* records the full chain in a :class:`Resolution`, and
+* honours TTLs through an optional cache, so a 15 s selection CNAME is
+  re-evaluated quickly while the 21600 s entry hop is not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..net.ipv4 import IPv4Address
+from .query import DnsResponse, Question, QueryContext, RCode
+from .records import RecordType, ResourceRecord, normalize_name
+from .zone import AuthoritativeServer
+
+__all__ = ["RecursiveResolver", "Resolution", "ResolutionStep", "ResolutionError"]
+
+_MAX_CHAIN = 16  # generous; the Apple chain is 5 hops at its longest
+
+
+class ResolutionError(RuntimeError):
+    """Raised when a resolution cannot complete (loop, missing server)."""
+
+
+@dataclass(frozen=True)
+class ResolutionStep:
+    """One hop of the chain: which operator answered what for which name."""
+
+    name: str
+    operator: str
+    records: tuple[ResourceRecord, ...]
+    from_cache: bool = False
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """A completed recursive resolution.
+
+    ``steps`` covers the whole chase in order; ``addresses`` are the
+    final A records.  ``rcode`` is NOERROR unless the chain dead-ended.
+    """
+
+    question: Question
+    steps: tuple[ResolutionStep, ...]
+    rcode: RCode = RCode.NOERROR
+
+    @property
+    def addresses(self) -> tuple[IPv4Address, ...]:
+        """The resolved cache-server addresses."""
+        found: list[IPv4Address] = []
+        for step in self.steps:
+            for record in step.records:
+                if record.rtype is RecordType.A:
+                    found.append(record.address)
+        return tuple(found)
+
+    @property
+    def cname_chain(self) -> tuple[ResourceRecord, ...]:
+        """Every CNAME record followed, in order."""
+        chain: list[ResourceRecord] = []
+        for step in self.steps:
+            for record in step.records:
+                if record.rtype is RecordType.CNAME:
+                    chain.append(record)
+        return tuple(chain)
+
+    @property
+    def chain_names(self) -> tuple[str, ...]:
+        """All names visited, starting with the question name."""
+        names = [self.question.name]
+        for record in self.cname_chain:
+            names.append(record.target)
+        return tuple(names)
+
+    @property
+    def final_name(self) -> str:
+        """The terminal name of the chain."""
+        return self.chain_names[-1]
+
+    def succeeded(self) -> bool:
+        """True when the resolution produced at least one address."""
+        return self.rcode is RCode.NOERROR and bool(self.addresses)
+
+    def to_answer(self) -> DnsResponse:
+        """Flatten into a single answer-section-style response."""
+        records: list[ResourceRecord] = []
+        for step in self.steps:
+            records.extend(step.records)
+        return DnsResponse(
+            question=self.question,
+            rcode=self.rcode,
+            answers=tuple(records),
+            authoritative=False,
+        )
+
+
+@dataclass
+class _CacheEntry:
+    records: tuple[ResourceRecord, ...]
+    operator: str
+    expires_at: float
+
+
+class RecursiveResolver:
+    """Chases CNAME chains across a registry of authoritative servers.
+
+    ``servers`` is the universe of operators' DNS services; for each
+    name the most specific authoritative zone wins (so Akamai's
+    ``akadns.net`` answers ``appldnld.apple.com.akadns.net`` even though
+    Apple answers ``appldnld.apple.com``).
+
+    The cache is per-resolver: RIPE Atlas probes each run their own
+    local resolver, so each probe owns a resolver instance.  Pass
+    ``cache=False`` for the always-fresh behaviour used by one-shot
+    measurements.
+    """
+
+    def __init__(
+        self,
+        servers: Iterable[AuthoritativeServer],
+        cache: bool = True,
+        wire_mode: bool = False,
+    ) -> None:
+        self._servers = list(servers)
+        self._cache_enabled = cache
+        self._cache: dict[str, _CacheEntry] = {}
+        # wire_mode exchanges RFC 1035 bytes with every server (encode
+        # the query, decode the answer) instead of passing objects —
+        # byte-level fidelity at a small cost; resolutions are
+        # guaranteed identical either way.
+        self._wire_mode = wire_mode
+        self._next_message_id = 1
+
+    def add_server(self, server: AuthoritativeServer) -> None:
+        """Register an additional authoritative server."""
+        self._servers.append(server)
+
+    def server_for(self, name: str) -> Optional[AuthoritativeServer]:
+        """The authoritative server for ``name`` (most specific zone)."""
+        best: Optional[AuthoritativeServer] = None
+        best_depth = -1
+        for server in self._servers:
+            zone = server.zone_for(name)
+            if zone is not None:
+                depth = zone.origin.count(".") + 1
+                if depth > best_depth:
+                    best = server
+                    best_depth = depth
+        return best
+
+    def resolve(self, name: str, context: QueryContext) -> Resolution:
+        """Fully resolve ``name`` for the client in ``context``.
+
+        Follows CNAMEs until A records appear; raises
+        :class:`ResolutionError` on a redirect loop or when no server is
+        authoritative for a name in the chain.
+        """
+        question = Question(normalize_name(name))
+        steps: list[ResolutionStep] = []
+        current = question.name
+        seen = {current}
+
+        for _ in range(_MAX_CHAIN):
+            step = self._query_one(current, context)
+            steps.append(step)
+            a_records = [r for r in step.records if r.rtype is RecordType.A]
+            cnames = [r for r in step.records if r.rtype is RecordType.CNAME]
+            if a_records:
+                return Resolution(question=question, steps=tuple(steps))
+            if not cnames:
+                # Dead end: NODATA / NXDOMAIN at this link of the chain.
+                return Resolution(
+                    question=question, steps=tuple(steps), rcode=RCode.NXDOMAIN
+                )
+            current = cnames[0].target
+            if current in seen:
+                raise ResolutionError(f"CNAME loop at {current!r}")
+            seen.add(current)
+        raise ResolutionError(f"chain longer than {_MAX_CHAIN} for {question.name!r}")
+
+    def _query_one(self, name: str, context: QueryContext) -> ResolutionStep:
+        if self._cache_enabled:
+            entry = self._cache.get(name)
+            if entry is not None and entry.expires_at > context.now:
+                return ResolutionStep(
+                    name=name,
+                    operator=entry.operator,
+                    records=entry.records,
+                    from_cache=True,
+                )
+        server = self.server_for(name)
+        if server is None:
+            raise ResolutionError(f"no authoritative server for {name!r}")
+        if self._wire_mode:
+            response = self._query_wire(server, name, context)
+        else:
+            response = server.query(Question(name), context)
+        if response.rcode is RCode.REFUSED:
+            raise ResolutionError(
+                f"{server.operator} refused {name!r} despite zone match"
+            )
+        records = response.answers
+        if self._cache_enabled and records:
+            ttl = min(record.ttl for record in records)
+            self._cache[name] = _CacheEntry(
+                records=records,
+                operator=server.operator,
+                expires_at=context.now + ttl,
+            )
+        return ResolutionStep(name=name, operator=server.operator, records=records)
+
+    def _query_wire(
+        self, server: AuthoritativeServer, name: str, context: QueryContext
+    ) -> DnsResponse:
+        """One hop over the byte-level interface (RFC 1035 + ECS)."""
+        from ..net.ipv4 import IPv4Prefix
+        from .wire import ClientSubnet, WireMessage, answer_wire, encode_message
+
+        message_id = self._next_message_id
+        self._next_message_id = (self._next_message_id + 1) & 0xFFFF or 1
+        payload = encode_message(
+            WireMessage(
+                message_id=message_id,
+                questions=[Question(name)],
+                client_subnet=ClientSubnet(
+                    IPv4Prefix.containing(context.client, 24)
+                ),
+            )
+        )
+        from .wire import decode_message
+
+        decoded = decode_message(answer_wire(server, payload, context))
+        if decoded.message_id != message_id:
+            raise ResolutionError(f"mismatched DNS message id for {name!r}")
+        return DnsResponse(
+            question=Question(name),
+            rcode=decoded.rcode,
+            answers=tuple(decoded.answers),
+            authoritative=decoded.authoritative,
+        )
+
+    def flush(self) -> None:
+        """Drop all cached entries."""
+        self._cache.clear()
+
+    @property
+    def cache_size(self) -> int:
+        """Number of cached names (expired entries included until reuse)."""
+        return len(self._cache)

@@ -1,0 +1,390 @@
+"""DNS wire format: RFC 1035 message encoding and decoding.
+
+The rest of the DNS substrate works on structured objects; this module
+provides the byte-level representation — headers, the question section,
+resource records with name compression, and the EDNS0 OPT pseudo-record
+with the Client-Subnet option (RFC 7871) that real CDN mapping chains
+use to learn where the client sits.
+
+Supported RR types are exactly the reproduction's: A, NS, CNAME, SOA,
+PTR (plus OPT).  Encoding applies name compression (pointers to earlier
+occurrences); decoding follows pointers with loop protection.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Optional
+
+from ..net.ipv4 import IPv4Address, IPv4Prefix
+from .query import Question, RCode
+from .records import RecordType, ResourceRecord, normalize_name
+
+__all__ = [
+    "WireError",
+    "WireType",
+    "ClientSubnet",
+    "WireMessage",
+    "encode_message",
+    "decode_message",
+    "encode_name",
+    "decode_name",
+]
+
+_MAX_MESSAGE = 65535
+_POINTER_MASK = 0xC0
+_CLASS_IN = 1
+_OPT_TYPE = 41
+_ECS_OPTION_CODE = 8
+_ECS_FAMILY_IPV4 = 1
+
+
+class WireError(ValueError):
+    """Raised for malformed wire data."""
+
+
+class WireType(IntEnum):
+    """RR type codes for the supported record types."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+
+    @classmethod
+    def from_record_type(cls, rtype: RecordType) -> "WireType":
+        return cls[rtype.value]
+
+    def to_record_type(self) -> RecordType:
+        return RecordType[self.name]
+
+
+@dataclass(frozen=True)
+class ClientSubnet:
+    """An EDNS Client Subnet option (RFC 7871, IPv4 family)."""
+
+    prefix: IPv4Prefix
+    scope_length: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.scope_length <= 32:
+            raise WireError(f"bad ECS scope: {self.scope_length}")
+
+    def encode(self) -> bytes:
+        """The option payload (family, lengths, truncated address)."""
+        address_bytes = bytes(self.prefix.network.octets)
+        used = (self.prefix.length + 7) // 8
+        payload = struct.pack(
+            "!HBB", _ECS_FAMILY_IPV4, self.prefix.length, self.scope_length
+        ) + address_bytes[:used]
+        return struct.pack("!HH", _ECS_OPTION_CODE, len(payload)) + payload
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "ClientSubnet":
+        """Parse one ECS option payload (without the option header)."""
+        if len(payload) < 4:
+            raise WireError("ECS option too short")
+        family, source_length, scope_length = struct.unpack("!HBB", payload[:4])
+        if family != _ECS_FAMILY_IPV4:
+            raise WireError(f"unsupported ECS family {family}")
+        used = (source_length + 7) // 8
+        address_bytes = payload[4:4 + used] + b"\x00" * (4 - used)
+        if len(payload) < 4 + used:
+            raise WireError("ECS address truncated")
+        value = int.from_bytes(address_bytes[:4], "big")
+        prefix = IPv4Prefix.containing(IPv4Address(value), source_length)
+        return cls(prefix=prefix, scope_length=scope_length)
+
+
+@dataclass
+class WireMessage:
+    """A decoded (or to-be-encoded) DNS message."""
+
+    message_id: int = 0
+    is_response: bool = False
+    authoritative: bool = False
+    recursion_desired: bool = True
+    recursion_available: bool = False
+    rcode: RCode = RCode.NOERROR
+    questions: list = field(default_factory=list)  # list[Question]
+    answers: list = field(default_factory=list)  # list[ResourceRecord]
+    client_subnet: Optional[ClientSubnet] = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.message_id <= 0xFFFF:
+            raise WireError(f"bad message id: {self.message_id}")
+
+
+# ----------------------------------------------------------------------
+# names
+# ----------------------------------------------------------------------
+
+def encode_name(name: str, compression: Optional[dict] = None,
+                offset: int = 0) -> bytes:
+    """Encode ``name`` with optional compression.
+
+    ``compression`` maps already-emitted suffixes to their offsets;
+    ``offset`` is where this name will start in the message.
+    """
+    labels = normalize_name(name).split(".")
+    out = bytearray()
+    for index in range(len(labels)):
+        suffix = ".".join(labels[index:])
+        if compression is not None and suffix in compression:
+            pointer = compression[suffix]
+            out += struct.pack("!H", 0xC000 | pointer)
+            return bytes(out)
+        if compression is not None and offset + len(out) < 0x3FFF:
+            compression[suffix] = offset + len(out)
+        label = labels[index].encode("ascii")
+        if len(label) > 63:
+            raise WireError(f"label too long: {labels[index]!r}")
+        out.append(len(label))
+        out += label
+    out.append(0)
+    return bytes(out)
+
+
+def decode_name(data: bytes, offset: int) -> tuple[str, int]:
+    """Decode a (possibly compressed) name; returns (name, next offset)."""
+    labels: list[str] = []
+    jumps = 0
+    cursor = offset
+    end: Optional[int] = None
+    while True:
+        if cursor >= len(data):
+            raise WireError("name runs past end of message")
+        length = data[cursor]
+        if length & _POINTER_MASK == _POINTER_MASK:
+            if cursor + 1 >= len(data):
+                raise WireError("truncated compression pointer")
+            pointer = ((length & 0x3F) << 8) | data[cursor + 1]
+            if end is None:
+                end = cursor + 2
+            jumps += 1
+            if jumps > 64:
+                raise WireError("compression pointer loop")
+            if pointer >= cursor:
+                raise WireError("forward compression pointer")
+            cursor = pointer
+            continue
+        if length & _POINTER_MASK:
+            raise WireError(f"reserved label type {length:#x}")
+        cursor += 1
+        if length == 0:
+            break
+        if cursor + length > len(data):
+            raise WireError("label runs past end of message")
+        labels.append(data[cursor:cursor + length].decode("ascii"))
+        cursor += length
+    if end is None:
+        end = cursor
+    if not labels:
+        raise WireError("empty (root) name not used in this substrate")
+    return ".".join(labels).lower(), end
+
+
+# ----------------------------------------------------------------------
+# records
+# ----------------------------------------------------------------------
+
+def _encode_rdata(record: ResourceRecord, compression: dict, offset: int) -> bytes:
+    if record.rtype is RecordType.A:
+        return bytes(record.address.octets)
+    if record.rtype in (RecordType.CNAME, RecordType.NS, RecordType.PTR):
+        # Compression inside RDATA is legal for these well-known types.
+        return encode_name(record.target, compression, offset)
+    if record.rtype is RecordType.SOA:
+        raise WireError("SOA encoding is not needed by the reproduction")
+    raise WireError(f"cannot encode {record.rtype}")
+
+
+def _encode_record(record: ResourceRecord, compression: dict, offset: int) -> bytes:
+    out = bytearray(encode_name(record.name, compression, offset))
+    wire_type = WireType.from_record_type(record.rtype)
+    out += struct.pack("!HHI", wire_type, _CLASS_IN, record.ttl)
+    rdata_offset = offset + len(out) + 2  # after the RDLENGTH field
+    rdata = _encode_rdata(record, compression, rdata_offset)
+    out += struct.pack("!H", len(rdata))
+    out += rdata
+    return bytes(out)
+
+
+def _decode_record(data: bytes, offset: int) -> tuple[Optional[ResourceRecord], int, Optional[bytes]]:
+    """Returns (record or None-for-OPT, next offset, raw OPT rdata)."""
+    name, cursor = _decode_owner(data, offset)
+    if cursor + 10 > len(data):
+        raise WireError("truncated record header")
+    type_code, _class, ttl = struct.unpack("!HHI", data[cursor:cursor + 8])
+    (rdlength,) = struct.unpack("!H", data[cursor + 8:cursor + 10])
+    cursor += 10
+    if cursor + rdlength > len(data):
+        raise WireError("RDATA runs past end of message")
+    rdata = data[cursor:cursor + rdlength]
+    next_offset = cursor + rdlength
+    if type_code == _OPT_TYPE:
+        return None, next_offset, rdata
+    try:
+        wire_type = WireType(type_code)
+    except ValueError as exc:
+        raise WireError(f"unsupported RR type {type_code}") from exc
+    rtype = wire_type.to_record_type()
+    if rtype is RecordType.A:
+        if rdlength != 4:
+            raise WireError("A RDATA must be 4 bytes")
+        record_data: object = IPv4Address(int.from_bytes(rdata, "big"))
+    elif rtype in (RecordType.CNAME, RecordType.NS, RecordType.PTR):
+        record_data, _ = decode_name(data, cursor)
+    else:
+        raise WireError(f"cannot decode {rtype}")
+    return (
+        ResourceRecord(name=name, rtype=rtype, ttl=ttl, data=record_data),
+        next_offset,
+        None,
+    )
+
+
+def _decode_owner(data: bytes, offset: int) -> tuple[str, int]:
+    # OPT records use the root owner name; handle the lone zero byte.
+    if offset < len(data) and data[offset] == 0:
+        return "", offset + 1
+    return decode_name(data, offset)
+
+
+# ----------------------------------------------------------------------
+# messages
+# ----------------------------------------------------------------------
+
+def encode_message(message: WireMessage) -> bytes:
+    """Serialise a message, compressing names throughout."""
+    flags = 0
+    if message.is_response:
+        flags |= 0x8000
+    if message.authoritative:
+        flags |= 0x0400
+    if message.recursion_desired:
+        flags |= 0x0100
+    if message.recursion_available:
+        flags |= 0x0080
+    flags |= message.rcode.value & 0x000F
+
+    additional_count = 1 if message.client_subnet is not None else 0
+    out = bytearray(
+        struct.pack(
+            "!HHHHHH",
+            message.message_id,
+            flags,
+            len(message.questions),
+            len(message.answers),
+            0,
+            additional_count,
+        )
+    )
+    compression: dict[str, int] = {}
+    for question in message.questions:
+        out += encode_name(question.name, compression, len(out))
+        out += struct.pack(
+            "!HH", WireType.from_record_type(question.rtype), _CLASS_IN
+        )
+    for record in message.answers:
+        out += _encode_record(record, compression, len(out))
+    if message.client_subnet is not None:
+        # OPT pseudo-record: root name, type 41, class = UDP size.
+        option = message.client_subnet.encode()
+        out += b"\x00"
+        out += struct.pack("!HHIH", _OPT_TYPE, 4096, 0, len(option))
+        out += option
+    if len(out) > _MAX_MESSAGE:
+        raise WireError("message exceeds 64 KiB")
+    return bytes(out)
+
+
+def decode_message(data: bytes) -> WireMessage:
+    """Parse a wire message back into structured form."""
+    if len(data) < 12:
+        raise WireError("message shorter than the 12-byte header")
+    message_id, flags, qdcount, ancount, nscount, arcount = struct.unpack(
+        "!HHHHHH", data[:12]
+    )
+    try:
+        rcode = RCode(flags & 0x000F)
+    except ValueError as exc:
+        raise WireError(f"unsupported RCODE {flags & 0xF}") from exc
+    message = WireMessage(
+        message_id=message_id,
+        is_response=bool(flags & 0x8000),
+        authoritative=bool(flags & 0x0400),
+        recursion_desired=bool(flags & 0x0100),
+        recursion_available=bool(flags & 0x0080),
+        rcode=rcode,
+    )
+    cursor = 12
+    for _ in range(qdcount):
+        name, cursor = decode_name(data, cursor)
+        if cursor + 4 > len(data):
+            raise WireError("truncated question")
+        (type_code, class_code) = struct.unpack("!HH", data[cursor:cursor + 4])
+        cursor += 4
+        if class_code != _CLASS_IN:
+            raise WireError(f"unsupported class {class_code}")
+        try:
+            rtype = WireType(type_code).to_record_type()
+        except ValueError as exc:
+            raise WireError(f"unsupported question type {type_code}") from exc
+        message.questions.append(Question(name, rtype))
+    for section_count in (ancount, nscount + arcount):
+        for _ in range(section_count):
+            record, cursor, opt_rdata = _decode_record(data, cursor)
+            if record is not None:
+                message.answers.append(record)
+            elif opt_rdata:
+                message.client_subnet = _decode_ecs(opt_rdata)
+    return message
+
+
+def _decode_ecs(opt_rdata: bytes) -> Optional[ClientSubnet]:
+    cursor = 0
+    while cursor + 4 <= len(opt_rdata):
+        code, length = struct.unpack("!HH", opt_rdata[cursor:cursor + 4])
+        payload = opt_rdata[cursor + 4:cursor + 4 + length]
+        if code == _ECS_OPTION_CODE:
+            return ClientSubnet.decode(payload)
+        cursor += 4 + length
+    return None
+
+
+def answer_wire(server, payload: bytes, context) -> bytes:
+    """Serve one wire-format query against an authoritative server.
+
+    Decodes ``payload``, answers the first question with ``server``
+    (a :class:`~repro.dns.zone.AuthoritativeServer`) for the client in
+    ``context``, and encodes the response — the byte-level face of the
+    authoritative substrate.  An ECS option in the query is echoed back
+    with full scope, as CDN mapping DNS does.
+    """
+    query = decode_message(payload)
+    if not query.questions:
+        raise WireError("query carries no question")
+    question = query.questions[0]
+    response = server.query(question, context)
+    ecs = None
+    if query.client_subnet is not None:
+        ecs = ClientSubnet(
+            prefix=query.client_subnet.prefix,
+            scope_length=query.client_subnet.prefix.length,
+        )
+    return encode_message(
+        WireMessage(
+            message_id=query.message_id,
+            is_response=True,
+            authoritative=response.authoritative,
+            recursion_desired=query.recursion_desired,
+            rcode=response.rcode,
+            questions=[question],
+            answers=list(response.answers),
+            client_subnet=ecs,
+        )
+    )

@@ -1,0 +1,120 @@
+"""Zones and authoritative name servers.
+
+The mapping chain of Figure 2 crosses several operators' DNS estates:
+Apple's ``apple.com`` and ``applimg.com``, Akamai's ``akadns.net``,
+``akamai.net`` and ``edgesuite.net``, and Limelight's ``llnwi.net``.
+Each operator runs an :class:`AuthoritativeServer` hosting one or more
+:class:`Zone` objects; a zone binds owner names to answer policies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .policies import AnswerPolicy
+from .query import DnsResponse, Question, QueryContext, RCode
+from .records import RecordType, is_subdomain, normalize_name
+
+__all__ = ["Zone", "AuthoritativeServer"]
+
+
+class Zone:
+    """One DNS zone: an origin plus policy-driven owner names.
+
+    >>> zone = Zone("apple.com")
+    >>> zone.origin
+    'apple.com'
+    """
+
+    def __init__(self, origin: str) -> None:
+        self.origin = normalize_name(origin)
+        self._policies: dict[str, AnswerPolicy] = {}
+
+    def bind(self, name: str, policy: AnswerPolicy) -> None:
+        """Attach ``policy`` as the answer source for ``name``.
+
+        ``name`` must be inside the zone.  Re-binding replaces the old
+        policy, which is how scenario code models operator
+        reconfiguration mid-measurement.
+        """
+        owner = normalize_name(name)
+        if not is_subdomain(owner, self.origin):
+            raise ValueError(f"{owner!r} is outside zone {self.origin!r}")
+        self._policies[owner] = policy
+
+    def policy_for(self, name: str) -> Optional[AnswerPolicy]:
+        """The policy bound to ``name``, or ``None``."""
+        return self._policies.get(normalize_name(name))
+
+    def covers(self, name: str) -> bool:
+        """Whether ``name`` belongs to this zone."""
+        return is_subdomain(normalize_name(name), self.origin)
+
+    def names(self) -> Iterator[str]:
+        """All bound owner names."""
+        return iter(self._policies)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and normalize_name(name) in self._policies
+
+    def __len__(self) -> int:
+        return len(self._policies)
+
+
+class AuthoritativeServer:
+    """An operator's authoritative DNS service over a set of zones.
+
+    ``operator`` is a display label ("Apple", "Akamai", ...) used by the
+    analysis layer when attributing decision points in the reconstructed
+    mapping graph (two of the three selection steps are run by Akamai,
+    one by Apple — a headline takeaway of Section 3.2).
+    """
+
+    def __init__(self, operator: str, zones: Optional[list[Zone]] = None) -> None:
+        self.operator = operator
+        self._zones: list[Zone] = []
+        for zone in zones or []:
+            self.add_zone(zone)
+
+    def add_zone(self, zone: Zone) -> Zone:
+        """Serve ``zone`` from this server; returns the zone."""
+        self._zones.append(zone)
+        # Longest origin first so the most specific zone wins.
+        self._zones.sort(key=lambda z: z.origin.count("."), reverse=True)
+        return zone
+
+    def zone_for(self, name: str) -> Optional[Zone]:
+        """The most specific zone covering ``name``, if any."""
+        for zone in self._zones:
+            if zone.covers(name):
+                return zone
+        return None
+
+    def is_authoritative_for(self, name: str) -> bool:
+        """Whether any hosted zone covers ``name``."""
+        return self.zone_for(name) is not None
+
+    def query(self, question: Question, context: QueryContext) -> DnsResponse:
+        """Answer ``question`` authoritatively.
+
+        Returns REFUSED for names outside all zones, NXDOMAIN for
+        covered-but-unbound names.  A bound name answered by a policy
+        yields NOERROR even if the policy currently returns no records
+        (an empty, NODATA-style answer).
+        """
+        zone = self.zone_for(question.name)
+        if zone is None:
+            return DnsResponse(question=question, rcode=RCode.REFUSED)
+        policy = zone.policy_for(question.name)
+        if policy is None:
+            return DnsResponse(question=question, rcode=RCode.NXDOMAIN)
+        records = policy.answer(question.name, context)
+        if question.rtype is not RecordType.A:
+            records = tuple(
+                record for record in records if record.rtype is question.rtype
+            )
+        return DnsResponse(question=question, answers=tuple(records))
+
+    def __str__(self) -> str:
+        origins = ", ".join(zone.origin for zone in self._zones)
+        return f"AuthoritativeServer({self.operator}: {origins})"

@@ -1,0 +1,140 @@
+"""``Via`` and ``X-Cache`` header conventions.
+
+The paper's Section 3.3 shows this header sample from an iOS image
+download and derives the edge-site structure from it::
+
+    X-Cache: miss, hit-fresh, Hit from cloudfront
+    Via: 1.1 2db316290386960b489a2a16c0a63643.cloudfront.net (CloudFront),
+     http/1.1 defra1-edge-lx-011.ts.apple.com (ApacheTrafficServer/7.0.0),
+     http/1.1 defra1-edge-bx-033.ts.apple.com (ApacheTrafficServer/7.0.0)
+
+Two orderings matter and are modelled exactly:
+
+* ``Via`` collects entries on the *response path*: the origin-most hop
+  appears first, the client-most cache last.
+* ``X-Cache`` collects per-hop cache verdicts client-most first (each
+  Apache Traffic Server prepends its own verdict to the upstream list).
+
+The analysis layer re-derives the vip → edge-bx → edge-lx hierarchy by
+parsing these headers, exactly as the authors did.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from .messages import HttpResponse
+
+__all__ = [
+    "CacheStatus",
+    "ViaEntry",
+    "parse_via",
+    "parse_x_cache",
+    "record_cache_hop",
+    "TRAFFIC_SERVER_AGENT",
+]
+
+TRAFFIC_SERVER_AGENT = "ApacheTrafficServer/7.0.0"
+
+_VIA_ENTRY = re.compile(
+    r"^\s*(?P<protocol>[A-Za-z0-9./]+)\s+(?P<host>[^\s(]+)(?:\s+\((?P<agent>[^)]*)\))?\s*$"
+)
+
+
+class CacheStatus(str, Enum):
+    """Per-hop cache verdicts as they appear in ``X-Cache``."""
+
+    MISS = "miss"
+    HIT_FRESH = "hit-fresh"
+    HIT_STALE = "hit-stale"
+    HIT_FROM_CLOUDFRONT = "Hit from cloudfront"
+    MISS_FROM_CLOUDFRONT = "Miss from cloudfront"
+
+    @classmethod
+    def parse(cls, text: str) -> "CacheStatus":
+        """Parse one X-Cache token (case preserved for CloudFront forms)."""
+        cleaned = text.strip()
+        for status in cls:
+            if status.value.lower() == cleaned.lower():
+                return status
+        raise ValueError(f"unknown X-Cache token: {text!r}")
+
+    @property
+    def is_hit(self) -> bool:
+        """Whether this verdict served the object from cache."""
+        return self in (
+            CacheStatus.HIT_FRESH,
+            CacheStatus.HIT_STALE,
+            CacheStatus.HIT_FROM_CLOUDFRONT,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class ViaEntry:
+    """One proxy's entry in the ``Via`` header."""
+
+    protocol: str  # e.g. "http/1.1" or "1.1"
+    host: str  # e.g. "defra1-edge-bx-033.ts.apple.com"
+    agent: Optional[str] = None  # e.g. "ApacheTrafficServer/7.0.0"
+
+    def render(self) -> str:
+        """The header token for this entry."""
+        if self.agent is None:
+            return f"{self.protocol} {self.host}"
+        return f"{self.protocol} {self.host} ({self.agent})"
+
+    @classmethod
+    def parse(cls, token: str) -> "ViaEntry":
+        """Parse a single comma-separated Via token."""
+        match = _VIA_ENTRY.match(token)
+        if match is None:
+            raise ValueError(f"unparseable Via token: {token!r}")
+        return cls(
+            protocol=match.group("protocol"),
+            host=match.group("host").lower(),
+            agent=match.group("agent"),
+        )
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def parse_via(header: str) -> list[ViaEntry]:
+    """Parse a full ``Via`` header into entries, origin-most first."""
+    tokens = [token for token in header.split(",") if token.strip()]
+    return [ViaEntry.parse(token) for token in tokens]
+
+
+def parse_x_cache(header: str) -> list[CacheStatus]:
+    """Parse a full ``X-Cache`` header, client-most verdict first."""
+    tokens = [token for token in header.split(",") if token.strip()]
+    return [CacheStatus.parse(token) for token in tokens]
+
+
+def record_cache_hop(
+    response: HttpResponse,
+    host: str,
+    status: CacheStatus,
+    agent: str = TRAFFIC_SERVER_AGENT,
+    protocol: str = "http/1.1",
+) -> None:
+    """Record one cache hop on ``response`` the way ATS does.
+
+    Appends to ``Via`` (so origin-most stays first) and prepends to
+    ``X-Cache`` (so the newest, client-most verdict leads).  Call this
+    once per cache the response traverses, innermost first.
+    """
+    entry = ViaEntry(protocol=protocol, host=host, agent=agent)
+    response.headers.add("Via", entry.render())
+
+    existing = response.headers.get("X-Cache")
+    if existing:
+        response.headers.set("X-Cache", f"{status.value}, {existing}")
+    else:
+        response.headers.set("X-Cache", status.value)

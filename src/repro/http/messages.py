@@ -1,0 +1,116 @@
+"""Minimal HTTP request/response model.
+
+Section 3.1 observes that iOS devices fetch the update manifest and the
+update image over plain HTTP; Section 3.3 infers the internal structure
+of Apple's edge sites from the ``Via`` and ``X-Cache`` headers on those
+responses.  This module models just enough HTTP for both: messages with
+case-insensitive headers and a body size (bodies are never materialised
+— a 2-3 GB iOS image is represented by its byte count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Optional
+
+__all__ = ["Headers", "HttpRequest", "HttpResponse"]
+
+
+class Headers:
+    """A case-insensitive multi-header map preserving insertion order.
+
+    Repeated fields (``Via`` accumulates one entry per proxy) are joined
+    with ``", "`` on read, mirroring RFC 7230 list semantics.
+    """
+
+    def __init__(self, initial: Optional[Mapping[str, str]] = None) -> None:
+        self._entries: list[tuple[str, str]] = []
+        for name, value in (initial or {}).items():
+            self.add(name, value)
+
+    def add(self, name: str, value: str) -> None:
+        """Append a field without replacing existing ones."""
+        self._entries.append((name, value))
+
+    def set(self, name: str, value: str) -> None:
+        """Replace all fields called ``name`` with a single value."""
+        lowered = name.lower()
+        self._entries = [(n, v) for n, v in self._entries if n.lower() != lowered]
+        self._entries.append((name, value))
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        """The combined value of ``name`` (comma-joined), or ``default``."""
+        lowered = name.lower()
+        values = [value for field_name, value in self._entries if field_name.lower() == lowered]
+        if not values:
+            return default
+        return ", ".join(values)
+
+    def get_all(self, name: str) -> list[str]:
+        """Every raw field value for ``name``, in insertion order."""
+        lowered = name.lower()
+        return [value for field_name, value in self._entries if field_name.lower() == lowered]
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and any(
+            field_name.lower() == name.lower() for field_name, _ in self._entries
+        )
+
+    def __iter__(self) -> Iterator[tuple[str, str]]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def copy(self) -> "Headers":
+        """A shallow copy preserving order and duplicates."""
+        duplicate = Headers()
+        duplicate._entries = list(self._entries)
+        return duplicate
+
+
+@dataclass
+class HttpRequest:
+    """An HTTP request for one resource."""
+
+    method: str
+    host: str
+    path: str
+    headers: Headers = field(default_factory=Headers)
+
+    def __post_init__(self) -> None:
+        self.method = self.method.upper()
+        self.host = self.host.lower()
+        if not self.path.startswith("/"):
+            raise ValueError(f"path must be absolute: {self.path!r}")
+
+    @property
+    def url(self) -> str:
+        """The full URL (the update chain is plain http, Section 3.1)."""
+        return f"http://{self.host}{self.path}"
+
+    def __str__(self) -> str:
+        return f"{self.method} {self.url}"
+
+
+@dataclass
+class HttpResponse:
+    """An HTTP response; the body is represented only by its size."""
+
+    status: int
+    headers: Headers = field(default_factory=Headers)
+    body_size: int = 0
+
+    def __post_init__(self) -> None:
+        if not 100 <= self.status <= 599:
+            raise ValueError(f"implausible status code: {self.status}")
+        if self.body_size < 0:
+            raise ValueError(f"negative body size: {self.body_size}")
+
+    @property
+    def ok(self) -> bool:
+        """True for 2xx statuses."""
+        return 200 <= self.status < 300
+
+    def __str__(self) -> str:
+        return f"HTTP {self.status} ({self.body_size} bytes)"

@@ -1,0 +1,96 @@
+"""The ISP's BGP view: best routes with origin AS and ingress links.
+
+Section 5.2 reports ~60 million BGP routes across ~300 sessions; the
+reproduction keeps the same *queryable facts* at laptop scale: for any
+source address, the originating AS (the paper's *Source AS*) and the
+set of peering links the prefix is reachable over (which fixes the
+*handover AS*).  Routes are the post-selection best paths — decision
+process details are irrelevant to the offload/overflow analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..net.asys import ASN
+from ..net.ipv4 import IPv4Address, IPv4Prefix
+from ..net.trie import PrefixTrie
+
+__all__ = ["BgpRoute", "BgpRib"]
+
+
+@dataclass(frozen=True)
+class BgpRoute:
+    """One installed best route.
+
+    ``link_ids`` are the ingress links traffic from this prefix
+    arrives over (multiple links to the same neighbour are balanced);
+    the first AS in ``as_path`` is the handover AS, the last the
+    origin (Source AS).
+    """
+
+    prefix: IPv4Prefix
+    as_path: tuple[ASN, ...]
+    link_ids: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.as_path:
+            raise ValueError("empty AS path")
+        if not self.link_ids:
+            raise ValueError(f"route {self.prefix} has no ingress links")
+
+    @property
+    def origin_asn(self) -> ASN:
+        """The Source AS: who originates the prefix."""
+        return self.as_path[-1]
+
+    @property
+    def neighbor_asn(self) -> ASN:
+        """The handover AS: the direct neighbour announcing the route."""
+        return self.as_path[0]
+
+    @property
+    def is_direct(self) -> bool:
+        """Whether origin and handover coincide (no transit)."""
+        return self.origin_asn == self.neighbor_asn
+
+    def __str__(self) -> str:
+        path = " ".join(str(asn.number) for asn in self.as_path)
+        return f"{self.prefix} via [{path}] over {','.join(self.link_ids)}"
+
+
+class BgpRib:
+    """Longest-prefix-match table of installed best routes."""
+
+    def __init__(self) -> None:
+        self._trie: PrefixTrie[BgpRoute] = PrefixTrie()
+        self._count = 0
+
+    def install(self, route: BgpRoute) -> None:
+        """Install (or replace) the best route for ``route.prefix``."""
+        if self._trie.get(route.prefix) is None:
+            self._count += 1
+        self._trie.insert(route.prefix, route)
+
+    def lookup(self, address: IPv4Address) -> Optional[BgpRoute]:
+        """The best route covering ``address``, or ``None``."""
+        return self._trie.lookup(address)
+
+    def origin_asn(self, address: IPv4Address) -> Optional[ASN]:
+        """Shortcut: the Source AS for ``address``."""
+        route = self._trie.lookup(address)
+        return route.origin_asn if route is not None else None
+
+    def routes(self) -> Iterator[BgpRoute]:
+        """All installed routes."""
+        for _, route in self._trie.items():
+            yield route
+
+    @property
+    def route_count(self) -> int:
+        """Number of installed routes (the paper tracked ~60 M)."""
+        return self._count
+
+    def __len__(self) -> int:
+        return self._count

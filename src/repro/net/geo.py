@@ -1,0 +1,128 @@
+"""Geography: coordinates, distances, continents and mapping regions.
+
+The Apple Meta-CDN maps requests by location at three granularities that
+all appear in the paper:
+
+* **country split** (step 1 in Figure 2): India / China vs. the world;
+* **mapping regions** (step 3): US / EU / APAC third-party selection;
+* **continents** (Figure 4): per-continent unique-IP time series.
+
+This module provides the coordinate type, great-circle distance (used by
+CDN request mapping to pick the nearest edge site), and the enumerations
+for continents and mapping regions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+__all__ = [
+    "Coordinates",
+    "Continent",
+    "MappingRegion",
+    "great_circle_km",
+    "nearest",
+    "EARTH_RADIUS_KM",
+]
+
+EARTH_RADIUS_KM = 6371.0088
+
+
+@dataclass(frozen=True)
+class Coordinates:
+    """A WGS84 latitude/longitude pair in decimal degrees."""
+
+    latitude: float
+    longitude: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude <= 90.0:
+            raise ValueError(f"latitude out of range: {self.latitude}")
+        if not -180.0 <= self.longitude <= 180.0:
+            raise ValueError(f"longitude out of range: {self.longitude}")
+
+    def distance_km(self, other: "Coordinates") -> float:
+        """Great-circle distance to ``other`` in kilometres."""
+        return great_circle_km(self, other)
+
+    def __str__(self) -> str:
+        return f"({self.latitude:.4f}, {self.longitude:.4f})"
+
+
+class Continent(str, Enum):
+    """The six continents used on the Figure 4 facets."""
+
+    AFRICA = "Africa"
+    ASIA = "Asia"
+    EUROPE = "Europe"
+    NORTH_AMERICA = "North America"
+    OCEANIA = "Oceania"
+    SOUTH_AMERICA = "South America"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class MappingRegion(str, Enum):
+    """Apple's third-party selection regions (Section 3.2).
+
+    The DNS names are ``ios8-{us|eu|apac}-lb.apple.com.akadns.net``.
+    Continents without their own load-balancer entry are folded into the
+    nearest region, following the CDN lists the paper reports.
+    """
+
+    US = "us"
+    EU = "eu"
+    APAC = "apac"
+
+    @classmethod
+    def for_continent(cls, continent: Continent) -> "MappingRegion":
+        """The mapping region serving a continent."""
+        return _REGION_OF_CONTINENT[continent]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+_REGION_OF_CONTINENT = {
+    Continent.NORTH_AMERICA: MappingRegion.US,
+    Continent.SOUTH_AMERICA: MappingRegion.US,
+    Continent.EUROPE: MappingRegion.EU,
+    Continent.AFRICA: MappingRegion.EU,
+    Continent.ASIA: MappingRegion.APAC,
+    Continent.OCEANIA: MappingRegion.APAC,
+}
+
+
+def great_circle_km(a: Coordinates, b: Coordinates) -> float:
+    """Great-circle distance between two coordinates (haversine formula)."""
+    lat_a = math.radians(a.latitude)
+    lat_b = math.radians(b.latitude)
+    delta_lat = lat_b - lat_a
+    delta_lon = math.radians(b.longitude - a.longitude)
+    h = (
+        math.sin(delta_lat / 2.0) ** 2
+        + math.cos(lat_a) * math.cos(lat_b) * math.sin(delta_lon / 2.0) ** 2
+    )
+    return 2.0 * EARTH_RADIUS_KM * math.asin(min(1.0, math.sqrt(h)))
+
+
+def nearest(origin: Coordinates, candidates: Iterable[Coordinates]) -> Coordinates:
+    """The candidate closest to ``origin`` by great-circle distance.
+
+    Raises ``ValueError`` on an empty candidate set.  Ties resolve to the
+    first-seen candidate so results are deterministic.
+    """
+    best: Coordinates | None = None
+    best_distance = math.inf
+    for candidate in candidates:
+        distance = great_circle_km(origin, candidate)
+        if distance < best_distance:
+            best = candidate
+            best_distance = distance
+    if best is None:
+        raise ValueError("no candidates")
+    return best

@@ -1,0 +1,271 @@
+"""The discrete-time simulation engine.
+
+Each step the engine:
+
+1. evaluates regional demand and feeds it to the Meta-CDN controller
+   (whose Apple-first decision then governs the DNS answers probes see);
+2. splits the demand over the CDNs per the current selection weights and
+   feeds each fleet's exposure controller (growing/shrinking the IP
+   pools that DNS exposes — the Figure 4/5 dynamics);
+3. fires any due measurement campaigns (so probes witness the state of
+   the mapping chain exactly as it evolves);
+4. inside the ISP traffic window, generates the ISP's ingress traffic —
+   per-CDN update volume plus each CDN's unrelated background — onto
+   peering links with capacity enforcement, feeding SNMP counters and
+   the Netflow collector (the Figures 7/8 inputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..net.geo import MappingRegion, great_circle_km
+from ..net.ipv4 import IPv4Address
+from .scenario import Sep2017Scenario
+
+__all__ = ["SimulationEngine", "StepReport"]
+
+_GBPS_TO_BYTES = 1e9 / 8.0
+
+
+@dataclass(frozen=True)
+class StepReport:
+    """What one engine step did (used by progress callbacks and tests)."""
+
+    now: float
+    demand_gbps: dict
+    operator_gbps: dict
+    measurements: int
+    flows: int
+
+
+class SimulationEngine:
+    """Drives the Sep 2017 scenario through time."""
+
+    def __init__(self, scenario: Sep2017Scenario, step_seconds: float = 900.0):
+        if step_seconds <= 0:
+            raise ValueError("step_seconds must be positive")
+        self.scenario = scenario
+        self.step_seconds = step_seconds
+        self._isp_center = scenario.locations.get("defra").coordinates
+        self._server_rank_cache: dict[tuple[str, int], list] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        start: float,
+        end: float,
+        progress: Optional[Callable[[StepReport], None]] = None,
+    ) -> int:
+        """Advance from ``start`` to ``end``; returns the step count."""
+        if end <= start:
+            raise ValueError("end must be after start")
+        steps = 0
+        now = start
+        while now < end:
+            report = self.advance(now)
+            if progress is not None:
+                progress(report)
+            now += self.step_seconds
+            steps += 1
+        return steps
+
+    def advance(self, now: float) -> StepReport:
+        """Execute one step at simulation time ``now``."""
+        demand_by_region: dict[MappingRegion, float] = {}
+        operator_gbps_by_region: dict[MappingRegion, dict[str, float]] = {}
+        for region in MappingRegion:
+            demand = self.scenario.demand.demand_gbps(region, now)
+            demand_by_region[region] = demand
+            self.scenario.estate.controller.observe_demand(region, demand)
+            split = self.operator_split(region, now, demand)
+            operator_gbps_by_region[region] = split
+            for operator, gbps in split.items():
+                deployment = self.scenario.estate.deployments.get(operator)
+                if deployment is not None:
+                    deployment.offer_demand(now, region, gbps)
+
+        measurements = self.scenario.global_campaign.maybe_run(now)
+        measurements += self.scenario.isp_campaign.maybe_run(now)
+        measurements += self.scenario.aws_campaign.maybe_run(now)
+        measurements += self.scenario.traceroute_campaign.maybe_run(now)
+
+        flows = 0
+        if self.scenario.traffic_window.contains(now):
+            flows = self._generate_isp_traffic(
+                now, operator_gbps_by_region[MappingRegion.EU]
+            )
+        return StepReport(
+            now=now,
+            demand_gbps=demand_by_region,
+            operator_gbps=operator_gbps_by_region[MappingRegion.EU],
+            measurements=measurements,
+            flows=flows,
+        )
+
+    # ------------------------------------------------------------------
+
+    def operator_split(
+        self, region: MappingRegion, now: float, demand_gbps: float
+    ) -> dict[str, float]:
+        """How ``region``'s demand divides over the CDNs right now."""
+        estate = self.scenario.estate
+        apple_share = estate.controller.apple_share(region)
+        split = {"Apple": demand_gbps * apple_share}
+        spill = demand_gbps * (1.0 - apple_share)
+        weights = estate.third_party_weights[region].weights_at(now)
+        total_weight = sum(weights.values())
+        for handover_name, weight in weights.items():
+            operator = self.scenario.handover_operator(handover_name)
+            if operator is None:
+                continue
+            split[operator] = split.get(operator, 0.0) + spill * weight / total_weight
+        return split
+
+    # ------------------------------------------------------------------
+    # ISP traffic generation
+    # ------------------------------------------------------------------
+
+    def _generate_isp_traffic(self, now: float, eu_split: dict[str, float]) -> int:
+        scenario = self.scenario
+        config = scenario.config
+        link_used: dict[str, float] = {}
+        flows = 0
+        # Background exists even for CDNs the Meta-CDN is not currently
+        # using (Akamai's big baseline continues after it leaves the
+        # rotation — the post-event diurnal in Figure 7's Akamai panel).
+        operators = set(eu_split) | set(scenario.backgrounds)
+        for operator in sorted(operators):
+            # Flash-crowd update traffic: served by whatever the CDN has
+            # active, hosted caches included.
+            update_gbps = eu_split.get(operator, 0.0) * config.isp_share_of_eu
+            if update_gbps > 0:
+                flows += self._deliver(
+                    operator, now, update_gbps, link_used, own_as_only=False
+                )
+            # Steady background: served from the CDN's established own-AS
+            # footprint (direct peerings and in-network caches).
+            background = scenario.backgrounds.get(operator)
+            if background is not None and background.rate_gbps(now) > 0:
+                flows += self._deliver(
+                    operator, now, background.rate_gbps(now), link_used,
+                    own_as_only=True,
+                )
+        fill_sources, fill_gbps = scenario.precache_fill(now)
+        if fill_sources and fill_gbps > 0:
+            fill_bytes = fill_gbps * _GBPS_TO_BYTES * self.step_seconds
+            per_source = fill_bytes / len(fill_sources)
+            for source in fill_sources:
+                flows += self._route_bytes(source, now, per_source, link_used)
+        return flows
+
+    def _deliver(
+        self,
+        operator: str,
+        now: float,
+        gbps: float,
+        link_used: dict[str, float],
+        own_as_only: bool = False,
+    ) -> int:
+        """Spread ``operator``'s ISP-bound traffic over its servers."""
+        scenario = self.scenario
+        deployment = scenario.estate.deployments.get(operator)
+        if deployment is None:
+            return 0
+        active = deployment.active_servers(MappingRegion.EU)
+        if own_as_only:
+            active = tuple(p for p in active if p.server.asn == deployment.asn)
+        if not active:
+            return 0
+        sources = self._sample_sources(operator, own_as_only, active)
+        total_bytes = gbps * _GBPS_TO_BYTES * self.step_seconds
+        per_source = total_bytes / len(sources)
+        flows = 0
+        for source in sources:
+            flows += self._route_bytes(source, now, per_source, link_used)
+        return flows
+
+    def _sample_sources(
+        self, operator: str, own_as_only: bool, active: tuple
+    ) -> list[IPv4Address]:
+        """Up to ``isp_server_fanout`` addresses, proportionally sampled.
+
+        Stride sampling over the exposure-ordered active list keeps the
+        source composition (own-AS / hosted / overflow-cluster)
+        representative, which is what the handover-AS shares of
+        Figure 8 are made of.
+        """
+        key = (operator, own_as_only, len(active))
+        cached = self._server_rank_cache.get(key)
+        if cached is not None:
+            return cached
+        fanout = self.scenario.config.isp_server_fanout
+        if len(active) <= fanout:
+            sources = [placed.server.address for placed in active]
+        else:
+            stride = len(active) / fanout
+            sources = [
+                active[int(index * stride)].server.address for index in range(fanout)
+            ]
+        self._server_rank_cache[key] = sources
+        return sources
+
+    def _route_bytes(
+        self,
+        source: IPv4Address,
+        now: float,
+        total_bytes: float,
+        link_used: dict[str, float],
+    ) -> int:
+        """Carry ``total_bytes`` from ``source`` into the ISP."""
+        scenario = self.scenario
+        route = scenario.rib.lookup(source)
+        if route is None:
+            return 0
+        # Failed links drop out of the balancing set; the survivors
+        # absorb the redistribution (and may saturate doing so).
+        up = scenario.isp.up_links(route.link_ids)
+        if not up:
+            return 0  # the whole route is dark: traffic never arrives
+        per_link = total_bytes / len(up)
+        flows = 0
+        for link in up:
+            link_id = link.link_id
+            capacity = link.capacity_bytes(self.step_seconds)
+            used = link_used.get(link_id, 0.0)
+            carried = min(per_link, max(0.0, capacity - used))
+            if carried <= 0:
+                continue  # saturated: the excess never arrives
+            link_used[link_id] = used + carried
+            carried_bytes = int(carried)
+            if carried_bytes <= 0:
+                continue
+            scenario.snmp.add_bytes(link_id, now, carried_bytes)
+            destination = scenario.isp.customer_prefix.host(
+                1 + (source.value + int(now)) % 1024
+            )
+            if scenario.netflow.sampling_rate == 1:
+                scenario.netflow.observe_exact(
+                    now, source, link_id, carried_bytes, dst=destination
+                )
+                flows += 1
+            else:
+                flows += scenario.netflow.observe(
+                    now, source, link_id, carried_bytes,
+                    dst_picker=lambda index: destination,
+                )
+        return flows
+
+    # ------------------------------------------------------------------
+
+    def nearest_site_distance_km(self, address: IPv4Address) -> Optional[float]:
+        """Distance from the ISP's centre to a cache's metro (if known)."""
+        for deployment in self.scenario.estate.deployments.values():
+            for placed in deployment.servers:
+                if placed.server.address == address:
+                    return great_circle_km(
+                        self._isp_center, placed.location.coordinates
+                    )
+        return None

@@ -1,0 +1,594 @@
+"""The September 2017 scenario: everything the paper measured, wired up.
+
+This module instantiates the complete world model:
+
+* the Apple Meta-CDN estate (own CDN + Akamai + Limelight + the Figure 2
+  DNS chain, including the ``a1015`` rollout change six hours in);
+* the iOS 11 demand model (baselines, the Sep 19 17h UTC surge, the
+  Oct 31 iOS 11.1 echo);
+* the Tier-1 European eyeball ISP: peering links to Apple, Akamai and
+  Limelight plus the anonymised transit neighbours A-D and a tail of
+  small peers, a BGP view routing every CDN prefix, and the Limelight
+  "overflow cluster" — caches in a hosting AS behind transit D that
+  only enter rotation under flash-crowd exposure (Section 5.4);
+* RIPE-Atlas-style probe sets (global and in-ISP) with their campaigns.
+
+Scale knobs default to laptop-size (fewer probes, coarser ticks than
+the real campaigns); the mechanisms are identical, and EXPERIMENTS.md
+records the scaling factors next to each reproduced figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..apple.deployment import AppleCdn
+from ..apple.mapping import NAMES, MetaCdnEstate, build_meta_cdn
+from ..apple.policy import MetaCdnController
+from ..atlas.campaign import DnsCampaign, TracerouteCampaign
+from ..atlas.awsvm import AwsVmCampaign, build_aws_vantages
+from ..atlas.placement import place_global_probes, place_isp_probes
+from ..atlas.traceroute import SimulatedTracer
+from ..cdn.cache import ContentCache
+from ..cdn.deployment import CdnDeployment, ExposureController
+from ..cdn.server import CacheServer, ServerFunction, ServerRole
+from ..cdn.thirdparty import AKAMAI_PLAN, LEVEL3_PLAN, LIMELIGHT_PLAN, build_third_party
+from ..dns.policies import WeightSchedule, stable_fraction
+from ..isp.bgp import BgpRib, BgpRoute
+from ..isp.netflow import NetflowCollector
+from ..isp.snmp import SnmpCounters
+from ..isp.topology import EyeballIsp, PeeringLink
+from ..net.asys import AS_AKAMAI, AS_APPLE, AS_LIMELIGHT, ASN, ASRegistry
+from ..net.geo import MappingRegion
+from ..net.ipv4 import IPv4Address, IPv4Prefix
+from ..net.locode import LocodeDatabase
+from ..workload.adoption import AdoptionModel
+from ..workload.flashcrowd import CdnBackground, UpdateDemandModel
+from ..workload.timeline import TIMELINE, MeasurementWindow, Timeline
+
+__all__ = ["ScenarioConfig", "Sep2017Scenario", "AS_HOSTER_AKAMAI", "AS_HOSTER_LIMELIGHT",
+           "AS_TRANSIT_A", "AS_TRANSIT_B", "AS_TRANSIT_C", "AS_TRANSIT_D", "AS_ISP"]
+
+# Anonymised ASs, mirroring the paper's A-D naming.
+AS_ISP = ASN(64496)
+AS_TRANSIT_A = ASN(65001)
+AS_TRANSIT_B = ASN(65002)
+AS_TRANSIT_C = ASN(65003)
+AS_TRANSIT_D = ASN(65004)
+AS_HOSTER_AKAMAI = ASN(64512)  # hosts "Akamai other AS" caches
+AS_HOSTER_LIMELIGHT = ASN(64513)  # hosts "Limelight other AS" caches
+
+_ISP_CUSTOMER_PREFIX = IPv4Prefix.parse("89.0.0.0/12")
+_OVERFLOW_CLUSTER_PREFIX = IPv4Prefix.parse("208.111.160.0/19")
+
+# Metros where the third-party fleets deploy (worldwide coverage, so
+# South America and Africa — where Apple has no sites — are served).
+_THIRD_PARTY_METROS = (
+    "usnyc", "uslax", "uschi", "usmia", "usdal",
+    "defra", "uklon", "nlams", "frpar", "esmad", "plwaw",
+    "jptyo", "sgsin", "ausyd", "inbom",
+    "brsao", "arbue", "zajnb", "egcai",
+)
+
+
+@dataclass
+class ScenarioConfig:
+    """All calibration and scale knobs for the Sep 2017 scenario."""
+
+    # --- scale (laptop defaults; the paper's real values in comments) ---
+    global_probe_count: int = 160          # paper: 800
+    isp_probe_count: int = 80              # paper: 400
+    global_dns_interval: float = 1800.0    # paper: 300 s
+    isp_dns_interval: float = 43200.0      # paper: 43200 s (12 h)
+    aws_interval: float = 3600.0           # AWS VM detailed sweeps
+    traceroute_probe_count: int = 8        # probes running traceroutes
+    traceroute_interval: float = 21600.0   # paper: hourly
+    traceroute_max_targets: int = 32
+    netflow_sampling: int = 1              # 1 = exact records; paper: ~1/1000
+
+    # --- capacities -----------------------------------------------------
+    apple_edge_gbps: float = 14.0
+    target_utilization: float = 0.95
+    min_third_party_share: float = 0.35
+    akamai_tau_seconds: float = 21600.0    # the observed ~6 h EU ramp
+    limelight_tau_seconds: float = 5400.0
+    exposure_min_servers: int = 8
+    exposure_headroom: float = 1.3
+    limelight_servers_per_metro: int = 18  # sized so the AS-D cluster
+    # only activates under flash-crowd exposure (see Figure 8)
+    limelight_exposure_gbps_per_server: float = 8.0
+    limelight_release_tau_seconds: float = 100_000.0
+    akamai_exposure_gbps_per_server: float = 5.0
+    akamai_day1_weight: float = 0.32       # third-party split on Sep 19
+    include_level3: bool = False           # pre-late-June-2017 mapping
+
+    # --- demand (region totals, Gbps) ------------------------------------
+    baseline_gbps: dict = field(
+        default_factory=lambda: {
+            MappingRegion.EU: 800.0,
+            MappingRegion.US: 2200.0,
+            MappingRegion.APAC: 700.0,
+        }
+    )
+    surge_peak_gbps: dict = field(
+        default_factory=lambda: {
+            MappingRegion.EU: 4200.0,
+            MappingRegion.US: 3800.0,
+            MappingRegion.APAC: 1400.0,
+        }
+    )
+    surge_decay_seconds: float = 130_000.0
+    ios_11_1_surge_scale: float = 0.35     # the Oct 31 echo in Figure 5
+
+    # --- the eyeball ISP --------------------------------------------------
+    isp_share_of_eu: float = 0.12          # the ISP's slice of EU demand
+    background_gbps: dict = field(
+        default_factory=lambda: {
+            "Apple": 55.0,
+            "Akamai": 430.0,
+            "Limelight": 45.0,
+        }
+    )
+    overflow_cluster_size: int = 32        # Limelight caches behind AS D
+    isp_server_fanout: int = 64            # servers per CDN receiving ISP load
+    precache_fill_gbps: float = 60.0       # the Sep 19 AS-A fill spike
+    precache_fill_lead_seconds: float = 3 * 3600.0
+    precache_fill_tail_seconds: float = 7 * 3600.0
+
+    # --- event times (defaults from the Timeline) -------------------------
+    a1015_delay_seconds: float = 6 * 3600.0
+
+    @classmethod
+    def from_adoption(cls, model: "AdoptionModel", **overrides) -> "ScenarioConfig":
+        """Derive the surge amplitudes from a population adoption model.
+
+        The default config's hand-calibrated peaks agree with the
+        default :class:`~repro.workload.adoption.AdoptionModel` within a
+        few percent; this constructor makes the derivation explicit and
+        lets what-if studies vary populations or adoption shares.
+        """
+        config = cls(**overrides)
+        config.surge_peak_gbps = model.surge_peaks()
+        config.surge_decay_seconds = model.decay_seconds
+        return config
+
+
+class Sep2017Scenario:
+    """The fully wired world: estate, ISP, probes, campaigns, demand."""
+
+    def __init__(
+        self,
+        config: Optional[ScenarioConfig] = None,
+        timeline: Timeline = TIMELINE,
+    ) -> None:
+        self.config = config if config is not None else ScenarioConfig()
+        self.timeline = timeline
+        self.locations = LocodeDatabase.builtin()
+        self.registry = ASRegistry()
+
+        self.estate = self._build_estate()
+        self.isp, self.rib = self._build_isp()
+        self._register_asns()
+        self.operator_by_address = self._index_operators()
+
+        self.demand = self._build_demand()
+        self.backgrounds = {
+            operator: CdnBackground(mean_gbps)
+            for operator, mean_gbps in self.config.background_gbps.items()
+        }
+
+        self.netflow = NetflowCollector(sampling_rate=self.config.netflow_sampling)
+        self.snmp = SnmpCounters(bin_seconds=3600.0)
+
+        self.global_probes = place_global_probes(
+            self.estate.servers,
+            count=self.config.global_probe_count,
+            locations=self.locations,
+        )
+        self.isp_probes = place_isp_probes(
+            self.estate.servers,
+            isp_asn=AS_ISP,
+            customer_prefix=_ISP_CUSTOMER_PREFIX,
+            count=self.config.isp_probe_count,
+            country="de",
+            locations=self.locations,
+        )
+        self.global_campaign = DnsCampaign(
+            probes=self.global_probes,
+            target=NAMES.entry_point,
+            interval=self.config.global_dns_interval,
+            window=timeline.ripe_global_window,
+        )
+        self.isp_campaign = DnsCampaign(
+            probes=self.isp_probes,
+            target=NAMES.entry_point,
+            interval=self.config.isp_dns_interval,
+            window=timeline.ripe_isp_window,
+        )
+        self.aws_vantages = build_aws_vantages(
+            self.estate.servers, locations=self.locations
+        )
+        self.aws_campaign = AwsVmCampaign(
+            vantages=self.aws_vantages,
+            target=NAMES.entry_point,
+            interval=self.config.aws_interval,
+            window=timeline.aws_window,
+            fetch=self.http_fetch,
+        )
+        server_coordinates = {
+            placed.server.address: placed.location.coordinates
+            for deployment in self.estate.deployments.values()
+            for placed in deployment.servers
+        }
+        self.tracer = SimulatedTracer(
+            self.registry, server_coordinates, transit_asn=AS_TRANSIT_A
+        )
+        self.traceroute_campaign = TracerouteCampaign(
+            probes=self.global_probes[: self.config.traceroute_probe_count],
+            dns_store=self.global_campaign.store,
+            interval=self.config.traceroute_interval,
+            window=timeline.ripe_global_window,
+            tracer=self.tracer.trace,
+            max_targets_per_tick=self.config.traceroute_max_targets,
+        )
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def _build_estate(self) -> MetaCdnEstate:
+        config = self.config
+        apple = AppleCdn.build(self.locations, edge_bx_gbps=config.apple_edge_gbps)
+        metros = [self.locations.get(code) for code in _THIRD_PARTY_METROS]
+
+        akamai = build_third_party(
+            AKAMAI_PLAN,
+            metros,
+            other_as=AS_HOSTER_AKAMAI,
+            exposure_factory=lambda: ExposureController(
+                per_server_gbps=config.akamai_exposure_gbps_per_server,
+                min_servers=config.exposure_min_servers,
+                headroom=config.exposure_headroom,
+                tau_seconds=config.akamai_tau_seconds,
+            ),
+        )
+        limelight_plan = replace(
+            LIMELIGHT_PLAN, servers_per_metro=config.limelight_servers_per_metro
+        )
+        limelight = build_third_party(
+            limelight_plan,
+            metros,
+            other_as=AS_HOSTER_LIMELIGHT,
+            exposure_factory=lambda: ExposureController(
+                per_server_gbps=config.limelight_exposure_gbps_per_server,
+                min_servers=config.exposure_min_servers,
+                headroom=config.exposure_headroom,
+                tau_seconds=config.limelight_tau_seconds,
+                release_tau_seconds=config.limelight_release_tau_seconds,
+            ),
+        )
+        self._add_overflow_cluster(limelight)
+
+        level3 = None
+        if config.include_level3:
+            # The configuration before Level3 was removed in late June
+            # 2017 — used by ablations; Level3 served US and EU only.
+            level3 = build_third_party(
+                LEVEL3_PLAN,
+                [m for m in metros if m.continent.value not in
+                 ("Asia", "Oceania")],
+                other_as=ASN(64514),
+                exposure_factory=lambda: ExposureController(
+                    per_server_gbps=LEVEL3_PLAN.per_server_gbps,
+                    min_servers=config.exposure_min_servers,
+                    headroom=config.exposure_headroom,
+                    tau_seconds=config.limelight_tau_seconds,
+                ),
+            )
+
+        capacity = {
+            region: apple.deployment.region_capacity_gbps(region)
+            for region in MappingRegion
+        }
+        controller = MetaCdnController(
+            capacity,
+            target_utilization=config.target_utilization,
+            min_third_party_share=config.min_third_party_share,
+        )
+        return build_meta_cdn(
+            apple,
+            akamai,
+            limelight,
+            controller,
+            third_party_weights=self._third_party_weights(),
+            a1015_from=self.timeline.ios_11_0_release + config.a1015_delay_seconds,
+            level3=level3,
+        )
+
+    def _add_overflow_cluster(self, limelight: CdnDeployment) -> None:
+        """The Limelight caches "in or behind AS D" (Section 5.4).
+
+        Hostnames start with ``zz`` so they sort last in the exposure
+        order: they only enter DNS rotation when flash-crowd demand
+        pushes the active count past the regular fleet — exactly the
+        sudden, previously unseen ingress the paper describes.
+        """
+        warsaw = self.locations.get("plwaw")
+        for index in range(self.config.overflow_cluster_size):
+            server = CacheServer(
+                hostname=f"zz-overflow-{index:03d}.waw.llnw.net",
+                address=_OVERFLOW_CLUSTER_PREFIX.host(index + 1),
+                role=ServerRole(ServerFunction.EDGE),
+                asn=AS_HOSTER_LIMELIGHT,
+                capacity_gbps=LIMELIGHT_PLAN.per_server_gbps,
+                cache=ContentCache(4 << 40),
+            )
+            limelight.add_server(server, warsaw)
+
+    def _third_party_weights(self) -> dict[MappingRegion, WeightSchedule]:
+        """The operator-controlled distribution shares over the event.
+
+        Akamai participates in the EU offload only on release day (its
+        traffic share vanishes from Sep 20 on, Figure 7); Limelight
+        carries the remainder throughout.
+        """
+        release = self.timeline.ios_11_0_release
+        akamai_out = release + 11 * 3600.0  # Akamai only on release day
+        akamai_back = release + 6 * 86400.0
+        akamai_weight = self.config.akamai_day1_weight
+        weights: dict[MappingRegion, WeightSchedule] = {}
+        for region in MappingRegion:
+            limelight_name = NAMES.limelight_handover(region)
+            if self.config.include_level3 and region is not MappingRegion.APAC:
+                # Pre-June 2017: Level3 shared the non-Akamai half in
+                # US/EU (the paper lists it for both, not APAC).
+                baseline = {
+                    NAMES.edgesuite: akamai_weight,
+                    limelight_name: (1.0 - akamai_weight) / 2.0,
+                    NAMES.level3: (1.0 - akamai_weight) / 2.0,
+                }
+            else:
+                baseline = {
+                    NAMES.edgesuite: akamai_weight,
+                    limelight_name: 1.0 - akamai_weight,
+                }
+            if region is MappingRegion.EU:
+                weights[region] = WeightSchedule(
+                    [
+                        (float("-inf"), baseline),
+                        (akamai_out, {limelight_name: 1.0}),
+                        (akamai_back, baseline),
+                    ]
+                )
+            else:
+                weights[region] = WeightSchedule.constant(baseline)
+        return weights
+
+    def _build_demand(self) -> UpdateDemandModel:
+        config = self.config
+        demand = UpdateDemandModel(baseline_gbps=dict(config.baseline_gbps))
+        demand.add_release(
+            self.timeline.ios_11_0_release,
+            peak_gbps=dict(config.surge_peak_gbps),
+            decay_seconds=config.surge_decay_seconds,
+        )
+        demand.add_release(
+            self.timeline.ios_11_1_release,
+            peak_gbps={
+                region: peak * config.ios_11_1_surge_scale
+                for region, peak in config.surge_peak_gbps.items()
+            },
+            decay_seconds=config.surge_decay_seconds,
+        )
+        return demand
+
+    def _build_isp(self) -> tuple[EyeballIsp, BgpRib]:
+        isp = EyeballIsp(AS_ISP, "EU-Eyeball-T1", _ISP_CUSTOMER_PREFIX)
+        links: list[PeeringLink] = [
+            PeeringLink("apple-1", "br-fra-1", AS_APPLE, 400.0),
+            PeeringLink("apple-2", "br-dus-1", AS_APPLE, 400.0),
+            PeeringLink("akamai-1", "br-fra-1", AS_AKAMAI, 400.0),
+            PeeringLink("akamai-2", "br-ber-1", AS_AKAMAI, 400.0),
+            PeeringLink("akamai-3", "br-muc-1", AS_AKAMAI, 400.0),
+            PeeringLink("akamai-cache", "internal", AS_AKAMAI, 200.0, is_cache_link=True),
+            PeeringLink("limelight-1", "br-fra-1", AS_LIMELIGHT, 300.0),
+            PeeringLink("limelight-2", "br-ams-1", AS_LIMELIGHT, 300.0),
+            PeeringLink("transit-a-1", "br-fra-1", AS_TRANSIT_A, 100.0),
+            PeeringLink("transit-a-2", "br-ber-1", AS_TRANSIT_A, 100.0),
+            PeeringLink("transit-b-1", "br-dus-1", AS_TRANSIT_B, 100.0),
+            PeeringLink("transit-b-2", "br-muc-1", AS_TRANSIT_B, 100.0),
+            PeeringLink("transit-c-1", "br-fra-1", AS_TRANSIT_C, 100.0),
+            PeeringLink("transit-c-2", "br-ams-1", AS_TRANSIT_C, 100.0),
+            PeeringLink("transit-d-1", "br-ber-1", AS_TRANSIT_D, 25.0),
+            PeeringLink("transit-d-2", "br-fra-1", AS_TRANSIT_D, 25.0),
+            PeeringLink("transit-d-3", "br-muc-1", AS_TRANSIT_D, 25.0),
+            PeeringLink("transit-d-4", "br-ams-1", AS_TRANSIT_D, 25.0),
+        ]
+        for index in range(8):  # the ~40 small peers, grouped as "other"
+            links.append(
+                PeeringLink(
+                    f"other-{index + 1}",
+                    f"br-ix-{index % 3 + 1}",
+                    ASN(65010 + index),
+                    50.0,
+                )
+            )
+        for link in links:
+            isp.add_link(link)
+
+        rib = BgpRib()
+        # Apple: direct peering.
+        rib.install(
+            BgpRoute(
+                IPv4Prefix.parse("17.0.0.0/8"),
+                as_path=(AS_APPLE,),
+                link_ids=("apple-1", "apple-2"),
+            )
+        )
+        # Akamai own AS: direct links plus the in-network cache link.
+        rib.install(
+            BgpRoute(
+                AKAMAI_PLAN.own_prefix,
+                as_path=(AS_AKAMAI,),
+                link_ids=("akamai-1", "akamai-2", "akamai-3", "akamai-cache"),
+            )
+        )
+        # "Akamai other AS" caches: hosted, reached via transit A.
+        rib.install(
+            BgpRoute(
+                AKAMAI_PLAN.other_as_prefix,
+                as_path=(AS_TRANSIT_A, AS_HOSTER_AKAMAI),
+                link_ids=("transit-a-1", "transit-a-2"),
+            )
+        )
+        # Limelight own AS: direct peering.
+        rib.install(
+            BgpRoute(
+                LIMELIGHT_PLAN.own_prefix,
+                as_path=(AS_LIMELIGHT,),
+                link_ids=("limelight-1", "limelight-2"),
+            )
+        )
+        # "Limelight other AS" caches: spread over transits A/B/C with
+        # host routes cycling per cache, so whichever subset of hosted
+        # caches is active, the ingress mix stays stable (the pre-event
+        # A/B/C balance of Figure 8).
+        transit_cycle = (
+            (AS_TRANSIT_A, ("transit-a-1", "transit-a-2")),
+            (AS_TRANSIT_B, ("transit-b-1", "transit-b-2")),
+            (AS_TRANSIT_C, ("transit-c-1", "transit-c-2")),
+        )
+        hosted = [
+            placed.server.address
+            for placed in self.estate.limelight.servers
+            if placed.server.asn == AS_HOSTER_LIMELIGHT
+            and not _OVERFLOW_CLUSTER_PREFIX.contains(placed.server.address)
+        ]
+        for address in sorted(hosted):
+            pick = int(stable_fraction("llnw-transit", address) * len(transit_cycle))
+            transit_asn, link_ids = transit_cycle[pick]
+            rib.install(
+                BgpRoute(
+                    IPv4Prefix.containing(address, 32),
+                    as_path=(transit_asn, AS_HOSTER_LIMELIGHT),
+                    link_ids=link_ids,
+                )
+            )
+        # Covering route for any hosted Limelight address beyond the /22
+        # (larger fleets); more-specific /28s and the cluster /19 win.
+        rib.install(
+            BgpRoute(
+                LIMELIGHT_PLAN.other_as_prefix,
+                as_path=(AS_TRANSIT_A, AS_HOSTER_LIMELIGHT),
+                link_ids=("transit-a-1", "transit-a-2"),
+            )
+        )
+        # The overflow cluster: behind AS D, over two of its four links.
+        rib.install(
+            BgpRoute(
+                _OVERFLOW_CLUSTER_PREFIX,
+                as_path=(AS_TRANSIT_D, AS_HOSTER_LIMELIGHT),
+                link_ids=("transit-d-1", "transit-d-2"),
+            )
+        )
+        return isp, rib
+
+    def _register_asns(self) -> None:
+        registry = self.registry
+        registry.create(AS_APPLE, "Apple", [IPv4Prefix.parse("17.0.0.0/8")])
+        registry.create(AS_AKAMAI, "Akamai", [AKAMAI_PLAN.own_prefix])
+        registry.create(AS_LIMELIGHT, "Limelight", [LIMELIGHT_PLAN.own_prefix])
+        registry.create(
+            AS_HOSTER_AKAMAI, "Hosting (Akamai caches)",
+            [AKAMAI_PLAN.other_as_prefix],
+        )
+        registry.create(
+            AS_HOSTER_LIMELIGHT, "Hosting (Limelight caches)",
+            [LIMELIGHT_PLAN.other_as_prefix, _OVERFLOW_CLUSTER_PREFIX],
+        )
+        registry.create(AS_ISP, "EU-Eyeball-T1", [_ISP_CUSTOMER_PREFIX])
+        for asn, label in (
+            (AS_TRANSIT_A, "Transit A"),
+            (AS_TRANSIT_B, "Transit B"),
+            (AS_TRANSIT_C, "Transit C"),
+            (AS_TRANSIT_D, "Transit D"),
+        ):
+            registry.create(asn, label)
+
+    def _index_operators(self) -> dict[IPv4Address, str]:
+        index: dict[IPv4Address, str] = {}
+        for operator, deployment in self.estate.deployments.items():
+            for placed in deployment.servers:
+                index[placed.server.address] = operator
+        return index
+
+    # ------------------------------------------------------------------
+    # lookups used by the engine and analyses
+    # ------------------------------------------------------------------
+
+    def operator_of(self, address: IPv4Address) -> Optional[str]:
+        """The CDN operating ``address``, if it is a known cache."""
+        return self.operator_by_address.get(address)
+
+    def http_fetch(self, address, request, size: int = 2_800_000_000):
+        """Fetch ``request`` from whichever fleet owns ``address``.
+
+        Routes Apple vip addresses through the full vip/edge-bx/edge-lx
+        hierarchy and third-party addresses through their flat delivery
+        model; returns ``None`` for unknown addresses.  This is the
+        fetcher behind the AWS-VM availability checks.
+        """
+        if self.estate.apple.site_for(address) is not None:
+            return self.estate.apple.serve(address, request, size).response
+        for deployment in (self.estate.akamai, self.estate.limelight,
+                           self.estate.level3):
+            if deployment is None:
+                continue
+            if deployment.server_at(address) is not None:
+                return deployment.serve(address, request, size)
+        return None
+
+    def precache_fill(self, now: float) -> tuple[list[IPv4Address], float]:
+        """The Sep 19 pre-cache fill (Section 5.4's AS-A spike).
+
+        Around the release, Limelight distributes the new images to its
+        hosted caches; from the ISP's perspective that is Limelight
+        traffic arriving via transit A before the user-driven delivery
+        ramps up.  Returns the fill sources and current fill rate
+        (empty/0 outside the fill window).
+        """
+        config = self.config
+        release = self.timeline.ios_11_0_release
+        start = release - config.precache_fill_lead_seconds
+        end = release + config.precache_fill_tail_seconds
+        if not start <= now < end or config.precache_fill_gbps <= 0:
+            return [], 0.0
+        sources: list[IPv4Address] = []
+        for placed in self.estate.limelight.servers:
+            if placed.server.asn != AS_HOSTER_LIMELIGHT:
+                continue
+            if _OVERFLOW_CLUSTER_PREFIX.contains(placed.server.address):
+                continue
+            route = self.rib.lookup(placed.server.address)
+            if route is not None and route.neighbor_asn == AS_TRANSIT_A:
+                sources.append(placed.server.address)
+            if len(sources) >= 8:
+                break
+        return sources, config.precache_fill_gbps
+
+    def handover_operator(self, name: str) -> Optional[str]:
+        """Map a third-party handover DNS name to its operator."""
+        names = self.estate.names
+        if name == names.edgesuite:
+            return "Akamai"
+        if name in (names.limelight_us_eu, names.limelight_apac):
+            return "Limelight"
+        if name == names.level3:
+            return "Level3"
+        return None
+
+    @property
+    def traffic_window(self) -> MeasurementWindow:
+        """The BGP/Netflow/SNMP collection window (Sep 15-23)."""
+        return self.timeline.isp_traffic_window

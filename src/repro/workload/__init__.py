@@ -1,0 +1,36 @@
+"""Workload modelling: the Figure 1 timeline, device populations,
+diurnal demand shapes and the iOS 11 flash crowd."""
+
+from .adoption import DEFAULT_ADOPTION_SHARES, AdoptionModel
+from .diurnal import APAC_PROFILE, EU_PROFILE, US_PROFILE, DiurnalProfile
+from .flashcrowd import (
+    REGION_PROFILES,
+    CdnBackground,
+    ReleaseSurge,
+    UpdateDemandModel,
+)
+from .population import (
+    ISP_MARKET_SHARE_TOP10,
+    WORLD_POPULATION,
+    DevicePopulation,
+)
+from .timeline import TIMELINE, MeasurementWindow, Timeline
+
+__all__ = [
+    "Timeline",
+    "AdoptionModel",
+    "DEFAULT_ADOPTION_SHARES",
+    "TIMELINE",
+    "MeasurementWindow",
+    "DevicePopulation",
+    "WORLD_POPULATION",
+    "ISP_MARKET_SHARE_TOP10",
+    "DiurnalProfile",
+    "EU_PROFILE",
+    "US_PROFILE",
+    "APAC_PROFILE",
+    "ReleaseSurge",
+    "UpdateDemandModel",
+    "CdnBackground",
+    "REGION_PROFILES",
+]

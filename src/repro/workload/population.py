@@ -1,0 +1,81 @@
+"""Device populations.
+
+The paper sizes the event at "up to an estimated 1 billion iOS devices"
+worldwide.  For traffic modelling only the regional split matters: it
+determines how much demand each mapping region offers and therefore
+where Apple's capacity saturates first.  The built-in split follows the
+rough 2017 distribution of the installed base, with the APNIC
+market-consolidation observation from Section 4 encoded as metadata
+(US top-10 ISPs ≈ 60 % market share vs ≈ 30 % in Europe).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..net.geo import Continent, MappingRegion
+
+__all__ = ["DevicePopulation", "WORLD_POPULATION", "ISP_MARKET_SHARE_TOP10"]
+
+# Section 4 cites APNIC estimates on ISP market consolidation.
+ISP_MARKET_SHARE_TOP10 = {MappingRegion.US: 0.60, MappingRegion.EU: 0.30}
+
+
+@dataclass(frozen=True)
+class DevicePopulation:
+    """iOS devices per continent (absolute counts)."""
+
+    by_continent: Mapping[Continent, int]
+
+    def __post_init__(self) -> None:
+        for continent, count in self.by_continent.items():
+            if count < 0:
+                raise ValueError(f"negative population for {continent}")
+
+    @property
+    def total(self) -> int:
+        """Worldwide device count."""
+        return sum(self.by_continent.values())
+
+    def devices(self, continent: Continent) -> int:
+        """Devices on one continent."""
+        return self.by_continent.get(continent, 0)
+
+    def by_region(self) -> dict[MappingRegion, int]:
+        """Devices aggregated into the us/eu/apac mapping regions."""
+        regions = {region: 0 for region in MappingRegion}
+        for continent, count in self.by_continent.items():
+            regions[MappingRegion.for_continent(continent)] += count
+        return regions
+
+    def share(self, continent: Continent) -> float:
+        """This continent's fraction of the installed base."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        return self.devices(continent) / total
+
+    def scaled(self, factor: float) -> "DevicePopulation":
+        """A population scaled by ``factor`` (for laptop-scale runs)."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return DevicePopulation(
+            {
+                continent: int(count * factor)
+                for continent, count in self.by_continent.items()
+            }
+        )
+
+
+# ~1 billion devices, 2017-era distribution of the iOS installed base.
+WORLD_POPULATION = DevicePopulation(
+    {
+        Continent.NORTH_AMERICA: 290_000_000,
+        Continent.EUROPE: 220_000_000,
+        Continent.ASIA: 370_000_000,
+        Continent.SOUTH_AMERICA: 55_000_000,
+        Continent.OCEANIA: 25_000_000,
+        Continent.AFRICA: 40_000_000,
+    }
+)

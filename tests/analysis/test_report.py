@@ -1,0 +1,69 @@
+"""Tests for repro.analysis.report — the one-shot reproduction report."""
+
+from repro.analysis.report import generate_report
+from repro.simulation import ScenarioConfig, Sep2017Scenario
+
+
+class TestGenerateReport:
+    def test_full_run_report(self, event_run):
+        scenario, _, _ = event_run
+        report = generate_report(scenario)
+        for marker in (
+            "Figure 2",
+            "Figure 3",
+            "Figure 4",
+            "Figure 5",
+            "Figures 6-8",
+            "decision points",
+            "34 Apple edge sites",
+            "Offload impact",
+            "Overflow by handover AS",
+            "availability checks passed",
+            "min-RTT geolocation",
+        ):
+            assert marker in report, marker
+
+    def test_figure4_rows_per_continent(self, event_run):
+        scenario, _, _ = event_run
+        report = generate_report(scenario)
+        for continent in ("Europe", "North America", "Asia"):
+            assert continent in report
+
+    def test_report_without_any_run(self):
+        """A fresh scenario (no engine run) degrades gracefully."""
+        scenario = Sep2017Scenario(
+            ScenarioConfig(global_probe_count=1, isp_probe_count=1)
+        )
+        report = generate_report(scenario)
+        assert "(no AWS-VM measurements in this run)" in report
+        assert "(no global campaign measurements in this run)" in report
+        assert "(no ISP traffic collected in this run)" in report
+        # Site discovery needs no measurements: it still appears.
+        assert "34 Apple edge sites" in report
+
+
+class TestScoreboard:
+    def test_all_targets_pass_on_event_run(self, event_run):
+        from repro.analysis.scoreboard import (
+            PAPER_TARGETS,
+            evaluate_scoreboard,
+            render_scoreboard,
+        )
+
+        scenario, _, classified = event_run
+        checks = evaluate_scoreboard(scenario, classified)
+        assert {check.name for check in checks} == set(PAPER_TARGETS)
+        failing = [check.name for check in checks if not check.passed]
+        assert not failing, failing
+        text = render_scoreboard(checks)
+        assert f"{len(checks)}/{len(checks)} targets in band" in text
+
+    def test_target_check_bounds(self):
+        from repro.analysis.scoreboard import TargetCheck
+
+        inside = TargetCheck("x", "1", measured=1.0, low=0.5, high=1.5)
+        outside = TargetCheck("x", "1", measured=2.0, low=0.5, high=1.5)
+        assert inside.passed
+        assert not outside.passed
+        assert "FAIL" in outside.render()
+        assert "ok" in inside.render()

@@ -1,0 +1,203 @@
+"""Tests for mapping-graph, site-discovery and header analyses
+(Figures 2 and 3, Table 1 in action, Section 3.3)."""
+
+import pytest
+
+from repro.analysis.headers import infer_hierarchy
+from repro.analysis.mapping_graph import MappingGraph
+from repro.analysis.sites import discover_sites
+from repro.apple.deployment import APPLE_METRO_PLANS, AppleCdn
+from repro.dns.query import QueryContext
+from repro.http.messages import Headers, HttpRequest
+from repro.net.geo import Continent, Coordinates
+from repro.net.ipv4 import IPv4Address
+from repro.net.locode import LocodeDatabase
+from repro.workload import TIMELINE
+
+DB = LocodeDatabase.builtin()
+
+
+def context(client, continent=Continent.EUROPE, country="de", now=0.0,
+            coords=(52.52, 13.40)):
+    return QueryContext(
+        client=IPv4Address.parse(client),
+        coordinates=Coordinates(*coords),
+        continent=continent,
+        country=country,
+        now=now,
+    )
+
+
+class TestMappingGraph:
+    @pytest.fixture(scope="class")
+    def graph(self, event_run):
+        scenario, _, _ = event_run
+        estate = scenario.estate
+        estate.controller.observe_demand  # (documented state mutation below)
+        resolutions = []
+        # AWS-VM style detailed resolutions: several clients, several
+        # regions, idle and overloaded instants.
+        from repro.net.geo import MappingRegion
+
+        estate.controller.observe_demand(MappingRegion.EU, 1e6)
+        estate.controller.observe_demand(MappingRegion.US, 1e6)
+        estate.controller.observe_demand(MappingRegion.APAC, 1e6)
+        try:
+            for host in range(40):
+                for continent, country, coords in (
+                    (Continent.EUROPE, "de", (52.52, 13.40)),
+                    (Continent.NORTH_AMERICA, "us", (40.71, -74.0)),
+                    (Continent.ASIA, "jp", (35.67, 139.65)),
+                    (Continent.ASIA, "in", (19.07, 72.87)),
+                ):
+                    resolver = estate.resolver(cache=False)
+                    resolutions.append(
+                        resolver.resolve(
+                            estate.names.entry_point,
+                            context(
+                                f"10.9.{host}.1",
+                                continent=continent,
+                                country=country,
+                                coords=coords,
+                                now=TIMELINE.ios_11_0_release + 8 * 3600.0,
+                            ),
+                        )
+                    )
+        finally:
+            for region in MappingRegion:
+                estate.controller.observe_demand(region, 0.0)
+        return MappingGraph.from_resolutions(resolutions)
+
+    def test_entry_point_present(self, graph, event_run):
+        scenario, _, _ = event_run
+        assert scenario.estate.names.entry_point in graph.names
+
+    def test_entry_ttl_is_21600(self, graph, event_run):
+        scenario, _, _ = event_run
+        names = scenario.estate.names
+        assert graph.ttl_of(names.entry_point, names.akadns_entry) == 21600
+
+    def test_selection_ttl_is_15(self, graph, event_run):
+        scenario, _, _ = event_run
+        names = scenario.estate.names
+        for edge in graph.targets_of(names.selection):
+            assert edge.ttl == 15
+
+    def test_decision_points_operator_split(self, graph, event_run):
+        """The paper: three selection steps, two Akamai, one Apple."""
+        scenario, _, _ = event_run
+        operators = graph.selection_operators()
+        counts = {}
+        for operator in operators.values():
+            counts[operator] = counts.get(operator, 0) + 1
+        assert counts.get("Apple", 0) >= 1
+        assert counts.get("Akamai", 0) >= 2
+
+    def test_india_china_split_observed(self, graph, event_run):
+        scenario, _, _ = event_run
+        names = scenario.estate.names
+        targets = {e.target for e in graph.targets_of(names.akadns_entry)}
+        assert names.selection in targets
+        assert names.india_lb in targets
+
+    def test_a1015_visible_after_rollout_change(self, graph, event_run):
+        scenario, _, _ = event_run
+        names = scenario.estate.names
+        targets = {e.target for e in graph.targets_of(names.edgesuite)}
+        assert names.akamai_secondary in targets  # resolved at release+8h
+
+    def test_chains_end_at_delivery(self, graph, event_run):
+        scenario, _, _ = event_run
+        names = scenario.estate.names
+        chains = graph.chains_from(names.entry_point)
+        assert chains
+        for chain in chains:
+            assert chain[-1] in graph.terminal_names
+
+    def test_render_mentions_decisions(self, graph):
+        text = graph.render()
+        assert "decision points" in text
+        assert "CNAME" in text
+
+
+class TestSiteDiscovery:
+    @pytest.fixture(scope="class")
+    def discovery(self):
+        apple = AppleCdn.build(DB)
+        table = apple.reverse_dns_table()
+        # A real 17/8 scan also hits non-scheme hosts.
+        table[IPv4Address.parse("17.1.2.3")] = "www.apple.com"
+        return discover_sites(table)
+
+    def test_discovers_34_sites(self, discovery):
+        assert discovery.site_count == 34
+
+    def test_edge_bx_total(self, discovery):
+        assert discovery.total_edge_bx == 1072
+
+    def test_labels_match_plans(self, discovery):
+        labels = discovery.figure3_labels()
+        for plan in APPLE_METRO_PLANS:
+            assert labels[plan.locode] == plan.label
+
+    def test_unparsed_counted(self, discovery):
+        assert discovery.unparsed == 1
+
+    def test_continent_density_ordering(self, discovery):
+        counts = discovery.continent_site_counts(DB)
+        assert counts[Continent.NORTH_AMERICA] > counts[Continent.EUROPE]
+        assert Continent.SOUTH_AMERICA not in counts
+        assert Continent.AFRICA not in counts
+
+    def test_vip_to_edge_ratio(self, discovery):
+        for record in discovery.sites.values():
+            assert record.edge_bx_count == record.vip_count * 4
+
+    def test_render(self, discovery):
+        text = discovery.render()
+        assert "34 Apple edge sites" in text
+        assert "usnyc" in text
+
+
+class TestHeaderInference:
+    @pytest.fixture(scope="class")
+    def inference(self):
+        apple = AppleCdn.build(DB)
+        samples = []
+        site = apple.sites[0]
+        for vip in site.vip_addresses[:4]:
+            for index in range(12):
+                request = HttpRequest(
+                    "GET",
+                    "appldnld.apple.com",
+                    f"/ios11/file{index}.ipsw",
+                    headers=Headers({"X-Client": f"198.51.{index}.7"}),
+                )
+                served = apple.serve(vip, request, size=1000)
+                samples.append((vip, served.response))
+        return infer_hierarchy(samples)
+
+    def test_layer_order_matches_paper(self, inference):
+        assert inference.layer_order == ("origin", "edge-lx", "edge-bx")
+
+    def test_four_edge_bx_per_vip(self, inference):
+        assert inference.fanout_per_vip == 4
+
+    def test_traffic_server_identified(self, inference):
+        assert inference.uses_traffic_server
+
+    def test_origin_is_cloudfront(self, inference):
+        assert any("cloudfront" in host for host in inference.origin_hosts)
+
+    def test_headers_consistent(self, inference):
+        assert inference.inconsistent_headers == 0
+        assert inference.responses_analyzed == 48
+
+    def test_render(self, inference):
+        text = inference.render()
+        assert "edge-bx per vip: 4" in text
+
+    def test_empty_samples(self):
+        inference = infer_hierarchy([])
+        assert inference.fanout_per_vip is None
+        assert inference.layer_order == ()

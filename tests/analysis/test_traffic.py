@@ -1,0 +1,212 @@
+"""Tests for the offload (Figure 7) and overflow (Figure 8) analyses."""
+
+import pytest
+
+from repro.analysis.offload import (
+    excess_volume_shares,
+    operator_series,
+    ratio_peaks,
+    summarize_offload,
+    traffic_ratio_series,
+)
+from repro.analysis.overflow import (
+    first_seen,
+    overflow_share_series,
+    peak_share,
+    summarize_overflow,
+)
+from repro.isp.classify import ClassifiedFlow
+from repro.isp.netflow import FlowRecord
+from repro.net.asys import AS_AKAMAI, AS_APPLE, ASN
+from repro.net.ipv4 import IPv4Address
+from repro.simulation import AS_TRANSIT_A, AS_TRANSIT_D
+from repro.workload import TIMELINE
+
+
+def classified(ts, operator, source_asn, handover_asn, volume=100):
+    return ClassifiedFlow(
+        flow=FlowRecord(
+            ts, IPv4Address.parse("23.0.0.1"), IPv4Address.parse("89.0.0.1"),
+            volume, "link-1",
+        ),
+        source_asn=source_asn,
+        handover_asn=handover_asn,
+        operator=operator,
+    )
+
+
+class TestOperatorSeries:
+    def test_bins_by_operator(self):
+        flows = [
+            classified(0.0, "Apple", AS_APPLE, AS_APPLE, 100),
+            classified(100.0, "Apple", AS_APPLE, AS_APPLE, 50),
+            classified(3700.0, "Akamai", AS_AKAMAI, AS_AKAMAI, 10),
+        ]
+        series = operator_series(flows, bin_seconds=3600.0)
+        assert series["Apple"] == {0.0: 150.0}
+        assert series["Akamai"] == {3600.0: 10.0}
+
+    def test_skips_unattributed(self):
+        flows = [classified(0.0, None, None, AS_APPLE)]
+        assert operator_series(flows) == {}
+
+    def test_invalid_bin(self):
+        with pytest.raises(ValueError):
+            operator_series([], bin_seconds=0)
+
+
+class TestRatios:
+    def test_ratio_vs_pre_event_peak(self):
+        series = {
+            "Apple": {0.0: 100.0, 3600.0: 80.0, 7200.0: 211.0},
+        }
+        ratios = traffic_ratio_series(series, 0.0, 7200.0)
+        assert dict(ratios["Apple"])[7200.0] == pytest.approx(2.11)
+
+    def test_operator_without_reference_dropped(self):
+        series = {"Apple": {7200.0: 10.0}}
+        assert traffic_ratio_series(series, 0.0, 7200.0) == {}
+
+    def test_ratio_peaks(self):
+        ratios = {"Apple": [(0.0, 1.0), (7200.0, 2.11), (9000.0, 1.5)]}
+        peaks = ratio_peaks(ratios, 7200.0, 10000.0)
+        assert peaks["Apple"] == pytest.approx(2.11)
+
+
+class TestExcessShares:
+    def test_shares_normalise(self):
+        day = 86400.0
+        series = {
+            "Apple": {0.0: 100.0, day: 133.0},
+            "Limelight": {0.0: 10.0, day: 54.0},
+            "Akamai": {0.0: 50.0, day: 73.0},
+        }
+        shares = excess_volume_shares(series, day, 0.0)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["Limelight"] == pytest.approx(44 / 100)
+
+    def test_negative_excess_clamped(self):
+        day = 86400.0
+        series = {"Apple": {0.0: 100.0, day: 50.0}, "Akamai": {0.0: 0.0, day: 10.0}}
+        shares = excess_volume_shares(series, day, 0.0)
+        assert shares["Apple"] == 0.0
+        assert shares["Akamai"] == 1.0
+
+    def test_all_zero(self):
+        shares = excess_volume_shares({"Apple": {0.0: 5.0}}, 86400.0, 0.0)
+        assert shares == {"Apple": 0.0}
+
+
+class TestOverflowSeries:
+    def test_shares_per_bin(self):
+        flows = [
+            classified(0.0, "Limelight", ASN(64513), AS_TRANSIT_A, 300),
+            classified(1.0, "Limelight", ASN(64513), AS_TRANSIT_D, 100),
+            # direct (not overflow) must be excluded:
+            classified(2.0, "Limelight", ASN(22822), ASN(22822), 999),
+        ]
+        series = overflow_share_series(flows, bin_seconds=3600.0)
+        _, shares = series[0]
+        assert shares[AS_TRANSIT_A] == pytest.approx(0.75)
+        assert shares[AS_TRANSIT_D] == pytest.approx(0.25)
+
+    def test_operator_filter(self):
+        flows = [
+            classified(0.0, "Akamai", ASN(64512), AS_TRANSIT_A, 300),
+        ]
+        assert overflow_share_series(flows, operator="Limelight") == []
+
+    def test_first_seen_and_peak_share(self):
+        flows = [
+            classified(0.0, "Limelight", ASN(64513), AS_TRANSIT_A),
+            classified(90000.0, "Limelight", ASN(64513), AS_TRANSIT_D, 400),
+            classified(90001.0, "Limelight", ASN(64513), AS_TRANSIT_A, 100),
+        ]
+        series = overflow_share_series(flows, bin_seconds=86400.0)
+        assert first_seen(series, AS_TRANSIT_D) == 86400.0
+        assert first_seen(series, ASN(65099)) is None
+        assert peak_share(series, AS_TRANSIT_D) == pytest.approx(0.8)
+
+
+class TestFigure7Headlines:
+    """The Figure 7 shape from the shared event run."""
+
+    def test_summary_shape(self, event_run):
+        scenario, _, flows = event_run
+        summary = summarize_offload(flows, TIMELINE.at(9, 19))
+        peaks = summary.ratio_peaks
+        # Who wins and by roughly what factor (paper: 211/438/113).
+        assert peaks["Limelight"] > peaks["Apple"] > peaks["Akamai"]
+        assert 1.5 <= peaks["Apple"] <= 3.0
+        assert 3.0 <= peaks["Limelight"] <= 6.5
+        assert 1.0 <= peaks["Akamai"] <= 1.6
+
+    def test_release_day_excess_split(self, event_run):
+        _, _, flows = event_run
+        summary = summarize_offload(flows, TIMELINE.at(9, 19))
+        shares = summary.excess_shares_release_day
+        # Paper: 33% Apple / 44% Limelight / 23% Akamai.
+        assert shares["Limelight"] > shares["Apple"] > shares["Akamai"]
+        assert shares["Akamai"] > 0.05
+
+    def test_day_after_akamai_drops_out(self, event_run):
+        _, _, flows = event_run
+        summary = summarize_offload(flows, TIMELINE.at(9, 19))
+        shares = summary.excess_shares_day_after
+        # Paper: ~60/40 Apple/Limelight, no additional Akamai.
+        assert shares.get("Akamai", 0.0) < 0.08
+        assert shares["Apple"] > shares["Limelight"] > 0.1
+
+    def test_render(self, event_run):
+        _, _, flows = event_run
+        text = summarize_offload(flows, TIMELINE.at(9, 19)).render()
+        assert "Figure 7" in text
+        assert "Limelight" in text
+
+
+class TestFigure8Headlines:
+    """The Figure 8 shape from the shared event run."""
+
+    def test_as_d_unseen_before_release(self, event_run):
+        _, _, flows = event_run
+        series = overflow_share_series(flows, bin_seconds=21600.0,
+                                       operator="Limelight")
+        release = TIMELINE.ios_11_0_release
+        appearance = first_seen(series, AS_TRANSIT_D, min_share=0.02)
+        assert appearance is not None
+        assert appearance >= release - 21600.0
+
+    def test_as_d_carries_large_share(self, event_run):
+        _, _, flows = event_run
+        series = overflow_share_series(flows, bin_seconds=21600.0,
+                                       operator="Limelight")
+        # Paper: "more than 40% of the overflow traffic".
+        assert peak_share(series, AS_TRANSIT_D) > 0.4
+
+    def test_as_a_spike_on_release_day(self, event_run):
+        """The pre-cache fill: AS A's share spikes around the release."""
+        _, _, flows = event_run
+        series = overflow_share_series(flows, bin_seconds=21600.0,
+                                       operator="Limelight")
+        release = TIMELINE.ios_11_0_release
+        before = [s.get(AS_TRANSIT_A, 0) for t, s in series
+                  if release - 2 * 86400.0 <= t < release - 21600.0]
+        spike = [s.get(AS_TRANSIT_A, 0) for t, s in series
+                 if release - 21600.0 <= t < release + 21600.0]
+        assert max(spike) > max(before) * 1.5
+
+    def test_summary(self, event_run):
+        scenario, _, flows = event_run
+        release = TIMELINE.ios_11_0_release
+        summary = summarize_overflow(
+            flows,
+            new_as=AS_TRANSIT_D,
+            isp=scenario.isp,
+            snmp=scenario.snmp,
+            peak_probe_times=[release + h * 3600.0 for h in range(48)],
+        )
+        assert summary.new_as_peak_share > 0.4
+        assert "transit-d-1" in summary.saturated_links
+        assert "transit-d-2" in summary.saturated_links
+        text = summary.render()
+        assert "Figure 8" in text

@@ -1,0 +1,227 @@
+"""Tests for repro.analysis.unique_ips and categories (Figures 4/5)."""
+
+import pytest
+
+from repro.analysis.categories import CATEGORY_ORDER, CdnCategorizer
+from repro.analysis.unique_ips import (
+    count_change_ratio,
+    peak_vs_baseline,
+    series_by_continent,
+    unique_ip_series,
+)
+from repro.atlas.results import DnsMeasurement
+from repro.net.asys import ASN
+from repro.net.geo import Continent
+from repro.net.ipv4 import IPv4Address
+from repro.workload import TIMELINE
+
+
+def measurement(ts, addresses, continent=Continent.EUROPE, probe=1):
+    return DnsMeasurement(
+        probe_id=probe,
+        timestamp=ts,
+        target="appldnld.apple.com",
+        probe_asn=ASN(64520),
+        continent=continent,
+        country="de",
+        rcode="NOERROR",
+        chain=("appldnld.apple.com",),
+        addresses=tuple(IPv4Address.parse(a) for a in addresses),
+    )
+
+
+def simple_categorize(address):
+    first_octet = address.octets[0]
+    if first_octet == 17:
+        return "Apple"
+    if first_octet == 23:
+        return "Akamai"
+    return "other"
+
+
+class TestUniqueIpSeries:
+    def test_counts_unique_within_bin(self):
+        measurements = [
+            measurement(0.0, ["17.0.0.1", "17.0.0.2"]),
+            measurement(100.0, ["17.0.0.1", "23.0.0.1"]),
+            measurement(7200.0, ["17.0.0.1"]),
+        ]
+        series = unique_ip_series(measurements, simple_categorize, bin_seconds=7200.0)
+        assert len(series) == 2
+        assert series[0].count("Apple") == 2
+        assert series[0].count("Akamai") == 1
+        assert series[0].total == 3
+        assert series[1].total == 1
+
+    def test_continent_filter(self):
+        measurements = [
+            measurement(0.0, ["17.0.0.1"], continent=Continent.EUROPE),
+            measurement(1.0, ["23.0.0.1"], continent=Continent.ASIA),
+        ]
+        series = unique_ip_series(
+            measurements, simple_categorize, continent=Continent.EUROPE
+        )
+        assert series[0].counts == {"Apple": 1}
+
+    def test_series_by_continent_covers_all_facets(self):
+        measurements = [measurement(0.0, ["17.0.0.1"])]
+        facets = series_by_continent(measurements, simple_categorize)
+        assert set(facets) == set(Continent)
+        assert facets[Continent.EUROPE][0].total == 1
+        assert facets[Continent.ASIA] == []
+
+    def test_invalid_bin(self):
+        with pytest.raises(ValueError):
+            unique_ip_series([], simple_categorize, bin_seconds=0)
+
+
+class TestPeakVsBaseline:
+    def test_computes_ratio_inputs(self):
+        event = 10 * 7200.0
+        measurements = []
+        # two days before: 2 IPs per bin; after: 10 IPs in one bin
+        for index in range(10):
+            measurements.append(
+                measurement(index * 7200.0, ["17.0.0.1", "17.0.0.2"])
+            )
+        measurements.append(
+            measurement(event + 100.0, [f"23.0.0.{i}" for i in range(1, 11)])
+        )
+        series = unique_ip_series(measurements, simple_categorize)
+        peak, baseline = peak_vs_baseline(series, event, baseline_seconds=10 * 7200.0)
+        assert peak == 10
+        assert baseline == pytest.approx(2.0)
+
+    def test_empty_series(self):
+        peak, baseline = peak_vs_baseline([], 100.0)
+        assert peak == 0
+        assert baseline == 0.0
+
+
+class TestCountChangeRatio:
+    def test_akamai_style_rise(self):
+        measurements = [
+            measurement(0.0, ["23.0.0.1"]),
+            measurement(86400.0, [f"23.0.0.{i}" for i in range(1, 6)]),
+        ]
+        series = unique_ip_series(measurements, simple_categorize, bin_seconds=86400.0)
+        ratio = count_change_ratio(series, "Akamai", 0.0, 86400.0)
+        assert ratio == pytest.approx(5.0)
+
+    def test_missing_category(self):
+        series = unique_ip_series(
+            [measurement(0.0, ["17.0.0.1"])], simple_categorize
+        )
+        assert count_change_ratio(series, "Akamai", 0.0, 7200.0) is None
+
+
+class TestCdnCategorizerIntegration:
+    def test_categorizer_against_scenario(self, event_run):
+        scenario, _, _ = event_run
+        categorizer = CdnCategorizer(scenario.estate.deployments)
+        apple_vip = scenario.estate.apple.sites[0].vip_addresses[0]
+        assert categorizer.category(apple_vip) == "Apple"
+        assert categorizer.operator(apple_vip) == "Apple"
+        # Hosted caches classify as "other AS" variants.
+        categories = set()
+        for placed in scenario.estate.akamai.servers:
+            categories.add(categorizer.category(placed.server.address))
+        assert categories == {"Akamai", "Akamai other AS"}
+        assert categorizer.category(IPv4Address.parse("8.8.8.8")) == "other"
+        assert categorizer.operator(IPv4Address.parse("8.8.8.8")) is None
+
+    def test_category_order_covers_everything(self, event_run):
+        scenario, _, _ = event_run
+        categorizer = CdnCategorizer(scenario.estate.deployments)
+        for measurementt in scenario.global_campaign.store.dns:
+            for address in measurementt.addresses:
+                assert categorizer.category(address) in CATEGORY_ORDER
+
+
+class TestFigure4Headlines:
+    """The Figure 4/5 headline shapes from the shared event run."""
+
+    def test_europe_spikes_apple_stays_flat(self, event_run):
+        scenario, _, _ = event_run
+        categorizer = CdnCategorizer(scenario.estate.deployments)
+        series = unique_ip_series(
+            scenario.global_campaign.store.dns,
+            categorizer.category,
+            bin_seconds=7200.0,
+            continent=Continent.EUROPE,
+        )
+        release = TIMELINE.ios_11_0_release
+        peak, baseline = peak_vs_baseline(series, release)
+        assert baseline > 0
+        assert peak / baseline > 3.0  # paper: >4x (977 vs 191)
+        # Apple's own count does not react.
+        apple_before = max(
+            point.count("Apple")
+            for point in series
+            if point.bin_start < release
+        )
+        apple_after = max(
+            point.count("Apple")
+            for point in series
+            if point.bin_start >= release
+        )
+        assert apple_after <= apple_before * 1.5
+
+    def test_limelight_dominates_the_spike(self, event_run):
+        scenario, _, _ = event_run
+        categorizer = CdnCategorizer(scenario.estate.deployments)
+        series = unique_ip_series(
+            scenario.global_campaign.store.dns,
+            categorizer.category,
+            bin_seconds=7200.0,
+            continent=Continent.EUROPE,
+        )
+        release = TIMELINE.ios_11_0_release
+        post = [p for p in series if p.bin_start >= release]
+        peak_bin = max(post, key=lambda p: p.total)
+        limelight = peak_bin.count("Limelight") + peak_bin.count("Limelight other AS")
+        assert limelight > peak_bin.count("Apple")
+
+    def test_isp_akamai_count_rises(self, event_run):
+        scenario, _, _ = event_run
+        categorizer = CdnCategorizer(scenario.estate.deployments)
+        series = unique_ip_series(
+            scenario.isp_campaign.store.dns,
+            categorizer.category,
+            bin_seconds=43200.0,
+        )
+        ratio = count_change_ratio(
+            series,
+            "Akamai",
+            TIMELINE.at(9, 18),
+            TIMELINE.at(9, 20),
+        )
+        assert ratio is not None
+        assert ratio > 1.5  # paper: 408% rise Sep 18 -> Sep 20
+
+
+class TestFormatSeries:
+    def test_renders_categories_and_totals(self):
+        from repro.analysis.unique_ips import format_series
+
+        measurements = [
+            measurement(0.0, ["17.0.0.1", "23.0.0.1"]),
+            measurement(7200.0, ["17.0.0.1"]),
+        ]
+        series = unique_ip_series(measurements, simple_categorize)
+        text = format_series(series, label_time=lambda t: f"t={t:.0f}")
+        assert "Apple" in text
+        assert "Akamai" in text
+        assert "total" in text
+        assert "t=0" in text
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + two bins
+
+    def test_skips_empty_categories(self):
+        from repro.analysis.unique_ips import format_series
+
+        series = unique_ip_series(
+            [measurement(0.0, ["17.0.0.1"])], simple_categorize
+        )
+        text = format_series(series, label_time=str)
+        assert "Akamai" not in text

@@ -1,0 +1,142 @@
+"""Tests for repro.apple.manifest and repro.apple.device (Section 3.1)."""
+
+import pytest
+
+from repro.apple.device import CHECK_INTERVAL_SECONDS, DeviceState, IosDevice
+from repro.apple.manifest import (
+    DEVICE_MODELS,
+    DOWNLOAD_HOST,
+    MANIFEST_HOST,
+    MANIFEST_PATH,
+    UPDATEBRAIN_PATH,
+    UpdateEntry,
+    UpdateManifest,
+    build_manifest,
+    build_updatebrain,
+)
+
+
+class TestManifest:
+    def test_entry_count_close_to_1800(self):
+        manifest = build_manifest()
+        assert 1700 <= manifest.entry_count <= 1900
+
+    def test_updatebrain_has_six_entries(self):
+        assert build_updatebrain().entry_count == 6
+
+    def test_paths_match_paper_urls(self):
+        assert MANIFEST_PATH.startswith(
+            "/assets/com_apple_MobileAsset_SoftwareUpdate/"
+        )
+        assert UPDATEBRAIN_PATH.startswith(
+            "/assets/com_apple_MobileAsset_MobileSoftwareUpdate_UpdateBrain/"
+        )
+
+    def test_lookup_offers_update(self):
+        manifest = build_manifest(target_version="11.0")
+        entry = manifest.lookup("iPhone9,1", "10.3")
+        assert entry is not None
+        assert entry.target_version == "11.0"
+        assert entry.url.startswith(f"http://{DOWNLOAD_HOST}/")
+
+    def test_lookup_up_to_date_device(self):
+        manifest = build_manifest(target_version="11.0")
+        assert manifest.lookup("iPhone9,1", "11.0") is None
+
+    def test_lookup_unknown_device(self):
+        manifest = build_manifest()
+        assert manifest.lookup("Pixel2,1", "8.1") is None
+
+    def test_image_sizes_plausible(self):
+        for entry in build_manifest():
+            assert 1 << 30 <= entry.size_bytes <= 4 << 30  # 1-4 GB
+
+    def test_entry_validation(self):
+        with pytest.raises(ValueError):
+            UpdateEntry("iPhone9,1", "10.0", "11.0", "http://x/y", 0)
+        with pytest.raises(ValueError):
+            UpdateEntry("iPhone9,1", "10.0", "11.0", "https://secure/y", 100)
+
+    def test_entry_path(self):
+        entry = UpdateEntry(
+            "iPhone9,1", "10.0", "11.0",
+            f"http://{DOWNLOAD_HOST}/ios11.0/img.ipsw", 100,
+        )
+        assert entry.path == "/ios11.0/img.ipsw"
+
+    def test_duplicate_entries_rejected(self):
+        entry = UpdateEntry(
+            "iPhone9,1", "10.0", "11.0",
+            f"http://{DOWNLOAD_HOST}/ios11.0/img.ipsw", 100,
+        )
+        with pytest.raises(ValueError):
+            UpdateManifest([entry, entry])
+
+    def test_covers_iphone_ipad_ipod(self):
+        families = {model.split(",")[0].rstrip("0123456789") for model in DEVICE_MODELS}
+        assert {"iPhone", "iPad", "iPod"} <= families
+
+
+class TestIosDevice:
+    def test_first_check_is_due_immediately(self):
+        device = IosDevice("iPhone9,1", "10.3")
+        assert device.needs_check(now=0.0)
+
+    def test_hourly_cadence(self):
+        device = IosDevice("iPhone9,1", "10.3")
+        manifest = build_manifest()
+        device.check(manifest, now=0.0)
+        assert not device.needs_check(now=1800.0)
+        assert device.needs_check(now=CHECK_INTERVAL_SECONDS)
+
+    def test_manifest_request_goes_to_mesu(self):
+        request = IosDevice("iPhone9,1", "10.3").manifest_request()
+        assert request.host == MANIFEST_HOST
+        assert request.path == MANIFEST_PATH
+
+    def test_update_discovery_notifies_user(self):
+        device = IosDevice("iPhone9,1", "10.3")
+        entry = device.check(build_manifest(), now=0.0)
+        assert entry is not None
+        assert device.state is DeviceState.UPDATE_AVAILABLE
+
+    def test_up_to_date_device(self):
+        device = IosDevice("iPhone9,1", "11.0")
+        assert device.check(build_manifest("11.0"), now=0.0) is None
+        assert device.state is DeviceState.UP_TO_DATE
+
+    def test_download_is_user_initiated_http(self):
+        device = IosDevice("iPhone9,1", "10.3")
+        device.check(build_manifest(), now=0.0)
+        request = device.start_update(client_address="198.51.100.7")
+        assert request.host == DOWNLOAD_HOST
+        assert request.url.startswith("http://")  # plain http per the paper
+        assert device.state is DeviceState.DOWNLOADING
+        assert request.headers.get("X-Client") == "198.51.100.7"
+
+    def test_start_without_pending_raises(self):
+        with pytest.raises(RuntimeError):
+            IosDevice("iPhone9,1", "10.3").start_update()
+
+    def test_full_update_cycle(self):
+        device = IosDevice("iPhone9,1", "10.3")
+        manifest = build_manifest("11.0")
+        device.check(manifest, now=0.0)
+        device.start_update()
+        device.finish_update()
+        assert device.os_version == "11.0"
+        assert device.state is DeviceState.UP_TO_DATE
+        # Next poll finds nothing new.
+        assert device.check(manifest, now=3600.0) is None
+
+    def test_no_recheck_while_downloading(self):
+        device = IosDevice("iPhone9,1", "10.3")
+        manifest = build_manifest("11.0")
+        device.check(manifest, now=0.0)
+        device.start_update()
+        assert device.check(manifest, now=3600.0) is None
+        assert device.state is DeviceState.DOWNLOADING
+
+    def test_finish_without_download_raises(self):
+        with pytest.raises(RuntimeError):
+            IosDevice("iPhone9,1", "10.3").finish_update()

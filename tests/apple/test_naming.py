@@ -1,0 +1,130 @@
+"""Tests for repro.apple.naming — the Table 1 scheme."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apple.naming import (
+    AAPLIMG_DOMAIN,
+    TS_APPLE_DOMAIN,
+    AppleServerName,
+    NamingError,
+    format_hostname,
+    parse_hostname,
+)
+from repro.cdn.server import SecondaryFunction, ServerFunction
+
+
+class TestParseHostname:
+    def test_table1_example(self):
+        """Table 1's example: usnyc3-vip-bx-008.aaplimg.com."""
+        name = parse_hostname("usnyc3-vip-bx-008.aaplimg.com")
+        assert name.locode == "usnyc"
+        assert name.site_id == 3
+        assert name.function is ServerFunction.VIP
+        assert name.secondary is SecondaryFunction.BX
+        assert name.server_id == 8
+        assert name.domain == AAPLIMG_DOMAIN
+
+    def test_via_header_example(self):
+        """The Via header form: defra1-edge-lx-011.ts.apple.com."""
+        name = parse_hostname("defra1-edge-lx-011.ts.apple.com")
+        assert name.locode == "defra"
+        assert name.site_id == 1
+        assert name.function is ServerFunction.EDGE
+        assert name.secondary is SecondaryFunction.LX
+        assert name.server_id == 11
+        assert name.domain == TS_APPLE_DOMAIN
+
+    def test_function_without_secondary(self):
+        name = parse_hostname("deber1-gslb-004.aaplimg.com")
+        assert name.function is ServerFunction.GSLB
+        assert name.secondary is None
+        assert str(name.role) == "gslb"
+
+    def test_all_functions_parse(self):
+        for function in ("vip", "edge", "gslb", "dns", "ntp", "tool"):
+            name = parse_hostname(f"usnyc1-{function}-001.aaplimg.com")
+            assert name.function.value == function
+
+    def test_case_and_trailing_dot_normalised(self):
+        name = parse_hostname("USNYC3-VIP-BX-008.AAPLIMG.COM.")
+        assert name.locode == "usnyc"
+
+    def test_london_deviation_canonicalised(self):
+        name = parse_hostname("uklon1-edge-bx-001.aaplimg.com")
+        assert name.locode == "uklon"  # as Apple writes it
+        assert name.canonical_locode == "gblon"  # as UN/LOCODE says
+
+    def test_site_key(self):
+        name = parse_hostname("usnyc3-vip-bx-008.aaplimg.com")
+        assert name.site_key == ("usnyc", 3)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "usnyc-vip-bx-008.aaplimg.com",  # missing site id
+            "usny3-vip-bx-008.aaplimg.com",  # 4-letter locode
+            "usnyc3-foo-bx-008.aaplimg.com",  # unknown function
+            "usnyc3-vip-zz-008.aaplimg.com",  # unknown secondary
+            "usnyc3-vip-bx.aaplimg.com",  # missing server id
+            "usnyc3-vip-bx-008",  # no domain
+            "www.apple.com",
+        ],
+    )
+    def test_rejects_non_scheme_names(self, bad):
+        with pytest.raises(NamingError):
+            parse_hostname(bad)
+
+
+class TestFormatHostname:
+    def test_zero_padding(self):
+        assert format_hostname(
+            "usnyc", 3, ServerFunction.VIP, SecondaryFunction.BX, 8
+        ) == "usnyc3-vip-bx-008.aaplimg.com"
+
+    def test_custom_domain(self):
+        hostname = format_hostname(
+            "defra", 1, ServerFunction.EDGE, SecondaryFunction.LX, 11, TS_APPLE_DOMAIN
+        )
+        assert hostname == "defra1-edge-lx-011.ts.apple.com"
+
+    def test_no_secondary(self):
+        assert format_hostname("deber", 1, ServerFunction.NTP, None, 2) == (
+            "deber1-ntp-002.aaplimg.com"
+        )
+
+    def test_bad_locode_rejected(self):
+        with pytest.raises(NamingError):
+            format_hostname("us1yc", 1, ServerFunction.VIP, None, 1)
+        with pytest.raises(NamingError):
+            format_hostname("usny", 1, ServerFunction.VIP, None, 1)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(NamingError):
+            format_hostname("usnyc", -1, ServerFunction.VIP, None, 1)
+
+    @given(
+        st.sampled_from(["usnyc", "defra", "uklon", "jptyo", "deber"]),
+        st.integers(min_value=0, max_value=9),
+        st.sampled_from(list(ServerFunction)),
+        st.one_of(st.none(), st.sampled_from(list(SecondaryFunction))),
+        st.integers(min_value=0, max_value=999),
+    )
+    def test_round_trip_property(self, locode, site_id, function, secondary, server_id):
+        hostname = format_hostname(locode, site_id, function, secondary, server_id)
+        parsed = parse_hostname(hostname)
+        assert parsed.locode == locode
+        assert parsed.site_id == site_id
+        assert parsed.function is function
+        assert parsed.secondary is secondary
+        assert parsed.server_id == server_id
+        assert parsed.hostname() == hostname
+
+
+class TestAppleServerName:
+    def test_str_renders_hostname(self):
+        name = AppleServerName(
+            "usnyc", 3, ServerFunction.VIP, SecondaryFunction.BX, 8
+        )
+        assert str(name) == "usnyc3-vip-bx-008.aaplimg.com"

@@ -1,0 +1,135 @@
+"""Tests for repro.cdn.cache."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cdn.cache import ContentCache
+
+
+class TestContentCache:
+    def test_admit_and_lookup(self):
+        cache = ContentCache(100)
+        cache.admit("a", 40)
+        assert cache.lookup("a") == 40
+        assert cache.used_bytes == 40
+
+    def test_miss_returns_none_and_counts(self):
+        cache = ContentCache(100)
+        assert cache.lookup("missing") is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+    def test_hit_stats_and_bytes_served(self):
+        cache = ContentCache(100)
+        cache.admit("a", 30)
+        cache.lookup("a")
+        cache.lookup("a")
+        assert cache.stats.hits == 2
+        assert cache.stats.bytes_served == 60
+        assert cache.stats.hit_ratio == 1.0
+
+    def test_hit_ratio_zero_before_requests(self):
+        assert ContentCache(10).stats.hit_ratio == 0.0
+
+    def test_lru_eviction_order(self):
+        cache = ContentCache(100)
+        cache.admit("a", 40)
+        cache.admit("b", 40)
+        cache.lookup("a")  # refresh a; b is now LRU
+        cache.admit("c", 40)
+        assert cache.contains("a")
+        assert not cache.contains("b")
+        assert cache.contains("c")
+        assert cache.stats.evictions == 1
+
+    def test_oversized_object_streams_through(self):
+        cache = ContentCache(100)
+        cache.admit("huge", 101)
+        assert not cache.contains("huge")
+        assert cache.used_bytes == 0
+
+    def test_exact_fit(self):
+        cache = ContentCache(100)
+        cache.admit("full", 100)
+        assert cache.contains("full")
+
+    def test_readmit_updates_size(self):
+        cache = ContentCache(100)
+        cache.admit("a", 90)
+        cache.admit("a", 10)
+        assert cache.used_bytes == 10
+        assert cache.lookup("a") == 10
+
+    def test_metadata_stored_and_replaced(self):
+        cache = ContentCache(100)
+        cache.admit("a", 10, metadata={"via": "x"})
+        assert cache.metadata("a") == {"via": "x"}
+        cache.admit("a", 10, metadata={"via": "y"})
+        assert cache.metadata("a") == {"via": "y"}
+
+    def test_metadata_missing_key(self):
+        assert ContentCache(10).metadata("nope") is None
+
+    def test_metadata_does_not_touch_stats(self):
+        cache = ContentCache(100)
+        cache.admit("a", 10)
+        cache.metadata("a")
+        assert cache.stats.requests == 0
+
+    def test_contains_does_not_touch_stats_or_order(self):
+        cache = ContentCache(100)
+        cache.admit("a", 50)
+        cache.admit("b", 50)
+        cache.contains("a")  # must NOT refresh a
+        cache.admit("c", 50)
+        assert not cache.contains("a")  # a was still LRU
+
+    def test_evict(self):
+        cache = ContentCache(100)
+        cache.admit("a", 10)
+        assert cache.evict("a")
+        assert not cache.evict("a")
+        assert cache.used_bytes == 0
+
+    def test_clear_keeps_stats(self):
+        cache = ContentCache(100)
+        cache.admit("a", 10)
+        cache.lookup("a")
+        cache.clear()
+        assert cache.object_count == 0
+        assert cache.used_bytes == 0
+        assert cache.stats.hits == 1
+
+    def test_zero_size_objects(self):
+        cache = ContentCache(10)
+        cache.admit("empty", 0)
+        assert cache.lookup("empty") == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ContentCache(0)
+        with pytest.raises(ValueError):
+            ContentCache(-10)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ContentCache(10).admit("a", -1)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from("abcdefgh"), st.integers(min_value=0, max_value=50)
+            ),
+            max_size=60,
+        )
+    )
+    def test_capacity_invariant_property(self, operations):
+        """used_bytes never exceeds capacity and matches stored sizes."""
+        cache = ContentCache(100)
+        for key, size in operations:
+            cache.admit(key, size)
+            assert 0 <= cache.used_bytes <= cache.capacity_bytes
+        stored = {key for key, _ in operations if cache.contains(key)}
+        assert cache.used_bytes == sum(cache.lookup(key) for key in stored)
+        assert cache.object_count == len(stored)

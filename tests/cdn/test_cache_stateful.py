@@ -1,0 +1,84 @@
+"""Stateful property test: ContentCache vs a reference model.
+
+Hypothesis drives random admit/lookup/evict sequences against both the
+real LRU cache and a brute-force reference; every observable (hit/miss,
+presence, used bytes, eviction victim order) must agree.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.cdn.cache import ContentCache
+
+CAPACITY = 120
+KEYS = st.sampled_from([f"obj-{i}" for i in range(10)])
+SIZES = st.integers(min_value=0, max_value=60)
+
+
+class _ReferenceLru:
+    """The obviously-correct model."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.entries = OrderedDict()  # key -> size
+
+    def admit(self, key, size):
+        if size > self.capacity:
+            return
+        if key in self.entries:
+            del self.entries[key]
+        while sum(self.entries.values()) + size > self.capacity:
+            self.entries.popitem(last=False)
+        self.entries[key] = size
+
+    def lookup(self, key):
+        if key not in self.entries:
+            return None
+        self.entries.move_to_end(key)
+        return self.entries[key]
+
+    def evict(self, key):
+        return self.entries.pop(key, None) is not None
+
+    @property
+    def used(self):
+        return sum(self.entries.values())
+
+
+class CacheMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.cache = ContentCache(CAPACITY)
+        self.model = _ReferenceLru(CAPACITY)
+
+    @rule(key=KEYS, size=SIZES)
+    def admit(self, key, size):
+        self.cache.admit(key, size)
+        self.model.admit(key, size)
+
+    @rule(key=KEYS)
+    def lookup(self, key):
+        assert self.cache.lookup(key) == self.model.lookup(key)
+
+    @rule(key=KEYS)
+    def contains(self, key):
+        assert self.cache.contains(key) == (key in self.model.entries)
+
+    @rule(key=KEYS)
+    def evict(self, key):
+        assert self.cache.evict(key) == self.model.evict(key)
+
+    @invariant()
+    def same_usage(self):
+        assert self.cache.used_bytes == self.model.used
+        assert self.cache.object_count == len(self.model.entries)
+        assert self.cache.used_bytes <= CAPACITY
+
+
+TestCacheAgainstModel = CacheMachine.TestCase
+TestCacheAgainstModel.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

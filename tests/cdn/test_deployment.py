@@ -1,0 +1,213 @@
+"""Tests for repro.cdn.deployment — exposure control and answer pools."""
+
+import pytest
+
+from repro.cdn.cache import ContentCache
+from repro.cdn.deployment import CdnDeployment, ExposureController
+from repro.cdn.server import CacheServer, ServerFunction, ServerRole
+from repro.dns.query import QueryContext
+from repro.net.asys import AS_AKAMAI, ASN
+from repro.net.geo import Continent, Coordinates, MappingRegion
+from repro.net.ipv4 import IPv4Address
+from repro.net.locode import LocodeDatabase
+
+DB = LocodeDatabase.builtin()
+EDGE = ServerRole(ServerFunction.EDGE)
+
+
+def make_server(index, capacity=10.0):
+    return CacheServer(
+        hostname=f"cache-{index:03d}.example.net",
+        address=IPv4Address.parse(f"23.192.{index // 256}.{index % 256}"),
+        role=EDGE,
+        asn=AS_AKAMAI,
+        capacity_gbps=capacity,
+        cache=ContentCache(10**9),
+    )
+
+
+def eu_context(now=0.0, client="198.51.100.9"):
+    return QueryContext(
+        client=IPv4Address.parse(client),
+        coordinates=Coordinates(52.52, 13.40),
+        continent=Continent.EUROPE,
+        country="de",
+        now=now,
+    )
+
+
+class TestExposureController:
+    def test_starts_at_min(self):
+        controller = ExposureController(per_server_gbps=10, min_servers=4)
+        assert controller.active_count(100) == 4
+
+    def test_min_capped_by_pool(self):
+        controller = ExposureController(per_server_gbps=10, min_servers=8)
+        assert controller.active_count(3) == 3
+
+    def test_demand_grows_active_count(self):
+        controller = ExposureController(
+            per_server_gbps=10, min_servers=2, headroom=1.0, tau_seconds=60
+        )
+        for step in range(200):  # long enough to converge
+            controller.offer(step * 60.0, 500.0)
+        assert controller.active_count(100) == 50
+
+    def test_ramp_is_gradual(self):
+        controller = ExposureController(
+            per_server_gbps=10, min_servers=2, headroom=1.0, tau_seconds=21600
+        )
+        controller.offer(0.0, 0.0)
+        controller.offer(300.0, 1000.0)  # demand jumps
+        early = controller.active_count(200)
+        for step in range(2, 200):
+            controller.offer(step * 300.0, 1000.0)
+        late = controller.active_count(200)
+        assert early < late  # the six-hour Akamai ramp, in miniature
+
+    def test_demand_decay(self):
+        controller = ExposureController(
+            per_server_gbps=10, min_servers=2, headroom=1.0, tau_seconds=60
+        )
+        for step in range(100):
+            controller.offer(step * 60.0, 800.0)
+        peak = controller.active_count(100)
+        for step in range(100, 300):
+            controller.offer(step * 60.0, 0.0)
+        assert controller.active_count(100) < peak
+
+    def test_reset(self):
+        controller = ExposureController(per_server_gbps=10, min_servers=1)
+        controller.offer(0, 100)
+        controller.offer(10000, 100)
+        controller.reset()
+        assert controller.smoothed_gbps == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExposureController(per_server_gbps=0)
+        with pytest.raises(ValueError):
+            ExposureController(per_server_gbps=10, headroom=0.5)
+        with pytest.raises(ValueError):
+            ExposureController(per_server_gbps=10, tau_seconds=0)
+        controller = ExposureController(per_server_gbps=10)
+        with pytest.raises(ValueError):
+            controller.offer(0, -5)
+
+
+class TestCdnDeployment:
+    def _deployment(self, exposure=None, pool_limit=0):
+        deployment = CdnDeployment(
+            "Akamai", AS_AKAMAI, exposure_factory=exposure, pool_limit=pool_limit
+        )
+        fra = DB.get("defra")
+        lon = DB.get("uklon")
+        nyc = DB.get("usnyc")
+        for index in range(8):
+            deployment.add_server(make_server(index), fra)
+        for index in range(8, 12):
+            deployment.add_server(make_server(index), lon)
+        for index in range(12, 20):
+            deployment.add_server(make_server(index), nyc)
+        return deployment
+
+    def test_region_grouping(self):
+        deployment = self._deployment()
+        assert len(deployment.servers_in_region(MappingRegion.EU)) == 12
+        assert len(deployment.servers_in_region(MappingRegion.US)) == 8
+        assert len(deployment.servers_in_region(MappingRegion.APAC)) == 0
+
+    def test_no_exposure_means_all_active(self):
+        deployment = self._deployment()
+        assert len(deployment.active_servers(MappingRegion.EU)) == 12
+
+    def test_exposure_limits_active(self):
+        deployment = self._deployment(
+            exposure=lambda: ExposureController(per_server_gbps=10, min_servers=2)
+        )
+        assert len(deployment.active_servers(MappingRegion.EU)) == 2
+
+    def test_exposure_reacts_to_regional_demand_only(self):
+        deployment = self._deployment(
+            exposure=lambda: ExposureController(
+                per_server_gbps=10, min_servers=2, headroom=1.0, tau_seconds=60
+            )
+        )
+        for step in range(100):
+            deployment.offer_demand(step * 60.0, MappingRegion.EU, 60.0)
+        assert len(deployment.active_servers(MappingRegion.EU)) == 6
+        assert len(deployment.active_servers(MappingRegion.US)) == 2
+
+    def test_pool_for_nearest_first(self):
+        deployment = self._deployment()
+        pool = deployment.pool_for(eu_context())
+        # Frankfurt caches (indexes 0..7) are nearer Berlin than London's.
+        frankfurt_addresses = {
+            str(p.server.address)
+            for p in deployment.servers_in_region(MappingRegion.EU)
+            if p.location.code == "defra"
+        }
+        assert {str(a) for a in pool[:8]} == frankfurt_addresses
+
+    def test_pool_limit(self):
+        deployment = self._deployment(pool_limit=3)
+        assert len(deployment.pool_for(eu_context())) == 3
+
+    def test_pool_only_contains_region_servers(self):
+        deployment = self._deployment()
+        pool = {str(a) for a in deployment.pool_for(eu_context())}
+        us_addresses = {
+            str(p.server.address)
+            for p in deployment.servers_in_region(MappingRegion.US)
+        }
+        assert not pool & us_addresses
+
+    def test_server_at(self):
+        deployment = self._deployment()
+        address = deployment.servers[0].server.address
+        assert deployment.server_at(address) is deployment.servers[0].server
+        assert deployment.server_at(IPv4Address.parse("9.9.9.9")) is None
+
+    def test_capacity_accounting(self):
+        deployment = self._deployment()
+        assert deployment.region_capacity_gbps(MappingRegion.EU) == 120.0
+        assert deployment.active_capacity_gbps(MappingRegion.EU) == 120.0
+
+    def test_len_and_str(self):
+        deployment = self._deployment()
+        assert len(deployment) == 20
+        assert "Akamai" in str(deployment)
+
+
+class TestThirdPartyBuilders:
+    def test_akamai_fleet(self):
+        from repro.cdn.thirdparty import AKAMAI_PLAN, build_third_party
+
+        metros = [DB.get("defra"), DB.get("uklon")]
+        fleet = build_third_party(AKAMAI_PLAN, metros, other_as=ASN(64512))
+        assert len(fleet) == 2 * AKAMAI_PLAN.servers_per_metro
+        other_as = [p for p in fleet.servers if p.server.asn == ASN(64512)]
+        own_as = [p for p in fleet.servers if p.server.asn == AKAMAI_PLAN.asn]
+        assert len(other_as) + len(own_as) == len(fleet)
+        share = len(other_as) / len(fleet)
+        assert abs(share - AKAMAI_PLAN.other_as_share) < 0.1
+
+    def test_limelight_addresses_in_own_prefix(self):
+        from repro.cdn.thirdparty import LIMELIGHT_PLAN, build_third_party
+
+        fleet = build_third_party(
+            LIMELIGHT_PLAN, [DB.get("defra")], other_as=ASN(64513)
+        )
+        for placed in fleet.servers:
+            if placed.server.asn == LIMELIGHT_PLAN.asn:
+                assert LIMELIGHT_PLAN.own_prefix.contains(placed.server.address)
+            else:
+                assert LIMELIGHT_PLAN.other_as_prefix.contains(placed.server.address)
+
+    def test_unique_addresses_across_fleet(self):
+        from repro.cdn.thirdparty import LIMELIGHT_PLAN, build_third_party
+
+        metros = [DB.get("defra"), DB.get("uklon"), DB.get("usnyc")]
+        fleet = build_third_party(LIMELIGHT_PLAN, metros, other_as=ASN(64513))
+        addresses = [p.server.address for p in fleet.servers]
+        assert len(addresses) == len(set(addresses))

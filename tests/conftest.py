@@ -1,0 +1,25 @@
+"""Shared fixtures: one small end-to-end scenario run for the
+simulation/analysis integration tests (built once per session)."""
+
+import pytest
+
+from repro.isp import TrafficClassifier
+from repro.simulation import ScenarioConfig, Sep2017Scenario, SimulationEngine
+from repro.workload import TIMELINE
+
+
+@pytest.fixture(scope="session")
+def event_run():
+    """A Sep 15-23 run at laptop scale: scenario, engine, classified flows."""
+    config = ScenarioConfig(
+        global_probe_count=100,
+        isp_probe_count=80,
+        global_dns_interval=1800.0,
+        isp_dns_interval=43200.0,
+    )
+    scenario = Sep2017Scenario(config)
+    engine = SimulationEngine(scenario, step_seconds=1800.0)
+    engine.run(TIMELINE.at(9, 15), TIMELINE.at(9, 23))
+    classifier = TrafficClassifier(scenario.isp, scenario.rib, scenario.operator_of)
+    classified = list(classifier.classify_all(scenario.netflow.records))
+    return scenario, engine, classified

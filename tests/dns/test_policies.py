@@ -1,0 +1,270 @@
+"""Tests for repro.dns.policies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dns.policies import (
+    CnamePolicy,
+    CountrySplitPolicy,
+    GslbAddressPolicy,
+    RegionSplitPolicy,
+    RoundRobinAddressPolicy,
+    StaticPolicy,
+    WeightSchedule,
+    WeightedCnamePolicy,
+    stable_fraction,
+)
+from repro.dns.query import QueryContext
+from repro.dns.records import ARecord, RecordType
+from repro.net.geo import Continent, Coordinates
+from repro.net.ipv4 import IPv4Address
+
+
+def make_context(client="198.51.100.7", country="de", continent=Continent.EUROPE, now=0.0):
+    return QueryContext(
+        client=IPv4Address.parse(client),
+        coordinates=Coordinates(52.52, 13.40),
+        continent=continent,
+        country=country,
+        now=now,
+    )
+
+
+class TestStableFraction:
+    def test_in_unit_interval(self):
+        assert 0.0 <= stable_fraction("x", 1, 2) < 1.0
+
+    def test_deterministic(self):
+        assert stable_fraction("a", 1) == stable_fraction("a", 1)
+
+    def test_sensitive_to_inputs(self):
+        assert stable_fraction("a", 1) != stable_fraction("a", 2)
+
+    @given(st.text(max_size=20), st.integers())
+    def test_always_in_range_property(self, text, number):
+        assert 0.0 <= stable_fraction(text, number) < 1.0
+
+
+class TestSimplePolicies:
+    def test_static_policy(self):
+        record = ARecord("x.example", IPv4Address.parse("1.1.1.1"), 60)
+        policy = StaticPolicy((record,))
+        assert policy.answer("x.example", make_context()) == (record,)
+
+    def test_cname_policy(self):
+        policy = CnamePolicy("appldnld.apple.com.akadns.net", ttl=21600)
+        (record,) = policy.answer("appldnld.apple.com", make_context())
+        assert record.rtype is RecordType.CNAME
+        assert record.target == "appldnld.apple.com.akadns.net"
+        assert record.ttl == 21600
+
+
+class TestCountrySplitPolicy:
+    # Step 1 of Figure 2: India and China get dedicated load balancers.
+    policy = CountrySplitPolicy(
+        default="appldnld.apple.com.akadns.net",
+        overrides={
+            "in": "india-lb.itunes-apple.com.akadns.net",
+            "cn": "china-lb.itunes-apple.com.akadns.net",
+        },
+        ttl=120,
+    )
+
+    def test_world_goes_to_default(self):
+        (record,) = self.policy.answer("e", make_context(country="de"))
+        assert record.target == "appldnld.apple.com.akadns.net"
+
+    def test_india_split(self):
+        (record,) = self.policy.answer("e", make_context(country="in"))
+        assert record.target == "india-lb.itunes-apple.com.akadns.net"
+
+    def test_china_split(self):
+        (record,) = self.policy.answer("e", make_context(country="cn"))
+        assert record.target == "china-lb.itunes-apple.com.akadns.net"
+
+
+class TestRegionSplitPolicy:
+    policy = RegionSplitPolicy(
+        targets={
+            "us": "ios8-us-lb.apple.com.akadns.net",
+            "eu": "ios8-eu-lb.apple.com.akadns.net",
+            "apac": "ios8-apac-lb.apple.com.akadns.net",
+        },
+        ttl=300,
+    )
+
+    def test_european_client(self):
+        (record,) = self.policy.answer("e", make_context(continent=Continent.EUROPE))
+        assert record.target == "ios8-eu-lb.apple.com.akadns.net"
+
+    def test_asian_client(self):
+        (record,) = self.policy.answer("e", make_context(continent=Continent.ASIA))
+        assert record.target == "ios8-apac-lb.apple.com.akadns.net"
+
+    def test_missing_region_raises(self):
+        policy = RegionSplitPolicy(targets={"us": "x.example"}, ttl=60)
+        with pytest.raises(KeyError):
+            policy.answer("e", make_context(continent=Continent.EUROPE))
+
+
+class TestWeightSchedule:
+    def test_constant(self):
+        schedule = WeightSchedule.constant({"a.example": 1.0})
+        assert schedule.weights_at(0) == {"a.example": 1.0}
+        assert schedule.weights_at(1e9) == {"a.example": 1.0}
+
+    def test_step_change(self):
+        schedule = WeightSchedule(
+            [
+                (0.0, {"apple.example": 0.8, "akamai.example": 0.2}),
+                (100.0, {"apple.example": 0.5, "akamai.example": 0.5}),
+            ]
+        )
+        assert schedule.weights_at(50)["apple.example"] == 0.8
+        assert schedule.weights_at(100)["apple.example"] == 0.5
+        assert schedule.weights_at(500)["apple.example"] == 0.5
+
+    def test_before_first_step_uses_first(self):
+        schedule = WeightSchedule([(100.0, {"a.example": 1.0})])
+        assert schedule.weights_at(0) == {"a.example": 1.0}
+
+    def test_zero_weight_targets_dropped(self):
+        schedule = WeightSchedule.constant({"a.example": 1.0, "b.example": 0.0})
+        assert schedule.targets_at(0) == ("a.example",)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WeightSchedule([])
+        with pytest.raises(ValueError):
+            WeightSchedule([(0.0, {"a.example": 0.0})])
+
+    def test_targets_sorted(self):
+        schedule = WeightSchedule.constant({"b.example": 1.0, "a.example": 1.0})
+        assert schedule.targets_at(0) == ("a.example", "b.example")
+
+    def test_steps_sorted_by_time(self):
+        schedule = WeightSchedule(
+            [(100.0, {"late.example": 1.0}), (0.0, {"early.example": 1.0})]
+        )
+        assert schedule.targets_at(50) == ("early.example",)
+        assert schedule.change_times() == (0.0, 100.0)
+
+
+class TestWeightedCnamePolicy:
+    def test_deterministic_for_same_client_and_bucket(self):
+        policy = WeightedCnamePolicy(
+            WeightSchedule.constant({"a.example": 0.5, "b.example": 0.5}), ttl=15
+        )
+        context = make_context(now=7.0)
+        assert policy.select("e", context) == policy.select("e", context)
+
+    def test_sticky_within_ttl_bucket(self):
+        policy = WeightedCnamePolicy(
+            WeightSchedule.constant({"a.example": 0.5, "b.example": 0.5}), ttl=15
+        )
+        first = policy.select("e", make_context(now=0.0))
+        second = policy.select("e", make_context(now=14.9))
+        assert first == second
+
+    def test_population_respects_weights(self):
+        policy = WeightedCnamePolicy(
+            WeightSchedule.constant({"apple.example": 0.75, "cdn.example": 0.25}),
+            ttl=15,
+        )
+        picks = []
+        for host in range(2000):
+            context = make_context(client=f"10.0.{host // 256}.{host % 256}")
+            picks.append(policy.select("e", context))
+        apple_share = picks.count("apple.example") / len(picks)
+        assert apple_share == pytest.approx(0.75, abs=0.05)
+
+    def test_single_target_always_chosen(self):
+        policy = WeightedCnamePolicy(
+            WeightSchedule.constant({"only.example": 3.0}), ttl=15
+        )
+        assert policy.select("e", make_context()) == "only.example"
+
+    def test_schedule_switch_changes_selection_universe(self):
+        schedule = WeightSchedule(
+            [(0.0, {"before.example": 1.0}), (100.0, {"after.example": 1.0})]
+        )
+        policy = WeightedCnamePolicy(schedule, ttl=15)
+        assert policy.select("e", make_context(now=0)) == "before.example"
+        assert policy.select("e", make_context(now=200)) == "after.example"
+
+    def test_answer_produces_cname_with_policy_ttl(self):
+        policy = WeightedCnamePolicy(
+            WeightSchedule.constant({"a.example": 1.0}), ttl=15
+        )
+        (record,) = policy.answer("sel.example", make_context())
+        assert record.rtype is RecordType.CNAME
+        assert record.ttl == 15
+
+    def test_zero_ttl_uses_single_bucket(self):
+        policy = WeightedCnamePolicy(
+            WeightSchedule.constant({"a.example": 1.0, "b.example": 1.0}), ttl=0
+        )
+        assert policy.select("e", make_context(now=1)) == policy.select(
+            "e", make_context(now=99999)
+        )
+
+
+class TestGslbAddressPolicy:
+    def _pool(self, size):
+        return [IPv4Address.parse(f"17.253.0.{i}") for i in range(size)]
+
+    def test_returns_answer_count_records(self):
+        pool = self._pool(12)
+        policy = GslbAddressPolicy(pool=lambda ctx: pool, ttl=20, answer_count=4)
+        records = policy.answer("gslb.example", make_context())
+        assert len(records) == 4
+        assert all(record.rtype is RecordType.A for record in records)
+        assert len({record.address for record in records}) == 4
+
+    def test_small_pool_returns_all(self):
+        pool = self._pool(2)
+        policy = GslbAddressPolicy(pool=lambda ctx: pool, ttl=20, answer_count=4)
+        assert len(policy.answer("g.example", make_context())) == 2
+
+    def test_empty_pool_returns_nothing(self):
+        policy = GslbAddressPolicy(pool=lambda ctx: [], ttl=20)
+        assert policy.answer("g.example", make_context()) == ()
+
+    def test_different_clients_cover_whole_pool(self):
+        pool = self._pool(64)
+        policy = GslbAddressPolicy(pool=lambda ctx: pool, ttl=20, answer_count=4)
+        seen = set()
+        for host in range(300):
+            context = make_context(client=f"10.1.{host // 256}.{host % 256}")
+            seen.update(r.address for r in policy.answer("g.example", context))
+        # Nearly the whole pool should be exposed across many clients,
+        # which is what drives the unique-IP counts in Figures 4 and 5.
+        assert len(seen) >= 60
+
+    def test_same_client_same_bucket_is_stable(self):
+        pool = self._pool(32)
+        policy = GslbAddressPolicy(pool=lambda ctx: pool, ttl=20)
+        a = policy.answer("g.example", make_context(now=5))
+        b = policy.answer("g.example", make_context(now=15))
+        assert a == b
+
+
+class TestRoundRobinAddressPolicy:
+    def test_rotates_with_time(self):
+        addresses = tuple(IPv4Address.parse(f"192.0.2.{i}") for i in range(8))
+        policy = RoundRobinAddressPolicy(addresses, ttl=60, answer_count=2)
+        first = policy.answer("rr.example", make_context(now=0))
+        later = policy.answer("rr.example", make_context(now=60))
+        assert first != later
+
+    def test_client_independent(self):
+        addresses = tuple(IPv4Address.parse(f"192.0.2.{i}") for i in range(8))
+        policy = RoundRobinAddressPolicy(addresses, ttl=60, answer_count=2)
+        a = policy.answer("rr.example", make_context(client="10.0.0.1"))
+        b = policy.answer("rr.example", make_context(client="10.99.0.1"))
+        assert a == b
+
+    def test_empty_addresses(self):
+        policy = RoundRobinAddressPolicy((), ttl=60)
+        assert policy.answer("rr.example", make_context()) == ()

@@ -1,0 +1,79 @@
+"""Tests for repro.dns.query response helpers."""
+
+import pytest
+
+from repro.dns.query import DnsResponse, Question, QueryContext, RCode
+from repro.dns.records import ARecord, CnameRecord, RecordType
+from repro.net.geo import Continent, Coordinates, MappingRegion
+from repro.net.ipv4 import IPv4Address
+
+
+def full_answer():
+    question = Question("appldnld.apple.com")
+    return DnsResponse(
+        question=question,
+        answers=(
+            CnameRecord("appldnld.apple.com", "appldnld.apple.com.akadns.net", 21600),
+            CnameRecord("appldnld.apple.com.akadns.net", "a.gslb.applimg.com", 120),
+            ARecord("a.gslb.applimg.com", IPv4Address.parse("17.253.0.1"), 15),
+            ARecord("a.gslb.applimg.com", IPv4Address.parse("17.253.0.2"), 15),
+        ),
+    )
+
+
+class TestQuestion:
+    def test_normalises(self):
+        assert Question("AppLDNLD.Apple.COM.").name == "appldnld.apple.com"
+
+    def test_default_type_is_a(self):
+        assert Question("x.example").rtype is RecordType.A
+
+    def test_str(self):
+        assert str(Question("x.example")) == "x.example A"
+
+
+class TestDnsResponse:
+    def test_cname_chain_in_order(self):
+        chain = full_answer().cname_chain
+        assert [record.target for record in chain] == [
+            "appldnld.apple.com.akadns.net",
+            "a.gslb.applimg.com",
+        ]
+
+    def test_addresses(self):
+        assert [str(a) for a in full_answer().addresses] == [
+            "17.253.0.1",
+            "17.253.0.2",
+        ]
+
+    def test_final_name_follows_chain(self):
+        assert full_answer().final_name == "a.gslb.applimg.com"
+
+    def test_final_name_without_chain(self):
+        response = DnsResponse(question=Question("x.example"))
+        assert response.final_name == "x.example"
+        assert response.is_empty()
+
+    def test_default_rcode(self):
+        assert full_answer().rcode is RCode.NOERROR
+
+
+class TestQueryContext:
+    def test_region_derived_from_continent(self):
+        context = QueryContext(
+            client=IPv4Address.parse("1.1.1.1"),
+            coordinates=Coordinates(0, 0),
+            continent=Continent.SOUTH_AMERICA,
+            country="br",
+        )
+        assert context.region is MappingRegion.US
+
+    def test_frozen(self):
+        context = QueryContext(
+            client=IPv4Address.parse("1.1.1.1"),
+            coordinates=Coordinates(0, 0),
+            continent=Continent.EUROPE,
+            country="de",
+        )
+        with pytest.raises(AttributeError):
+            context.country = "fr"

@@ -1,0 +1,116 @@
+"""Tests for repro.dns.records."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dns.records import (
+    ARecord,
+    CnameRecord,
+    NameError_,
+    RecordType,
+    ResourceRecord,
+    is_subdomain,
+    normalize_name,
+)
+from repro.net.ipv4 import IPv4Address
+
+label_strategy = st.from_regex(r"[a-z0-9]([a-z0-9-]{0,10}[a-z0-9])?", fullmatch=True)
+name_strategy = st.lists(label_strategy, min_size=1, max_size=5).map(".".join)
+
+
+class TestNormalizeName:
+    def test_lowercases_and_strips_dot(self):
+        assert normalize_name("AppLDNLD.Apple.COM.") == "appldnld.apple.com"
+
+    def test_strips_whitespace(self):
+        assert normalize_name("  a.example  ") == "a.example"
+
+    def test_rejects_empty(self):
+        with pytest.raises(NameError_):
+            normalize_name("")
+        with pytest.raises(NameError_):
+            normalize_name(".")
+
+    def test_rejects_bad_labels(self):
+        with pytest.raises(NameError_):
+            normalize_name("foo..bar")
+        with pytest.raises(NameError_):
+            normalize_name("-leading.example")
+        with pytest.raises(NameError_):
+            normalize_name("trailing-.example")
+
+    def test_rejects_over_long_names(self):
+        with pytest.raises(NameError_):
+            normalize_name(".".join(["a" * 60] * 5))
+
+    def test_allows_underscore_labels(self):
+        # Seen in service-discovery names; harmless to accept.
+        assert normalize_name("_tcp.example") == "_tcp.example"
+
+    @given(name_strategy)
+    def test_idempotent_property(self, name):
+        once = normalize_name(name)
+        assert normalize_name(once) == once
+
+
+class TestIsSubdomain:
+    def test_equal_names(self):
+        assert is_subdomain("apple.com", "apple.com")
+
+    def test_child(self):
+        assert is_subdomain("appldnld.apple.com", "apple.com")
+
+    def test_not_suffix_trick(self):
+        # "notapple.com" must not count as inside "apple.com".
+        assert not is_subdomain("notapple.com", "apple.com")
+
+    def test_parent_is_not_subdomain(self):
+        assert not is_subdomain("com", "apple.com")
+
+
+class TestResourceRecord:
+    def test_a_record(self):
+        record = ARecord("a.example", IPv4Address.parse("1.2.3.4"), ttl=300)
+        assert record.rtype is RecordType.A
+        assert str(record.address) == "1.2.3.4"
+        assert record.ttl == 300
+
+    def test_cname_record_normalises_target(self):
+        record = CnameRecord("a.example", "Target.Example.", ttl=15)
+        assert record.target == "target.example"
+
+    def test_a_record_rejects_string_data(self):
+        with pytest.raises(TypeError):
+            ResourceRecord("a.example", RecordType.A, 60, "1.2.3.4")
+
+    def test_cname_rejects_address_data(self):
+        with pytest.raises(TypeError):
+            ResourceRecord(
+                "a.example", RecordType.CNAME, 60, IPv4Address.parse("1.2.3.4")
+            )
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            CnameRecord("a.example", "b.example", ttl=-1)
+
+    def test_address_accessor_raises_on_cname(self):
+        record = CnameRecord("a.example", "b.example", ttl=60)
+        with pytest.raises(TypeError):
+            _ = record.address
+
+    def test_target_accessor_raises_on_a(self):
+        record = ARecord("a.example", IPv4Address.parse("1.2.3.4"), ttl=60)
+        with pytest.raises(TypeError):
+            _ = record.target
+
+    def test_str_is_zone_file_like(self):
+        record = CnameRecord("appldnld.apple.com", "appldnld.apple.com.akadns.net", 21600)
+        assert str(record) == (
+            "appldnld.apple.com 21600 IN CNAME appldnld.apple.com.akadns.net"
+        )
+
+    def test_records_are_hashable(self):
+        a = ARecord("a.example", IPv4Address.parse("1.2.3.4"), ttl=60)
+        b = ARecord("a.example", IPv4Address.parse("1.2.3.4"), ttl=60)
+        assert len({a, b}) == 1

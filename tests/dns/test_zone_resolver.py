@@ -1,0 +1,250 @@
+"""Tests for repro.dns.zone and repro.dns.resolver.
+
+The end-to-end fixtures here build a miniature three-operator estate
+(Apple, Akamai, a CDN) shaped like the Figure 2 chain, and check that
+recursive resolution walks it the way the RIPE Atlas probes did.
+"""
+
+import pytest
+
+from repro.dns.policies import CnamePolicy, GslbAddressPolicy, StaticPolicy
+from repro.dns.query import Question, QueryContext, RCode
+from repro.dns.records import ARecord, CnameRecord, RecordType
+from repro.dns.resolver import RecursiveResolver, ResolutionError
+from repro.dns.zone import AuthoritativeServer, Zone
+from repro.net.geo import Continent, Coordinates
+from repro.net.ipv4 import IPv4Address
+
+
+def make_context(now=0.0):
+    return QueryContext(
+        client=IPv4Address.parse("198.51.100.7"),
+        coordinates=Coordinates(52.52, 13.40),
+        continent=Continent.EUROPE,
+        country="de",
+        now=now,
+    )
+
+
+@pytest.fixture
+def estate():
+    """Apple + Akamai servers forming a 3-hop chain to A records."""
+    apple_zone = Zone("apple.com")
+    apple_zone.bind(
+        "appldnld.apple.com",
+        CnamePolicy("appldnld.apple.com.akadns.net", ttl=21600),
+    )
+    applimg_zone = Zone("applimg.com")
+    pool = [IPv4Address.parse(f"17.253.0.{i}") for i in range(1, 9)]
+    applimg_zone.bind(
+        "a.gslb.applimg.com",
+        GslbAddressPolicy(pool=lambda ctx: pool, ttl=20, answer_count=4),
+    )
+    apple_server = AuthoritativeServer("Apple", [apple_zone, applimg_zone])
+
+    akadns_zone = Zone("akadns.net")
+    akadns_zone.bind(
+        "appldnld.apple.com.akadns.net",
+        CnamePolicy("a.gslb.applimg.com", ttl=120),
+    )
+    akamai_server = AuthoritativeServer("Akamai", [akadns_zone])
+    return apple_server, akamai_server
+
+
+class TestZone:
+    def test_bind_and_lookup(self):
+        zone = Zone("apple.com")
+        policy = CnamePolicy("x.akadns.net", ttl=60)
+        zone.bind("appldnld.apple.com", policy)
+        assert zone.policy_for("appldnld.apple.com") is policy
+        assert zone.policy_for("other.apple.com") is None
+
+    def test_bind_outside_zone_rejected(self):
+        zone = Zone("apple.com")
+        with pytest.raises(ValueError):
+            zone.bind("www.akamai.net", CnamePolicy("x.example", ttl=1))
+
+    def test_bind_normalises_names(self):
+        zone = Zone("Apple.COM.")
+        zone.bind("AppLDNLD.apple.com", CnamePolicy("x.akadns.net", ttl=1))
+        assert "appldnld.apple.com" in zone
+        assert zone.origin == "apple.com"
+
+    def test_rebind_replaces(self):
+        zone = Zone("apple.com")
+        zone.bind("a.apple.com", CnamePolicy("v1.example", ttl=1))
+        zone.bind("a.apple.com", CnamePolicy("v2.example", ttl=1))
+        (record,) = zone.policy_for("a.apple.com").answer(
+            "a.apple.com", make_context()
+        )
+        assert record.target == "v2.example"
+
+    def test_covers(self):
+        zone = Zone("apple.com")
+        assert zone.covers("deep.sub.apple.com")
+        assert not zone.covers("apple.net")
+
+    def test_len_and_names(self):
+        zone = Zone("apple.com")
+        zone.bind("a.apple.com", CnamePolicy("x.example", ttl=1))
+        zone.bind("b.apple.com", CnamePolicy("y.example", ttl=1))
+        assert len(zone) == 2
+        assert set(zone.names()) == {"a.apple.com", "b.apple.com"}
+
+
+class TestAuthoritativeServer:
+    def test_refused_outside_zones(self, estate):
+        apple_server, _ = estate
+        response = apple_server.query(Question("www.akamai.net"), make_context())
+        assert response.rcode is RCode.REFUSED
+
+    def test_nxdomain_for_unbound_name(self, estate):
+        apple_server, _ = estate
+        response = apple_server.query(Question("nothing.apple.com"), make_context())
+        assert response.rcode is RCode.NXDOMAIN
+
+    def test_answers_bound_name(self, estate):
+        apple_server, _ = estate
+        response = apple_server.query(Question("appldnld.apple.com"), make_context())
+        assert response.rcode is RCode.NOERROR
+        assert response.cname_chain[0].target == "appldnld.apple.com.akadns.net"
+
+    def test_most_specific_zone_wins(self):
+        outer = Zone("example.com")
+        outer.bind("a.sub.example.com", CnamePolicy("outer.example", ttl=1))
+        inner = Zone("sub.example.com")
+        inner.bind("a.sub.example.com", CnamePolicy("inner.example", ttl=1))
+        server = AuthoritativeServer("Op", [outer, inner])
+        response = server.query(Question("a.sub.example.com"), make_context())
+        assert response.answers[0].target == "inner.example"
+
+    def test_rtype_filtering(self, estate):
+        apple_server, _ = estate
+        response = apple_server.query(
+            Question("appldnld.apple.com", RecordType.NS), make_context()
+        )
+        assert response.rcode is RCode.NOERROR
+        assert response.is_empty()
+
+
+class TestRecursiveResolver:
+    def test_full_chain_resolution(self, estate):
+        resolver = RecursiveResolver(estate)
+        resolution = resolver.resolve("appldnld.apple.com", make_context())
+        assert resolution.succeeded()
+        assert resolution.chain_names == (
+            "appldnld.apple.com",
+            "appldnld.apple.com.akadns.net",
+            "a.gslb.applimg.com",
+        )
+        assert len(resolution.addresses) == 4
+
+    def test_operator_attribution(self, estate):
+        resolver = RecursiveResolver(estate)
+        resolution = resolver.resolve("appldnld.apple.com", make_context())
+        operators = [step.operator for step in resolution.steps]
+        assert operators == ["Apple", "Akamai", "Apple"]
+
+    def test_server_for_prefers_specific_zone(self, estate):
+        resolver = RecursiveResolver(estate)
+        # akadns.net is Akamai's even though the name contains apple.com.
+        server = resolver.server_for("appldnld.apple.com.akadns.net")
+        assert server.operator == "Akamai"
+
+    def test_missing_server_raises(self, estate):
+        apple_server, _ = estate
+        resolver = RecursiveResolver([apple_server])
+        with pytest.raises(ResolutionError):
+            resolver.resolve("appldnld.apple.com", make_context())
+
+    def test_cname_loop_detected(self):
+        zone = Zone("loop.example")
+        zone.bind("a.loop.example", CnamePolicy("b.loop.example", ttl=1))
+        zone.bind("b.loop.example", CnamePolicy("a.loop.example", ttl=1))
+        resolver = RecursiveResolver([AuthoritativeServer("Op", [zone])])
+        with pytest.raises(ResolutionError):
+            resolver.resolve("a.loop.example", make_context())
+
+    def test_dead_end_returns_nxdomain(self, estate):
+        apple_server, akamai_server = estate
+        broken = Zone("akadns.net")  # unbinds the middle hop
+        resolver = RecursiveResolver(
+            [apple_server, AuthoritativeServer("Akamai", [broken])]
+        )
+        resolution = resolver.resolve("appldnld.apple.com", make_context())
+        assert resolution.rcode is RCode.NXDOMAIN
+        assert not resolution.succeeded()
+
+    def test_cache_hits_within_ttl(self, estate):
+        resolver = RecursiveResolver(estate, cache=True)
+        resolver.resolve("appldnld.apple.com", make_context(now=0))
+        second = resolver.resolve("appldnld.apple.com", make_context(now=10))
+        assert all(step.from_cache for step in second.steps)
+
+    def test_cache_expires_after_ttl(self, estate):
+        resolver = RecursiveResolver(estate, cache=True)
+        resolver.resolve("appldnld.apple.com", make_context(now=0))
+        # The GSLB A records have TTL 20: at now=30 they must be re-queried.
+        third = resolver.resolve("appldnld.apple.com", make_context(now=30))
+        gslb_steps = [s for s in third.steps if s.name == "a.gslb.applimg.com"]
+        assert gslb_steps and not gslb_steps[0].from_cache
+
+    def test_cache_disabled(self, estate):
+        resolver = RecursiveResolver(estate, cache=False)
+        resolver.resolve("appldnld.apple.com", make_context(now=0))
+        again = resolver.resolve("appldnld.apple.com", make_context(now=1))
+        assert not any(step.from_cache for step in again.steps)
+
+    def test_flush(self, estate):
+        resolver = RecursiveResolver(estate, cache=True)
+        resolver.resolve("appldnld.apple.com", make_context(now=0))
+        assert resolver.cache_size > 0
+        resolver.flush()
+        assert resolver.cache_size == 0
+
+    def test_to_answer_flattens_chain(self, estate):
+        resolver = RecursiveResolver(estate)
+        resolution = resolver.resolve("appldnld.apple.com", make_context())
+        answer = resolution.to_answer()
+        assert answer.final_name == "a.gslb.applimg.com"
+        assert len(answer.cname_chain) == 2
+        assert len(answer.addresses) == 4
+        assert not answer.authoritative
+
+    def test_add_server(self, estate):
+        apple_server, akamai_server = estate
+        resolver = RecursiveResolver([apple_server])
+        resolver.add_server(akamai_server)
+        assert resolver.resolve("appldnld.apple.com", make_context()).succeeded()
+
+
+class TestWireModeResolver:
+    """wire_mode exchanges RFC 1035 bytes; results must be identical."""
+
+    def test_wire_and_object_modes_agree(self, estate):
+        object_resolver = RecursiveResolver(estate, cache=False)
+        wire_resolver = RecursiveResolver(estate, cache=False, wire_mode=True)
+        context = make_context(now=42.0)
+        plain = object_resolver.resolve("appldnld.apple.com", context)
+        wired = wire_resolver.resolve("appldnld.apple.com", context)
+        assert wired.chain_names == plain.chain_names
+        assert wired.addresses == plain.addresses
+        assert [s.operator for s in wired.steps] == [
+            s.operator for s in plain.steps
+        ]
+
+    def test_wire_mode_with_cache(self, estate):
+        resolver = RecursiveResolver(estate, cache=True, wire_mode=True)
+        resolver.resolve("appldnld.apple.com", make_context(now=0.0))
+        again = resolver.resolve("appldnld.apple.com", make_context(now=5.0))
+        assert all(step.from_cache for step in again.steps)
+
+    def test_wire_mode_nxdomain(self, estate):
+        apple_server, _ = estate
+        broken = Zone("akadns.net")
+        resolver = RecursiveResolver(
+            [apple_server, AuthoritativeServer("Akamai", [broken])],
+            wire_mode=True,
+        )
+        resolution = resolver.resolve("appldnld.apple.com", make_context())
+        assert resolution.rcode is RCode.NXDOMAIN

@@ -1,0 +1,135 @@
+"""Tests for repro.http.headers — the Via / X-Cache conventions."""
+
+import pytest
+
+from repro.http.headers import (
+    CacheStatus,
+    ViaEntry,
+    parse_via,
+    parse_x_cache,
+    record_cache_hop,
+)
+from repro.http.messages import HttpResponse
+
+# The paper's Section 3.3 header sample, verbatim.
+PAPER_X_CACHE = "miss, hit-fresh, Hit from cloudfront"
+PAPER_VIA = (
+    "1.1 2db316290386960b489a2a16c0a63643.cloudfront.net (CloudFront),"
+    "http/1.1 defra1-edge-lx-011.ts.apple.com (ApacheTrafficServer/7.0.0),"
+    "http/1.1 defra1-edge-bx-033.ts.apple.com (ApacheTrafficServer/7.0.0)"
+)
+
+
+class TestCacheStatus:
+    def test_parse_paper_tokens(self):
+        assert CacheStatus.parse("miss") is CacheStatus.MISS
+        assert CacheStatus.parse("hit-fresh") is CacheStatus.HIT_FRESH
+        assert CacheStatus.parse("Hit from cloudfront") is CacheStatus.HIT_FROM_CLOUDFRONT
+
+    def test_parse_is_case_insensitive(self):
+        assert CacheStatus.parse("MISS") is CacheStatus.MISS
+        assert CacheStatus.parse("hit from cloudfront") is CacheStatus.HIT_FROM_CLOUDFRONT
+
+    def test_parse_strips_whitespace(self):
+        assert CacheStatus.parse("  miss ") is CacheStatus.MISS
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ValueError):
+            CacheStatus.parse("banana")
+
+    def test_is_hit(self):
+        assert CacheStatus.HIT_FRESH.is_hit
+        assert CacheStatus.HIT_FROM_CLOUDFRONT.is_hit
+        assert not CacheStatus.MISS.is_hit
+        assert not CacheStatus.MISS_FROM_CLOUDFRONT.is_hit
+
+
+class TestViaEntry:
+    def test_parse_ats_entry(self):
+        entry = ViaEntry.parse("http/1.1 defra1-edge-bx-033.ts.apple.com "
+                               "(ApacheTrafficServer/7.0.0)")
+        assert entry.protocol == "http/1.1"
+        assert entry.host == "defra1-edge-bx-033.ts.apple.com"
+        assert entry.agent == "ApacheTrafficServer/7.0.0"
+
+    def test_parse_cloudfront_entry(self):
+        entry = ViaEntry.parse(
+            "1.1 2db316290386960b489a2a16c0a63643.cloudfront.net (CloudFront)"
+        )
+        assert entry.protocol == "1.1"
+        assert entry.agent == "CloudFront"
+
+    def test_parse_without_agent(self):
+        entry = ViaEntry.parse("1.1 proxy.example")
+        assert entry.agent is None
+
+    def test_render_parse_round_trip(self):
+        entry = ViaEntry("http/1.1", "edge.example", "ApacheTrafficServer/7.0.0")
+        assert ViaEntry.parse(entry.render()) == entry
+
+    def test_parse_garbage_raises(self):
+        with pytest.raises(ValueError):
+            ViaEntry.parse("")
+        with pytest.raises(ValueError):
+            ViaEntry.parse("(only-agent)")
+
+
+class TestParseHeaders:
+    def test_parse_paper_via(self):
+        entries = parse_via(PAPER_VIA)
+        assert [entry.host for entry in entries] == [
+            "2db316290386960b489a2a16c0a63643.cloudfront.net",
+            "defra1-edge-lx-011.ts.apple.com",
+            "defra1-edge-bx-033.ts.apple.com",
+        ]
+        assert entries[1].agent == "ApacheTrafficServer/7.0.0"
+
+    def test_parse_paper_x_cache(self):
+        statuses = parse_x_cache(PAPER_X_CACHE)
+        assert statuses == [
+            CacheStatus.MISS,
+            CacheStatus.HIT_FRESH,
+            CacheStatus.HIT_FROM_CLOUDFRONT,
+        ]
+
+    def test_empty_headers(self):
+        assert parse_via("") == []
+        assert parse_x_cache("") == []
+
+
+class TestRecordCacheHop:
+    def test_orderings_match_paper(self):
+        """Reconstruct the paper's exact header sample hop by hop."""
+        response = HttpResponse(200, body_size=1)
+        record_cache_hop(
+            response,
+            "2db316290386960b489a2a16c0a63643.cloudfront.net",
+            CacheStatus.HIT_FROM_CLOUDFRONT,
+            agent="CloudFront",
+            protocol="1.1",
+        )
+        record_cache_hop(
+            response, "defra1-edge-lx-011.ts.apple.com", CacheStatus.HIT_FRESH
+        )
+        record_cache_hop(response, "defra1-edge-bx-033.ts.apple.com", CacheStatus.MISS)
+
+        assert response.headers.get("X-Cache") == PAPER_X_CACHE
+        via_hosts = [entry.host for entry in parse_via(response.headers.get("Via"))]
+        assert via_hosts == [
+            "2db316290386960b489a2a16c0a63643.cloudfront.net",
+            "defra1-edge-lx-011.ts.apple.com",
+            "defra1-edge-bx-033.ts.apple.com",
+        ]
+
+    def test_via_appends_x_cache_prepends(self):
+        response = HttpResponse(200)
+        record_cache_hop(response, "inner.example", CacheStatus.HIT_FRESH)
+        record_cache_hop(response, "outer.example", CacheStatus.MISS)
+        assert parse_x_cache(response.headers.get("X-Cache")) == [
+            CacheStatus.MISS,
+            CacheStatus.HIT_FRESH,
+        ]
+        assert [e.host for e in parse_via(response.headers.get("Via"))] == [
+            "inner.example",
+            "outer.example",
+        ]

@@ -1,0 +1,94 @@
+"""Tests for repro.http.messages."""
+
+import pytest
+
+from repro.http.messages import Headers, HttpRequest, HttpResponse
+
+
+class TestHeaders:
+    def test_case_insensitive_get(self):
+        headers = Headers({"X-Cache": "miss"})
+        assert headers.get("x-cache") == "miss"
+        assert headers.get("X-CACHE") == "miss"
+
+    def test_get_default(self):
+        assert Headers().get("Via") is None
+        assert Headers().get("Via", "") == ""
+
+    def test_add_accumulates(self):
+        headers = Headers()
+        headers.add("Via", "1.1 origin.example")
+        headers.add("Via", "http/1.1 edge.example")
+        assert headers.get("Via") == "1.1 origin.example, http/1.1 edge.example"
+        assert headers.get_all("Via") == ["1.1 origin.example", "http/1.1 edge.example"]
+
+    def test_set_replaces_all(self):
+        headers = Headers()
+        headers.add("X-Cache", "miss")
+        headers.add("X-Cache", "hit-fresh")
+        headers.set("X-Cache", "hit-fresh, miss")
+        assert headers.get_all("X-Cache") == ["hit-fresh, miss"]
+
+    def test_contains(self):
+        headers = Headers({"Via": "x"})
+        assert "via" in headers
+        assert "X-Cache" not in headers
+
+    def test_iteration_preserves_order(self):
+        headers = Headers()
+        headers.add("A", "1")
+        headers.add("B", "2")
+        headers.add("A", "3")
+        assert list(headers) == [("A", "1"), ("B", "2"), ("A", "3")]
+
+    def test_copy_is_independent(self):
+        original = Headers({"Via": "x"})
+        duplicate = original.copy()
+        duplicate.add("Via", "y")
+        assert original.get_all("Via") == ["x"]
+        assert duplicate.get_all("Via") == ["x", "y"]
+
+    def test_len(self):
+        headers = Headers()
+        headers.add("A", "1")
+        headers.add("A", "2")
+        assert len(headers) == 2
+
+
+class TestHttpRequest:
+    def test_url(self):
+        request = HttpRequest("GET", "appldnld.apple.com", "/ios11/img.ipsw")
+        assert request.url == "http://appldnld.apple.com/ios11/img.ipsw"
+
+    def test_method_uppercased_host_lowercased(self):
+        request = HttpRequest("get", "MESU.Apple.COM", "/x")
+        assert request.method == "GET"
+        assert request.host == "mesu.apple.com"
+
+    def test_relative_path_rejected(self):
+        with pytest.raises(ValueError):
+            HttpRequest("GET", "example.com", "no-slash")
+
+    def test_str(self):
+        assert "GET http://a.example/p" in str(HttpRequest("GET", "a.example", "/p"))
+
+
+class TestHttpResponse:
+    def test_ok_range(self):
+        assert HttpResponse(200).ok
+        assert HttpResponse(206).ok
+        assert not HttpResponse(404).ok
+        assert not HttpResponse(304).ok
+
+    def test_status_validation(self):
+        with pytest.raises(ValueError):
+            HttpResponse(99)
+        with pytest.raises(ValueError):
+            HttpResponse(600)
+
+    def test_negative_body_rejected(self):
+        with pytest.raises(ValueError):
+            HttpResponse(200, body_size=-1)
+
+    def test_str_mentions_size(self):
+        assert "123" in str(HttpResponse(200, body_size=123))

@@ -1,0 +1,272 @@
+"""Tests for the ISP substrate: topology, BGP, Netflow, SNMP, classify."""
+
+import pytest
+
+from repro.isp.bgp import BgpRib, BgpRoute
+from repro.isp.classify import ClassifiedFlow, TrafficClassifier
+from repro.isp.netflow import FlowRecord, NetflowCollector
+from repro.isp.snmp import SnmpCounters
+from repro.isp.topology import EyeballIsp, PeeringLink
+from repro.net.asys import AS_AKAMAI, AS_APPLE, AS_LIMELIGHT, ASN
+from repro.net.ipv4 import IPv4Address, IPv4Prefix
+
+AS_ISP = ASN(64496)
+AS_TRANSIT = ASN(65001)
+
+
+@pytest.fixture
+def isp():
+    isp = EyeballIsp(AS_ISP, "TestISP", IPv4Prefix.parse("89.0.0.0/12"))
+    isp.add_link(PeeringLink("apple-1", "br1", AS_APPLE, 400.0))
+    isp.add_link(PeeringLink("akamai-1", "br1", AS_AKAMAI, 400.0))
+    isp.add_link(
+        PeeringLink("akamai-cache", "internal", AS_AKAMAI, 200.0, is_cache_link=True)
+    )
+    isp.add_link(PeeringLink("transit-1", "br2", AS_TRANSIT, 100.0))
+    isp.add_link(PeeringLink("transit-2", "br2", AS_TRANSIT, 100.0))
+    return isp
+
+
+@pytest.fixture
+def rib():
+    rib = BgpRib()
+    rib.install(
+        BgpRoute(IPv4Prefix.parse("17.0.0.0/8"), (AS_APPLE,), ("apple-1",))
+    )
+    rib.install(
+        BgpRoute(IPv4Prefix.parse("23.192.0.0/11"), (AS_AKAMAI,), ("akamai-1",))
+    )
+    rib.install(
+        BgpRoute(
+            IPv4Prefix.parse("92.122.0.0/15"),
+            (AS_TRANSIT, ASN(64512)),
+            ("transit-1", "transit-2"),
+        )
+    )
+    return rib
+
+
+class TestTopology:
+    def test_links_for_neighbor(self, isp):
+        assert len(isp.links_for(AS_AKAMAI)) == 2
+        assert len(isp.links_for(AS_TRANSIT)) == 2
+        assert isp.links_for(ASN(65099)) == ()
+
+    def test_direct_peer(self, isp):
+        assert isp.is_direct_peer(AS_APPLE)
+        assert not isp.is_direct_peer(AS_LIMELIGHT)
+
+    def test_handover_for(self, isp):
+        assert isp.handover_for("transit-1") == AS_TRANSIT
+
+    def test_cache_link_counts_as_cdn_direct(self, isp):
+        # Section 5.2: internal cache links are direct connections to
+        # the CDN controlling the cache.
+        assert isp.handover_for("akamai-cache") == AS_AKAMAI
+
+    def test_duplicate_link_rejected(self, isp):
+        with pytest.raises(ValueError):
+            isp.add_link(PeeringLink("apple-1", "brX", AS_APPLE, 1.0))
+
+    def test_capacity_bytes(self):
+        link = PeeringLink("l", "r", AS_APPLE, 8.0)  # 8 Gbps
+        assert link.capacity_bytes(1.0) == pytest.approx(1e9)
+
+    def test_routers_and_neighbors(self, isp):
+        assert isp.routers == ("br1", "br2", "internal")
+        assert AS_APPLE in isp.neighbors
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PeeringLink("l", "r", AS_APPLE, 0.0)
+
+
+class TestBgp:
+    def test_lookup_longest_match(self, rib):
+        route = rib.lookup(IPv4Address.parse("17.253.1.1"))
+        assert route.origin_asn == AS_APPLE
+        assert route.is_direct
+
+    def test_transit_route(self, rib):
+        route = rib.lookup(IPv4Address.parse("92.122.0.5"))
+        assert route.origin_asn == ASN(64512)
+        assert route.neighbor_asn == AS_TRANSIT
+        assert not route.is_direct
+
+    def test_lookup_miss(self, rib):
+        assert rib.lookup(IPv4Address.parse("8.8.8.8")) is None
+        assert rib.origin_asn(IPv4Address.parse("8.8.8.8")) is None
+
+    def test_route_count_and_replace(self, rib):
+        count = rib.route_count
+        rib.install(
+            BgpRoute(IPv4Prefix.parse("17.0.0.0/8"), (AS_APPLE,), ("apple-1",))
+        )
+        assert rib.route_count == count  # replacement, not addition
+
+    def test_route_validation(self):
+        with pytest.raises(ValueError):
+            BgpRoute(IPv4Prefix.parse("17.0.0.0/8"), (), ("l",))
+        with pytest.raises(ValueError):
+            BgpRoute(IPv4Prefix.parse("17.0.0.0/8"), (AS_APPLE,), ())
+
+    def test_routes_iteration(self, rib):
+        assert len(list(rib.routes())) == rib.route_count
+
+
+class TestNetflow:
+    def test_exact_mode_records_everything(self):
+        collector = NetflowCollector(sampling_rate=1)
+        collector.observe_exact(0.0, IPv4Address.parse("17.1.1.1"), "apple-1", 1000)
+        assert collector.sampled_bytes() == 1000
+        assert collector.total_offered_bytes == 1000
+
+    def test_exact_mode_skips_zero(self):
+        collector = NetflowCollector()
+        collector.observe_exact(0.0, IPv4Address.parse("17.1.1.1"), "apple-1", 0)
+        assert len(collector) == 0
+
+    def test_sampling_reduces_records(self):
+        collector = NetflowCollector(sampling_rate=10, flow_bytes=1000)
+        total = 0
+        for second in range(200):
+            total += collector.observe(
+                float(second), IPv4Address.parse("17.1.1.1"), "apple-1", 100_000
+            )
+        # 200 * 100 flows, ~1/10 sampled.
+        assert 1000 <= total <= 3000
+
+    def test_sampling_statistically_faithful(self):
+        collector = NetflowCollector(sampling_rate=10, flow_bytes=1000)
+        for second in range(300):
+            collector.observe(
+                float(second), IPv4Address.parse("17.1.1.1"), "apple-1", 100_000
+            )
+        estimated = collector.sampled_bytes() * collector.sampling_rate
+        assert estimated == pytest.approx(collector.total_offered_bytes, rel=0.2)
+
+    def test_records_between(self):
+        collector = NetflowCollector()
+        for ts in (0.0, 10.0, 20.0):
+            collector.observe_exact(ts, IPv4Address.parse("1.1.1.1"), "l", 100)
+        assert len(list(collector.records_between(5.0, 25.0))) == 2
+
+    def test_flow_record_validation(self):
+        with pytest.raises(ValueError):
+            FlowRecord(0.0, IPv4Address.parse("1.1.1.1"),
+                       IPv4Address.parse("2.2.2.2"), 0, "l")
+
+    def test_collector_validation(self):
+        with pytest.raises(ValueError):
+            NetflowCollector(sampling_rate=0)
+        with pytest.raises(ValueError):
+            NetflowCollector(flow_bytes=0)
+
+
+class TestSnmp:
+    def test_binning(self):
+        snmp = SnmpCounters(bin_seconds=300.0)
+        snmp.add_bytes("l", 10.0, 100)
+        snmp.add_bytes("l", 299.0, 100)
+        snmp.add_bytes("l", 300.0, 100)
+        assert snmp.bytes_in_bin("l", 0.0) == 200
+        assert snmp.bytes_in_bin("l", 300.0) == 100
+
+    def test_series_sorted(self):
+        snmp = SnmpCounters(bin_seconds=100.0)
+        snmp.add_bytes("l", 500.0, 1)
+        snmp.add_bytes("l", 100.0, 2)
+        assert snmp.series("l") == [(100.0, 2), (500.0, 1)]
+
+    def test_utilization_and_saturation(self, isp):
+        snmp = SnmpCounters(bin_seconds=1.0)
+        capacity = isp.link("transit-1").capacity_bytes(1.0)
+        snmp.add_bytes("transit-1", 0.0, int(capacity))
+        snmp.add_bytes("transit-2", 0.0, int(capacity * 0.5))
+        assert snmp.utilization(isp, "transit-1", 0.0) == pytest.approx(1.0)
+        assert snmp.saturated_links(isp, 0.0) == ["transit-1"]
+
+    def test_scale_factor_corrects_sampling(self, isp):
+        """The Section 5.3 correction: SNMP-scaled Netflow == ground truth."""
+        snmp = SnmpCounters(bin_seconds=300.0)
+        collector = NetflowCollector(sampling_rate=10, flow_bytes=1000)
+        src = IPv4Address.parse("17.1.1.1")
+        truth = 0
+        for second in range(0, 300, 5):
+            volume = 200_000
+            collector.observe(float(second), src, "apple-1", volume)
+            snmp.add_bytes("apple-1", float(second), volume)
+            truth += volume
+        factor = snmp.scale_factor(collector, "apple-1", 0.0)
+        assert factor is not None
+        sampled = sum(r.bytes for r in collector.records)
+        assert sampled * factor == pytest.approx(truth)
+
+    def test_scale_factor_none_without_flows(self, isp):
+        snmp = SnmpCounters()
+        collector = NetflowCollector()
+        assert snmp.scale_factor(collector, "apple-1", 0.0) is None
+
+
+class TestClassifier:
+    def _classifier(self, isp, rib):
+        operators = {
+            IPv4Address.parse("17.253.0.1"): "Apple",
+            IPv4Address.parse("23.192.0.1"): "Akamai",
+            IPv4Address.parse("92.122.0.1"): "Akamai",  # hosted cache
+        }
+        return TrafficClassifier(isp, rib, operators.get)
+
+    def _flow(self, src, link):
+        return FlowRecord(
+            0.0, IPv4Address.parse(src), IPv4Address.parse("89.0.0.1"), 100, link
+        )
+
+    def test_apple_direct_is_neither(self, isp, rib):
+        classifier = self._classifier(isp, rib)
+        classified = classifier.classify(self._flow("17.253.0.1", "apple-1"))
+        assert not classified.is_offload
+        assert not classified.is_overflow
+        assert classified.is_update_traffic
+
+    def test_akamai_direct_is_offload_only(self, isp, rib):
+        classifier = self._classifier(isp, rib)
+        classified = classifier.classify(self._flow("23.192.0.1", "akamai-1"))
+        assert classified.is_offload
+        assert not classified.is_overflow
+
+    def test_hosted_akamai_via_transit_is_both(self, isp, rib):
+        # Section 5.1: "Akamai and Limelight traffic going via Other
+        # ASes is both, offload and overflow traffic."
+        classifier = self._classifier(isp, rib)
+        classified = classifier.classify(self._flow("92.122.0.1", "transit-1"))
+        assert classified.is_offload
+        assert classified.is_overflow
+        assert classified.source_asn == ASN(64512)
+        assert classified.handover_asn == AS_TRANSIT
+
+    def test_apple_via_transit_is_overflow_only(self, isp, rib):
+        classifier = self._classifier(isp, rib)
+        classified = classifier.classify(self._flow("17.253.0.1", "transit-1"))
+        assert not classified.is_offload
+        assert classified.is_overflow
+
+    def test_unknown_source_is_not_update_traffic(self, isp, rib):
+        classifier = self._classifier(isp, rib)
+        classified = classifier.classify(self._flow("8.8.8.8", "transit-1"))
+        assert not classified.is_update_traffic
+        assert classified.source_asn is None
+
+    def test_filtered_iterators(self, isp, rib):
+        classifier = self._classifier(isp, rib)
+        flows = [
+            self._flow("17.253.0.1", "apple-1"),
+            self._flow("23.192.0.1", "akamai-1"),
+            self._flow("92.122.0.1", "transit-1"),
+            self._flow("8.8.8.8", "transit-1"),
+        ]
+        assert len(list(classifier.update_traffic(flows))) == 3
+        assert len(list(classifier.offload_traffic(flows))) == 2
+        assert len(list(classifier.overflow_traffic(flows))) == 1
+        assert len(list(classifier.overflow_traffic(flows, operator="Akamai"))) == 1
+        assert len(list(classifier.overflow_traffic(flows, operator="Apple"))) == 0

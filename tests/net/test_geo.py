@@ -1,0 +1,115 @@
+"""Tests for repro.net.geo."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.geo import (
+    Continent,
+    Coordinates,
+    MappingRegion,
+    great_circle_km,
+    nearest,
+)
+
+_BERLIN = Coordinates(52.5200, 13.4050)
+_NYC = Coordinates(40.7128, -74.0060)
+_SYDNEY = Coordinates(-33.8688, 151.2093)
+
+coordinates_strategy = st.builds(
+    Coordinates,
+    st.floats(min_value=-90, max_value=90, allow_nan=False),
+    st.floats(min_value=-180, max_value=180, allow_nan=False),
+)
+
+
+class TestCoordinates:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Coordinates(91, 0)
+        with pytest.raises(ValueError):
+            Coordinates(0, 181)
+        with pytest.raises(ValueError):
+            Coordinates(-90.1, 0)
+
+    def test_str_format(self):
+        assert str(Coordinates(1.0, 2.0)) == "(1.0000, 2.0000)"
+
+
+class TestGreatCircle:
+    def test_berlin_to_nyc_roughly_6380km(self):
+        distance = great_circle_km(_BERLIN, _NYC)
+        assert distance == pytest.approx(6385, rel=0.02)
+
+    def test_zero_distance(self):
+        assert great_circle_km(_BERLIN, _BERLIN) == 0.0
+
+    def test_antipodal_is_half_circumference(self):
+        north = Coordinates(90, 0)
+        south = Coordinates(-90, 0)
+        assert great_circle_km(north, south) == pytest.approx(
+            math.pi * 6371.0088, rel=1e-6
+        )
+
+    def test_method_equals_function(self):
+        assert _BERLIN.distance_km(_NYC) == great_circle_km(_BERLIN, _NYC)
+
+    @given(coordinates_strategy, coordinates_strategy)
+    def test_symmetry_property(self, a, b):
+        assert great_circle_km(a, b) == pytest.approx(great_circle_km(b, a))
+
+    @given(coordinates_strategy, coordinates_strategy)
+    def test_non_negative_and_bounded_property(self, a, b):
+        distance = great_circle_km(a, b)
+        assert 0.0 <= distance <= math.pi * 6371.01
+
+    @given(coordinates_strategy, coordinates_strategy, coordinates_strategy)
+    def test_triangle_inequality_property(self, a, b, c):
+        assert great_circle_km(a, c) <= great_circle_km(a, b) + great_circle_km(
+            b, c
+        ) + 1e-6
+
+
+class TestNearest:
+    def test_picks_closest(self):
+        assert nearest(_BERLIN, [_NYC, _SYDNEY]) == _NYC
+
+    def test_single_candidate(self):
+        assert nearest(_BERLIN, [_SYDNEY]) == _SYDNEY
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            nearest(_BERLIN, [])
+
+    def test_tie_resolves_to_first(self):
+        east = Coordinates(0, 10)
+        west = Coordinates(0, -10)
+        origin = Coordinates(0, 0)
+        assert nearest(origin, [east, west]) == east
+
+
+class TestMappingRegion:
+    def test_continent_to_region_matches_paper(self):
+        # Section 3.2: ios8-{us|eu|apac}-lb load balancers.
+        assert MappingRegion.for_continent(Continent.NORTH_AMERICA) is MappingRegion.US
+        assert MappingRegion.for_continent(Continent.EUROPE) is MappingRegion.EU
+        assert MappingRegion.for_continent(Continent.ASIA) is MappingRegion.APAC
+        assert MappingRegion.for_continent(Continent.OCEANIA) is MappingRegion.APAC
+
+    def test_every_continent_has_region(self):
+        for continent in Continent:
+            assert isinstance(MappingRegion.for_continent(continent), MappingRegion)
+
+    def test_values_match_dns_labels(self):
+        assert {region.value for region in MappingRegion} == {"us", "eu", "apac"}
+
+
+class TestContinent:
+    def test_six_continents(self):
+        assert len(Continent) == 6
+
+    def test_display_names_match_figure4_facets(self):
+        assert Continent.NORTH_AMERICA.value == "North America"
+        assert Continent.SOUTH_AMERICA.value == "South America"

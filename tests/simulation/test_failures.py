@@ -1,0 +1,89 @@
+"""Failure-injection tests: links go down mid-event.
+
+Not a paper figure, but the operational question behind Section 5.4:
+when overflow saturates unexpected links, what happens if one fails?
+The engine must redistribute onto the surviving links of the route
+(which then saturate harder) and drop traffic when a route goes dark.
+"""
+
+import pytest
+
+from repro.net.ipv4 import IPv4Prefix
+from repro.simulation import ScenarioConfig, Sep2017Scenario, SimulationEngine
+from repro.workload import TIMELINE
+
+CLUSTER_PREFIX = IPv4Prefix.parse("208.111.160.0/19")
+
+
+def _scenario():
+    return Sep2017Scenario(
+        ScenarioConfig(global_probe_count=2, isp_probe_count=2)
+    )
+
+
+class TestLinkFailureInjection:
+    def test_failure_api(self):
+        scenario = _scenario()
+        isp = scenario.isp
+        assert isp.is_up("transit-d-1")
+        isp.fail_link("transit-d-1")
+        assert not isp.is_up("transit-d-1")
+        assert isp.is_up("transit-d-2")
+        isp.restore_link("transit-d-1")
+        assert isp.is_up("transit-d-1")
+        with pytest.raises(KeyError):
+            isp.fail_link("no-such-link")
+
+    def test_up_links_filters(self):
+        scenario = _scenario()
+        scenario.isp.fail_link("transit-d-1")
+        up = scenario.isp.up_links(["transit-d-1", "transit-d-2"])
+        assert [link.link_id for link in up] == ["transit-d-2"]
+
+    def test_survivor_absorbs_redistribution(self):
+        """Failing one AS-D link shifts the cluster load to its peer."""
+        # Warm up across the release so the AS-D cluster is active.
+        window = (TIMELINE.at(9, 19, 12), TIMELINE.at(9, 20, 6))
+
+        healthy = _scenario()
+        SimulationEngine(healthy, step_seconds=1800.0).run(*window)
+
+        degraded = _scenario()
+        degraded.isp.fail_link("transit-d-1")
+        SimulationEngine(degraded, step_seconds=1800.0).run(*window)
+
+        def volume(scenario, link):
+            return sum(v for _, v in scenario.snmp.series(link))
+
+        assert volume(degraded, "transit-d-1") == 0
+        assert volume(degraded, "transit-d-2") > volume(healthy, "transit-d-2")
+
+    def test_dark_route_drops_traffic(self):
+        """With both AS-D links down the cluster's traffic never arrives."""
+        scenario = _scenario()
+        scenario.isp.fail_link("transit-d-1")
+        scenario.isp.fail_link("transit-d-2")
+        SimulationEngine(scenario, step_seconds=1800.0).run(
+            TIMELINE.at(9, 19, 12), TIMELINE.at(9, 20, 6)
+        )
+        cluster_flows = [
+            record for record in scenario.netflow.records
+            if CLUSTER_PREFIX.contains(record.src)
+        ]
+        assert cluster_flows == []
+        # Traffic from healthy routes still flows.
+        assert scenario.netflow.records
+
+    def test_failed_direct_link_keeps_service_on_peer(self):
+        scenario = _scenario()
+        scenario.isp.fail_link("apple-1")
+        SimulationEngine(scenario, step_seconds=1800.0).run(
+            TIMELINE.at(9, 16), TIMELINE.at(9, 16, 6)
+        )
+        apple_links = {
+            record.link_id
+            for record in scenario.netflow.records
+            if scenario.operator_of(record.src) == "Apple"
+        }
+        assert "apple-1" not in apple_links
+        assert "apple-2" in apple_links

@@ -1,0 +1,70 @@
+"""Tests for the pre-June-2017 configuration (Level3 in the mapping)."""
+
+import pytest
+
+from repro.net.geo import Continent, Coordinates, MappingRegion
+from repro.net.ipv4 import IPv4Address
+from repro.dns.query import QueryContext
+from repro.simulation import ScenarioConfig, Sep2017Scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return Sep2017Scenario(
+        ScenarioConfig(
+            global_probe_count=2, isp_probe_count=2, include_level3=True
+        )
+    )
+
+
+class TestLevel3Scenario:
+    def test_fleet_built_us_eu_only(self, scenario):
+        level3 = scenario.estate.level3
+        assert level3 is not None
+        continents = {placed.location.continent for placed in level3.servers}
+        assert Continent.ASIA not in continents
+        assert Continent.OCEANIA not in continents
+
+    def test_weights_include_level3_outside_apac(self, scenario):
+        names = scenario.estate.names
+        for region in (MappingRegion.US, MappingRegion.EU):
+            targets = scenario.estate.third_party_weights[region].targets_at(0.0)
+            assert names.level3 in targets
+        apac = scenario.estate.third_party_weights[MappingRegion.APAC].targets_at(0.0)
+        assert names.level3 not in apac
+
+    def test_level3_answers_resolutions(self, scenario):
+        estate = scenario.estate
+        estate.controller.observe_demand(MappingRegion.EU, 1e6)
+        try:
+            finals = set()
+            for host in range(80):
+                context = QueryContext(
+                    client=IPv4Address.parse(f"10.77.0.{host % 256}"),
+                    coordinates=Coordinates(50.11, 8.68),
+                    continent=Continent.EUROPE,
+                    country="de",
+                    now=0.0,
+                )
+                resolution = estate.resolver(cache=False).resolve(
+                    estate.names.entry_point, context
+                )
+                assert resolution.succeeded()
+                finals.add(resolution.final_name)
+            assert estate.names.level3 in finals
+        finally:
+            estate.controller.observe_demand(MappingRegion.EU, 0.0)
+
+    def test_level3_addresses_are_attributed(self, scenario):
+        level3_address = scenario.estate.level3.servers[0].server.address
+        assert scenario.operator_of(level3_address) == "Level3"
+        assert scenario.handover_operator(scenario.estate.names.level3) == "Level3"
+
+    def test_default_scenario_has_no_level3(self):
+        default = Sep2017Scenario(
+            ScenarioConfig(global_probe_count=1, isp_probe_count=1)
+        )
+        assert default.estate.level3 is None
+        names = default.estate.names
+        eu = default.estate.third_party_weights[MappingRegion.EU].targets_at(0.0)
+        assert names.level3 not in eu

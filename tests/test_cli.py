@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.command == "simulate"
+        assert args.start == "9-17"
+        assert args.probes == 60
+
+    def test_simulate_overrides(self):
+        args = build_parser().parse_args(
+            ["simulate", "--start", "9-18", "--end", "9-19", "--probes", "5"]
+        )
+        assert args.start == "9-18"
+        assert args.probes == 5
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+
+class TestCommands:
+    def test_simulate_runs_and_reports(self, capsys):
+        code = main(
+            ["simulate", "--start", "9-18", "--end", "9-19",
+             "--probes", "4", "--isp-probes", "3", "--step", "3600"]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "EU demand" in captured
+        assert "DNS measurements" in captured
+
+    def test_bad_date_exits(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--start", "bogus"])
+
+    def test_survey_prints_all_three_analyses(self, capsys):
+        code = main(["survey"])
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "decision points" in captured              # Figure 2
+        assert "34 Apple edge sites" in captured          # Figure 3
+        assert "origin -> edge-lx -> edge-bx" in captured # Section 3.3
+
+    def test_report_covers_every_figure(self, capsys):
+        code = main(
+            ["report", "--probes", "6", "--isp-probes", "4", "--step", "3600"]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        for marker in (
+            "Figure 2",
+            "Figure 3",
+            "Figure 4",
+            "Figure 5",
+            "Figures 6-8",
+            "Offload impact",
+            "Overflow by handover AS",
+        ):
+            assert marker in captured, marker

@@ -1,0 +1,80 @@
+"""Tests for repro.workload.timeline."""
+
+from datetime import datetime, timezone
+
+import pytest
+
+from repro.workload.timeline import TIMELINE, MeasurementWindow, Timeline
+
+
+class TestTimeline:
+    def test_epoch_is_aug_20(self):
+        assert TIMELINE.epoch == datetime(2017, 8, 20, tzinfo=timezone.utc)
+
+    def test_seconds_round_trip(self):
+        moment = datetime(2017, 9, 19, 17, 0, tzinfo=timezone.utc)
+        assert TIMELINE.datetime(TIMELINE.seconds(moment)) == moment
+
+    def test_naive_datetimes_treated_as_utc(self):
+        naive = datetime(2017, 9, 19, 17, 0)
+        aware = datetime(2017, 9, 19, 17, 0, tzinfo=timezone.utc)
+        assert TIMELINE.seconds(naive) == TIMELINE.seconds(aware)
+
+    def test_release_is_sep_19_17h_utc(self):
+        release = TIMELINE.datetime(TIMELINE.ios_11_0_release)
+        assert (release.month, release.day, release.hour) == (9, 19, 17)
+
+    def test_at_shorthand(self):
+        assert TIMELINE.at(9, 19, 17) == TIMELINE.ios_11_0_release
+
+    def test_event_ordering_matches_figure1(self):
+        assert (
+            TIMELINE.keynote
+            < TIMELINE.ios_11_0_release
+            < TIMELINE.ios_11_0_1_release
+            < TIMELINE.ios_11_0_2_release
+            < TIMELINE.ios_11_1_release
+        )
+
+    def test_day_start(self):
+        noon = TIMELINE.at(9, 19, 12)
+        assert TIMELINE.day_start(noon) == TIMELINE.at(9, 19)
+
+    def test_date_label(self):
+        assert TIMELINE.date_label(TIMELINE.ios_11_0_release) == "Sep 19"
+
+    def test_windows_match_figure1(self):
+        assert TIMELINE.ripe_global_window.start == TIMELINE.at(9, 12)
+        assert TIMELINE.ripe_global_window.end == TIMELINE.at(10, 3)
+        assert TIMELINE.ripe_isp_window.start == TIMELINE.at(8, 21)
+        assert TIMELINE.aws_window.start == TIMELINE.at(9, 1)
+        assert TIMELINE.isp_traffic_window.start == TIMELINE.at(9, 15)
+        assert TIMELINE.isp_traffic_window.end == TIMELINE.at(9, 23)
+
+    def test_release_inside_all_windows(self):
+        release = TIMELINE.ios_11_0_release
+        assert TIMELINE.ripe_global_window.contains(release)
+        assert TIMELINE.ripe_isp_window.contains(release)
+        assert TIMELINE.isp_traffic_window.contains(release)
+
+    def test_figure1_rows(self):
+        rows = dict(
+            (name, (start, end)) for name, start, end in TIMELINE.figure1_rows()
+        )
+        assert rows["ios-11.0"] == ("Sep 19", "Sep 19")
+        assert rows["ripe-global"] == ("Sep 12", "Oct 03")
+
+
+class TestMeasurementWindow:
+    def test_contains_boundaries(self):
+        window = MeasurementWindow("w", 10.0, 20.0)
+        assert window.contains(10.0)
+        assert not window.contains(20.0)
+        assert not window.contains(9.9)
+
+    def test_duration(self):
+        assert MeasurementWindow("w", 0.0, 3600.0).duration == 3600.0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            MeasurementWindow("w", 10.0, 10.0)
