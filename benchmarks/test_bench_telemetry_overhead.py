@@ -1,0 +1,114 @@
+"""Telemetry overhead guard.
+
+The observability contract: with the null registry and tracer (the
+default), instrumented hot paths must cost nothing measurable — every
+instrument call is a no-op bound method and the engine's observer
+early-returns.  This bench times release-day engine steps three ways:
+
+* ``plain``   — a copy of the engine step body with no telemetry code
+  at all (the un-instrumented baseline);
+* ``null``    — the shipped ``advance`` under the null handles;
+* ``real``    — the shipped ``advance`` with a live registry + tracer.
+
+The guard asserts ``null`` stays within 5% of ``plain`` (plus a small
+absolute slack for timer noise); ``real`` is reported for context.
+"""
+
+import time
+
+from repro.net.geo import MappingRegion
+from repro.obs import EventTracer, MetricsRegistry, use_registry, use_tracer
+from repro.simulation import ScenarioConfig, Sep2017Scenario, SimulationEngine
+from repro.simulation.engine import StepReport
+from repro.workload import TIMELINE
+
+from conftest import write_output
+
+_STEP = 1800.0
+_STEPS = 12
+_REPEATS = 3
+
+
+def _build_engine(registry=None, tracer=None):
+    config = ScenarioConfig(global_probe_count=40, isp_probe_count=20)
+    if registry is not None and tracer is not None:
+        with use_registry(registry), use_tracer(tracer):
+            scenario = Sep2017Scenario(config)
+            return SimulationEngine(scenario, step_seconds=_STEP)
+    scenario = Sep2017Scenario(config)
+    return SimulationEngine(scenario, step_seconds=_STEP)
+
+
+def _plain_advance(engine, now):
+    """The engine step body with every telemetry call stripped."""
+    scenario = engine.scenario
+    demand_by_region = {}
+    operator_gbps_by_region = {}
+    for region in MappingRegion:
+        demand = scenario.demand.demand_gbps(region, now)
+        demand_by_region[region] = demand
+        scenario.estate.controller.observe_demand(region, demand)
+        split = engine.operator_split(region, now, demand)
+        operator_gbps_by_region[region] = split
+        for operator, gbps in split.items():
+            deployment = scenario.estate.deployments.get(operator)
+            if deployment is not None:
+                deployment.offer_demand(now, region, gbps)
+    measurements = scenario.global_campaign.maybe_run(now)
+    measurements += scenario.isp_campaign.maybe_run(now)
+    measurements += scenario.aws_campaign.maybe_run(now)
+    measurements += scenario.traceroute_campaign.maybe_run(now)
+    flows = 0
+    if scenario.traffic_window.contains(now):
+        flows = engine._generate_isp_traffic(
+            now, operator_gbps_by_region[MappingRegion.EU]
+        )
+    return StepReport(
+        now=now,
+        demand_gbps=demand_by_region,
+        operator_gbps=operator_gbps_by_region[MappingRegion.EU],
+        measurements=measurements,
+        flows=flows,
+    )
+
+
+def _time_steps(step_fn, build_fn):
+    """Best-of-N wall time for a fresh release-day window each repeat."""
+    start = TIMELINE.at(9, 19, 12)
+    best = float("inf")
+    for _ in range(_REPEATS):
+        engine = build_fn()
+        step_fn(engine, start)  # warm caches outside the timed region
+        t0 = time.perf_counter()
+        now = start + _STEP
+        for _ in range(_STEPS):
+            step_fn(engine, now)
+            now += _STEP
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_bench_telemetry_overhead():
+    plain = _time_steps(_plain_advance, _build_engine)
+    null = _time_steps(
+        lambda engine, now: engine.advance(now), _build_engine
+    )
+
+    def build_real():
+        return _build_engine(MetricsRegistry(), EventTracer())
+
+    real = _time_steps(lambda engine, now: engine.advance(now), build_real)
+
+    report = "\n".join([
+        "telemetry overhead (best of "
+        f"{_REPEATS} x {_STEPS} release-day steps)",
+        f"plain (no telemetry code) : {plain * 1000 / _STEPS:8.3f} ms/step",
+        f"null handles (default)    : {null * 1000 / _STEPS:8.3f} ms/step",
+        f"real registry + tracer    : {real * 1000 / _STEPS:8.3f} ms/step",
+        f"null/plain ratio          : {null / plain:8.3f}",
+        f"real/plain ratio          : {real / plain:8.3f}",
+    ])
+    write_output("telemetry_overhead.txt", report)
+
+    # The contract: disabled telemetry is free (5% + 2 ms timer slack).
+    assert null <= plain * 1.05 + 0.002 * _STEPS, report

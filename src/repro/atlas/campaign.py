@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+from ..obs import get_registry
 from ..workload.timeline import MeasurementWindow
 from .probe import AtlasProbe
 from .results import MeasurementStore
@@ -25,13 +26,20 @@ __all__ = ["DnsCampaign", "TracerouteCampaign"]
 
 @dataclass
 class DnsCampaign:
-    """A scheduled DNS measurement over a probe set."""
+    """A scheduled DNS measurement over a probe set.
+
+    ``name`` labels this campaign's telemetry series; a *late* tick is
+    one that fired after its scheduled grid slot (the engine stepped
+    past the due time), a *missed* slot is a grid point skipped
+    entirely because the engine's step outpaced the interval.
+    """
 
     probes: Sequence[AtlasProbe]
     target: str
     interval: float
     window: MeasurementWindow
     store: MeasurementStore = field(default_factory=MeasurementStore)
+    name: str = "dns"
     _next_due: Optional[float] = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -39,6 +47,22 @@ class DnsCampaign:
             raise ValueError("interval must be positive")
         if not self.probes:
             raise ValueError("campaign needs at least one probe")
+        registry = get_registry()
+        self._m_measurements = registry.counter(
+            "atlas_measurements_total",
+            "Measurements taken, by campaign",
+            ("campaign",),
+        ).labels(self.name)
+        self._m_late = registry.counter(
+            "atlas_ticks_late_total",
+            "Campaign ticks fired after their scheduled slot",
+            ("campaign",),
+        ).labels(self.name)
+        self._m_missed = registry.counter(
+            "atlas_slots_missed_total",
+            "Scheduled slots skipped because the engine stepped past them",
+            ("campaign",),
+        ).labels(self.name)
 
     def due(self, now: float) -> bool:
         """Whether a tick should fire at ``now``."""
@@ -54,12 +78,19 @@ class DnsCampaign:
             return 0
         for probe in self.probes:
             self.store.add_dns(probe.measure_dns(self.target, now))
+        self._m_measurements.inc(len(self.probes))
         if self._next_due is None:
             self._next_due = now + self.interval
         else:
+            if now > self._next_due:
+                self._m_late.inc()
             # Keep the grid aligned even if the engine stepped past a tick.
+            slots = 0
             while self._next_due <= now:
                 self._next_due += self.interval
+                slots += 1
+            if slots > 1:
+                self._m_missed.inc(slots - 1)
         return len(self.probes)
 
     def run_window(self, step: Optional[float] = None) -> MeasurementStore:
@@ -87,11 +118,23 @@ class TracerouteCampaign:
     tracer: Callable  # (probe, destination, now) -> TracerouteMeasurement
     store: MeasurementStore = field(default_factory=MeasurementStore)
     max_targets_per_tick: int = 64
+    name: str = "traceroute"
     _next_due: Optional[float] = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.interval <= 0:
             raise ValueError("interval must be positive")
+        registry = get_registry()
+        self._m_measurements = registry.counter(
+            "atlas_measurements_total",
+            "Measurements taken, by campaign",
+            ("campaign",),
+        ).labels(self.name)
+        self._m_late = registry.counter(
+            "atlas_ticks_late_total",
+            "Campaign ticks fired after their scheduled slot",
+            ("campaign",),
+        ).labels(self.name)
 
     def maybe_run(self, now: float) -> int:
         """Fire a traceroute sweep if due; returns measurements taken."""
@@ -107,6 +150,10 @@ class TracerouteCampaign:
             for destination in targets:
                 self.store.add_traceroute(self.tracer(probe, destination, now))
                 taken += 1
+        if taken:
+            self._m_measurements.inc(taken)
+        if self._next_due is not None and now > self._next_due:
+            self._m_late.inc()
         self._next_due = (now + self.interval) if self._next_due is None else self._next_due
         while self._next_due <= now:
             self._next_due += self.interval

@@ -23,6 +23,7 @@ from ..net.asys import ASN
 from ..net.geo import MappingRegion, great_circle_km
 from ..net.ipv4 import IPv4Address
 from ..net.locode import Location
+from ..obs import get_registry
 from .server import CacheServer
 
 __all__ = ["ExposureController", "PlacedServer", "CdnDeployment"]
@@ -134,6 +135,21 @@ class CdnDeployment:
         # active count); campaigns re-query from fixed probe locations
         # thousands of times, so this memo is the resolution hot path.
         self._ranking_memo: dict[tuple, list[IPv4Address]] = {}
+        # Flat third-party delivery telemetry (same families the Apple
+        # hierarchy uses, with layer="edge").
+        registry = get_registry()
+        self._m_requests = registry.counter(
+            "http_requests_total",
+            "HTTP requests served by CDN delivery paths",
+            ("operator",),
+        ).labels(operator)
+        lookups = registry.counter(
+            "cache_requests_total",
+            "Cache lookups through the delivery hierarchy",
+            ("operator", "layer", "outcome"),
+        )
+        self._m_hit = lookups.labels(operator, "edge", "hit")
+        self._m_miss = lookups.labels(operator, "edge", "miss")
 
     def add_server(self, server: CacheServer, location: Location) -> PlacedServer:
         """Deploy ``server`` at ``location``; returns the placement."""
@@ -187,12 +203,15 @@ class CdnDeployment:
         if server.cache is None:
             raise ValueError(f"{server.hostname} is not a cache")
         key = f"{request.host}{request.path}"
+        self._m_requests.inc()
         cached = server.cache.lookup(key)
         if cached is not None:
+            self._m_hit.inc()
             response = HttpResponse(status=200, body_size=cached)
             status = CacheStatus.HIT_FRESH
             size = cached
         else:
+            self._m_miss.inc()
             server.cache.admit(key, size)
             response = HttpResponse(status=200, body_size=size)
             status = CacheStatus.MISS

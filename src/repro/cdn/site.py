@@ -22,6 +22,7 @@ from ..http.headers import CacheStatus, record_cache_hop
 from ..http.messages import Headers, HttpRequest, HttpResponse
 from ..net.ipv4 import IPv4Address
 from ..net.locode import Location
+from ..obs import get_registry
 from .server import CacheServer
 
 __all__ = ["Origin", "EdgeSite", "ServedRequest"]
@@ -92,6 +93,28 @@ class EdgeSite:
         self.edge_bx = list(edge_bx)
         self.edge_lx = edge_lx
         self.origin = origin if origin is not None else Origin()
+        # Hierarchy telemetry, pre-bound per outcome so the serve path
+        # pays one no-op call per hop under the null registry.
+        registry = get_registry()
+        self._m_requests = registry.counter(
+            "http_requests_total",
+            "HTTP requests served by CDN delivery paths",
+            ("operator",),
+        ).labels("Apple")
+        lookups = registry.counter(
+            "cache_requests_total",
+            "Cache lookups through the delivery hierarchy",
+            ("operator", "layer", "outcome"),
+        )
+        self._m_bx_hit = lookups.labels("Apple", "edge-bx", "hit")
+        self._m_bx_miss = lookups.labels("Apple", "edge-bx", "miss")
+        self._m_lx_hit = lookups.labels("Apple", "edge-lx", "hit")
+        self._m_lx_miss = lookups.labels("Apple", "edge-lx", "miss")
+        self._m_origin = registry.counter(
+            "origin_fetches_total",
+            "Requests that fell through every cache layer",
+            ("operator",),
+        ).labels("Apple")
 
     @property
     def address(self) -> IPv4Address:
@@ -131,23 +154,29 @@ class EdgeSite:
         """
         edge = self.choose_edge(request)
         key = f"{request.host}{request.path}"
+        self._m_requests.inc()
 
         cached = edge.cache.lookup(key)
         if cached is not None:
+            self._m_bx_hit.inc()
             response = self._replay(edge, key, cached)
             record_cache_hop(response, edge.hostname, CacheStatus.HIT_FRESH)
             edge.account(cached)
             return ServedRequest(response, self.vip, edge, hit_layer="edge-bx")
+        self._m_bx_miss.inc()
 
         lx_cached = self.edge_lx.cache.lookup(key)
         if lx_cached is not None:
+            self._m_lx_hit.inc()
             response = self._replay(self.edge_lx, key, lx_cached)
             record_cache_hop(response, self.edge_lx.hostname, CacheStatus.HIT_FRESH)
             self._admit(edge, key, lx_cached, response)
             record_cache_hop(response, edge.hostname, CacheStatus.MISS)
             edge.account(lx_cached)
             return ServedRequest(response, self.vip, edge, hit_layer="edge-lx")
+        self._m_lx_miss.inc()
 
+        self._m_origin.inc()
         response = self.origin.fetch(request, size)
         self._admit(self.edge_lx, key, size, response)
         record_cache_hop(response, self.edge_lx.hostname, CacheStatus.MISS)

@@ -23,6 +23,17 @@ from .dns.trace import DelegationTree
 from .http.messages import Headers, HttpRequest
 from .net.geo import Continent, Coordinates, MappingRegion
 from .net.ipv4 import IPv4Address
+from .obs import (
+    NULL_REGISTRY,
+    NULL_TRACER,
+    EventTracer,
+    MetricsRegistry,
+    summary_table,
+    use_registry,
+    use_tracer,
+    write_metrics,
+    write_trace,
+)
 from .simulation import ScenarioConfig, Sep2017Scenario, SimulationEngine
 from .workload import TIMELINE
 
@@ -51,6 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="global probe count (default 60)")
     simulate.add_argument("--isp-probes", type=int, default=30,
                           help="ISP probe count (default 30)")
+    _add_telemetry_args(simulate)
 
     report = commands.add_parser(
         "report", help="run the event window and print the full report"
@@ -58,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--probes", type=int, default=80)
     report.add_argument("--isp-probes", type=int, default=40)
     report.add_argument("--step", type=float, default=1800.0)
+    _add_telemetry_args(report)
 
     commands.add_parser(
         "survey", help="survey the mapping chain, sites and headers"
@@ -73,45 +86,110 @@ def _parse_date(text: str) -> float:
         raise SystemExit(f"bad date {text!r}; expected M-D, e.g. 9-19") from exc
 
 
+def _add_telemetry_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--metrics-out", metavar="PATH", default=None,
+                     help="write Prometheus-style metrics here after the run")
+    sub.add_argument("--trace-out", metavar="PATH", default=None,
+                     help="write the JSONL event trace here after the run")
+    sub.add_argument("--verbose", action="store_true",
+                     help="per-step progress lines plus a metrics summary")
+
+
+def _telemetry(args: argparse.Namespace):
+    """Registry/tracer handles for a command, per its flags.
+
+    Any telemetry flag switches the real implementations in; otherwise
+    the null handles keep the hot paths on their no-op singletons.
+    """
+    wanted = args.verbose or args.metrics_out or args.trace_out
+    # Fail on an unwritable output path now, not after the whole run.
+    for path in (args.metrics_out, args.trace_out):
+        if path:
+            try:
+                with open(path, "w", encoding="utf-8"):
+                    pass
+            except OSError as exc:
+                raise SystemExit(f"cannot write {path}: {exc}") from exc
+    registry = MetricsRegistry() if wanted else NULL_REGISTRY
+    tracer = EventTracer() if wanted else NULL_TRACER
+    return registry, tracer
+
+
+def _write_telemetry(args, registry, tracer) -> None:
+    if args.metrics_out:
+        write_metrics(registry, args.metrics_out)
+        print(f"metrics written to {args.metrics_out} ({len(registry)} families)")
+    if args.trace_out:
+        write_trace(tracer, args.trace_out)
+        print(f"trace written to {args.trace_out} ({len(tracer)} records)")
+    if args.verbose and registry.enabled:
+        print()
+        print(summary_table(registry))
+
+
+def _step_line(report) -> str:
+    day = TIMELINE.date_label(report.now)
+    seconds = int(report.now % 86400.0)
+    clock = f"{seconds // 3600:02d}:{seconds % 3600 // 60:02d}"
+    split = ", ".join(
+        f"{op}={gbps:.0f}G" for op, gbps in sorted(report.operator_gbps.items())
+    )
+    return (f"  {day} {clock}  EU "
+            f"{report.demand_gbps[MappingRegion.EU]:7.0f} Gbps  [{split}]  "
+            f"meas={report.measurements} flows={report.flows}")
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     start = _parse_date(args.start)
     end = _parse_date(args.end)
-    scenario = Sep2017Scenario(
-        ScenarioConfig(
-            global_probe_count=args.probes, isp_probe_count=args.isp_probes
-        )
-    )
-    engine = SimulationEngine(scenario, step_seconds=args.step)
-
-    day_cursor = [None]
-
-    def progress(report):
-        day = TIMELINE.date_label(report.now)
-        if day != day_cursor[0]:
-            day_cursor[0] = day
-            split = ", ".join(
-                f"{op}={gbps:.0f}G" for op, gbps in sorted(report.operator_gbps.items())
+    registry, tracer = _telemetry(args)
+    with use_registry(registry), use_tracer(tracer):
+        scenario = Sep2017Scenario(
+            ScenarioConfig(
+                global_probe_count=args.probes, isp_probe_count=args.isp_probes
             )
-            print(f"{day}: EU demand "
-                  f"{report.demand_gbps[MappingRegion.EU]:.0f} Gbps ({split})")
+        )
+        engine = SimulationEngine(scenario, step_seconds=args.step)
 
-    steps = engine.run(start, end, progress=progress)
+        day_cursor = [None]
+
+        def progress(report):
+            day = TIMELINE.date_label(report.now)
+            if day != day_cursor[0]:
+                day_cursor[0] = day
+                split = ", ".join(
+                    f"{op}={gbps:.0f}G"
+                    for op, gbps in sorted(report.operator_gbps.items())
+                )
+                print(f"{day}: EU demand "
+                      f"{report.demand_gbps[MappingRegion.EU]:.0f} Gbps ({split})")
+            if args.verbose:
+                print(_step_line(report))
+
+        steps = engine.run(start, end, progress=progress)
     print(f"\n{steps} steps; "
           f"{len(scenario.global_campaign.store.dns)} global + "
           f"{len(scenario.isp_campaign.store.dns)} ISP DNS measurements; "
           f"{len(scenario.netflow.records)} flow records")
+    _write_telemetry(args, registry, tracer)
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    scenario = Sep2017Scenario(
-        ScenarioConfig(
-            global_probe_count=args.probes, isp_probe_count=args.isp_probes
+    registry, tracer = _telemetry(args)
+    with use_registry(registry), use_tracer(tracer):
+        scenario = Sep2017Scenario(
+            ScenarioConfig(
+                global_probe_count=args.probes, isp_probe_count=args.isp_probes
+            )
         )
-    )
-    engine = SimulationEngine(scenario, step_seconds=args.step)
-    engine.run(TIMELINE.at(9, 15), TIMELINE.at(9, 23))
+        engine = SimulationEngine(scenario, step_seconds=args.step)
+        engine.run(
+            TIMELINE.at(9, 15), TIMELINE.at(9, 23),
+            progress=(lambda r: print(_step_line(r))) if args.verbose else None,
+        )
     print(generate_report(scenario))
+    _write_telemetry(args, registry, tracer)
     return 0
 
 

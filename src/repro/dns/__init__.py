@@ -45,7 +45,13 @@ from .wire import (
     encode_message,
     encode_name,
 )
-from .resolver import RecursiveResolver, Resolution, ResolutionError, ResolutionStep
+from .resolver import (
+    RecursiveResolver,
+    Resolution,
+    ResolutionError,
+    ResolutionStep,
+    ResolverCacheStats,
+)
 from .trace import DelegationTrace, DelegationTree, ReferralStep, dig_trace
 from .zone import AuthoritativeServer, Zone
 
@@ -90,6 +96,7 @@ __all__ = [
     "Resolution",
     "ResolutionStep",
     "ResolutionError",
+    "ResolverCacheStats",
     "DelegationTree",
     "DelegationTrace",
     "ReferralStep",

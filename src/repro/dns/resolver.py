@@ -17,11 +17,18 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from ..net.ipv4 import IPv4Address
+from ..obs import get_registry
 from .query import DnsResponse, Question, QueryContext, RCode
 from .records import RecordType, ResourceRecord, normalize_name
 from .zone import AuthoritativeServer
 
-__all__ = ["RecursiveResolver", "Resolution", "ResolutionStep", "ResolutionError"]
+__all__ = [
+    "RecursiveResolver",
+    "Resolution",
+    "ResolutionStep",
+    "ResolutionError",
+    "ResolverCacheStats",
+]
 
 _MAX_CHAIN = 16  # generous; the Apple chain is 5 hops at its longest
 
@@ -109,6 +116,31 @@ class _CacheEntry:
     expires_at: float
 
 
+@dataclass(frozen=True)
+class ResolverCacheStats:
+    """A snapshot of one resolver's TTL-cache behaviour.
+
+    ``evictions`` counts entries dropped because their TTL had expired
+    when they were next consulted (explicit :meth:`RecursiveResolver.flush`
+    calls are not evictions); ``size`` is the current entry count.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+
+    @property
+    def requests(self) -> int:
+        """Total cache consultations."""
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over consultations; 0.0 before any."""
+        return self.hits / self.requests if self.requests else 0.0
+
+
 class RecursiveResolver:
     """Chases CNAME chains across a registry of authoritative servers.
 
@@ -128,6 +160,7 @@ class RecursiveResolver:
         servers: Iterable[AuthoritativeServer],
         cache: bool = True,
         wire_mode: bool = False,
+        metrics=None,
     ) -> None:
         self._servers = list(servers)
         self._cache_enabled = cache
@@ -138,6 +171,40 @@ class RecursiveResolver:
         # guaranteed identical either way.
         self._wire_mode = wire_mode
         self._next_message_id = 1
+        # Plain counters back cache_stats() unconditionally; the
+        # registry instruments are no-ops under the null registry.
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        registry = metrics if metrics is not None else get_registry()
+        self._m_queries = registry.counter(
+            "dns_queries_total",
+            "Authoritative DNS queries issued, by answering operator",
+            ("operator",),
+        )
+        self._m_answers = registry.counter(
+            "dns_answer_records_total",
+            "Answer records received, by answering operator",
+            ("operator",),
+        )
+        self._m_cache_hits = registry.counter(
+            "dns_cache_hits_total", "Resolver TTL-cache hits"
+        )
+        self._m_cache_misses = registry.counter(
+            "dns_cache_misses_total", "Resolver TTL-cache misses"
+        )
+        self._m_cache_evictions = registry.counter(
+            "dns_cache_evictions_total",
+            "Resolver TTL-cache entries dropped on expiry",
+        )
+        self._m_resolutions = registry.counter(
+            "dns_resolutions_total", "Completed recursive resolutions"
+        )
+        self._m_chain_length = registry.histogram(
+            "dns_cname_chain_length",
+            "Hops walked per recursive resolution",
+            buckets=(1, 2, 3, 4, 5, 6, 8, 12, 16),
+        )
 
     def add_server(self, server: AuthoritativeServer) -> None:
         """Register an additional authoritative server."""
@@ -174,9 +241,13 @@ class RecursiveResolver:
             a_records = [r for r in step.records if r.rtype is RecordType.A]
             cnames = [r for r in step.records if r.rtype is RecordType.CNAME]
             if a_records:
+                self._m_resolutions.inc()
+                self._m_chain_length.observe(len(steps))
                 return Resolution(question=question, steps=tuple(steps))
             if not cnames:
                 # Dead end: NODATA / NXDOMAIN at this link of the chain.
+                self._m_resolutions.inc()
+                self._m_chain_length.observe(len(steps))
                 return Resolution(
                     question=question, steps=tuple(steps), rcode=RCode.NXDOMAIN
                 )
@@ -189,13 +260,22 @@ class RecursiveResolver:
     def _query_one(self, name: str, context: QueryContext) -> ResolutionStep:
         if self._cache_enabled:
             entry = self._cache.get(name)
-            if entry is not None and entry.expires_at > context.now:
-                return ResolutionStep(
-                    name=name,
-                    operator=entry.operator,
-                    records=entry.records,
-                    from_cache=True,
-                )
+            if entry is not None:
+                if entry.expires_at > context.now:
+                    self._hits += 1
+                    self._m_cache_hits.inc()
+                    return ResolutionStep(
+                        name=name,
+                        operator=entry.operator,
+                        records=entry.records,
+                        from_cache=True,
+                    )
+                # TTL expired: drop the stale entry and fall through.
+                del self._cache[name]
+                self._evictions += 1
+                self._m_cache_evictions.inc()
+            self._misses += 1
+            self._m_cache_misses.inc()
         server = self.server_for(name)
         if server is None:
             raise ResolutionError(f"no authoritative server for {name!r}")
@@ -208,6 +288,9 @@ class RecursiveResolver:
                 f"{server.operator} refused {name!r} despite zone match"
             )
         records = response.answers
+        self._m_queries.labels(server.operator).inc()
+        if records:
+            self._m_answers.labels(server.operator).inc(len(records))
         if self._cache_enabled and records:
             ttl = min(record.ttl for record in records)
             self._cache[name] = _CacheEntry(
@@ -248,10 +331,19 @@ class RecursiveResolver:
         )
 
     def flush(self) -> None:
-        """Drop all cached entries."""
+        """Drop all cached entries (not counted as evictions)."""
         self._cache.clear()
 
     @property
     def cache_size(self) -> int:
         """Number of cached names (expired entries included until reuse)."""
         return len(self._cache)
+
+    def cache_stats(self) -> ResolverCacheStats:
+        """Hit/miss/eviction counters plus the current cache size."""
+        return ResolverCacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._cache),
+        )

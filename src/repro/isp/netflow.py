@@ -16,6 +16,7 @@ from typing import Callable, Iterator, Optional
 
 from ..dns.policies import stable_fraction
 from ..net.ipv4 import IPv4Address
+from ..obs import get_registry
 
 __all__ = ["FlowRecord", "NetflowCollector"]
 
@@ -54,6 +55,14 @@ class NetflowCollector:
         self.flow_bytes = flow_bytes
         self._records: list[FlowRecord] = []
         self.total_offered_bytes = 0
+        registry = get_registry()
+        self._m_records = registry.counter(
+            "netflow_records_total", "Flow records exported by the collector"
+        )
+        self._m_offered = registry.counter(
+            "netflow_offered_bytes_total",
+            "Aggregate bytes offered to the flow collector",
+        )
 
     def observe(
         self,
@@ -73,6 +82,7 @@ class NetflowCollector:
         if total_bytes < 0:
             raise ValueError("bytes cannot be negative")
         self.total_offered_bytes += total_bytes
+        self._m_offered.inc(total_bytes)
         flows = max(1, round(total_bytes / self.flow_bytes)) if total_bytes else 0
         exported = 0
         for index in range(flows):
@@ -91,6 +101,8 @@ class NetflowCollector:
                     )
                 )
                 exported += 1
+        if exported:
+            self._m_records.inc(exported)
         return exported
 
     def observe_exact(
@@ -106,6 +118,8 @@ class NetflowCollector:
         if total_bytes <= 0:
             return
         self.total_offered_bytes += total_bytes
+        self._m_offered.inc(total_bytes)
+        self._m_records.inc()
         self._records.append(
             FlowRecord(
                 timestamp=timestamp,

@@ -17,6 +17,7 @@ import math
 from collections import defaultdict
 from typing import Iterator, Optional
 
+from ..obs import get_registry
 from .netflow import NetflowCollector
 from .topology import EyeballIsp
 
@@ -31,6 +32,9 @@ class SnmpCounters:
             raise ValueError("bin_seconds must be positive")
         self.bin_seconds = bin_seconds
         self._bytes: dict[str, dict[float, int]] = defaultdict(dict)
+        self._m_bytes = get_registry().counter(
+            "snmp_bytes_total", "Bytes counted per peering link", ("link",)
+        )
 
     def bin_start(self, timestamp: float) -> float:
         """The start of the bin containing ``timestamp``."""
@@ -43,6 +47,7 @@ class SnmpCounters:
         bin_key = self.bin_start(timestamp)
         bins = self._bytes[link_id]
         bins[bin_key] = bins.get(bin_key, 0) + count
+        self._m_bytes.labels(link_id).inc(count)
 
     def bytes_in_bin(self, link_id: str, timestamp: float) -> int:
         """Bytes counted on ``link_id`` in the bin containing ``timestamp``."""

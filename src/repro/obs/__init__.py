@@ -1,0 +1,92 @@
+"""Telemetry substrate: metrics registry, event tracing, exporters.
+
+The reproduction's subject is *observation*, and this subpackage makes
+the reproduction itself observable: every hot path (DNS resolution,
+engine stepping, the cache hierarchy, ISP traffic, Atlas campaigns)
+routes its instrumentation through a registry/tracer handle obtained
+here.
+
+* :mod:`repro.obs.registry` — labelled counters, gauges and
+  fixed-bucket histograms; a process-wide default handle; a null
+  registry whose instruments are no-ops (the default, so an
+  un-configured run pays nothing);
+* :mod:`repro.obs.tracer` — timestamped point events and nested spans
+  in a bounded ring buffer, optionally streamed as JSONL;
+* :mod:`repro.obs.export` — Prometheus text exposition (render and
+  parse), JSONL trace dumps, human-readable summary tables.
+
+Typical use (the CLI's ``--metrics-out`` / ``--trace-out`` path)::
+
+    from repro.obs import MetricsRegistry, EventTracer, use_registry, use_tracer
+
+    metrics, tracer = MetricsRegistry(), EventTracer()
+    with use_registry(metrics), use_tracer(tracer):
+        scenario = Sep2017Scenario()           # components capture handles
+        SimulationEngine(scenario).run(start, end)
+    print(summary_table(metrics))
+
+Install the handles *before* constructing the scenario: instrumented
+components capture their instruments at construction time.
+"""
+
+from .export import (
+    ExpositionError,
+    ParsedFamily,
+    parse_exposition,
+    render_exposition,
+    render_trace_jsonl,
+    summary_table,
+    write_metrics,
+    write_trace,
+)
+from .registry import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from .tracer import (
+    NULL_TRACER,
+    EventTracer,
+    NullTracer,
+    TraceRecord,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "EventTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "TraceRecord",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "render_exposition",
+    "parse_exposition",
+    "ParsedFamily",
+    "ExpositionError",
+    "summary_table",
+    "render_trace_jsonl",
+    "write_metrics",
+    "write_trace",
+]

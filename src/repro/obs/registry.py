@@ -1,0 +1,421 @@
+"""Labelled metrics: counters, gauges and fixed-bucket histograms.
+
+The registry is the single handle every instrumented module routes
+through.  Two implementations share the interface:
+
+* :class:`MetricsRegistry` — the real thing: named metric families with
+  label sets, children cached per label tuple, rendered to Prometheus
+  text exposition by :mod:`repro.obs.export`;
+* :class:`NullRegistry` — the zero-overhead opt-out: every instrument
+  it hands out is the same no-op singleton, so instrumented hot paths
+  cost a bound-method call at most (and nothing when the caller gates
+  on ``registry.enabled``).
+
+A process-wide default (:func:`get_registry` / :func:`set_registry` /
+:func:`use_registry`) lets deeply nested components — per-probe
+resolvers, edge sites built four constructors down — pick up the active
+registry without threading a handle through every signature.  The
+default is the null registry; install a real one *before* building a
+scenario so construction-time instrument capture sees it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence, Union
+
+__all__ = [
+    "MetricError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "CounterChild",
+    "GaugeChild",
+    "HistogramChild",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+]
+
+# Prometheus' classic latency buckets; callers pass their own for
+# quantities that are not seconds (chain lengths, Gbps, ...).
+DEFAULT_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class MetricError(ValueError):
+    """Raised on invalid metric names, labels or amounts."""
+
+
+def _check_name(name: str) -> str:
+    if not name or not all(c.isalnum() or c in "_:" for c in name):
+        raise MetricError(f"invalid metric name {name!r}")
+    if name[0].isdigit():
+        raise MetricError(f"metric name cannot start with a digit: {name!r}")
+    return name
+
+
+class CounterChild:
+    """One monotonically increasing series (a single label combination)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise MetricError(f"counters cannot decrease (inc by {amount})")
+        self.value += amount
+
+
+class GaugeChild:
+    """One settable series."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative)."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount``."""
+        self.value -= amount
+
+
+class HistogramChild:
+    """One fixed-bucket distribution series.
+
+    Bucket counts are stored per-bucket (non-cumulative); the exporter
+    accumulates them into the Prometheus ``le`` convention.
+    """
+
+    __slots__ = ("uppers", "bucket_counts", "sum", "count")
+
+    def __init__(self, uppers: tuple[float, ...]) -> None:
+        self.uppers = uppers
+        self.bucket_counts = [0] * len(uppers)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.sum += value
+        self.count += 1
+        for index, upper in enumerate(self.uppers):
+            if value <= upper:
+                self.bucket_counts[index] += 1
+                break
+        # values above the last bound land only in the implicit +Inf
+        # bucket, whose cumulative count is ``count`` itself.
+
+    @property
+    def mean(self) -> float:
+        """Average of all observations (0.0 before any)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """(upper bound, cumulative count) pairs, +Inf last."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for upper, n in zip(self.uppers, self.bucket_counts):
+            running += n
+            out.append((upper, running))
+        out.append((float("inf"), self.count))
+        return out
+
+
+_Child = Union[CounterChild, GaugeChild, HistogramChild]
+
+
+class MetricFamily:
+    """A named metric with a label schema and one child per label tuple."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: Sequence[str]) -> None:
+        self.name = _check_name(name)
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        for label in self.labelnames:
+            if not label or not label.replace("_", "a").isalnum():
+                raise MetricError(f"invalid label name {label!r}")
+        self._children: dict[tuple[str, ...], _Child] = {}
+
+    def _new_child(self) -> _Child:
+        raise NotImplementedError
+
+    def labels(self, *values) -> _Child:
+        """The child series for one combination of label values."""
+        if len(values) != len(self.labelnames):
+            raise MetricError(
+                f"{self.name} takes {len(self.labelnames)} label values, "
+                f"got {len(values)}"
+            )
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        if child is None:
+            child = self._new_child()
+            self._children[key] = child
+        return child
+
+    def children(self) -> Iterator[tuple[tuple[str, ...], _Child]]:
+        """(label values, child) pairs in insertion order."""
+        return iter(self._children.items())
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+
+class Counter(MetricFamily):
+    """A family of monotonically increasing series."""
+
+    kind = "counter"
+
+    def _new_child(self) -> CounterChild:
+        return CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the unlabelled series (labelnames must be empty)."""
+        self.labels().inc(amount)
+
+    @property
+    def value(self) -> float:
+        """Value of the unlabelled series (0.0 if never touched)."""
+        return self.labels().value
+
+
+class Gauge(MetricFamily):
+    """A family of settable series."""
+
+    kind = "gauge"
+
+    def _new_child(self) -> GaugeChild:
+        return GaugeChild()
+
+    def set(self, value: float) -> None:
+        """Set the unlabelled series."""
+        self.labels().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increment the unlabelled series."""
+        self.labels().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Decrement the unlabelled series."""
+        self.labels().dec(amount)
+
+    @property
+    def value(self) -> float:
+        """Value of the unlabelled series."""
+        return self.labels().value
+
+
+class Histogram(MetricFamily):
+    """A family of fixed-bucket distributions."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        uppers = tuple(sorted(float(b) for b in buckets))
+        if not uppers:
+            raise MetricError("histogram needs at least one bucket")
+        if len(set(uppers)) != len(uppers):
+            raise MetricError("histogram buckets must be distinct")
+        super().__init__(name, help, labelnames)
+        self.buckets = uppers
+
+    def _new_child(self) -> HistogramChild:
+        return HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        """Record on the unlabelled series."""
+        self.labels().observe(value)
+
+
+class MetricsRegistry:
+    """Holds metric families; registration is idempotent by name.
+
+    Re-requesting an existing name returns the same family provided the
+    kind and label schema agree; a mismatch raises :class:`MetricError`
+    (two modules silently sharing a name with different meanings is a
+    bug worth failing loudly on).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+
+    def _register(self, family: MetricFamily) -> MetricFamily:
+        existing = self._families.get(family.name)
+        if existing is None:
+            self._families[family.name] = family
+            return family
+        if existing.kind != family.kind:
+            raise MetricError(
+                f"{family.name} already registered as a {existing.kind}"
+            )
+        if existing.labelnames != family.labelnames:
+            raise MetricError(
+                f"{family.name} already registered with labels "
+                f"{existing.labelnames}, not {family.labelnames}"
+            )
+        if (
+            isinstance(existing, Histogram)
+            and isinstance(family, Histogram)
+            and existing.buckets != family.buckets
+        ):
+            raise MetricError(
+                f"{family.name} already registered with different buckets"
+            )
+        return existing
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        """Get or create a counter family."""
+        return self._register(Counter(name, help, labelnames))
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        """Get or create a gauge family."""
+        return self._register(Gauge(name, help, labelnames))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create a histogram family."""
+        return self._register(Histogram(name, help, labelnames, buckets))
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        """The family registered under ``name``, if any."""
+        return self._families.get(name)
+
+    def collect(self) -> Iterator[MetricFamily]:
+        """All families, name-ordered (the exposition order)."""
+        for name in sorted(self._families):
+            yield self._families[name]
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+
+class _NullInstrument:
+    """The do-nothing instrument: absorbs every metric call.
+
+    ``labels`` returns itself, so pre-bound children and call-time
+    label lookups both collapse to no-op method calls.
+    """
+
+    __slots__ = ()
+
+    value = 0.0
+    sum = 0.0
+    count = 0
+    mean = 0.0
+
+    def labels(self, *values) -> "_NullInstrument":
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """The opt-out registry: every instrument is the no-op singleton."""
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        return NULL_INSTRUMENT
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        return NULL_INSTRUMENT
+
+    def get(self, name: str) -> None:
+        return None
+
+    def collect(self) -> Iterator[MetricFamily]:
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+
+NULL_REGISTRY = NullRegistry()
+
+_default_registry: Union[MetricsRegistry, NullRegistry] = NULL_REGISTRY
+
+
+def get_registry() -> Union[MetricsRegistry, NullRegistry]:
+    """The process-wide default registry (the null registry unless set)."""
+    return _default_registry
+
+
+def set_registry(registry: Union[MetricsRegistry, NullRegistry]) -> None:
+    """Install ``registry`` as the process-wide default."""
+    global _default_registry
+    _default_registry = registry
+
+
+@contextmanager
+def use_registry(registry: Union[MetricsRegistry, NullRegistry]):
+    """Temporarily install ``registry`` as the default (restores on exit)."""
+    previous = get_registry()
+    set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

@@ -1,0 +1,264 @@
+"""Structured event tracing: timestamped point events and nested spans.
+
+The tracer is the narrative complement to the metrics registry: where
+counters say *how much*, the trace says *when and in what order* — the
+controller flipped to offload at 17:30, transit-d-1 saturated two steps
+later, the ``a1015`` rollout landed at 23:00.  Records carry the
+*simulation* clock in ``ts`` (the quantity every analysis reasons in);
+span durations are wall-clock seconds, measured with
+``time.perf_counter``.
+
+Records land in a bounded in-memory ring buffer (old records drop
+silently once ``capacity`` is exceeded; ``dropped`` counts them) and,
+optionally, stream to a file-like object as JSONL the moment they are
+emitted.  :class:`NullTracer` is the zero-overhead opt-out.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import IO, Iterator, Optional, Union
+
+__all__ = [
+    "TraceRecord",
+    "EventTracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: a point event or a completed span."""
+
+    name: str
+    ts: float                       # simulation seconds
+    kind: str                       # "event" | "span"
+    fields: dict = field(default_factory=dict)
+    span_id: Optional[int] = None   # set for spans
+    parent_id: Optional[int] = None  # enclosing span, if any
+    duration: Optional[float] = None  # wall seconds; spans only
+
+    def to_json(self) -> dict:
+        """The JSONL representation (stable key order)."""
+        out = {"ts": self.ts, "kind": self.kind, "name": self.name}
+        if self.span_id is not None:
+            out["span_id"] = self.span_id
+        if self.parent_id is not None:
+            out["parent_id"] = self.parent_id
+        if self.duration is not None:
+            out["duration_s"] = round(self.duration, 9)
+        if self.fields:
+            out["fields"] = self.fields
+        return out
+
+    def to_jsonl(self) -> str:
+        """One JSONL line (no trailing newline)."""
+        return json.dumps(self.to_json(), sort_keys=False, default=str)
+
+
+class _Span:
+    """Context manager recording a span on exit."""
+
+    __slots__ = ("_tracer", "name", "ts", "fields", "span_id", "_t0")
+
+    def __init__(self, tracer: "EventTracer", name: str, ts: float, fields: dict):
+        self._tracer = tracer
+        self.name = name
+        self.ts = ts
+        self.fields = fields
+        self.span_id = 0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self.span_id = self._tracer._open_span()
+        self._t0 = time.perf_counter()
+        return self
+
+    def annotate(self, **fields) -> None:
+        """Attach extra fields before the span closes."""
+        self.fields.update(fields)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        elapsed = time.perf_counter() - self._t0
+        self._tracer._close_span(self, elapsed, failed=exc_type is not None)
+
+
+class EventTracer:
+    """Collects :class:`TraceRecord` entries in a ring buffer.
+
+    ``capacity`` bounds memory; ``stream`` (optional, file-like) gets
+    every record as a JSONL line the moment it is recorded, so long
+    runs can persist more than the buffer holds.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 65536, stream: Optional[IO[str]] = None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._buffer: "deque[TraceRecord]" = deque(maxlen=capacity)
+        self._stream = stream
+        self._stack: list[int] = []   # open span ids, innermost last
+        self._next_id = 1
+        self.emitted = 0
+
+    # ----- recording ----------------------------------------------------
+
+    def event(self, name: str, ts: float, **fields) -> TraceRecord:
+        """Record a point event at simulation time ``ts``."""
+        record = TraceRecord(
+            name=name,
+            ts=float(ts),
+            kind="event",
+            fields=fields,
+            parent_id=self._stack[-1] if self._stack else None,
+        )
+        self._emit(record)
+        return record
+
+    def span(self, name: str, ts: float, **fields) -> _Span:
+        """A context manager timing a nested span starting at ``ts``."""
+        return _Span(self, name, float(ts), fields)
+
+    def _open_span(self) -> int:
+        span_id = self._next_id
+        self._next_id += 1
+        self._stack.append(span_id)
+        return span_id
+
+    def _close_span(self, span: _Span, elapsed: float, failed: bool) -> None:
+        if self._stack and self._stack[-1] == span.span_id:
+            self._stack.pop()
+        fields = dict(span.fields)
+        if failed:
+            fields["failed"] = True
+        self._emit(
+            TraceRecord(
+                name=span.name,
+                ts=span.ts,
+                kind="span",
+                fields=fields,
+                span_id=span.span_id,
+                parent_id=self._stack[-1] if self._stack else None,
+                duration=elapsed,
+            )
+        )
+
+    def _emit(self, record: TraceRecord) -> None:
+        self._buffer.append(record)
+        self.emitted += 1
+        if self._stream is not None:
+            self._stream.write(record.to_jsonl() + "\n")
+
+    # ----- reading ------------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Records pushed out of the ring buffer."""
+        return self.emitted - len(self._buffer)
+
+    def records(self) -> tuple[TraceRecord, ...]:
+        """Everything still in the buffer, oldest first."""
+        return tuple(self._buffer)
+
+    def find(self, name: str) -> list[TraceRecord]:
+        """All buffered records with ``name``."""
+        return [r for r in self._buffer if r.name == name]
+
+    def first(self, name: str) -> Optional[TraceRecord]:
+        """The oldest buffered record with ``name``, if any."""
+        for record in self._buffer:
+            if record.name == name:
+                return record
+        return None
+
+    def jsonl_lines(self) -> Iterator[str]:
+        """Every buffered record as a JSONL line."""
+        for record in self._buffer:
+            yield record.to_jsonl()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+
+class _NullSpan:
+    """Reusable no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+    def annotate(self, **fields) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The opt-out tracer: records nothing, costs a method call."""
+
+    enabled = False
+    emitted = 0
+    dropped = 0
+
+    def event(self, name: str, ts: float, **fields) -> None:
+        return None
+
+    def span(self, name: str, ts: float, **fields) -> _NullSpan:
+        return _NULL_SPAN
+
+    def records(self) -> tuple:
+        return ()
+
+    def find(self, name: str) -> list:
+        return []
+
+    def first(self, name: str) -> None:
+        return None
+
+    def jsonl_lines(self) -> Iterator[str]:
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_TRACER = NullTracer()
+
+_default_tracer: Union[EventTracer, NullTracer] = NULL_TRACER
+
+
+def get_tracer() -> Union[EventTracer, NullTracer]:
+    """The process-wide default tracer (the null tracer unless set)."""
+    return _default_tracer
+
+
+def set_tracer(tracer: Union[EventTracer, NullTracer]) -> None:
+    """Install ``tracer`` as the process-wide default."""
+    global _default_tracer
+    _default_tracer = tracer
+
+
+@contextmanager
+def use_tracer(tracer: Union[EventTracer, NullTracer]):
+    """Temporarily install ``tracer`` as the default (restores on exit)."""
+    previous = get_tracer()
+    set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -1,7 +1,7 @@
 """The discrete-time simulation binding demand, the Meta-CDN, probes
 and the eyeball ISP together, plus the Sep 2017 scenario itself."""
 
-from .engine import SimulationEngine, StepReport
+from .engine import RunSummary, SimulationEngine, StepReport
 from .microsim import DeviceAgent, MicroSimStats, MicroSimulation
 from .scenario import (
     AS_HOSTER_AKAMAI,
@@ -20,6 +20,7 @@ __all__ = [
     "Sep2017Scenario",
     "SimulationEngine",
     "StepReport",
+    "RunSummary",
     "MicroSimulation",
     "MicroSimStats",
     "DeviceAgent",

@@ -199,12 +199,14 @@ class Sep2017Scenario:
             target=NAMES.entry_point,
             interval=self.config.global_dns_interval,
             window=timeline.ripe_global_window,
+            name="ripe-global",
         )
         self.isp_campaign = DnsCampaign(
             probes=self.isp_probes,
             target=NAMES.entry_point,
             interval=self.config.isp_dns_interval,
             window=timeline.ripe_isp_window,
+            name="ripe-isp",
         )
         self.aws_vantages = build_aws_vantages(
             self.estate.servers, locations=self.locations
@@ -231,6 +233,7 @@ class Sep2017Scenario:
             window=timeline.ripe_global_window,
             tracer=self.tracer.trace,
             max_targets_per_tick=self.config.traceroute_max_targets,
+            name="traceroute",
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,185 @@
+"""Tests for repro.obs.registry: metric semantics, labels, defaults."""
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    MetricError,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = MetricsRegistry().counter("requests_total")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("requests_total")
+        with pytest.raises(MetricError):
+            counter.inc(-1)
+
+    def test_labelled_children_are_independent(self):
+        counter = MetricsRegistry().counter("q", "", ("operator",))
+        counter.labels("Apple").inc(3)
+        counter.labels("Akamai").inc()
+        assert counter.labels("Apple").value == 3
+        assert counter.labels("Akamai").value == 1
+
+    def test_labels_cached_per_tuple(self):
+        counter = MetricsRegistry().counter("q", "", ("operator",))
+        assert counter.labels("Apple") is counter.labels("Apple")
+
+    def test_wrong_label_arity_rejected(self):
+        counter = MetricsRegistry().counter("q", "", ("a", "b"))
+        with pytest.raises(MetricError):
+            counter.labels("only-one")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("demand_gbps")
+        gauge.set(10.0)
+        gauge.inc(5.0)
+        gauge.dec(2.0)
+        assert gauge.value == 13.0
+
+    def test_gauge_may_go_negative(self):
+        gauge = MetricsRegistry().gauge("delta")
+        gauge.dec(4.0)
+        assert gauge.value == -4.0
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        histogram = MetricsRegistry().histogram(
+            "latency", buckets=(0.1, 1.0, 10.0)
+        )
+        child = histogram.labels()
+        for value in (0.05, 0.5, 5.0, 50.0):
+            child.observe(value)
+        assert child.count == 4
+        assert child.sum == pytest.approx(55.55)
+        assert child.cumulative_buckets() == [
+            (0.1, 1),
+            (1.0, 2),
+            (10.0, 3),
+            (float("inf"), 4),
+        ]
+
+    def test_mean(self):
+        child = MetricsRegistry().histogram("x", buckets=(1.0,)).labels()
+        assert child.mean == 0.0
+        child.observe(2.0)
+        child.observe(4.0)
+        assert child.mean == 3.0
+
+    def test_buckets_sorted_and_deduped(self):
+        histogram = MetricsRegistry().histogram("x", buckets=(5.0, 1.0, 2.0))
+        assert histogram.buckets == (1.0, 2.0, 5.0)
+        with pytest.raises(MetricError):
+            MetricsRegistry().histogram("y", buckets=(1.0, 1.0))
+
+    def test_default_buckets(self):
+        histogram = MetricsRegistry().histogram("x")
+        assert histogram.buckets == DEFAULT_BUCKETS
+
+
+class TestRegistry:
+    def test_registration_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits", "Hits", ("op",))
+        second = registry.counter("hits", "Hits", ("op",))
+        assert first is second
+        assert len(registry) == 1
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(MetricError):
+            registry.gauge("x")
+
+    def test_label_schema_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x", "", ("a",))
+        with pytest.raises(MetricError):
+            registry.counter("x", "", ("b",))
+
+    def test_bucket_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("x", buckets=(1.0, 2.0))
+        with pytest.raises(MetricError):
+            registry.histogram("x", buckets=(1.0, 3.0))
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError):
+            registry.counter("bad name")
+        with pytest.raises(MetricError):
+            registry.counter("1starts_with_digit")
+        with pytest.raises(MetricError):
+            registry.counter("ok", "", ("bad-label",))
+
+    def test_collect_is_name_ordered(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta")
+        registry.counter("alpha")
+        assert [f.name for f in registry.collect()] == ["alpha", "zeta"]
+
+    def test_contains_and_get(self):
+        registry = MetricsRegistry()
+        family = registry.gauge("present")
+        assert "present" in registry
+        assert registry.get("present") is family
+        assert registry.get("absent") is None
+
+
+class TestNullRegistry:
+    def test_disabled_and_empty(self):
+        assert NULL_REGISTRY.enabled is False
+        assert len(NULL_REGISTRY) == 0
+        assert list(NULL_REGISTRY.collect()) == []
+
+    def test_all_instruments_share_the_noop_singleton(self):
+        registry = NullRegistry()
+        counter = registry.counter("a")
+        gauge = registry.gauge("b", "", ("x",))
+        histogram = registry.histogram("c")
+        assert counter is gauge is histogram
+        assert counter.labels("anything") is counter
+
+    def test_noop_calls_absorb_everything(self):
+        instrument = NULL_REGISTRY.counter("a")
+        instrument.inc(5)
+        instrument.set(3)
+        instrument.observe(1.0)
+        instrument.dec()
+        assert instrument.value == 0.0
+        assert instrument.count == 0
+
+
+class TestDefaultRegistry:
+    def test_default_is_null(self):
+        assert get_registry() is NULL_REGISTRY or not get_registry().enabled
+
+    def test_use_registry_scopes_the_override(self):
+        registry = MetricsRegistry()
+        before = get_registry()
+        with use_registry(registry) as installed:
+            assert installed is registry
+            assert get_registry() is registry
+        assert get_registry() is before
+
+    def test_use_registry_restores_on_error(self):
+        before = get_registry()
+        with pytest.raises(RuntimeError):
+            with use_registry(MetricsRegistry()):
+                raise RuntimeError("boom")
+        assert get_registry() is before

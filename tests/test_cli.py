@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import parse_exposition
 
 
 class TestParser:
@@ -27,6 +30,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["bogus"])
 
+    def test_telemetry_flags_on_both_run_commands(self):
+        for command in ("simulate", "report"):
+            args = build_parser().parse_args(
+                [command, "--metrics-out", "m.prom",
+                 "--trace-out", "t.jsonl", "--verbose"]
+            )
+            assert args.metrics_out == "m.prom"
+            assert args.trace_out == "t.jsonl"
+            assert args.verbose is True
+
 
 class TestCommands:
     def test_simulate_runs_and_reports(self, capsys):
@@ -50,6 +63,43 @@ class TestCommands:
         assert "decision points" in captured              # Figure 2
         assert "34 Apple edge sites" in captured          # Figure 3
         assert "origin -> edge-lx -> edge-bx" in captured # Section 3.3
+
+    def test_simulate_verbose_prints_per_step_lines(self, capsys):
+        code = main(
+            ["simulate", "--start", "9-18", "--end", "9-19",
+             "--probes", "3", "--isp-probes", "2", "--step", "3600",
+             "--verbose"]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        # one line per engine step, with the split and the flow count
+        step_lines = [l for l in captured.splitlines() if "flows=" in l]
+        assert len(step_lines) == 24
+        assert "Apple=" in step_lines[0]
+        # and the closing metrics summary table
+        assert "engine_steps_total" in captured
+
+    def test_simulate_writes_metrics_and_trace(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.prom"
+        trace_path = tmp_path / "t.jsonl"
+        code = main(
+            ["simulate", "--start", "9-19", "--end", "9-20",
+             "--probes", "4", "--isp-probes", "3", "--step", "3600",
+             "--metrics-out", str(metrics_path),
+             "--trace-out", str(trace_path)]
+        )
+        assert code == 0
+        families = parse_exposition(metrics_path.read_text())
+        assert families["engine_steps_total"].value() == 24
+        assert "dns_queries_total" in families
+        records = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        names = {record["name"] for record in records}
+        assert "offload_engaged" in names
+        assert "link_saturated" in names
+        assert "release" in names
 
     def test_report_covers_every_figure(self, capsys):
         code = main(

@@ -58,6 +58,15 @@ class TestExamples:
         assert "Offloading cuts the mean download time" in out
 
     @pytest.mark.slow
+    def test_telemetry_dashboard(self, capsys):
+        out = run_example("telemetry_dashboard.py", capsys)
+        assert "five moments" in out
+        assert "offload_engaged" in out
+        assert "link_saturated" in out
+        assert "cname_rollout" in out
+        assert "engine_steps_total" in out
+
+    @pytest.mark.slow
     def test_release_day_closeup(self, capsys):
         out = run_example("release_day_closeup.py", capsys)
         assert "delegation trace" in out
