@@ -1,18 +1,25 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three commands cover the common workflows:
+Six commands cover the common workflows:
 
 * ``simulate`` — run the Sep-2017 scenario over a date window and print
   per-step aggregates (demand, offload split, measurements, flows);
 * ``report`` — run the event window and emit the full reproduction
   report (Figures 2-8 in one document);
 * ``survey`` — the paper's generic CDN-survey methodology: mapping
-  graph, site discovery and header inference, no time simulation.
+  graph, site discovery and header inference, no time simulation;
+* ``serve`` — boot the live DNS + HTTP serving layer on loopback and
+  keep it up for external clients (``dig``, ``curl``, the loadgen);
+* ``loadgen`` — drive the closed-loop load generator against an
+  already-running serve endpoint pair;
+* ``selftest`` — boot a cluster, drive a full load run through it and
+  verify throughput, latency and cache health in one shot.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from typing import Optional, Sequence
 
@@ -33,6 +40,16 @@ from .obs import (
     use_tracer,
     write_metrics,
     write_trace,
+)
+from .serve import (
+    ClientDirectory,
+    ClusterConfig,
+    LoadConfig,
+    LoadGenerator,
+    ServeCluster,
+    render_selftest,
+    selftest,
+    selftest_checks,
 )
 from .simulation import ScenarioConfig, Sep2017Scenario, SimulationEngine
 from .workload import TIMELINE
@@ -75,6 +92,38 @@ def build_parser() -> argparse.ArgumentParser:
     commands.add_parser(
         "survey", help="survey the mapping chain, sites and headers"
     )
+
+    serve = commands.add_parser(
+        "serve", help="boot the live DNS + HTTP serving layer and keep it up"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="address to bind both servers on (default loopback)")
+    serve.add_argument("--dns-port", type=int, default=5333,
+                       help="DNS port, UDP and TCP (default 5333; 0 = ephemeral)")
+    serve.add_argument("--http-port", type=int, default=8080,
+                       help="HTTP edge port (default 8080; 0 = ephemeral)")
+    serve.add_argument("--object-size", type=int, default=262_144,
+                       help="modelled entity size in bytes (default 256 KiB)")
+
+    loadgen = commands.add_parser(
+        "loadgen", help="drive the load generator against a running serve pair"
+    )
+    loadgen.add_argument("--dns", required=True, metavar="HOST:PORT",
+                         help="DNS endpoint of a running `repro serve`")
+    loadgen.add_argument("--http", required=True, metavar="HOST:PORT",
+                         help="HTTP endpoint of a running `repro serve`")
+    loadgen.add_argument("--requests", type=int, default=1000)
+    loadgen.add_argument("--concurrency", type=int, default=32)
+
+    selftest_cmd = commands.add_parser(
+        "selftest", help="boot a loopback cluster, drive it, verify health"
+    )
+    selftest_cmd.add_argument("--requests", type=int, default=5000,
+                              help="closed-loop requests to drive (default 5000)")
+    selftest_cmd.add_argument("--concurrency", type=int, default=64,
+                              help="concurrent workers (default 64)")
+    selftest_cmd.add_argument("--qps-floor", type=float, default=1000.0,
+                              help="required sustained DNS qps (default 1000)")
     return parser
 
 
@@ -252,6 +301,59 @@ def _cmd_survey(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_endpoint(text: str) -> tuple[str, int]:
+    host, _, port = text.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"bad endpoint {text!r}; expected HOST:PORT")
+    return host, int(port)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    async def _run() -> None:
+        cluster = ServeCluster(
+            config=ClusterConfig(object_size=args.object_size)
+        )
+        await cluster.start(
+            host=args.host, dns_port=args.dns_port, http_port=args.http_port
+        )
+        dns_host, dns_port = cluster.dns.endpoint
+        http_host, http_port = cluster.http.endpoint
+        print(f"dns   {dns_host}:{dns_port}  (udp + tcp fallback)")
+        print(f"http  {http_host}:{http_port}")
+        print("serving the Figure 2 estate; Ctrl-C to stop")
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await cluster.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("\nstopped")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    generator = LoadGenerator(
+        dns_endpoint=_parse_endpoint(args.dns),
+        http_endpoint=_parse_endpoint(args.http),
+        directory=ClientDirectory.from_adoption(),
+        config=LoadConfig(requests=args.requests, concurrency=args.concurrency),
+    )
+    report = asyncio.run(generator.run())
+    print(report.render())
+    return 0 if report.healthy() else 1
+
+
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    report, registry = selftest(
+        requests=args.requests, concurrency=args.concurrency
+    )
+    print(render_selftest(report, registry, qps_floor=args.qps_floor))
+    checks = selftest_checks(report, registry, qps_floor=args.qps_floor)
+    return 0 if all(passed for _, passed in checks) else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -259,6 +361,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "report": _cmd_report,
         "survey": _cmd_survey,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
+        "selftest": _cmd_selftest,
     }
     return handlers[args.command](args)
 

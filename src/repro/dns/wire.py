@@ -34,11 +34,14 @@ __all__ = [
 ]
 
 _MAX_MESSAGE = 65535
+_MAX_NAME_OCTETS = 255  # RFC 1035 §3.1: total encoded name length
+_MAX_POINTER_JUMPS = 32  # far above any legal message's compression depth
 _POINTER_MASK = 0xC0
 _CLASS_IN = 1
 _OPT_TYPE = 41
 _ECS_OPTION_CODE = 8
 _ECS_FAMILY_IPV4 = 1
+_DEFAULT_UDP_PAYLOAD = 4096
 
 
 class WireError(ValueError):
@@ -106,12 +109,17 @@ class WireMessage:
     message_id: int = 0
     is_response: bool = False
     authoritative: bool = False
+    truncated: bool = False
     recursion_desired: bool = True
     recursion_available: bool = False
     rcode: RCode = RCode.NOERROR
     questions: list = field(default_factory=list)  # list[Question]
     answers: list = field(default_factory=list)  # list[ResourceRecord]
     client_subnet: Optional[ClientSubnet] = None
+    # The EDNS0 advertised UDP payload size (the OPT record's CLASS
+    # field); None when the message carries no OPT record.  A server
+    # uses it to decide when a UDP response must be truncated.
+    udp_payload_size: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not 0 <= self.message_id <= 0xFFFF:
@@ -149,10 +157,21 @@ def encode_name(name: str, compression: Optional[dict] = None,
 
 
 def decode_name(data: bytes, offset: int) -> tuple[str, int]:
-    """Decode a (possibly compressed) name; returns (name, next offset)."""
+    """Decode a (possibly compressed) name; returns (name, next offset).
+
+    Hardened against adversarial bytes: every compression pointer must
+    land strictly before the previous jump target (a legal encoder only
+    ever points at earlier suffixes, and the rule makes pointer loops
+    impossible on the first revisit instead of after a long chase),
+    jumps are bounded, and the accumulated name may not exceed the RFC
+    1035 limit of 255 octets.  Any violation raises :class:`WireError`;
+    malformed input can never hang the decoder.
+    """
     labels: list[str] = []
+    name_octets = 1  # the terminating zero label
     jumps = 0
     cursor = offset
+    lowest_target = offset  # each jump must land strictly before this
     end: Optional[int] = None
     while True:
         if cursor >= len(data):
@@ -165,10 +184,14 @@ def decode_name(data: bytes, offset: int) -> tuple[str, int]:
             if end is None:
                 end = cursor + 2
             jumps += 1
-            if jumps > 64:
-                raise WireError("compression pointer loop")
-            if pointer >= cursor:
-                raise WireError("forward compression pointer")
+            if jumps > _MAX_POINTER_JUMPS:
+                raise WireError("too many compression pointer jumps")
+            if pointer >= lowest_target:
+                raise WireError(
+                    f"compression pointer at {cursor} does not move "
+                    f"backwards (target {pointer})"
+                )
+            lowest_target = pointer
             cursor = pointer
             continue
         if length & _POINTER_MASK:
@@ -178,7 +201,13 @@ def decode_name(data: bytes, offset: int) -> tuple[str, int]:
             break
         if cursor + length > len(data):
             raise WireError("label runs past end of message")
-        labels.append(data[cursor:cursor + length].decode("ascii"))
+        name_octets += 1 + length
+        if name_octets > _MAX_NAME_OCTETS:
+            raise WireError("name exceeds 255 octets")
+        try:
+            labels.append(data[cursor:cursor + length].decode("ascii"))
+        except UnicodeDecodeError as exc:
+            raise WireError("non-ASCII bytes in label") from exc
         cursor += length
     if end is None:
         end = cursor
@@ -213,12 +242,14 @@ def _encode_record(record: ResourceRecord, compression: dict, offset: int) -> by
     return bytes(out)
 
 
-def _decode_record(data: bytes, offset: int) -> tuple[Optional[ResourceRecord], int, Optional[bytes]]:
-    """Returns (record or None-for-OPT, next offset, raw OPT rdata)."""
+def _decode_record(
+    data: bytes, offset: int
+) -> tuple[Optional[ResourceRecord], int, Optional[tuple[int, bytes]]]:
+    """Returns (record or None-for-OPT, next offset, (OPT class, rdata))."""
     name, cursor = _decode_owner(data, offset)
     if cursor + 10 > len(data):
         raise WireError("truncated record header")
-    type_code, _class, ttl = struct.unpack("!HHI", data[cursor:cursor + 8])
+    type_code, class_code, ttl = struct.unpack("!HHI", data[cursor:cursor + 8])
     (rdlength,) = struct.unpack("!H", data[cursor + 8:cursor + 10])
     cursor += 10
     if cursor + rdlength > len(data):
@@ -226,7 +257,8 @@ def _decode_record(data: bytes, offset: int) -> tuple[Optional[ResourceRecord], 
     rdata = data[cursor:cursor + rdlength]
     next_offset = cursor + rdlength
     if type_code == _OPT_TYPE:
-        return None, next_offset, rdata
+        # For OPT the CLASS field carries the advertised UDP size.
+        return None, next_offset, (class_code, rdata)
     try:
         wire_type = WireType(type_code)
     except ValueError as exc:
@@ -265,13 +297,18 @@ def encode_message(message: WireMessage) -> bytes:
         flags |= 0x8000
     if message.authoritative:
         flags |= 0x0400
+    if message.truncated:
+        flags |= 0x0200
     if message.recursion_desired:
         flags |= 0x0100
     if message.recursion_available:
         flags |= 0x0080
     flags |= message.rcode.value & 0x000F
 
-    additional_count = 1 if message.client_subnet is not None else 0
+    emit_opt = (
+        message.client_subnet is not None or message.udp_payload_size is not None
+    )
+    additional_count = 1 if emit_opt else 0
     out = bytearray(
         struct.pack(
             "!HHHHHH",
@@ -291,11 +328,16 @@ def encode_message(message: WireMessage) -> bytes:
         )
     for record in message.answers:
         out += _encode_record(record, compression, len(out))
-    if message.client_subnet is not None:
+    if emit_opt:
         # OPT pseudo-record: root name, type 41, class = UDP size.
-        option = message.client_subnet.encode()
+        option = (
+            message.client_subnet.encode()
+            if message.client_subnet is not None
+            else b""
+        )
+        payload_size = message.udp_payload_size or _DEFAULT_UDP_PAYLOAD
         out += b"\x00"
-        out += struct.pack("!HHIH", _OPT_TYPE, 4096, 0, len(option))
+        out += struct.pack("!HHIH", _OPT_TYPE, payload_size, 0, len(option))
         out += option
     if len(out) > _MAX_MESSAGE:
         raise WireError("message exceeds 64 KiB")
@@ -317,6 +359,7 @@ def decode_message(data: bytes) -> WireMessage:
         message_id=message_id,
         is_response=bool(flags & 0x8000),
         authoritative=bool(flags & 0x0400),
+        truncated=bool(flags & 0x0200),
         recursion_desired=bool(flags & 0x0100),
         recursion_available=bool(flags & 0x0080),
         rcode=rcode,
@@ -337,11 +380,14 @@ def decode_message(data: bytes) -> WireMessage:
         message.questions.append(Question(name, rtype))
     for section_count in (ancount, nscount + arcount):
         for _ in range(section_count):
-            record, cursor, opt_rdata = _decode_record(data, cursor)
+            record, cursor, opt = _decode_record(data, cursor)
             if record is not None:
                 message.answers.append(record)
-            elif opt_rdata:
-                message.client_subnet = _decode_ecs(opt_rdata)
+            elif opt is not None:
+                payload_size, opt_rdata = opt
+                message.udp_payload_size = payload_size
+                if opt_rdata:
+                    message.client_subnet = _decode_ecs(opt_rdata)
     return message
 
 

@@ -127,6 +127,32 @@ class HistogramChild:
         """Average of all observations (0.0 before any)."""
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by interpolating the buckets.
+
+        Classic Prometheus ``histogram_quantile``: find the bucket the
+        target rank falls into and interpolate linearly between its
+        bounds (the first bucket's lower bound is 0).  Observations
+        above the last bound clamp to that bound, so a p99 can be
+        asserted in tests even when outliers escaped the bucket range.
+        Returns 0.0 before any observation.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile must be in [0, 1]: {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        running = 0
+        lower = 0.0
+        for upper, n in zip(self.uppers, self.bucket_counts):
+            if running + n >= rank and n > 0:
+                fraction = (rank - running) / n
+                return lower + (upper - lower) * max(0.0, min(1.0, fraction))
+            running += n
+            lower = upper
+        # Rank lies in the implicit +Inf bucket: clamp to the last bound.
+        return self.uppers[-1]
+
     def cumulative_buckets(self) -> list[tuple[float, int]]:
         """(upper bound, cumulative count) pairs, +Inf last."""
         out: list[tuple[float, int]] = []
@@ -251,6 +277,10 @@ class Histogram(MetricFamily):
         """Record on the unlabelled series."""
         self.labels().observe(value)
 
+    def quantile(self, q: float) -> float:
+        """Interpolated quantile of the unlabelled series."""
+        return self.labels().quantile(q)
+
 
 class MetricsRegistry:
     """Holds metric families; registration is idempotent by name.
@@ -356,6 +386,9 @@ class _NullInstrument:
 
     def observe(self, value: float) -> None:
         pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
 
 
 NULL_INSTRUMENT = _NullInstrument()

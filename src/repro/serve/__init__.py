@@ -1,0 +1,64 @@
+"""Live serving layer: the modelled Meta-CDN behind real sockets.
+
+Everything the rest of the repository models in memory — the Figure 2
+authoritative DNS estate, the vip → edge-bx → edge-lx cache hierarchy,
+the flash-crowd workload — is made network-reachable here:
+
+* :mod:`repro.serve.dnsserver` — an asyncio authoritative DNS server
+  (UDP with TCP fallback for truncated responses) over RFC 1035 wire
+  bytes, honouring EDNS Client Subnet;
+* :mod:`repro.serve.httpserver` — an asyncio HTTP/1.1 edge emitting the
+  ``Via``/``X-Cache`` chains the §3.3 header inference parses;
+* :mod:`repro.serve.loadgen` — a closed-loop load generator replaying
+  the workload model as concurrent wire resolutions and ranged
+  downloads;
+* :mod:`repro.serve.clients` — the shared client-address ⇄ geography
+  contract both ends rely on;
+* :mod:`repro.serve.cluster` — the one-call loopback topology and the
+  ``repro selftest`` entry point.
+"""
+
+from .clients import DEFAULT_VANTAGES, ClientDirectory, SampledClient, Vantage
+from .cluster import (
+    ClusterConfig,
+    ServeCluster,
+    build_serve_estate,
+    render_selftest,
+    selftest,
+    selftest_checks,
+)
+from .dnsserver import AsyncDnsServer, ZoneFrontend
+from .httpserver import AsyncHttpEdge, estate_router
+from .loadgen import (
+    AsyncDnsClient,
+    DnsClientError,
+    LoadConfig,
+    LoadGenerator,
+    LoadReport,
+    PooledHttpClient,
+    WireResolution,
+)
+
+__all__ = [
+    "Vantage",
+    "SampledClient",
+    "ClientDirectory",
+    "DEFAULT_VANTAGES",
+    "ZoneFrontend",
+    "AsyncDnsServer",
+    "AsyncHttpEdge",
+    "estate_router",
+    "AsyncDnsClient",
+    "DnsClientError",
+    "WireResolution",
+    "PooledHttpClient",
+    "LoadConfig",
+    "LoadReport",
+    "LoadGenerator",
+    "ClusterConfig",
+    "build_serve_estate",
+    "ServeCluster",
+    "selftest",
+    "selftest_checks",
+    "render_selftest",
+]

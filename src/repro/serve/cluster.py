@@ -1,0 +1,251 @@
+"""One-call topology: the whole Meta-CDN estate behind live sockets.
+
+:class:`ServeCluster` boots the serving layer on loopback — the
+authoritative DNS estate (Apple, Akamai and Limelight zones behind one
+:class:`~repro.serve.dnsserver.AsyncDnsServer`) plus the HTTP edge
+fronting every delivery fleet — and can drive the closed-loop load
+generator against itself.  :func:`selftest` is the synchronous wrapper
+the CLI exposes: boot, drive a flash-crowd-shaped run, tear down,
+report.
+
+The default estate is sized for loopback (a few third-party servers per
+metro instead of dozens) but structurally identical to the full
+scenario estate: the same Figure 2 chain, policies, TTLs and cache
+hierarchy — just fewer cache servers behind each GSLB answer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+from ..apple.deployment import AppleCdn
+from ..apple.mapping import MetaCdnEstate, build_meta_cdn
+from ..apple.policy import MetaCdnController
+from ..cdn.thirdparty import AKAMAI_PLAN, LIMELIGHT_PLAN, build_third_party
+from ..net.asys import ASN
+from ..net.geo import MappingRegion
+from ..net.locode import LocodeDatabase
+from ..obs import MetricsRegistry, get_registry, use_registry
+from .clients import ClientDirectory
+from .dnsserver import AsyncDnsServer
+from .httpserver import AsyncHttpEdge, estate_router
+from .loadgen import LoadConfig, LoadGenerator, LoadReport
+
+__all__ = [
+    "ClusterConfig",
+    "build_serve_estate",
+    "ServeCluster",
+    "selftest",
+    "selftest_checks",
+    "render_selftest",
+]
+
+# Hosting ASs for the third-party "other AS" caches (the serve layer
+# does not model BGP; any distinct ASNs work).
+_AS_HOSTER_AKAMAI = ASN(64512)
+_AS_HOSTER_LIMELIGHT = ASN(64513)
+
+_SERVE_METROS = (
+    "usnyc", "uslax", "defra", "uklon", "jptyo", "sgsin", "ausyd", "brsao",
+)
+
+
+@dataclass
+class ClusterConfig:
+    """Size and policy knobs for a loopback serve estate."""
+
+    object_size: int = 262_144
+    apple_edge_gbps: float = 14.0
+    target_utilization: float = 0.95
+    min_third_party_share: float = 0.35
+    servers_per_metro: int = 8
+    max_udp_payload: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.servers_per_metro <= 0:
+            raise ValueError("servers_per_metro must be positive")
+
+
+def build_serve_estate(config: Optional[ClusterConfig] = None) -> MetaCdnEstate:
+    """A loopback-sized Meta-CDN estate with the full Figure 2 chain.
+
+    ``min_third_party_share`` keeps the third-party branch live even
+    with no demand observed (as Apple's standing commercial contracts
+    do), so a load run exercises Apple GSLB, Akamai and Limelight
+    resolutions side by side.
+    """
+    config = config if config is not None else ClusterConfig()
+    locations = LocodeDatabase.builtin()
+    apple = AppleCdn.build(locations, edge_bx_gbps=config.apple_edge_gbps)
+    metros = [locations.get(code) for code in _SERVE_METROS]
+    akamai = build_third_party(
+        replace(AKAMAI_PLAN, servers_per_metro=config.servers_per_metro),
+        metros,
+        other_as=_AS_HOSTER_AKAMAI,
+    )
+    limelight = build_third_party(
+        replace(LIMELIGHT_PLAN, servers_per_metro=config.servers_per_metro),
+        metros,
+        other_as=_AS_HOSTER_LIMELIGHT,
+    )
+    controller = MetaCdnController(
+        {
+            region: apple.deployment.region_capacity_gbps(region)
+            for region in MappingRegion
+        },
+        target_utilization=config.target_utilization,
+        min_third_party_share=config.min_third_party_share,
+    )
+    return build_meta_cdn(apple, akamai, limelight, controller)
+
+
+class ServeCluster:
+    """The serving topology on loopback: DNS + HTTP + shared directory.
+
+    Usable as an async context manager::
+
+        async with ServeCluster() as cluster:
+            report = await cluster.drive(LoadConfig(requests=500))
+    """
+
+    def __init__(
+        self,
+        estate: Optional[MetaCdnEstate] = None,
+        directory: Optional[ClientDirectory] = None,
+        config: Optional[ClusterConfig] = None,
+        clock: Optional[Callable[[], float]] = None,
+        metrics=None,
+    ) -> None:
+        self.config = config if config is not None else ClusterConfig()
+        self.estate = estate if estate is not None else build_serve_estate(self.config)
+        self.directory = (
+            directory if directory is not None else ClientDirectory.from_adoption()
+        )
+        registry = metrics if metrics is not None else get_registry()
+        self.dns = AsyncDnsServer(
+            self.estate.servers,
+            directory=self.directory,
+            clock=clock,
+            max_udp_payload=self.config.max_udp_payload,
+            metrics=registry,
+        )
+        self.http = AsyncHttpEdge(
+            estate_router(self.estate),
+            object_size=self.config.object_size,
+            metrics=registry,
+        )
+        self._registry = registry
+
+    async def start(self, host: str = "127.0.0.1", dns_port: int = 0,
+                    http_port: int = 0) -> "ServeCluster":
+        """Boot both servers (ephemeral loopback ports by default)."""
+        await self.dns.start(host=host, port=dns_port)
+        await self.http.start(host=host, port=http_port)
+        return self
+
+    async def stop(self) -> None:
+        """Tear both servers down."""
+        await self.http.stop()
+        await self.dns.stop()
+
+    async def __aenter__(self) -> "ServeCluster":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    async def drive(self, config: Optional[LoadConfig] = None) -> LoadReport:
+        """Run the load generator against this cluster's endpoints."""
+        generator = LoadGenerator(
+            dns_endpoint=self.dns.endpoint,
+            http_endpoint=self.http.endpoint,
+            directory=self.directory,
+            config=config,
+            metrics=self._registry,
+        )
+        return await generator.run()
+
+
+def _cache_hits_and_misses(registry) -> tuple[int, int]:
+    family = registry.get("cache_requests_total")
+    hits = misses = 0
+    if family is not None:
+        for labels, child in family.children():
+            if labels[-1] == "hit":
+                hits += int(child.value)
+            else:
+                misses += int(child.value)
+    return hits, misses
+
+
+def selftest(
+    requests: int = 5000,
+    concurrency: int = 64,
+    registry: Optional[MetricsRegistry] = None,
+    cluster_config: Optional[ClusterConfig] = None,
+) -> tuple[LoadReport, MetricsRegistry]:
+    """Boot a cluster, drive a full load run, return (report, registry).
+
+    The registry is installed process-wide for the duration so the
+    estate's construction-time instruments (cache hit/miss counters,
+    site request counters) land in it alongside the serve metrics.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    config = LoadConfig(requests=requests, concurrency=concurrency)
+
+    async def _run() -> LoadReport:
+        async with ServeCluster(config=cluster_config, metrics=registry) as cluster:
+            return await cluster.drive(config)
+
+    with use_registry(registry):
+        report = asyncio.run(_run())
+    return report, registry
+
+
+def selftest_checks(
+    report: LoadReport, registry: MetricsRegistry, qps_floor: float = 1000.0
+) -> list[tuple[str, bool]]:
+    """The acceptance checks a selftest run must satisfy."""
+    hits, misses = _cache_hits_and_misses(registry)
+    return [
+        ("all requests ok", report.healthy()),
+        (f"dns >= {qps_floor:.0f} qps sustained", report.dns_qps >= qps_floor),
+        ("dns latency percentiles non-zero",
+         report.dns_p50_ms > 0.0 and report.dns_p99_ms > 0.0),
+        ("http latency percentiles non-zero",
+         report.http_p50_ms > 0.0 and report.http_p99_ms > 0.0),
+        ("cache hit metrics present", hits + misses > 0),
+    ]
+
+
+def render_selftest(
+    report: LoadReport, registry: MetricsRegistry, qps_floor: float = 1000.0
+) -> str:
+    """The selftest verdict: load report plus estate-side health lines."""
+    hits, misses = _cache_hits_and_misses(registry)
+    total = hits + misses
+    hit_rate = hits / total if total else 0.0
+    dns_family = registry.get("serve_dns_queries_total")
+    served = 0
+    if dns_family is not None:
+        served = int(sum(child.value for _labels, child in dns_family.children()))
+    checks = selftest_checks(report, registry, qps_floor)
+    lines = [
+        report.render(),
+        "",
+        "cluster",
+        "-------",
+        f"dns queries served   {served}",
+        f"cache lookups        {total}  (hits {hits}, misses {misses}, "
+        f"hit rate {hit_rate:.1%})",
+        "",
+    ]
+    for label, passed in checks:
+        lines.append(f"{'PASS' if passed else 'FAIL'}  {label}")
+    lines.append("")
+    lines.append(
+        "selftest " + ("PASSED" if all(p for _, p in checks) else "FAILED")
+    )
+    return "\n".join(lines)

@@ -1,0 +1,344 @@
+"""Live authoritative DNS: the Figure 2 estate behind real sockets.
+
+:class:`AsyncDnsServer` fronts any set of
+:class:`~repro.dns.zone.AuthoritativeServer` instances — typically the
+three operators of the Meta-CDN estate — over RFC 1035 wire bytes on a
+loopback (or any) UDP endpoint, with the standard TCP fallback for
+responses that would not fit the client's advertised UDP payload size.
+
+The server is *authoritative only*: it answers for names its zones
+cover and returns REFUSED otherwise, exactly like the in-memory
+:meth:`AuthoritativeServer.query` path.  Geo-dependent policies get
+their :class:`~repro.dns.query.QueryContext` from the query's EDNS
+Client Subnet option through a shared :class:`ClientDirectory`, so a
+resolution over the socket is byte-for-byte governed by the same
+decision logic as an in-memory one.
+
+Malformed packets never crash or hang the server: anything the wire
+decoder rejects is counted, answered with SERVFAIL when a message id is
+recoverable, and dropped otherwise.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+import time
+from typing import Callable, Iterable, Optional
+
+from ..dns.query import DnsResponse, QueryContext, RCode
+from ..dns.wire import ClientSubnet, WireError, WireMessage, decode_message, encode_message
+from ..dns.zone import AuthoritativeServer
+from ..obs import get_registry
+from .clients import ClientDirectory
+
+__all__ = ["ZoneFrontend", "AsyncDnsServer"]
+
+_FALLBACK_UDP_PAYLOAD = 512  # RFC 1035 limit for clients without EDNS
+_TCP_IDLE_TIMEOUT = 30.0
+
+
+class ZoneFrontend:
+    """Routes each owner name to the most specific authoritative server.
+
+    The same longest-zone-wins rule as
+    :meth:`repro.dns.resolver.RecursiveResolver.server_for`: Akamai's
+    ``akadns.net`` zone answers ``appldnld.apple.com.akadns.net`` even
+    though Apple's ``apple.com`` zone also matches a suffix.
+    """
+
+    def __init__(self, servers: Iterable[AuthoritativeServer]) -> None:
+        self._servers = list(servers)
+        if not self._servers:
+            raise ValueError("a frontend needs at least one server")
+        self._memo: dict[str, Optional[AuthoritativeServer]] = {}
+
+    def server_for(self, name: str) -> Optional[AuthoritativeServer]:
+        """The authoritative server for ``name`` (most specific zone)."""
+        if name in self._memo:
+            return self._memo[name]
+        best: Optional[AuthoritativeServer] = None
+        best_depth = -1
+        for server in self._servers:
+            zone = server.zone_for(name)
+            if zone is not None:
+                depth = zone.origin.count(".") + 1
+                if depth > best_depth:
+                    best = server
+                    best_depth = depth
+        self._memo[name] = best
+        return best
+
+    def answer(self, query: WireMessage, context: QueryContext) -> WireMessage:
+        """The response message for one decoded query."""
+        if not query.questions:
+            raise WireError("query carries no question")
+        question = query.questions[0]
+        server = self.server_for(question.name)
+        if server is None:
+            response = DnsResponse(question=question, rcode=RCode.REFUSED)
+        else:
+            response = server.query(question, context)
+        ecs = None
+        if query.client_subnet is not None:
+            # Echo the option back with full scope, as CDN mapping DNS
+            # does (the answer really did depend on the whole prefix).
+            ecs = ClientSubnet(
+                prefix=query.client_subnet.prefix,
+                scope_length=query.client_subnet.prefix.length,
+            )
+        return WireMessage(
+            message_id=query.message_id,
+            is_response=True,
+            authoritative=response.authoritative,
+            recursion_desired=query.recursion_desired,
+            rcode=response.rcode,
+            questions=[question],
+            answers=list(response.answers),
+            client_subnet=ecs,
+        )
+
+
+class _UdpProtocol(asyncio.DatagramProtocol):
+    def __init__(self, server: "AsyncDnsServer") -> None:
+        self._server = server
+        self.transport: Optional[asyncio.DatagramTransport] = None
+
+    def connection_made(self, transport) -> None:  # pragma: no cover - trivial
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        reply = self._server.handle_datagram(data)
+        if reply is not None and self.transport is not None:
+            self.transport.sendto(reply, addr)
+
+
+class AsyncDnsServer:
+    """An asyncio authoritative DNS server (UDP with TCP fallback).
+
+    ``clock`` supplies the simulation time stamped into query contexts
+    (the Figure 2 policies are time-dependent: TTL buckets, weight
+    schedules, the ``a1015`` rollout).  The default clock starts at 0
+    when the server starts and advances in real seconds.
+    """
+
+    def __init__(
+        self,
+        servers: Iterable[AuthoritativeServer],
+        directory: Optional[ClientDirectory] = None,
+        clock: Optional[Callable[[], float]] = None,
+        max_udp_payload: Optional[int] = None,
+        metrics=None,
+    ) -> None:
+        self.frontend = ZoneFrontend(servers)
+        self.directory = directory if directory is not None else ClientDirectory()
+        self._clock = clock
+        self._max_udp_payload = max_udp_payload
+        self._udp_transport: Optional[asyncio.DatagramTransport] = None
+        self._tcp_server: Optional[asyncio.base_events.Server] = None
+        self._host: Optional[str] = None
+        self._port: Optional[int] = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+
+        registry = metrics if metrics is not None else get_registry()
+        self._m_queries = registry.counter(
+            "serve_dns_queries_total",
+            "Wire DNS queries handled by the serving layer",
+            ("transport",),
+        )
+        self._m_udp = self._m_queries.labels("udp")
+        self._m_tcp = self._m_queries.labels("tcp")
+        self._m_truncated = registry.counter(
+            "serve_dns_truncated_total",
+            "UDP responses sent with the TC bit (client should retry TCP)",
+        )
+        self._m_malformed = registry.counter(
+            "serve_dns_malformed_total",
+            "Queries the wire decoder rejected",
+        )
+        self._m_refused = registry.counter(
+            "serve_dns_refused_total",
+            "Queries for names outside every hosted zone",
+        )
+        self._m_handle = registry.histogram(
+            "serve_dns_handle_seconds",
+            "Server-side handling time per DNS query",
+            buckets=(0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025,
+                     0.005, 0.01, 0.025, 0.05, 0.1),
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        """(host, port) once started."""
+        if self._host is None or self._port is None:
+            raise RuntimeError("server is not started")
+        return self._host, self._port
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Bind UDP and TCP on the same port; returns the endpoint."""
+        if self._udp_transport is not None:
+            raise RuntimeError("server already started")
+        if self._clock is None:
+            origin = time.monotonic()
+            self._clock = lambda: time.monotonic() - origin
+        loop = asyncio.get_running_loop()
+        # UDP and TCP are separate port spaces; retry a few times in
+        # case an ephemeral UDP port is taken on the TCP side.
+        last_error: Optional[OSError] = None
+        for _ in range(5):
+            transport, _protocol = await loop.create_datagram_endpoint(
+                lambda: _UdpProtocol(self), local_addr=(host, port)
+            )
+            bound_host, bound_port = transport.get_extra_info("sockname")[:2]
+            try:
+                tcp_server = await asyncio.start_server(
+                    self._handle_tcp, host=bound_host, port=bound_port
+                )
+            except OSError as exc:
+                transport.close()
+                if port != 0:
+                    raise
+                last_error = exc
+                continue
+            self._udp_transport = transport
+            self._tcp_server = tcp_server
+            self._host, self._port = bound_host, bound_port
+            return self.endpoint
+        raise RuntimeError(f"could not bind matching UDP/TCP ports: {last_error}")
+
+    async def stop(self) -> None:
+        """Close both listeners and drain open TCP connections."""
+        if self._udp_transport is not None:
+            self._udp_transport.close()
+            self._udp_transport = None
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+            self._tcp_server = None
+        for writer in list(self._writers):
+            writer.close()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._host = self._port = None
+
+    # ------------------------------------------------------------------
+    # query handling
+    # ------------------------------------------------------------------
+
+    def _context_for(self, query: WireMessage) -> QueryContext:
+        now = self._clock() if self._clock is not None else 0.0
+        if query.client_subnet is not None:
+            return self.directory.context_for(query.client_subnet.prefix.network, now)
+        # No ECS: fall back to the directory's default geography.
+        return self.directory.context_for(
+            self.directory.vantages[0].prefix.network, now
+        )
+
+    def _answer_bytes(
+        self, payload: bytes
+    ) -> tuple[Optional[bytes], Optional[WireMessage], Optional[WireMessage]]:
+        """Decode, answer, encode: (encoded reply, response, query).
+
+        Malformed or policy-breaking input yields a bare SERVFAIL (or
+        ``None`` when not even a message id is recoverable) — a hostile
+        packet must never take the transport task down.
+        """
+        try:
+            query = decode_message(payload)
+            response = self.frontend.answer(query, self._context_for(query))
+        except Exception:
+            self._m_malformed.inc()
+            return self._servfail_for(payload), None, None
+        if response.rcode is RCode.REFUSED:
+            self._m_refused.inc()
+        return encode_message(response), response, query
+
+    @staticmethod
+    def _servfail_for(payload: bytes) -> Optional[bytes]:
+        """A bare SERVFAIL echoing the query id, if one is recoverable."""
+        if len(payload) < 12:
+            return None
+        (message_id,) = struct.unpack("!H", payload[:2])
+        return encode_message(
+            WireMessage(
+                message_id=message_id,
+                is_response=True,
+                rcode=RCode.SERVFAIL,
+                recursion_desired=False,
+            )
+        )
+
+    def handle_datagram(self, payload: bytes) -> Optional[bytes]:
+        """Answer one UDP datagram (truncating oversize responses)."""
+        started = time.perf_counter()
+        self._m_udp.inc()
+        encoded, response, query = self._answer_bytes(payload)
+        if encoded is None or response is None or query is None:
+            self._m_handle.observe(time.perf_counter() - started)
+            return encoded
+        limit = query.udp_payload_size or _FALLBACK_UDP_PAYLOAD
+        if self._max_udp_payload is not None:
+            limit = min(limit, self._max_udp_payload)
+        if len(encoded) > limit:
+            self._m_truncated.inc()
+            encoded = encode_message(
+                WireMessage(
+                    message_id=response.message_id,
+                    is_response=True,
+                    authoritative=response.authoritative,
+                    truncated=True,
+                    recursion_desired=response.recursion_desired,
+                    rcode=response.rcode,
+                    questions=list(response.questions),
+                    client_subnet=response.client_subnet,
+                )
+            )
+        self._m_handle.observe(time.perf_counter() - started)
+        return encoded
+
+    async def _handle_tcp(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        """Serve length-prefixed queries until the client hangs up."""
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    header = await asyncio.wait_for(
+                        reader.readexactly(2), timeout=_TCP_IDLE_TIMEOUT
+                    )
+                except (asyncio.IncompleteReadError, asyncio.TimeoutError,
+                        ConnectionError):
+                    break
+                (length,) = struct.unpack("!H", header)
+                try:
+                    payload = await asyncio.wait_for(
+                        reader.readexactly(length), timeout=_TCP_IDLE_TIMEOUT
+                    )
+                except (asyncio.IncompleteReadError, asyncio.TimeoutError,
+                        ConnectionError):
+                    break
+                started = time.perf_counter()
+                self._m_tcp.inc()
+                encoded, _response, _query = self._answer_bytes(payload)
+                self._m_handle.observe(time.perf_counter() - started)
+                if encoded is None:
+                    continue
+                writer.write(struct.pack("!H", len(encoded)) + encoded)
+                await writer.drain()
+        finally:
+            self._writers.discard(writer)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - teardown race
+                pass

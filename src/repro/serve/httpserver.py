@@ -1,0 +1,279 @@
+"""Live HTTP edge: the vip → edge-bx → edge-lx hierarchy behind a socket.
+
+:class:`AsyncHttpEdge` is an asyncio HTTP/1.1 server fronting the
+modelled cache estates.  A client resolves a vip address through the
+live DNS layer and then downloads from it; on loopback all vips share
+one listener, so the resolved address travels in the ``X-Vip`` request
+header (the stand-in for connecting to that address directly).  Requests
+are routed through :meth:`repro.apple.deployment.AppleCdn.serve` for
+Apple vips — producing the exact ``Via``/``X-Cache`` chains the §3.3
+header inference parses — and through the flat third-party delivery
+model for Akamai/Limelight/Level3 addresses.
+
+Bodies stay synthetic (the model never materialises a 2.8 GB image) but
+are real on the wire: a ``Range`` request gets its slice as zero bytes
+with a correct ``Content-Range``, which is how the load generator
+replays ranged iOS-image downloads without moving gigabytes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+import time
+from typing import Callable, Optional
+
+from ..apple.mapping import MetaCdnEstate
+from ..http.messages import Headers, HttpRequest, HttpResponse
+from ..net.ipv4 import IPv4Address
+from ..obs import get_registry
+
+__all__ = ["AsyncHttpEdge", "estate_router"]
+
+_REQUEST_LINE = re.compile(r"^([A-Z]+) (\S+) HTTP/(1\.[01])$")
+_RANGE = re.compile(r"^bytes=(\d+)-(\d*)$")
+_MAX_HEADER_BYTES = 16384
+_READ_TIMEOUT = 30.0
+
+# Router: (vip, model request, object size) -> model response, or None
+# when no fleet owns the vip.
+Router = Callable[[IPv4Address, HttpRequest, int], Optional[HttpResponse]]
+
+
+def estate_router(estate: MetaCdnEstate) -> Router:
+    """Route vips across every delivery fleet of a Meta-CDN estate."""
+
+    def route(vip: IPv4Address, request: HttpRequest, size: int) -> Optional[HttpResponse]:
+        if estate.apple.site_for(vip) is not None:
+            return estate.apple.serve(vip, request, size).response
+        for deployment in estate.deployments.values():
+            if deployment.server_at(vip) is not None:
+                return deployment.serve(vip, request, size)
+        return None
+
+    return route
+
+
+class AsyncHttpEdge:
+    """An asyncio HTTP/1.1 cache-edge server over a model router.
+
+    ``object_size`` is the modelled entity size for every object (the
+    cache layer sees and accounts this size; the wire only carries the
+    requested range).  Keep-alive is honoured so a pooled load
+    generator pays connection setup once per worker, not per request.
+    """
+
+    def __init__(
+        self,
+        router: Router,
+        object_size: int = 262_144,
+        metrics=None,
+    ) -> None:
+        if object_size <= 0:
+            raise ValueError("object_size must be positive")
+        self.router = router
+        self.object_size = object_size
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._host: Optional[str] = None
+        self._port: Optional[int] = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+
+        registry = metrics if metrics is not None else get_registry()
+        self._m_requests = registry.counter(
+            "serve_http_requests_total",
+            "HTTP requests handled by the live edge, by status",
+            ("status",),
+        )
+        self._m_bytes = registry.counter(
+            "serve_http_body_bytes_total",
+            "Body bytes written to clients",
+        )
+        self._m_connections = registry.gauge(
+            "serve_http_open_connections",
+            "Currently open client connections",
+        )
+        self._m_handle = registry.histogram(
+            "serve_http_handle_seconds",
+            "Server-side handling time per HTTP request",
+            buckets=(0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+                     0.01, 0.025, 0.05, 0.1, 0.25),
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        """(host, port) once started."""
+        if self._host is None or self._port is None:
+            raise RuntimeError("server is not started")
+        return self._host, self._port
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Start listening; returns the bound endpoint."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(self._handle, host=host, port=port)
+        sockname = self._server.sockets[0].getsockname()
+        self._host, self._port = sockname[0], sockname[1]
+        return self.endpoint
+
+    async def stop(self) -> None:
+        """Stop accepting, hang up idle keep-alive connections, drain."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._writers):
+            writer.close()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._host = self._port = None
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self._writers.add(writer)
+        self._m_connections.inc()
+        try:
+            while True:
+                keep_alive = await self._handle_one(reader, writer)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.TimeoutError):
+            pass
+        finally:
+            self._m_connections.dec()
+            self._writers.discard(writer)
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - teardown race
+                pass
+
+    async def _read_head(self, reader: asyncio.StreamReader) -> Optional[list[str]]:
+        """The request line + header lines, or None on EOF/overflow."""
+        lines: list[str] = []
+        total = 0
+        while True:
+            chunk = await asyncio.wait_for(reader.readline(), timeout=_READ_TIMEOUT)
+            if not chunk:
+                return None
+            total += len(chunk)
+            if total > _MAX_HEADER_BYTES:
+                return None
+            line = chunk.decode("latin-1").rstrip("\r\n")
+            if line == "":
+                if lines:  # end of head (leading blank lines are ignored)
+                    return lines
+                continue
+            lines.append(line)
+
+    async def _handle_one(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> bool:
+        lines = await self._read_head(reader)
+        if not lines:
+            return False
+        started = time.perf_counter()
+        match = _REQUEST_LINE.match(lines[0].strip())
+        if match is None:
+            await self._send_error(writer, 400, "malformed request line")
+            self._m_handle.observe(time.perf_counter() - started)
+            return False
+        method, target, version = match.groups()
+        headers = Headers()
+        for line in lines[1:]:
+            name, sep, value = line.partition(":")
+            if sep:
+                headers.add(name.strip(), value.strip())
+
+        keep_alive = version == "1.1"
+        connection = (headers.get("Connection") or "").lower()
+        if "close" in connection:
+            keep_alive = False
+        elif "keep-alive" in connection:
+            keep_alive = True
+
+        status, out_headers, body = self._serve(method, target, headers)
+        await self._send(writer, status, out_headers, body,
+                         include_body=(method != "HEAD"))
+        self._m_requests.labels(str(status)).inc()
+        self._m_handle.observe(time.perf_counter() - started)
+        return keep_alive and status < 500
+
+    def _serve(self, method: str, target: str,
+               headers: Headers) -> tuple[int, Headers, bytes]:
+        if method not in ("GET", "HEAD"):
+            return 405, Headers({"Allow": "GET, HEAD"}), b"method not allowed\n"
+        vip_text = headers.get("X-Vip")
+        host = (headers.get("Host") or "").split(":")[0].lower()
+        if not vip_text:
+            return 400, Headers(), b"missing X-Vip routing header\n"
+        if not host:
+            return 400, Headers(), b"missing Host header\n"
+        try:
+            vip = IPv4Address.parse(vip_text)
+        except ValueError:
+            return 400, Headers(), b"unparseable X-Vip address\n"
+        path = target.split("?")[0] or "/"
+        model_request = HttpRequest(
+            method="GET",
+            host=host,
+            path=path,
+            headers=Headers({"X-Client": headers.get("X-Client", "")}),
+        )
+        model_response = self.router(vip, model_request, self.object_size)
+        if model_response is None:
+            return 404, Headers(), b"no delivery server at that vip\n"
+
+        entity_size = model_response.body_size
+        range_header = headers.get("Range")
+        status = model_response.status
+        out = model_response.headers.copy()
+        if range_header is not None:
+            parsed = _RANGE.match(range_header.strip())
+            if parsed is None:
+                return 416, Headers({"Content-Range": f"bytes */{entity_size}"}), b""
+            first = int(parsed.group(1))
+            last = int(parsed.group(2)) if parsed.group(2) else entity_size - 1
+            last = min(last, entity_size - 1)
+            if first >= entity_size or first > last:
+                return 416, Headers({"Content-Range": f"bytes */{entity_size}"}), b""
+            body = bytes(last - first + 1)
+            status = 206
+            out.set("Content-Range", f"bytes {first}-{last}/{entity_size}")
+        else:
+            body = bytes(entity_size)
+        out.set("X-Body-Size", str(entity_size))
+        return status, out, body
+
+    async def _send(self, writer: asyncio.StreamWriter, status: int,
+                    headers: Headers, body: bytes, include_body: bool = True) -> None:
+        reason = {200: "OK", 206: "Partial Content", 400: "Bad Request",
+                  404: "Not Found", 405: "Method Not Allowed",
+                  416: "Range Not Satisfiable", 500: "Internal Server Error"}
+        lines = [f"HTTP/1.1 {status} {reason.get(status, 'Unknown')}"]
+        for name, value in headers:
+            lines.append(f"{name}: {value}")
+        lines.append(f"Content-Length: {len(body)}")
+        lines.append("Server: repro-serve/1.0")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        if include_body and body:
+            writer.write(body)
+            self._m_bytes.inc(len(body))
+        await writer.drain()
+
+    async def _send_error(self, writer: asyncio.StreamWriter, status: int,
+                          text: str) -> None:
+        await self._send(writer, status, Headers(), (text + "\n").encode())
+        self._m_requests.labels(str(status)).inc()

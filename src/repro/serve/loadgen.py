@@ -1,0 +1,600 @@
+"""Closed-loop load generation against the live serving layer.
+
+The measured event is a flash crowd: millions of devices resolving
+``appldnld.apple.com`` and pulling ranged slices of a multi-gigabyte
+image.  :class:`LoadGenerator` replays that shape against a live
+:mod:`repro.serve` cluster — each worker acts as one device after
+another: sample a client from the vantage directory (regional mix from
+the adoption model), walk the full Figure 2 CNAME chain over UDP
+(falling back to TCP on truncation), then download a range from the
+resolved vip over a pooled keep-alive connection.
+
+The loop is *closed*: a worker issues its next request only after the
+previous one completes, and a bounded semaphore caps total in-flight
+work, so the generator exerts backpressure instead of flooding the
+event loop.  Timeouts and retries are per-query; a request that fails
+after retries is counted and sampled, never raised out of the run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import struct
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..dns.query import Question, RCode
+from ..dns.records import RecordType, ResourceRecord
+from ..dns.wire import ClientSubnet, WireError, WireMessage, decode_message, encode_message
+from ..http.messages import Headers
+from ..net.ipv4 import IPv4Address, IPv4Prefix
+from ..obs import get_registry
+from ..obs.registry import HistogramChild
+from .clients import ClientDirectory
+
+__all__ = [
+    "DnsClientError",
+    "WireResolution",
+    "AsyncDnsClient",
+    "PooledHttpClient",
+    "LoadConfig",
+    "LoadReport",
+    "LoadGenerator",
+]
+
+_MAX_CHAIN = 16
+_LATENCY_BUCKETS = (
+    0.0002, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5,
+)
+
+
+class DnsClientError(RuntimeError):
+    """A query failed after all retries (timeout, SERVFAIL, bad chain)."""
+
+
+@dataclass(frozen=True)
+class WireResolution:
+    """A CNAME chase completed over the wire.
+
+    Mirrors the read API of :class:`repro.dns.resolver.Resolution` so
+    equivalence tests can compare the two hop for hop.
+    """
+
+    question_name: str
+    steps: tuple[tuple[ResourceRecord, ...], ...]
+
+    @property
+    def records(self) -> tuple[ResourceRecord, ...]:
+        """Every answer record, in chase order."""
+        return tuple(record for step in self.steps for record in step)
+
+    @property
+    def cname_chain(self) -> tuple[ResourceRecord, ...]:
+        """The CNAME records followed, in order."""
+        return tuple(r for r in self.records if r.rtype is RecordType.CNAME)
+
+    @property
+    def addresses(self) -> tuple[IPv4Address, ...]:
+        """The final A record addresses."""
+        return tuple(
+            r.address for r in self.records if r.rtype is RecordType.A
+        )
+
+    @property
+    def chain_names(self) -> tuple[str, ...]:
+        """All names visited, starting with the question name."""
+        names = [self.question_name]
+        for record in self.cname_chain:
+            names.append(record.target)
+        return tuple(names)
+
+    @property
+    def final_name(self) -> str:
+        """The terminal name of the chain."""
+        return self.chain_names[-1]
+
+
+class _DnsClientProtocol(asyncio.DatagramProtocol):
+    """Matches responses to waiters by DNS message id."""
+
+    def __init__(self) -> None:
+        self.waiters: dict[int, asyncio.Future] = {}
+        self.transport: Optional[asyncio.DatagramTransport] = None
+
+    def connection_made(self, transport) -> None:  # pragma: no cover - trivial
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        if len(data) < 2:
+            return
+        (message_id,) = struct.unpack("!H", data[:2])
+        waiter = self.waiters.pop(message_id, None)
+        if waiter is not None and not waiter.done():
+            waiter.set_result(data)
+
+    def error_received(self, exc) -> None:  # pragma: no cover - platform dependent
+        pass
+
+
+class AsyncDnsClient:
+    """A stub resolver speaking RFC 1035 over UDP with TCP fallback.
+
+    One client instance serves any number of concurrent resolutions:
+    in-flight queries are matched by message id.  Each query carries an
+    EDNS Client Subnet option for the acting client so the server's
+    geo policies see who is asking.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 2.0,
+        retries: int = 2,
+        source_prefix_len: int = 24,
+        metrics=None,
+    ) -> None:
+        if not 0 < source_prefix_len <= 32:
+            raise ValueError("source_prefix_len must be in (0, 32]")
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._retries = retries
+        self._source_prefix_len = source_prefix_len
+        self._protocol: Optional[_DnsClientProtocol] = None
+        self._ids = itertools.count(1)
+        # Plain mirrors of the registry counters so reports work under
+        # the null registry too.
+        self.queries_sent = 0
+        self.timeouts = 0
+        self.tcp_fallbacks = 0
+        registry = metrics if metrics is not None else get_registry()
+        self._m_queries = registry.counter(
+            "loadgen_dns_queries_total", "Wire DNS queries issued by the client"
+        )
+        self._m_timeouts = registry.counter(
+            "loadgen_dns_timeouts_total", "Queries that timed out (incl. retried)"
+        )
+        self._m_tcp = registry.counter(
+            "loadgen_dns_tcp_fallbacks_total",
+            "Truncated UDP answers retried over TCP",
+        )
+
+    @classmethod
+    async def open(cls, host: str, port: int, **kwargs) -> "AsyncDnsClient":
+        """Create and connect a client to one server endpoint."""
+        client = cls(host, port, **kwargs)
+        loop = asyncio.get_running_loop()
+        _transport, protocol = await loop.create_datagram_endpoint(
+            _DnsClientProtocol, remote_addr=(host, port)
+        )
+        client._protocol = protocol
+        return client
+
+    def close(self) -> None:
+        """Close the UDP endpoint."""
+        if self._protocol is not None and self._protocol.transport is not None:
+            self._protocol.transport.close()
+        self._protocol = None
+
+    def _next_id(self) -> int:
+        return next(self._ids) & 0xFFFF or 1
+
+    async def query(self, name: str, client: IPv4Address,
+                    rtype: RecordType = RecordType.A) -> WireMessage:
+        """One query/response exchange (UDP, TCP on truncation)."""
+        if self._protocol is None or self._protocol.transport is None:
+            raise DnsClientError("client is not connected")
+        ecs = ClientSubnet(IPv4Prefix.containing(client, self._source_prefix_len))
+        last_error = "no attempt made"
+        for _attempt in range(self._retries + 1):
+            message_id = self._next_id()
+            payload = encode_message(
+                WireMessage(
+                    message_id=message_id,
+                    questions=[Question(name, rtype)],
+                    client_subnet=ecs,
+                )
+            )
+            waiter = asyncio.get_running_loop().create_future()
+            self._protocol.waiters[message_id] = waiter
+            self._protocol.transport.sendto(payload)
+            self.queries_sent += 1
+            self._m_queries.inc()
+            try:
+                raw = await asyncio.wait_for(waiter, timeout=self._timeout)
+            except asyncio.TimeoutError:
+                self._protocol.waiters.pop(message_id, None)
+                self.timeouts += 1
+                self._m_timeouts.inc()
+                last_error = f"timeout after {self._timeout}s"
+                continue
+            try:
+                response = decode_message(raw)
+            except WireError as exc:
+                last_error = f"undecodable response: {exc}"
+                continue
+            if response.truncated:
+                self.tcp_fallbacks += 1
+                self._m_tcp.inc()
+                response = await self._query_tcp(payload)
+            return response
+        raise DnsClientError(f"query for {name!r} failed: {last_error}")
+
+    async def _query_tcp(self, payload: bytes) -> WireMessage:
+        """Re-issue one already-encoded query over TCP."""
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self._host, self._port), timeout=self._timeout
+        )
+        try:
+            writer.write(struct.pack("!H", len(payload)) + payload)
+            await writer.drain()
+            header = await asyncio.wait_for(
+                reader.readexactly(2), timeout=self._timeout
+            )
+            (length,) = struct.unpack("!H", header)
+            raw = await asyncio.wait_for(
+                reader.readexactly(length), timeout=self._timeout
+            )
+        except (asyncio.TimeoutError, asyncio.IncompleteReadError) as exc:
+            raise DnsClientError(f"TCP fallback failed: {exc}") from exc
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - teardown race
+                pass
+        self.queries_sent += 1
+        self._m_queries.inc()
+        return decode_message(raw)
+
+    async def resolve(self, name: str, client: IPv4Address) -> WireResolution:
+        """Chase the CNAME chain from ``name`` down to A records."""
+        current = name
+        steps: list[tuple[ResourceRecord, ...]] = []
+        seen = {current}
+        for _hop in range(_MAX_CHAIN):
+            response = await self.query(current, client)
+            if response.rcode not in (RCode.NOERROR, RCode.NXDOMAIN):
+                raise DnsClientError(
+                    f"{current!r} answered {response.rcode.name}"
+                )
+            records = tuple(response.answers)
+            steps.append(records)
+            if any(r.rtype is RecordType.A for r in records):
+                return WireResolution(question_name=name, steps=tuple(steps))
+            cnames = [r for r in records if r.rtype is RecordType.CNAME]
+            if not cnames:
+                # Dead end (NODATA / NXDOMAIN): return what we have.
+                return WireResolution(question_name=name, steps=tuple(steps))
+            current = cnames[0].target
+            if current in seen:
+                raise DnsClientError(f"CNAME loop at {current!r}")
+            seen.add(current)
+        raise DnsClientError(f"chain longer than {_MAX_CHAIN} for {name!r}")
+
+
+class PooledHttpClient:
+    """A keep-alive HTTP/1.1 client with a bounded connection pool."""
+
+    def __init__(self, host: str, port: int, pool_size: int = 16,
+                 timeout: float = 5.0) -> None:
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self._pool: asyncio.LifoQueue = asyncio.LifoQueue(maxsize=pool_size)
+        self._created = 0
+        self._pool_size = pool_size
+
+    async def _acquire(self):
+        try:
+            return self._pool.get_nowait()
+        except asyncio.QueueEmpty:
+            pass
+        return await asyncio.wait_for(
+            asyncio.open_connection(self._host, self._port),
+            timeout=self._timeout,
+        )
+
+    def _release(self, connection) -> None:
+        try:
+            self._pool.put_nowait(connection)
+        except asyncio.QueueFull:
+            connection[1].close()
+
+    @staticmethod
+    def _discard(connection) -> None:
+        connection[1].close()
+
+    async def get(
+        self,
+        path: str,
+        host: str,
+        vip: IPv4Address,
+        client: IPv4Address,
+        range_bytes: Optional[tuple[int, int]] = None,
+    ) -> tuple[int, Headers, int]:
+        """One GET; returns (status, headers, body length received)."""
+        connection = await self._acquire()
+        reader, writer = connection
+        request = [
+            f"GET {path} HTTP/1.1",
+            f"Host: {host}",
+            f"X-Vip: {vip}",
+            f"X-Client: {client}",
+            "Connection: keep-alive",
+        ]
+        if range_bytes is not None:
+            request.append(f"Range: bytes={range_bytes[0]}-{range_bytes[1]}")
+        try:
+            writer.write(("\r\n".join(request) + "\r\n\r\n").encode("latin-1"))
+            await writer.drain()
+            status, headers, body_length = await asyncio.wait_for(
+                self._read_response(reader), timeout=self._timeout
+            )
+        except Exception:
+            self._discard(connection)
+            raise
+        if (headers.get("Connection") or "").lower() == "close":
+            self._discard(connection)
+        else:
+            self._release(connection)
+        return status, headers, body_length
+
+    @staticmethod
+    async def _read_response(reader: asyncio.StreamReader) -> tuple[int, Headers, int]:
+        status_line = (await reader.readline()).decode("latin-1").strip()
+        parts = status_line.split(" ", 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ConnectionError(f"malformed status line: {status_line!r}")
+        status = int(parts[1])
+        headers = Headers()
+        while True:
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, sep, value = line.partition(":")
+            if sep:
+                headers.add(name.strip(), value.strip())
+        length = int(headers.get("Content-Length") or 0)
+        received = 0
+        while received < length:
+            chunk = await reader.read(min(65536, length - received))
+            if not chunk:
+                raise ConnectionError("body ended early")
+            received += len(chunk)
+        return status, headers, received
+
+    async def close(self) -> None:
+        """Close every pooled connection."""
+        while True:
+            try:
+                connection = self._pool.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            connection[1].close()
+
+
+@dataclass
+class LoadConfig:
+    """Shape and limits of one load-generation run."""
+
+    requests: int = 5000
+    concurrency: int = 64
+    max_in_flight: Optional[int] = None  # defaults to concurrency
+    entry_point: str = "appldnld.apple.com"
+    object_count: int = 32
+    range_bytes: int = 65536
+    dns_timeout: float = 2.0
+    http_timeout: float = 5.0
+    retries: int = 2
+    source_prefix_len: int = 24
+
+    def __post_init__(self) -> None:
+        if self.requests <= 0:
+            raise ValueError("requests must be positive")
+        if self.concurrency <= 0:
+            raise ValueError("concurrency must be positive")
+        if self.object_count <= 0:
+            raise ValueError("object_count must be positive")
+        if self.range_bytes <= 0:
+            raise ValueError("range_bytes must be positive")
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Everything a run learned, percentiles included."""
+
+    requests: int
+    ok: int
+    errors: int
+    elapsed_seconds: float
+    dns_queries: int
+    dns_timeouts: int
+    tcp_fallbacks: int
+    body_bytes: int
+    dns_p50_ms: float
+    dns_p99_ms: float
+    http_p50_ms: float
+    http_p99_ms: float
+    error_samples: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def dns_qps(self) -> float:
+        """Sustained DNS queries per second over the whole run."""
+        return self.dns_queries / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+    @property
+    def http_rps(self) -> float:
+        """Completed HTTP requests per second."""
+        return self.ok / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+    def healthy(self) -> bool:
+        """True when every request completed without error."""
+        return self.errors == 0 and self.ok == self.requests
+
+    def render(self) -> str:
+        """A terminal-friendly summary block."""
+        lines = [
+            "loadgen report",
+            "--------------",
+            f"requests        {self.requests}  (ok {self.ok}, errors {self.errors})",
+            f"elapsed         {self.elapsed_seconds:.2f} s",
+            f"dns queries     {self.dns_queries}  "
+            f"({self.dns_qps:,.0f} qps sustained, "
+            f"{self.dns_timeouts} timeouts, {self.tcp_fallbacks} tcp fallbacks)",
+            f"dns latency     p50 {self.dns_p50_ms:.2f} ms   p99 {self.dns_p99_ms:.2f} ms (full chain)",
+            f"http requests   {self.ok}  ({self.http_rps:,.0f} rps)",
+            f"http latency    p50 {self.http_p50_ms:.2f} ms   p99 {self.http_p99_ms:.2f} ms",
+            f"body bytes      {self.body_bytes:,}",
+        ]
+        for sample in self.error_samples:
+            lines.append(f"error sample    {sample}")
+        return "\n".join(lines)
+
+
+class LoadGenerator:
+    """Drives the workload model through a live serve cluster."""
+
+    def __init__(
+        self,
+        dns_endpoint: tuple[str, int],
+        http_endpoint: tuple[str, int],
+        directory: Optional[ClientDirectory] = None,
+        config: Optional[LoadConfig] = None,
+        metrics=None,
+    ) -> None:
+        self.dns_endpoint = dns_endpoint
+        self.http_endpoint = http_endpoint
+        self.directory = (
+            directory if directory is not None else ClientDirectory.from_adoption()
+        )
+        self.config = config if config is not None else LoadConfig()
+        # Local histograms so percentiles exist even under the null
+        # registry; the same observations feed the registry instruments.
+        self._dns_hist = HistogramChild(_LATENCY_BUCKETS)
+        self._http_hist = HistogramChild(_LATENCY_BUCKETS)
+        registry = metrics if metrics is not None else get_registry()
+        self._registry = registry
+        self._m_requests = registry.counter(
+            "loadgen_requests_total",
+            "Closed-loop requests issued, by outcome",
+            ("outcome",),
+        )
+        self._m_ok = self._m_requests.labels("ok")
+        self._m_error = self._m_requests.labels("error")
+        self._m_dns_seconds = registry.histogram(
+            "loadgen_dns_resolution_seconds",
+            "Full-chain DNS resolution latency",
+            buckets=_LATENCY_BUCKETS,
+        )
+        self._m_http_seconds = registry.histogram(
+            "loadgen_http_request_seconds",
+            "Ranged download request latency",
+            buckets=_LATENCY_BUCKETS,
+        )
+        self._m_in_flight = registry.gauge(
+            "loadgen_in_flight", "Requests currently in flight"
+        )
+        self._errors: list[str] = []
+        self._ok_count = 0
+        self._body_bytes = 0
+
+    async def run(self) -> LoadReport:
+        """Execute the configured run; always returns a report."""
+        config = self.config
+        dns = await AsyncDnsClient.open(
+            *self.dns_endpoint,
+            timeout=config.dns_timeout,
+            retries=config.retries,
+            source_prefix_len=config.source_prefix_len,
+            metrics=self._registry,
+        )
+        http = PooledHttpClient(
+            *self.http_endpoint,
+            pool_size=config.concurrency,
+            timeout=config.http_timeout,
+        )
+        in_flight = asyncio.Semaphore(config.max_in_flight or config.concurrency)
+        sequence = itertools.count()
+        started = time.perf_counter()
+        try:
+            workers = [
+                asyncio.create_task(self._worker(dns, http, sequence, in_flight))
+                for _ in range(config.concurrency)
+            ]
+            await asyncio.gather(*workers)
+        finally:
+            elapsed = time.perf_counter() - started
+            dns.close()
+            await http.close()
+        return LoadReport(
+            requests=config.requests,
+            ok=self._ok_count,
+            errors=len(self._errors),
+            elapsed_seconds=elapsed,
+            dns_queries=dns.queries_sent,
+            dns_timeouts=dns.timeouts,
+            tcp_fallbacks=dns.tcp_fallbacks,
+            body_bytes=self._body_bytes,
+            dns_p50_ms=self._dns_hist.quantile(0.5) * 1000.0,
+            dns_p99_ms=self._dns_hist.quantile(0.99) * 1000.0,
+            http_p50_ms=self._http_hist.quantile(0.5) * 1000.0,
+            http_p99_ms=self._http_hist.quantile(0.99) * 1000.0,
+            error_samples=tuple(self._errors[:5]),
+        )
+
+    async def _worker(self, dns: AsyncDnsClient, http: PooledHttpClient,
+                      sequence, in_flight: asyncio.Semaphore) -> None:
+        while True:
+            seq = next(sequence)
+            if seq >= self.config.requests:
+                return
+            async with in_flight:
+                self._m_in_flight.inc()
+                try:
+                    await self._one_request(dns, http, seq)
+                    self._ok_count += 1
+                    self._m_ok.inc()
+                except Exception as exc:  # the loop must survive anything
+                    self._m_error.inc()
+                    if len(self._errors) < 100:
+                        self._errors.append(f"seq={seq}: {exc}")
+                finally:
+                    self._m_in_flight.dec()
+
+    async def _one_request(self, dns: AsyncDnsClient, http: PooledHttpClient,
+                           seq: int) -> None:
+        config = self.config
+        client = self.directory.sample(seq)
+        t_dns = time.perf_counter()
+        resolution = await dns.resolve(config.entry_point, client.address)
+        dns_elapsed = time.perf_counter() - t_dns
+        self._dns_hist.observe(dns_elapsed)
+        self._m_dns_seconds.observe(dns_elapsed)
+        if not resolution.addresses:
+            raise DnsClientError(
+                f"chain for {config.entry_point!r} ended without A records "
+                f"at {resolution.final_name!r}"
+            )
+        vip = resolution.addresses[seq % len(resolution.addresses)]
+        path = f"/content/ios11-part{seq % config.object_count:03d}.ipsw"
+        t_http = time.perf_counter()
+        status, _headers, body_length = await http.get(
+            path,
+            host=config.entry_point,
+            vip=vip,
+            client=client.address,
+            range_bytes=(0, config.range_bytes - 1),
+        )
+        http_elapsed = time.perf_counter() - t_http
+        self._http_hist.observe(http_elapsed)
+        self._m_http_seconds.observe(http_elapsed)
+        if status not in (200, 206):
+            raise RuntimeError(f"HTTP {status} from vip {vip} for {path}")
+        self._body_bytes += body_length

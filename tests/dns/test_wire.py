@@ -237,3 +237,112 @@ class TestAnswerWire:
         empty = encode_message(WireMessage(message_id=1))
         with pytest.raises(WireError):
             answer_wire(server, empty, context)
+
+
+class TestAdversarialBytes:
+    """Hardening: hostile compression pointers and truncated labels."""
+
+    def test_two_pointer_cycle_rejected_immediately(self):
+        # Pointer at 12 -> 14, pointer at 14 -> 12: a loop the
+        # backwards-only rule kills on the very first jump (14 >= 12).
+        data = b"\x00" * 12 + b"\xc0\x0e\xc0\x0c"
+        with pytest.raises(WireError):
+            decode_name(data, 12)
+
+    def test_forward_pointer_rejected(self):
+        # A pointer is only legal when it moves strictly backwards.
+        data = b"\x00" * 12 + b"\xc0\x10\x00\x00\x01a\x00"
+        with pytest.raises(WireError):
+            decode_name(data, 12)
+
+    def test_pointer_jump_budget_enforced(self):
+        # A strictly descending chain of 40 pointers passes the
+        # backwards rule but must hit the jump cap.
+        import struct as _struct
+
+        buffer = bytearray(b"\x01a\x00\x00")
+        for index in range(40):
+            target = 0 if index == 0 else 4 + 2 * (index - 1)
+            buffer += _struct.pack("!H", 0xC000 | target)
+        with pytest.raises(WireError, match="jumps"):
+            decode_name(bytes(buffer), 4 + 2 * 39)
+
+    def test_truncated_pointer_rejected(self):
+        data = b"\x00" * 12 + b"\xc0"
+        with pytest.raises(WireError, match="truncated"):
+            decode_name(data, 12)
+
+    def test_reserved_label_bits_rejected(self):
+        for length_byte in (0x40, 0x80):
+            with pytest.raises(WireError, match="reserved"):
+                decode_name(bytes([length_byte]) + b"abc\x00", 0)
+
+    def test_over_long_name_rejected(self):
+        # Five 63-byte labels encode to 321 octets, over the RFC 1035
+        # limit of 255 — each label alone is legal.
+        label = b"\x3f" + b"a" * 63
+        data = label * 5 + b"\x00"
+        with pytest.raises(WireError, match="255"):
+            decode_name(data, 0)
+
+    def test_non_ascii_label_rejected(self):
+        with pytest.raises(WireError, match="ASCII"):
+            decode_name(b"\x02\xff\xfe\x00", 0)
+
+    def test_legal_deep_compression_still_decodes(self):
+        # Regression guard: a legitimate chain of suffix pointers
+        # (each strictly backwards) must keep working.
+        compression = {}
+        buffer = bytearray(b"\x00" * 12)
+        buffer += encode_name("a.b.c.apple.com", compression, offset=12)
+        start = len(buffer)
+        buffer += encode_name("x.b.c.apple.com", compression, offset=start)
+        name, _ = decode_name(bytes(buffer), start)
+        assert name == "x.b.c.apple.com"
+
+    @given(st.binary(max_size=512))
+    def test_decode_message_never_hangs_or_crashes(self, data):
+        # Any byte blob either decodes or raises a ValueError family
+        # error; nothing else, and never an infinite pointer chase.
+        try:
+            decode_message(data)
+        except ValueError:
+            pass
+
+
+class TestTruncationAndPayloadSize:
+    def test_tc_bit_round_trip(self):
+        message = WireMessage(
+            message_id=9, is_response=True, truncated=True,
+            questions=[Question("appldnld.apple.com")],
+        )
+        decoded = decode_message(encode_message(message))
+        assert decoded.truncated
+
+    def test_advertised_udp_payload_round_trip(self):
+        message = WireMessage(
+            message_id=10,
+            questions=[Question("appldnld.apple.com")],
+            udp_payload_size=1232,
+        )
+        decoded = decode_message(encode_message(message))
+        assert decoded.udp_payload_size == 1232
+
+    def test_ecs_implies_default_payload_size(self):
+        # A query carrying ECS gets an OPT record; its class field
+        # defaults to the 4096-byte advertisement.
+        message = WireMessage(
+            message_id=11,
+            questions=[Question("appldnld.apple.com")],
+            client_subnet=ClientSubnet(IPv4Prefix.parse("100.64.0.0/24")),
+        )
+        decoded = decode_message(encode_message(message))
+        assert decoded.udp_payload_size == 4096
+        assert decoded.client_subnet is not None
+
+    def test_no_opt_means_no_payload_size(self):
+        message = WireMessage(
+            message_id=12, questions=[Question("mesu.apple.com")]
+        )
+        decoded = decode_message(encode_message(message))
+        assert decoded.udp_payload_size is None

@@ -183,3 +183,68 @@ class TestDefaultRegistry:
             with use_registry(MetricsRegistry()):
                 raise RuntimeError("boom")
         assert get_registry() is before
+
+
+class TestHistogramQuantile:
+    def _histogram(self, buckets=(1.0, 2.0, 4.0, 8.0)):
+        return MetricsRegistry().histogram("latency", buckets=buckets)
+
+    def test_empty_histogram_returns_zero(self):
+        assert self._histogram().quantile(0.5) == 0.0
+
+    def test_invalid_q_rejected(self):
+        histogram = self._histogram()
+        for q in (-0.1, 1.1, 2.0):
+            with pytest.raises(MetricError):
+                histogram.quantile(q)
+
+    def test_single_bucket_interpolates_from_lower_bound(self):
+        histogram = self._histogram()
+        for _ in range(10):
+            histogram.observe(1.5)  # all in the (1, 2] bucket
+        # Median rank 5 of 10 sits halfway through the bucket.
+        assert histogram.quantile(0.5) == pytest.approx(1.5)
+        assert histogram.quantile(1.0) == pytest.approx(2.0)
+
+    def test_first_bucket_interpolates_from_zero(self):
+        histogram = self._histogram()
+        for _ in range(4):
+            histogram.observe(0.5)
+        assert histogram.quantile(0.5) == pytest.approx(0.5)
+
+    def test_quantiles_spread_across_buckets(self):
+        histogram = self._histogram()
+        # 50 in (0,1], 30 in (1,2], 15 in (2,4], 5 in (4,8].
+        for value, count in ((0.5, 50), (1.5, 30), (3.0, 15), (6.0, 5)):
+            for _ in range(count):
+                histogram.observe(value)
+        assert histogram.quantile(0.5) == pytest.approx(1.0)
+        # Rank 95 is the 15th of 15 in the (2, 4] bucket.
+        assert histogram.quantile(0.95) == pytest.approx(4.0)
+        # Rank 99 sits 4/5 through the (4, 8] bucket.
+        assert histogram.quantile(0.99) == pytest.approx(4.0 + 4.0 * 0.8)
+
+    def test_overflow_observations_clamp_to_last_bound(self):
+        histogram = self._histogram()
+        for _ in range(10):
+            histogram.observe(100.0)  # beyond every bucket: +Inf only
+        assert histogram.quantile(0.99) == 8.0
+
+    def test_monotone_in_q(self):
+        histogram = self._histogram()
+        for value in (0.2, 0.9, 1.1, 1.9, 3.5, 7.0, 50.0):
+            histogram.observe(value)
+        quantiles = [histogram.quantile(q / 20.0) for q in range(21)]
+        assert quantiles == sorted(quantiles)
+
+    def test_labelled_children_have_independent_quantiles(self):
+        family = MetricsRegistry().histogram(
+            "latency", labelnames=("op",), buckets=(1.0, 2.0)
+        )
+        family.labels("fast").observe(0.5)
+        family.labels("slow").observe(1.5)
+        assert family.labels("fast").quantile(1.0) == pytest.approx(1.0)
+        assert family.labels("slow").quantile(1.0) == pytest.approx(2.0)
+
+    def test_null_instrument_quantile_is_zero(self):
+        assert NULL_REGISTRY.histogram("latency").quantile(0.99) == 0.0

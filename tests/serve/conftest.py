@@ -1,0 +1,11 @@
+"""Shared serve-layer fixtures: one loopback-sized estate per session."""
+
+import pytest
+
+from repro.serve import ClusterConfig, build_serve_estate
+
+
+@pytest.fixture(scope="session")
+def serve_estate():
+    """A small but complete Figure 2 estate for socket-level tests."""
+    return build_serve_estate(ClusterConfig(servers_per_metro=4))

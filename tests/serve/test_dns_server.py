@@ -1,0 +1,150 @@
+"""Tests for repro.serve.dnsserver — wire DNS over live sockets."""
+
+import asyncio
+
+import pytest
+
+from repro.apple.mapping import ENTRY_TTL, NAMES
+from repro.dns.query import RCode
+from repro.dns.records import RecordType
+from repro.serve import AsyncDnsClient, AsyncDnsServer, ClientDirectory, ZoneFrontend
+from repro.serve.dnsserver import _FALLBACK_UDP_PAYLOAD
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestZoneFrontend:
+    def test_most_specific_zone_wins(self, serve_estate):
+        frontend = ZoneFrontend(serve_estate.servers)
+        assert frontend.server_for(NAMES.entry_point).operator == "Apple"
+        # akadns.net is deeper than apple.com for this owner name.
+        assert frontend.server_for(NAMES.akadns_entry).operator == "Akamai"
+        assert frontend.server_for(NAMES.selection).operator == "Apple"
+        assert frontend.server_for(NAMES.limelight_us_eu).operator == "Limelight"
+
+    def test_uncovered_name_has_no_server(self, serve_estate):
+        frontend = ZoneFrontend(serve_estate.servers)
+        assert frontend.server_for("www.example.net") is None
+
+    def test_empty_frontend_rejected(self):
+        with pytest.raises(ValueError):
+            ZoneFrontend([])
+
+
+class TestAsyncDnsServer:
+    def test_entry_point_answer_over_udp(self, serve_estate):
+        async def scenario():
+            server = AsyncDnsServer(serve_estate.servers, clock=lambda: 0.0)
+            host, port = await server.start()
+            client = await AsyncDnsClient.open(host, port)
+            try:
+                directory = ClientDirectory()
+                address = directory.sample(0).address
+                response = await client.query(NAMES.entry_point, address)
+                assert response.is_response and response.authoritative
+                assert response.rcode is RCode.NOERROR
+                cname = response.answers[0]
+                assert cname.rtype is RecordType.CNAME
+                assert cname.target == NAMES.akadns_entry
+                assert cname.ttl == ENTRY_TTL
+                # The ECS option comes back with full scope.
+                assert response.client_subnet is not None
+                assert response.client_subnet.scope_length == 24
+            finally:
+                client.close()
+                await server.stop()
+
+        run(scenario())
+
+    def test_full_chain_resolution(self, serve_estate):
+        async def scenario():
+            server = AsyncDnsServer(serve_estate.servers, clock=lambda: 0.0)
+            host, port = await server.start()
+            client = await AsyncDnsClient.open(host, port)
+            try:
+                directory = ClientDirectory()
+                resolution = await client.resolve(
+                    NAMES.entry_point, directory.sample(3).address
+                )
+                assert resolution.addresses
+                assert resolution.chain_names[0] == NAMES.entry_point
+                assert NAMES.akadns_entry in resolution.chain_names
+            finally:
+                client.close()
+                await server.stop()
+
+        run(scenario())
+
+    def test_uncovered_name_refused(self, serve_estate):
+        async def scenario():
+            server = AsyncDnsServer(serve_estate.servers, clock=lambda: 0.0)
+            host, port = await server.start()
+            client = await AsyncDnsClient.open(host, port)
+            try:
+                response = await client.query(
+                    "www.example.net", ClientDirectory().sample(0).address
+                )
+                assert response.rcode is RCode.REFUSED
+                assert response.answers == []
+            finally:
+                client.close()
+                await server.stop()
+
+        run(scenario())
+
+    def test_truncation_triggers_tcp_fallback(self, serve_estate):
+        async def scenario():
+            # Cap UDP replies below any real answer so every UDP
+            # exchange comes back TC and the client retries over TCP.
+            server = AsyncDnsServer(
+                serve_estate.servers, clock=lambda: 0.0, max_udp_payload=40
+            )
+            host, port = await server.start()
+            client = await AsyncDnsClient.open(host, port)
+            try:
+                response = await client.query(
+                    NAMES.entry_point, ClientDirectory().sample(0).address
+                )
+                assert client.tcp_fallbacks == 1
+                assert not response.truncated
+                assert response.answers[0].target == NAMES.akadns_entry
+            finally:
+                client.close()
+                await server.stop()
+
+        run(scenario())
+
+    def test_malformed_datagram_gets_servfail(self, serve_estate):
+        server = AsyncDnsServer(serve_estate.servers, clock=lambda: 0.0)
+        # A recoverable id followed by garbage: SERVFAIL echoing the id.
+        reply = server.handle_datagram(b"\x12\x34" + b"\xff" * 20)
+        assert reply is not None
+        from repro.dns.wire import decode_message
+
+        decoded = decode_message(reply)
+        assert decoded.message_id == 0x1234
+        assert decoded.rcode is RCode.SERVFAIL
+
+    def test_unrecoverable_garbage_is_dropped(self, serve_estate):
+        server = AsyncDnsServer(serve_estate.servers, clock=lambda: 0.0)
+        assert server.handle_datagram(b"\x01\x02\x03") is None
+
+    def test_no_ecs_uses_fallback_payload_and_geography(self, serve_estate):
+        from repro.dns.query import Question
+        from repro.dns.wire import WireMessage, decode_message, encode_message
+
+        server = AsyncDnsServer(serve_estate.servers, clock=lambda: 0.0)
+        query = encode_message(
+            WireMessage(message_id=7, questions=[Question(NAMES.entry_point)])
+        )
+        reply = server.handle_datagram(query)
+        decoded = decode_message(reply)
+        assert decoded.rcode is RCode.NOERROR
+        assert len(encode_message(decoded)) <= _FALLBACK_UDP_PAYLOAD
+
+    def test_endpoint_requires_start(self, serve_estate):
+        server = AsyncDnsServer(serve_estate.servers)
+        with pytest.raises(RuntimeError):
+            _ = server.endpoint

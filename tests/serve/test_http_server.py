@@ -1,0 +1,209 @@
+"""Tests for repro.serve.httpserver — the live cache-edge HTTP server."""
+
+import asyncio
+
+import pytest
+
+from repro.serve import AsyncHttpEdge, PooledHttpClient, estate_router
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def _raw_request(host, port, text):
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(text.encode("latin-1"))
+    await writer.drain()
+    writer.write_eof()
+    raw = await reader.read(-1)
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except ConnectionError:
+        pass
+    return raw.decode("latin-1")
+
+
+class TestAsyncHttpEdge:
+    def _edge(self, serve_estate, **kwargs):
+        return AsyncHttpEdge(estate_router(serve_estate), **kwargs)
+
+    def test_ranged_get_from_apple_vip(self, serve_estate):
+        async def scenario():
+            edge = self._edge(serve_estate, object_size=100_000)
+            host, port = await edge.start()
+            client = PooledHttpClient(host, port)
+            vip = serve_estate.apple.sites[0].vip_addresses[0]
+            try:
+                status, headers, body_length = await client.get(
+                    "/content/ios11-part000.ipsw",
+                    host="appldnld.apple.com",
+                    vip=vip,
+                    client=vip,  # any address works as X-Client
+                    range_bytes=(0, 4095),
+                )
+                assert status == 206
+                assert body_length == 4096
+                assert headers.get("Content-Range") == "bytes 0-4095/100000"
+                # The model's hierarchy headers survive onto the wire.
+                assert headers.get("Via") or headers.get("X-Cache")
+                assert headers.get("X-Body-Size") == "100000"
+            finally:
+                await client.close()
+                await edge.stop()
+
+        run(scenario())
+
+    def test_full_get_and_keep_alive_reuse(self, serve_estate):
+        async def scenario():
+            edge = self._edge(serve_estate, object_size=2048)
+            host, port = await edge.start()
+            client = PooledHttpClient(host, port, pool_size=1)
+            vip = serve_estate.apple.sites[0].vip_addresses[0]
+            try:
+                for _ in range(3):  # sequential requests share the socket
+                    status, _headers, body_length = await client.get(
+                        "/content/full.ipsw",
+                        host="appldnld.apple.com",
+                        vip=vip,
+                        client=vip,
+                    )
+                    assert status == 200
+                    assert body_length == 2048
+            finally:
+                await client.close()
+                await edge.stop()
+
+        run(scenario())
+
+    def test_third_party_vip_served(self, serve_estate):
+        async def scenario():
+            edge = self._edge(serve_estate)
+            host, port = await edge.start()
+            client = PooledHttpClient(host, port)
+            akamai_vip = serve_estate.akamai.servers[0].server.address
+            try:
+                status, headers, _length = await client.get(
+                    "/content/x.ipsw",
+                    host="appldnld.apple.com",
+                    vip=akamai_vip,
+                    client=akamai_vip,
+                    range_bytes=(0, 1023),
+                )
+                assert status == 206
+                assert headers.get("Via") or headers.get("X-Cache")
+            finally:
+                await client.close()
+                await edge.stop()
+
+        run(scenario())
+
+    def test_unknown_vip_is_404(self, serve_estate):
+        async def scenario():
+            edge = self._edge(serve_estate)
+            host, port = await edge.start()
+            client = PooledHttpClient(host, port)
+            from repro.net.ipv4 import IPv4Address
+
+            try:
+                status, _headers, _length = await client.get(
+                    "/x", host="appldnld.apple.com",
+                    vip=IPv4Address.parse("192.0.2.1"),
+                    client=IPv4Address.parse("192.0.2.1"),
+                )
+                assert status == 404
+            finally:
+                await client.close()
+                await edge.stop()
+
+        run(scenario())
+
+    def test_missing_vip_header_is_400(self, serve_estate):
+        async def scenario():
+            edge = self._edge(serve_estate)
+            host, port = await edge.start()
+            try:
+                raw = await _raw_request(
+                    host, port,
+                    "GET / HTTP/1.1\r\nHost: appldnld.apple.com\r\n\r\n",
+                )
+                assert raw.startswith("HTTP/1.1 400")
+                assert "X-Vip" in raw
+            finally:
+                await edge.stop()
+
+        run(scenario())
+
+    def test_unsatisfiable_range_is_416(self, serve_estate):
+        async def scenario():
+            edge = self._edge(serve_estate, object_size=1000)
+            host, port = await edge.start()
+            client = PooledHttpClient(host, port)
+            vip = serve_estate.apple.sites[0].vip_addresses[0]
+            try:
+                status, headers, _length = await client.get(
+                    "/content/x.ipsw", host="appldnld.apple.com",
+                    vip=vip, client=vip, range_bytes=(5000, 6000),
+                )
+                assert status == 416
+                assert headers.get("Content-Range") == "bytes */1000"
+            finally:
+                await client.close()
+                await edge.stop()
+
+        run(scenario())
+
+    def test_post_is_405(self, serve_estate):
+        async def scenario():
+            edge = self._edge(serve_estate)
+            host, port = await edge.start()
+            try:
+                raw = await _raw_request(
+                    host, port,
+                    "POST / HTTP/1.1\r\nHost: a\r\nX-Vip: 17.0.0.1\r\n\r\n",
+                )
+                assert raw.startswith("HTTP/1.1 405")
+            finally:
+                await edge.stop()
+
+        run(scenario())
+
+    def test_head_sends_no_body(self, serve_estate):
+        async def scenario():
+            edge = self._edge(serve_estate, object_size=512)
+            host, port = await edge.start()
+            vip = serve_estate.apple.sites[0].vip_addresses[0]
+            try:
+                # A path no other test touched: the estate's caches are
+                # session-shared and remember entity sizes per path.
+                raw = await _raw_request(
+                    host, port,
+                    "HEAD /content/head-only.ipsw HTTP/1.1\r\n"
+                    "Host: appldnld.apple.com\r\n"
+                    f"X-Vip: {vip}\r\nConnection: close\r\n\r\n",
+                )
+                head, _, body = raw.partition("\r\n\r\n")
+                assert head.startswith("HTTP/1.1 200")
+                assert "Content-Length: 512" in head
+                assert body == ""
+            finally:
+                await edge.stop()
+
+        run(scenario())
+
+    def test_malformed_request_line_is_400(self, serve_estate):
+        async def scenario():
+            edge = self._edge(serve_estate)
+            host, port = await edge.start()
+            try:
+                raw = await _raw_request(host, port, "NOT-HTTP\r\n\r\n")
+                assert raw.startswith("HTTP/1.1 400")
+            finally:
+                await edge.stop()
+
+        run(scenario())
+
+    def test_bad_object_size_rejected(self, serve_estate):
+        with pytest.raises(ValueError):
+            self._edge(serve_estate, object_size=0)

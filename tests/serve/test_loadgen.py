@@ -1,0 +1,150 @@
+"""Tests for repro.serve.loadgen and the cluster end to end."""
+
+import asyncio
+
+import pytest
+
+from repro.dns.records import ARecord, CnameRecord
+from repro.net.ipv4 import IPv4Address
+from repro.obs import MetricsRegistry, use_registry
+from repro.serve import (
+    ClientDirectory,
+    ClusterConfig,
+    LoadConfig,
+    LoadReport,
+    ServeCluster,
+    WireResolution,
+    build_serve_estate,
+    render_selftest,
+    selftest_checks,
+)
+
+
+class TestWireResolution:
+    def _resolution(self):
+        return WireResolution(
+            question_name="appldnld.apple.com",
+            steps=(
+                (CnameRecord("appldnld.apple.com", "a.akadns.net", 21600),),
+                (
+                    CnameRecord("a.akadns.net", "a.gslb.applimg.com", 15),
+                    ARecord("a.gslb.applimg.com", IPv4Address.parse("17.0.0.1"), 15),
+                ),
+            ),
+        )
+
+    def test_chain_views(self):
+        resolution = self._resolution()
+        assert resolution.chain_names == (
+            "appldnld.apple.com", "a.akadns.net", "a.gslb.applimg.com",
+        )
+        assert resolution.final_name == "a.gslb.applimg.com"
+        assert resolution.addresses == (IPv4Address.parse("17.0.0.1"),)
+        assert len(resolution.cname_chain) == 2
+        assert len(resolution.records) == 3
+
+
+class TestLoadConfig:
+    def test_defaults_are_valid(self):
+        config = LoadConfig()
+        assert config.requests == 5000
+        assert config.entry_point == "appldnld.apple.com"
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("requests", 0), ("concurrency", -1), ("object_count", 0),
+         ("range_bytes", 0)],
+    )
+    def test_bad_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            LoadConfig(**{field: value})
+
+
+class TestLoadReport:
+    def _report(self, **overrides):
+        values = dict(
+            requests=100, ok=100, errors=0, elapsed_seconds=2.0,
+            dns_queries=460, dns_timeouts=0, tcp_fallbacks=0,
+            body_bytes=6_553_600, dns_p50_ms=1.5, dns_p99_ms=9.0,
+            http_p50_ms=0.8, http_p99_ms=4.0,
+        )
+        values.update(overrides)
+        return LoadReport(**values)
+
+    def test_rates_derive_from_elapsed(self):
+        report = self._report()
+        assert report.dns_qps == pytest.approx(230.0)
+        assert report.http_rps == pytest.approx(50.0)
+        assert report.healthy()
+
+    def test_unhealthy_on_errors_or_shortfall(self):
+        assert not self._report(errors=1, ok=99).healthy()
+        assert not self._report(ok=90).healthy()
+
+    def test_render_mentions_the_key_numbers(self):
+        text = self._report().render()
+        assert "qps" in text
+        assert "p50" in text and "p99" in text
+        assert "100" in text
+
+
+class TestClusterEndToEnd:
+    def test_small_drive_is_clean_and_instrumented(self):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            estate = build_serve_estate(ClusterConfig(servers_per_metro=4))
+            cluster = ServeCluster(
+                estate=estate,
+                directory=ClientDirectory.from_adoption(),
+                metrics=registry,
+            )
+
+            async def scenario():
+                async with cluster:
+                    return await cluster.drive(
+                        LoadConfig(requests=200, concurrency=16)
+                    )
+
+            report = asyncio.run(scenario())
+
+        assert report.healthy(), report.error_samples
+        assert report.ok == 200
+        # Every request walks the multi-hop chain: several wire queries
+        # per closed-loop request.
+        assert report.dns_queries >= 2 * 200
+        assert report.dns_p50_ms > 0.0 and report.dns_p99_ms > 0.0
+        assert report.http_p50_ms > 0.0 and report.http_p99_ms > 0.0
+        assert report.body_bytes == 200 * 65536
+
+        # The shared registry saw both sides of every exchange.
+        served = registry.get("serve_dns_queries_total")
+        sent = registry.get("loadgen_dns_queries_total")
+        assert served is not None and sent is not None
+        assert sum(c.value for _, c in served.children()) == report.dns_queries
+        assert sent.value == report.dns_queries
+        http_family = registry.get("serve_http_requests_total")
+        assert http_family.labels("206").value == 200
+        cache_family = registry.get("cache_requests_total")
+        assert sum(c.value for _, c in cache_family.children()) > 0
+
+        checks = selftest_checks(report, registry, qps_floor=10.0)
+        assert all(passed for _label, passed in checks)
+        rendered = render_selftest(report, registry, qps_floor=10.0)
+        assert "selftest PASSED" in rendered
+        assert "cache lookups" in rendered
+
+    def test_cluster_context_manager_restarts(self):
+        estate = build_serve_estate(ClusterConfig(servers_per_metro=4))
+
+        async def scenario():
+            cluster = ServeCluster(estate=estate)
+            async with cluster:
+                first = cluster.dns.endpoint
+            # Fully stopped: endpoints are gone.
+            with pytest.raises(RuntimeError):
+                _ = cluster.dns.endpoint
+            return first
+
+        host, port = asyncio.run(scenario())
+        assert host == "127.0.0.1"
+        assert port > 0

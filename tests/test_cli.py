@@ -117,3 +117,47 @@ class TestCommands:
             "Overflow by handover AS",
         ):
             assert marker in captured, marker
+
+
+class TestServeCommands:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.dns_port == 5333
+        assert args.http_port == 8080
+
+    def test_loadgen_requires_endpoints(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadgen"])
+
+    def test_loadgen_bad_endpoint_exits(self):
+        with pytest.raises(SystemExit):
+            main(["loadgen", "--dns", "nonsense", "--http", "127.0.0.1:1",
+                  "--requests", "1"])
+
+    def test_selftest_parser_defaults(self):
+        args = build_parser().parse_args(["selftest"])
+        assert args.requests == 5000
+        assert args.concurrency == 64
+        assert args.qps_floor == 1000.0
+
+    def test_selftest_small_run_passes(self, capsys):
+        code = main(
+            ["selftest", "--requests", "150", "--concurrency", "12",
+             "--qps-floor", "10"]
+        )
+        captured = capsys.readouterr().out
+        assert code == 0
+        assert "loadgen report" in captured
+        assert "selftest PASSED" in captured
+        assert "cache lookups" in captured
+        assert "FAIL" not in captured
+
+    def test_selftest_unreachable_qps_floor_fails(self, capsys):
+        code = main(
+            ["selftest", "--requests", "60", "--concurrency", "8",
+             "--qps-floor", "100000000"]
+        )
+        captured = capsys.readouterr().out
+        assert code == 1
+        assert "selftest FAILED" in captured

@@ -66,6 +66,15 @@ class TestExamples:
         assert "cname_rollout" in out
         assert "engine_steps_total" in out
 
+    def test_live_mapping_survey(self, capsys):
+        out = run_example("live_mapping_survey.py", capsys)
+        assert "per-vantage wire chains for appldnld.apple.com" in out
+        assert "de-frankfurt" in out and "za-johannesburg" in out
+        assert "operators answering:" in out and "Apple" in out
+        assert "HTTP 206" in out
+        assert "Content-Range: bytes 0-4095/" in out
+        assert "edge-lx" in out  # the §3.3 Via chain came over the wire
+
     @pytest.mark.slow
     def test_release_day_closeup(self, capsys):
         out = run_example("release_day_closeup.py", capsys)
