@@ -338,6 +338,17 @@ class AppleCdn:
         """The site owning the vip address, if any."""
         return self._site_by_vip.get(vip)
 
+    def install_fault_injector(self, injector) -> None:
+        """Arm every vip group with a fault plane.
+
+        ``injector`` is a :class:`repro.faults.FaultInjector` (or None
+        to disarm); crashed edge-bx caches then fall through to the
+        edge-lx tier per Section 3.3.
+        """
+        for site in self.sites:
+            for group in site.groups:
+                group.faults = injector
+
     def reverse_dns(self, address: IPv4Address) -> Optional[str]:
         """The ``aaplimg.com`` PTR name of ``address`` (any function)."""
         return self._reverse_dns.get(address)

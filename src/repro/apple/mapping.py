@@ -74,6 +74,23 @@ class MappingNames:
             return self.limelight_apac
         return self.limelight_us_eu
 
+    def member_of(self, name: str) -> Optional[str]:
+        """The member CDN a handover/GSLB name steers traffic to.
+
+        ``None`` for names that are not failover-steerable targets
+        (the entry point, the selection step itself, ...).  This is the
+        mapping the health-check loop uses to filter answers.
+        """
+        if name in (self.gslb_a, self.gslb_b):
+            return "Apple"
+        if name in (self.edgesuite, self.akamai_primary, self.akamai_secondary):
+            return "Akamai"
+        if name in (self.limelight_us_eu, self.limelight_apac):
+            return "Limelight"
+        if name == self.level3:
+            return "Level3"
+        return None
+
 
 NAMES = MappingNames()
 
@@ -121,10 +138,20 @@ class MetaCdnEstate:
     third_party_weights: dict[MappingRegion, WeightSchedule] = field(
         default_factory=dict
     )
+    # Health-aware failover view ("SelectionHealth"); None = the estate
+    # never fails over and every hot path skips the health checks.
+    health: Optional[object] = None
 
     def resolver(self, cache: bool = True) -> RecursiveResolver:
         """A recursive resolver over the full estate."""
         return RecursiveResolver(self.servers, cache=cache)
+
+    def apple_share(self, region: MappingRegion, now: float) -> float:
+        """The step-2 Apple share, bent by failover when health is wired."""
+        share = self.controller.apple_share(region)
+        if self.health is not None:
+            share = self.health.effective_share(share, region, now)
+        return share
 
     @property
     def deployments(self) -> dict[str, CdnDeployment]:
@@ -155,6 +182,7 @@ def build_meta_cdn(
     a1015_from: Optional[float] = None,
     level3: Optional[CdnDeployment] = None,
     names: MappingNames = NAMES,
+    health_monitor=None,
 ) -> MetaCdnEstate:
     """Wire the full Figure 2 estate across the three DNS operators.
 
@@ -164,11 +192,27 @@ def build_meta_cdn(
     the pre-rollout configuration).  Passing ``level3`` restores the
     pre-late-June 2017 configuration for ablations; its weight must
     then appear in the schedules.
+
+    ``health_monitor`` (a :class:`repro.faults.CdnHealthMonitor`) makes
+    the estate failover-aware: the step-2 selection consults member
+    health before picking a branch and the step-3 weight schedules
+    answer only healthy members.  Without one, behaviour is identical
+    to the healthy-path build.
     """
     weights = dict(third_party_weights) if third_party_weights else _default_weights()
     for region in MappingRegion:
         if region not in weights:
             raise ValueError(f"missing third-party weights for region {region.value}")
+
+    health = None
+    if health_monitor is not None:
+        from ..faults.health import SelectionHealth
+
+        health = SelectionHealth(health_monitor, names.member_of)
+        weights = {
+            region: health.wrap_schedule(region, schedule)
+            for region, schedule in weights.items()
+        }
 
     # --- Apple's DNS -----------------------------------------------------
     apple_zone = Zone("apple.com")
@@ -186,6 +230,7 @@ def build_meta_cdn(
             controller=controller,
             gslb_targets=(names.gslb_a, names.gslb_b),
             ttl=SELECTION_TTL,
+            health=health,
         ),
     )
     for gslb_name in (names.gslb_a, names.gslb_b):
@@ -293,4 +338,5 @@ def build_meta_cdn(
         servers=servers,
         level3=level3,
         third_party_weights=weights,
+        health=health,
     )

@@ -114,6 +114,9 @@ class OffloadCnamePolicy:
     third_party_pattern: str = "ios8-{region}-lb.apple.com.akadns.net"
     ttl: int = 15
     salt: str = ""
+    # Failover view (repro.faults.SelectionHealth); None = never bend
+    # the share — the healthy-path behaviour.
+    health: Optional[object] = None
 
     def answer(self, name: str, context: QueryContext) -> tuple[ResourceRecord, ...]:
         target = self.select(name, context)
@@ -122,6 +125,8 @@ class OffloadCnamePolicy:
     def select(self, name: str, context: QueryContext) -> str:
         """The CNAME target for this client: Apple GSLB or third-party."""
         share = self.controller.apple_share(context.region)
+        if self.health is not None:
+            share = self.health.effective_share(share, context.region, context.now)
         bucket = int(context.now // self.ttl) if self.ttl > 0 else 0
         fraction = stable_fraction(name, context.client, bucket, self.salt)
         if fraction < share:

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the common workflows:
+Seven commands cover the common workflows:
 
 * ``simulate`` — run the Sep-2017 scenario over a date window and print
   per-step aggregates (demand, offload split, measurements, flows);
@@ -13,7 +13,10 @@ Six commands cover the common workflows:
 * ``loadgen`` — drive the closed-loop load generator against an
   already-running serve endpoint pair;
 * ``selftest`` — boot a cluster, drive a full load run through it and
-  verify throughput, latency and cache health in one shot.
+  verify throughput, latency and cache health in one shot;
+* ``chaos`` — the fault-injection drill: scheduled outages against the
+  live cluster plus an engine-time blackout, gated on error rate,
+  re-steer time and recovery.
 """
 
 from __future__ import annotations
@@ -124,6 +127,22 @@ def build_parser() -> argparse.ArgumentParser:
                               help="concurrent workers (default 64)")
     selftest_cmd.add_argument("--qps-floor", type=float, default=1000.0,
                               help="required sustained DNS qps (default 1000)")
+
+    chaos = commands.add_parser(
+        "chaos", help="run the fault-injection drill against live + engine"
+    )
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="seed for probabilistic fault decisions (default 7)")
+    chaos.add_argument("--concurrency", type=int, default=16,
+                       help="concurrent load workers (default 16)")
+    chaos.add_argument("--error-budget", type=float, default=0.02,
+                       help="max tolerated client error rate (default 0.02)")
+    chaos.add_argument("--fault", action="append", default=None, metavar="SPEC",
+                       help="fault window as kind@target:start-end[:severity], "
+                            "e.g. cdn-blackout@Limelight:3-9 (repeatable; "
+                            "default: the standard drill)")
+    chaos.add_argument("--skip-simulation", action="store_true",
+                       help="run only the live phase")
     return parser
 
 
@@ -354,6 +373,29 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
     return 0 if all(passed for _, passed in checks) else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    # Imported lazily: repro.faults.chaos pulls in the serving layer.
+    from .faults import FaultSchedule
+    from .faults.chaos import ChaosConfig, run_chaos
+
+    schedule = None
+    if args.fault:
+        try:
+            schedule = FaultSchedule.parse(args.fault)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from exc
+    config = ChaosConfig(
+        seed=args.seed,
+        schedule=schedule,
+        concurrency=args.concurrency,
+        error_budget=args.error_budget,
+        run_simulation=not args.skip_simulation,
+    )
+    report, _registry, _tracer = run_chaos(config)
+    print(report.render())
+    return 0 if report.passed() else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -364,6 +406,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
         "selftest": _cmd_selftest,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

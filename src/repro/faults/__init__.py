@@ -1,0 +1,42 @@
+"""Fault injection and health-checked failover for the Meta-CDN.
+
+The paper's ISP-side findings (overflow, re-steering within the 15 s
+selection TTL) are all about what happens when delivery *degrades*;
+this package supplies the degradation.  :mod:`repro.faults.schedule`
+holds the pure-data fault plan, :mod:`repro.faults.injector` turns it
+into seeded deterministic per-event decisions, and
+:mod:`repro.faults.health` runs the health-check + failover loop that
+re-steers the ``appldnld.g.applimg.com`` selection step around failed
+member CDNs.  :mod:`repro.faults.chaos` (imported lazily by the CLI —
+it pulls in the serving layer) boots a live cluster under a schedule
+and gates on error rate, re-steer time and recovery.
+
+Everything is opt-in: a component without an injector installed runs
+byte-for-byte the healthy-path code.
+"""
+
+from .health import (
+    DEFAULT_MEMBERS,
+    CdnHealthMonitor,
+    FailoverConfig,
+    FailoverLoop,
+    HealthFilteredSchedule,
+    MemberState,
+    SelectionHealth,
+)
+from .injector import FaultInjector
+from .schedule import FaultKind, FaultSchedule, FaultWindow
+
+__all__ = [
+    "FaultKind",
+    "FaultWindow",
+    "FaultSchedule",
+    "FaultInjector",
+    "MemberState",
+    "CdnHealthMonitor",
+    "SelectionHealth",
+    "HealthFilteredSchedule",
+    "FailoverConfig",
+    "FailoverLoop",
+    "DEFAULT_MEMBERS",
+]

@@ -1,0 +1,398 @@
+"""The chaos drill: scheduled faults against the live cluster + engine.
+
+``repro chaos`` runs two phases and gates on what the paper's
+mechanisms promise under failure:
+
+1. **Live phase** — boot a loopback :class:`~repro.serve.cluster.ServeCluster`
+   with a fault schedule (by default: a fifth of Apple's vips dark from
+   t=1 s, a total Limelight blackout from t=3 s, both clearing at
+   t=9 s) and a fast health-check loop.  Closed-loop load runs
+   throughout; a watcher resolves the Figure 2 chain for clients known
+   to map to Limelight and times how quickly the 15 s selection step
+   re-steers them away.  Recovery time comes from the tracer's
+   ``cdn_recovered`` event.
+2. **Simulation phase** — replay the same failure shape in engine time
+   (a Limelight blackout one hour after the iOS 11 release) and check
+   the ISP classifier sees the consequence: the EU split drops
+   Limelight to zero, the spill lands on Akamai, and non-zero overflow
+   bytes are attributed to the failed-over CDN.
+
+Both phases are deterministic under a fixed seed: every probabilistic
+fault decision and every jittered backoff resolves through the same
+BLAKE2b ``stable_fraction`` hash.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..obs import EventTracer, MetricsRegistry, use_registry, use_tracer
+from ..workload.timeline import TIMELINE
+from .health import FailoverConfig
+from .schedule import FaultKind, FaultSchedule, FaultWindow
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosReport",
+    "default_chaos_schedule",
+    "run_chaos",
+    "chaos_selftest",
+]
+
+
+def default_chaos_schedule() -> FaultSchedule:
+    """The standard drill: partial Apple vip outage + Limelight blackout.
+
+    Times are seconds since cluster start.  Everything clears by t=9 so
+    the recovery half of the health loop is exercised inside the run.
+    """
+    return FaultSchedule(
+        [
+            FaultWindow(1.0, 9.0, "Apple", FaultKind.VIP_OUTAGE, severity=0.2),
+            FaultWindow(3.0, 9.0, "Limelight", FaultKind.CDN_BLACKOUT),
+        ]
+    )
+
+
+@dataclass
+class ChaosConfig:
+    """Knobs for one chaos drill."""
+
+    seed: int = 7
+    schedule: Optional[FaultSchedule] = None  # None = default_chaos_schedule()
+    batch_requests: int = 150
+    concurrency: int = 16
+    error_budget: float = 0.02        # acceptance: client error rate below this
+    resteer_budget: float = 15.0      # one selection-step TTL
+    recovery_margin: float = 5.0      # run past the last window this long
+    watch_candidates: int = 64        # clients scanned for Limelight mapping
+    watch_clients: int = 8            # of those, how many the watcher tracks
+    watch_interval: float = 0.3
+    probe_interval: float = 0.25      # live health-probe cadence
+    probe_cooldown: float = 0.5       # unhealthy re-probe cadence
+    run_simulation: bool = True
+    servers_per_metro: int = 4
+
+    def __post_init__(self) -> None:
+        if self.batch_requests <= 0 or self.concurrency <= 0:
+            raise ValueError("batch_requests and concurrency must be positive")
+        if not 0.0 < self.error_budget < 1.0:
+            raise ValueError("error_budget must be a fraction in (0, 1)")
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """What the drill measured, live and simulated."""
+
+    schedule: str
+    # live phase
+    requests: int
+    ok: int
+    errors: int
+    error_rate: float
+    retries: int
+    reresolutions: int
+    hedged: int
+    resteer_seconds: Optional[float]
+    recovery_seconds: Optional[float]
+    unhealthy_events: int
+    watched_clients: int
+    # simulation phase (None when skipped)
+    sim_limelight_pre_gbps: Optional[float] = None
+    sim_limelight_blackout_gbps: Optional[float] = None
+    sim_limelight_after_gbps: Optional[float] = None
+    sim_overflow_akamai_bytes: Optional[int] = None
+    checks: tuple = field(default_factory=tuple)
+
+    def passed(self) -> bool:
+        """True when every acceptance check held."""
+        return all(ok for _label, ok in self.checks)
+
+    def render(self) -> str:
+        """A terminal-friendly verdict block."""
+        lines = [
+            "chaos drill",
+            "-----------",
+            "schedule:",
+        ]
+        lines += [f"  {line}" for line in self.schedule.splitlines()]
+        lines += [
+            "",
+            f"live requests   {self.requests}  (ok {self.ok}, errors {self.errors}, "
+            f"rate {self.error_rate:.2%})",
+            f"resilience      {self.retries} retries, "
+            f"{self.reresolutions} TTL re-resolutions, {self.hedged} hedged lookups",
+            f"failovers       {self.unhealthy_events} member(s) marked unhealthy",
+        ]
+        if self.resteer_seconds is not None:
+            lines.append(
+                f"re-steer        {self.resteer_seconds:.2f} s after blackout "
+                f"({self.watched_clients} watched Limelight clients)"
+            )
+        else:
+            lines.append("re-steer        not observed")
+        if self.recovery_seconds is not None:
+            lines.append(
+                f"recovery        healthy {self.recovery_seconds:.2f} s after the fault cleared"
+            )
+        else:
+            lines.append("recovery        not observed")
+        if self.sim_overflow_akamai_bytes is not None:
+            lines += [
+                "",
+                "simulation (Limelight blackout, release+1h .. release+6h)",
+                f"  EU Limelight split   pre {self.sim_limelight_pre_gbps:.0f} Gbps"
+                f" -> blackout {self.sim_limelight_blackout_gbps:.0f} Gbps"
+                f" -> after {self.sim_limelight_after_gbps:.0f} Gbps",
+                f"  overflow to Akamai   {self.sim_overflow_akamai_bytes:,} bytes",
+            ]
+        lines.append("")
+        for label, ok in self.checks:
+            lines.append(f"{'PASS' if ok else 'FAIL'}  {label}")
+        lines.append("")
+        lines.append("chaos " + ("PASSED" if self.passed() else "FAILED"))
+        return "\n".join(lines)
+
+
+async def _watch_resteer(cluster, config: ChaosConfig, registry,
+                         blackout: Optional[FaultWindow],
+                         stop_at: float, rounds: list) -> int:
+    """Resolve Limelight-mapped clients on a cadence; record sightings.
+
+    Returns how many watched clients mapped to Limelight pre-fault.
+    Each round appends ``(t, limelight_seen)`` to ``rounds``.
+    """
+    from ..serve.loadgen import AsyncDnsClient, DnsClientError
+
+    dns = await AsyncDnsClient.open(
+        *cluster.dns.endpoint, timeout=1.0, retries=1, metrics=registry
+    )
+    try:
+        entry = "appldnld.apple.com"
+        watched = []
+        for index in range(config.watch_candidates):
+            client = cluster.directory.sample(index)
+            try:
+                resolution = await dns.resolve(entry, client.address)
+            except DnsClientError:
+                continue
+            if any("llnw" in name for name in resolution.chain_names):
+                watched.append(client.address)
+            if len(watched) >= config.watch_clients:
+                break
+        if not watched or blackout is None:
+            return len(watched)
+        clock = cluster._cluster_clock
+        while clock() < stop_at:
+            seen = False
+            for address in watched:
+                try:
+                    resolution = await dns.resolve(entry, address)
+                except DnsClientError:
+                    continue
+                if any("llnw" in name for name in resolution.chain_names):
+                    seen = True
+                    break
+            rounds.append((clock(), seen))
+            await asyncio.sleep(config.watch_interval)
+        return len(watched)
+    finally:
+        dns.close()
+
+
+def _resteer_from_rounds(rounds, blackout: Optional[FaultWindow]) -> Optional[float]:
+    """Seconds from blackout start until the chain stopped answering
+    Limelight (and stayed away until the fault cleared)."""
+    if blackout is None:
+        return None
+    in_window = [(t, seen) for t, seen in rounds
+                 if blackout.start <= t < blackout.end]
+    steered_at: Optional[float] = None
+    for t, seen in in_window:
+        if seen:
+            steered_at = None
+        elif steered_at is None:
+            steered_at = t
+    if steered_at is None:
+        return None
+    return steered_at - blackout.start
+
+
+async def _live_phase(config: ChaosConfig, schedule: FaultSchedule,
+                      registry, tracer) -> dict:
+    from ..serve.cluster import ClusterConfig, ServeCluster
+    from ..serve.loadgen import LoadConfig
+
+    blackouts = [w for w in schedule
+                 if w.kind is FaultKind.CDN_BLACKOUT and w.target != "Apple"]
+    blackout = blackouts[0] if blackouts else None
+    failover = FailoverConfig(
+        probe_interval=config.probe_interval,
+        cooldown=config.probe_cooldown,
+        fault_seed=config.seed,
+    )
+    cluster = ServeCluster(
+        config=ClusterConfig(servers_per_metro=config.servers_per_metro),
+        metrics=registry,
+        tracer=tracer,
+        faults=schedule,
+        failover=failover,
+    )
+    end_at = schedule.end_time() + config.recovery_margin
+    totals = {"requests": 0, "ok": 0, "errors": 0,
+              "retries": 0, "reresolutions": 0, "hedged": 0}
+    rounds: list = []
+    async with cluster:
+        watcher = asyncio.create_task(
+            _watch_resteer(cluster, config, registry, blackout, end_at, rounds)
+        )
+        load_config = LoadConfig(
+            requests=config.batch_requests,
+            concurrency=config.concurrency,
+            http_retries=2,
+            dns_timeout=1.0,
+        )
+        clock = cluster._cluster_clock
+        while clock() < end_at:
+            report = await cluster.drive(load_config)
+            totals["requests"] += report.requests
+            totals["ok"] += report.ok
+            totals["errors"] += report.errors
+            totals["retries"] += report.retries
+            totals["reresolutions"] += report.reresolutions
+            totals["hedged"] += report.hedged
+        watched = await watcher
+    recovery: Optional[float] = None
+    if blackout is not None:
+        for record in tracer.find("cdn_recovered"):
+            if record.fields.get("member") == blackout.target:
+                recovery = max(0.0, record.ts - blackout.end)
+                break
+    return {
+        **totals,
+        "watched": watched,
+        "resteer": _resteer_from_rounds(rounds, blackout),
+        "recovery": recovery,
+        "unhealthy": len(tracer.find("cdn_unhealthy")),
+        "blackout": blackout,
+    }
+
+
+def _simulation_phase(config: ChaosConfig) -> dict:
+    from ..isp.classify import TrafficClassifier
+    from ..simulation.engine import SimulationEngine
+    from ..simulation.scenario import ScenarioConfig, Sep2017Scenario
+
+    release = TIMELINE.ios_11_0_release
+    fault_start = release + 3600.0
+    fault_end = release + 6 * 3600.0
+    schedule = FaultSchedule(
+        [FaultWindow(fault_start, fault_end, "Limelight", FaultKind.CDN_BLACKOUT)]
+    )
+    scenario_config = ScenarioConfig(
+        global_probe_count=32,
+        isp_probe_count=16,
+        traceroute_probe_count=2,
+        fault_probe_interval=60.0,
+        fault_cooldown=300.0,
+        fault_seed=config.seed,
+    )
+    scenario = Sep2017Scenario(scenario_config, faults=schedule)
+    engine = SimulationEngine(scenario, step_seconds=1800.0)
+    reports: list = []
+    engine.run(release - 1800.0, release + 8 * 3600.0, progress=reports.append)
+
+    def limelight_peak(lo: float, hi: float) -> float:
+        return max(
+            (r.operator_gbps.get("Limelight", 0.0)
+             for r in reports if lo <= r.now < hi),
+            default=0.0,
+        )
+
+    classifier = TrafficClassifier(scenario.isp, scenario.rib, scenario.operator_of)
+    in_window = [f for f in scenario.netflow.records
+                 if fault_start <= f.timestamp < fault_end]
+    overflow_akamai = sum(
+        c.flow.bytes for c in classifier.overflow_traffic(in_window, "Akamai")
+    )
+    return {
+        # the health loop needs k_failures probes to flip, so judge the
+        # steady blackout state from one step past the fault start
+        "limelight_pre": limelight_peak(release - 1800.0, fault_start),
+        "limelight_blackout": limelight_peak(fault_start + 3600.0, fault_end),
+        "limelight_after": limelight_peak(fault_end + 3600.0, release + 8 * 3600.0),
+        "overflow_akamai": int(overflow_akamai),
+    }
+
+
+def run_chaos(
+    config: Optional[ChaosConfig] = None,
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[EventTracer] = None,
+) -> tuple[ChaosReport, MetricsRegistry, EventTracer]:
+    """Run the full drill; returns (report, registry, tracer)."""
+    config = config if config is not None else ChaosConfig()
+    schedule = config.schedule if config.schedule is not None else default_chaos_schedule()
+    if not len(schedule):
+        raise ValueError("a chaos drill needs at least one fault window")
+    registry = registry if registry is not None else MetricsRegistry()
+    tracer = tracer if tracer is not None else EventTracer()
+    with use_registry(registry), use_tracer(tracer):
+        live = asyncio.run(_live_phase(config, schedule, registry, tracer))
+        sim = _simulation_phase(config) if config.run_simulation else None
+
+    error_rate = live["errors"] / live["requests"] if live["requests"] else 1.0
+    blackout = live["blackout"]
+    checks = [
+        (f"client error rate below {config.error_budget:.0%}",
+         error_rate < config.error_budget),
+        ("load kept flowing throughout the schedule", live["requests"] > 0),
+    ]
+    if blackout is not None:
+        checks += [
+            (f"re-steered within one {config.resteer_budget:.0f} s TTL",
+             live["resteer"] is not None
+             and live["resteer"] <= config.resteer_budget),
+            ("recovery to healthy reported after the fault cleared",
+             live["recovery"] is not None),
+        ]
+    if sim is not None:
+        checks += [
+            ("simulation: Limelight split dropped to zero during blackout",
+             sim["limelight_pre"] > 0.0 and sim["limelight_blackout"] == 0.0),
+            ("simulation: Limelight split restored after recovery",
+             sim["limelight_after"] > 0.0),
+            ("simulation: overflow bytes attributed to Akamai",
+             sim["overflow_akamai"] > 0),
+        ]
+    report = ChaosReport(
+        schedule=schedule.describe(),
+        requests=live["requests"],
+        ok=live["ok"],
+        errors=live["errors"],
+        error_rate=error_rate,
+        retries=live["retries"],
+        reresolutions=live["reresolutions"],
+        hedged=live["hedged"],
+        resteer_seconds=live["resteer"],
+        recovery_seconds=live["recovery"],
+        unhealthy_events=live["unhealthy"],
+        watched_clients=live["watched"],
+        sim_limelight_pre_gbps=None if sim is None else sim["limelight_pre"],
+        sim_limelight_blackout_gbps=(
+            None if sim is None else sim["limelight_blackout"]
+        ),
+        sim_limelight_after_gbps=None if sim is None else sim["limelight_after"],
+        sim_overflow_akamai_bytes=None if sim is None else sim["overflow_akamai"],
+        checks=tuple(checks),
+    )
+    return report, registry, tracer
+
+
+def chaos_selftest(
+    config: Optional[ChaosConfig] = None,
+) -> tuple[ChaosReport, MetricsRegistry, EventTracer]:
+    """The short fixed-seed drill CI runs; alias of :func:`run_chaos`."""
+    return run_chaos(config)

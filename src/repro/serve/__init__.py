@@ -38,8 +38,12 @@ from .loadgen import (
     PooledHttpClient,
     WireResolution,
 )
+from .resilience import BackoffPolicy, CircuitBreaker, HedgePolicy
 
 __all__ = [
+    "BackoffPolicy",
+    "CircuitBreaker",
+    "HedgePolicy",
     "Vantage",
     "SampledClient",
     "ClientDirectory",

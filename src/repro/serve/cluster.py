@@ -17,6 +17,7 @@ hierarchy — just fewer cache servers behind each GSLB answer.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, replace
 from typing import Callable, Optional
 
@@ -24,6 +25,7 @@ from ..apple.deployment import AppleCdn
 from ..apple.mapping import MetaCdnEstate, build_meta_cdn
 from ..apple.policy import MetaCdnController
 from ..cdn.thirdparty import AKAMAI_PLAN, LIMELIGHT_PLAN, build_third_party
+from ..faults import CdnHealthMonitor, FailoverConfig, FailoverLoop, FaultInjector, FaultSchedule
 from ..net.asys import ASN
 from ..net.geo import MappingRegion
 from ..net.locode import LocodeDatabase
@@ -68,13 +70,17 @@ class ClusterConfig:
             raise ValueError("servers_per_metro must be positive")
 
 
-def build_serve_estate(config: Optional[ClusterConfig] = None) -> MetaCdnEstate:
+def build_serve_estate(
+    config: Optional[ClusterConfig] = None,
+    health_monitor: Optional[CdnHealthMonitor] = None,
+) -> MetaCdnEstate:
     """A loopback-sized Meta-CDN estate with the full Figure 2 chain.
 
     ``min_third_party_share`` keeps the third-party branch live even
     with no demand observed (as Apple's standing commercial contracts
     do), so a load run exercises Apple GSLB, Akamai and Limelight
-    resolutions side by side.
+    resolutions side by side.  ``health_monitor`` hooks the selection
+    policies to the failover plane (see :mod:`repro.faults.health`).
     """
     config = config if config is not None else ClusterConfig()
     locations = LocodeDatabase.builtin()
@@ -98,7 +104,20 @@ def build_serve_estate(config: Optional[ClusterConfig] = None) -> MetaCdnEstate:
         target_utilization=config.target_utilization,
         min_third_party_share=config.min_third_party_share,
     )
-    return build_meta_cdn(apple, akamai, limelight, controller)
+    return build_meta_cdn(
+        apple, akamai, limelight, controller, health_monitor=health_monitor
+    )
+
+
+def _operator_at(estate: MetaCdnEstate) -> Callable:
+    """vip → operator across every fleet, Apple's included."""
+
+    def operator_at(vip):
+        if estate.apple.site_for(vip) is not None:
+            return "Apple"
+        return estate.deployment_at(vip)
+
+    return operator_at
 
 
 class ServeCluster:
@@ -117,36 +136,111 @@ class ServeCluster:
         config: Optional[ClusterConfig] = None,
         clock: Optional[Callable[[], float]] = None,
         metrics=None,
+        faults: Optional[FaultSchedule] = None,
+        failover: Optional[FailoverConfig] = None,
+        tracer=None,
     ) -> None:
         self.config = config if config is not None else ClusterConfig()
-        self.estate = estate if estate is not None else build_serve_estate(self.config)
         self.directory = (
             directory if directory is not None else ClientDirectory.from_adoption()
         )
         registry = metrics if metrics is not None else get_registry()
+        self._failover_cfg = failover if failover is not None else FailoverConfig()
+        self.faults: Optional[FaultInjector] = None
+        self.health_monitor: Optional[CdnHealthMonitor] = None
+        self.failover_loop: Optional[FailoverLoop] = None
+        self._failover_task: Optional[asyncio.Task] = None
+        self._t0: Optional[float] = None
+        if faults is not None and len(faults):
+            if estate is not None:
+                raise ValueError(
+                    "pass a ClusterConfig, not a prebuilt estate, when "
+                    "injecting faults (health hooks are wired at build time)"
+                )
+            if clock is None:
+                clock = self._cluster_clock
+            cfg = self._failover_cfg
+            self.health_monitor = CdnHealthMonitor(
+                members=cfg.members,
+                k_failures=cfg.k_failures,
+                recovery_probes=cfg.recovery_probes,
+                probe_interval=cfg.probe_interval,
+                cooldown=cfg.cooldown,
+                metrics=registry,
+                tracer=tracer,
+            )
+            self.estate = build_serve_estate(
+                self.config, health_monitor=self.health_monitor
+            )
+            self.faults = FaultInjector(
+                faults,
+                seed=cfg.fault_seed,
+                clock=clock,
+                metrics=registry,
+                tracer=tracer,
+            )
+            self.estate.apple.install_fault_injector(self.faults)
+            self.failover_loop = FailoverLoop(self.health_monitor, self.faults)
+        else:
+            self.estate = (
+                estate if estate is not None else build_serve_estate(self.config)
+            )
+        self._clock = clock
         self.dns = AsyncDnsServer(
             self.estate.servers,
             directory=self.directory,
             clock=clock,
             max_udp_payload=self.config.max_udp_payload,
             metrics=registry,
+            faults=self.faults,
         )
         self.http = AsyncHttpEdge(
             estate_router(self.estate),
             object_size=self.config.object_size,
             metrics=registry,
+            faults=self.faults,
+            operator_for=_operator_at(self.estate) if self.faults is not None else None,
         )
         self._registry = registry
+
+    def _cluster_clock(self) -> float:
+        """Seconds since :meth:`start` (0.0 before boot).
+
+        Fault windows are expressed in run-relative seconds, so the
+        injector and the DNS selection buckets share this clock.
+        """
+        if self._t0 is None:
+            return 0.0
+        return time.monotonic() - self._t0
+
+    async def _failover_runner(self, interval: float) -> None:
+        assert self.failover_loop is not None and self._clock is not None
+        while True:
+            self.failover_loop.advance(self._clock())
+            await asyncio.sleep(interval)
 
     async def start(self, host: str = "127.0.0.1", dns_port: int = 0,
                     http_port: int = 0) -> "ServeCluster":
         """Boot both servers (ephemeral loopback ports by default)."""
+        self._t0 = time.monotonic()
         await self.dns.start(host=host, port=dns_port)
         await self.http.start(host=host, port=http_port)
+        if self.failover_loop is not None:
+            interval = max(0.05, self._failover_cfg.probe_interval / 2.0)
+            self._failover_task = asyncio.create_task(
+                self._failover_runner(interval)
+            )
         return self
 
     async def stop(self) -> None:
         """Tear both servers down."""
+        if self._failover_task is not None:
+            self._failover_task.cancel()
+            try:
+                await self._failover_task
+            except asyncio.CancelledError:
+                pass
+            self._failover_task = None
         await self.http.stop()
         await self.dns.stop()
 

@@ -108,8 +108,18 @@ class _UdpProtocol(asyncio.DatagramProtocol):
         self.transport = transport
 
     def datagram_received(self, data: bytes, addr) -> None:
-        reply = self._server.handle_datagram(data)
-        if reply is not None and self.transport is not None:
+        reply, delay = self._server.handle_datagram_timed(data)
+        if reply is None or self.transport is None:
+            return
+        if delay > 0.0:
+            asyncio.get_running_loop().call_later(
+                delay, self._send_delayed, reply, addr
+            )
+        else:
+            self.transport.sendto(reply, addr)
+
+    def _send_delayed(self, reply: bytes, addr) -> None:
+        if self.transport is not None and not self.transport.is_closing():
             self.transport.sendto(reply, addr)
 
 
@@ -129,11 +139,16 @@ class AsyncDnsServer:
         clock: Optional[Callable[[], float]] = None,
         max_udp_payload: Optional[int] = None,
         metrics=None,
+        faults=None,
     ) -> None:
         self.frontend = ZoneFrontend(servers)
         self.directory = directory if directory is not None else ClientDirectory()
         self._clock = clock
         self._max_udp_payload = max_udp_payload
+        # Fault plane (repro.faults.FaultInjector); None = zero-overhead
+        # healthy path.  DNS faults target the *operator* whose zone
+        # answers the question (drop, delay, SERVFAIL, stale answers).
+        self._faults = faults
         self._udp_transport: Optional[asyncio.DatagramTransport] = None
         self._tcp_server: Optional[asyncio.base_events.Server] = None
         self._host: Optional[str] = None
@@ -230,8 +245,12 @@ class AsyncDnsServer:
     # query handling
     # ------------------------------------------------------------------
 
-    def _context_for(self, query: WireMessage) -> QueryContext:
+    def _context_for(self, query: WireMessage, staleness: float = 0.0) -> QueryContext:
         now = self._clock() if self._clock is not None else 0.0
+        if staleness > 0.0:
+            # Stale-answer fault: the zone answers as of an earlier
+            # instant (a stuck snapshot), never before time zero.
+            now = max(0.0, now - staleness)
         if query.client_subnet is not None:
             return self.directory.context_for(query.client_subnet.prefix.network, now)
         # No ECS: fall back to the directory's default geography.
@@ -239,24 +258,44 @@ class AsyncDnsServer:
             self.directory.vantages[0].prefix.network, now
         )
 
+    def _dns_fault(self, query: WireMessage) -> tuple[Optional[str], float, float]:
+        """(action, delay, staleness) the fault plane injects for ``query``."""
+        question = query.questions[0] if query.questions else None
+        operator = None
+        if question is not None:
+            server = self.frontend.server_for(question.name)
+            if server is not None:
+                operator = server.operator
+        name = question.name if question is not None else ""
+        return self._faults.dns_fault(operator, (query.message_id, name))
+
     def _answer_bytes(
         self, payload: bytes
-    ) -> tuple[Optional[bytes], Optional[WireMessage], Optional[WireMessage]]:
-        """Decode, answer, encode: (encoded reply, response, query).
+    ) -> tuple[Optional[bytes], Optional[WireMessage], Optional[WireMessage], float]:
+        """Decode, answer, encode: (encoded reply, response, query, delay).
 
         Malformed or policy-breaking input yields a bare SERVFAIL (or
         ``None`` when not even a message id is recoverable) — a hostile
-        packet must never take the transport task down.
+        packet must never take the transport task down.  ``delay`` is
+        the fault-injected send delay (0.0 without a fault plane).
         """
+        delay = 0.0
         try:
             query = decode_message(payload)
-            response = self.frontend.answer(query, self._context_for(query))
+            staleness = 0.0
+            if self._faults is not None:
+                action, delay, staleness = self._dns_fault(query)
+                if action == "drop":
+                    return None, None, None, 0.0
+                if action == "servfail":
+                    return self._servfail_for(payload), None, None, delay
+            response = self.frontend.answer(query, self._context_for(query, staleness))
         except Exception:
             self._m_malformed.inc()
-            return self._servfail_for(payload), None, None
+            return self._servfail_for(payload), None, None, delay
         if response.rcode is RCode.REFUSED:
             self._m_refused.inc()
-        return encode_message(response), response, query
+        return encode_message(response), response, query, delay
 
     @staticmethod
     def _servfail_for(payload: bytes) -> Optional[bytes]:
@@ -275,12 +314,16 @@ class AsyncDnsServer:
 
     def handle_datagram(self, payload: bytes) -> Optional[bytes]:
         """Answer one UDP datagram (truncating oversize responses)."""
+        return self.handle_datagram_timed(payload)[0]
+
+    def handle_datagram_timed(self, payload: bytes) -> tuple[Optional[bytes], float]:
+        """Like :meth:`handle_datagram`, plus the injected send delay."""
         started = time.perf_counter()
         self._m_udp.inc()
-        encoded, response, query = self._answer_bytes(payload)
+        encoded, response, query, delay = self._answer_bytes(payload)
         if encoded is None or response is None or query is None:
             self._m_handle.observe(time.perf_counter() - started)
-            return encoded
+            return encoded, delay
         limit = query.udp_payload_size or _FALLBACK_UDP_PAYLOAD
         if self._max_udp_payload is not None:
             limit = min(limit, self._max_udp_payload)
@@ -299,7 +342,7 @@ class AsyncDnsServer:
                 )
             )
         self._m_handle.observe(time.perf_counter() - started)
-        return encoded
+        return encoded, delay
 
     async def _handle_tcp(self, reader: asyncio.StreamReader,
                           writer: asyncio.StreamWriter) -> None:
@@ -327,10 +370,12 @@ class AsyncDnsServer:
                     break
                 started = time.perf_counter()
                 self._m_tcp.inc()
-                encoded, _response, _query = self._answer_bytes(payload)
+                encoded, _response, _query, delay = self._answer_bytes(payload)
                 self._m_handle.observe(time.perf_counter() - started)
                 if encoded is None:
                     continue
+                if delay > 0.0:
+                    await asyncio.sleep(delay)
                 writer.write(struct.pack("!H", len(encoded)) + encoded)
                 await writer.drain()
         finally:

@@ -68,16 +68,24 @@ class AsyncHttpEdge:
         router: Router,
         object_size: int = 262_144,
         metrics=None,
+        faults=None,
+        operator_for: Optional[Callable[[IPv4Address], Optional[str]]] = None,
     ) -> None:
         if object_size <= 0:
             raise ValueError("object_size must be positive")
         self.router = router
         self.object_size = object_size
+        # Fault plane (repro.faults.FaultInjector); ``operator_for``
+        # maps a vip to its CDN operator so whole-CDN windows apply.
+        self._faults = faults
+        self._operator_for = operator_for
         self._server: Optional[asyncio.base_events.Server] = None
         self._host: Optional[str] = None
         self._port: Optional[int] = None
         self._conn_tasks: set[asyncio.Task] = set()
         self._writers: set[asyncio.StreamWriter] = set()
+        self._busy: set[asyncio.StreamWriter] = set()
+        self._closing = False
 
         registry = metrics if metrics is not None else get_registry()
         self._m_requests = registry.counter(
@@ -120,16 +128,35 @@ class AsyncHttpEdge:
         self._host, self._port = sockname[0], sockname[1]
         return self.endpoint
 
-    async def stop(self) -> None:
-        """Stop accepting, hang up idle keep-alive connections, drain."""
+    async def stop(self, grace: float = 2.0) -> None:
+        """Stop accepting and drain connections gracefully.
+
+        Idle keep-alive connections are closed immediately (the client
+        reads a clean EOF between responses).  Connections mid-request
+        get to finish: their response goes out with ``Connection:
+        close`` and the handler hangs up afterwards — no resets for
+        well-behaved clients.  Stragglers are cancelled after
+        ``grace`` seconds.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
-        for writer in list(self._writers):
-            writer.close()
-        if self._conn_tasks:
-            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._closing = True
+        try:
+            for writer in list(self._writers):
+                if writer not in self._busy:
+                    writer.close()
+            if self._conn_tasks:
+                _done, pending = await asyncio.wait(
+                    list(self._conn_tasks), timeout=grace
+                )
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    await asyncio.gather(*pending, return_exceptions=True)
+        finally:
+            self._closing = False
         self._host = self._port = None
 
     # ------------------------------------------------------------------
@@ -184,48 +211,69 @@ class AsyncHttpEdge:
         lines = await self._read_head(reader)
         if not lines:
             return False
-        started = time.perf_counter()
-        match = _REQUEST_LINE.match(lines[0].strip())
-        if match is None:
-            await self._send_error(writer, 400, "malformed request line")
+        self._busy.add(writer)
+        try:
+            started = time.perf_counter()
+            match = _REQUEST_LINE.match(lines[0].strip())
+            if match is None:
+                await self._send_error(writer, 400, "malformed request line")
+                self._m_handle.observe(time.perf_counter() - started)
+                return False
+            method, target, version = match.groups()
+            headers = Headers()
+            for line in lines[1:]:
+                name, sep, value = line.partition(":")
+                if sep:
+                    headers.add(name.strip(), value.strip())
+
+            keep_alive = version == "1.1"
+            connection = (headers.get("Connection") or "").lower()
+            if "close" in connection:
+                keep_alive = False
+            elif "keep-alive" in connection:
+                keep_alive = True
+
+            status, out_headers, body, delay = self._serve(method, target, headers)
+            if delay > 0.0:
+                await asyncio.sleep(delay)
+            # A teardown begun while this request was in flight must end
+            # with an honest Connection: close, never a reset.
+            keep = keep_alive and status < 500 and not self._closing
+            out_headers.set("Connection", "keep-alive" if keep else "close")
+            await self._send(writer, status, out_headers, body,
+                             include_body=(method != "HEAD"))
+            self._m_requests.labels(str(status)).inc()
             self._m_handle.observe(time.perf_counter() - started)
-            return False
-        method, target, version = match.groups()
-        headers = Headers()
-        for line in lines[1:]:
-            name, sep, value = line.partition(":")
-            if sep:
-                headers.add(name.strip(), value.strip())
-
-        keep_alive = version == "1.1"
-        connection = (headers.get("Connection") or "").lower()
-        if "close" in connection:
-            keep_alive = False
-        elif "keep-alive" in connection:
-            keep_alive = True
-
-        status, out_headers, body = self._serve(method, target, headers)
-        await self._send(writer, status, out_headers, body,
-                         include_body=(method != "HEAD"))
-        self._m_requests.labels(str(status)).inc()
-        self._m_handle.observe(time.perf_counter() - started)
-        return keep_alive and status < 500
+            return keep
+        finally:
+            self._busy.discard(writer)
 
     def _serve(self, method: str, target: str,
-               headers: Headers) -> tuple[int, Headers, bytes]:
+               headers: Headers) -> tuple[int, Headers, bytes, float]:
         if method not in ("GET", "HEAD"):
-            return 405, Headers({"Allow": "GET, HEAD"}), b"method not allowed\n"
+            return 405, Headers({"Allow": "GET, HEAD"}), b"method not allowed\n", 0.0
         vip_text = headers.get("X-Vip")
         host = (headers.get("Host") or "").split(":")[0].lower()
         if not vip_text:
-            return 400, Headers(), b"missing X-Vip routing header\n"
+            return 400, Headers(), b"missing X-Vip routing header\n", 0.0
         if not host:
-            return 400, Headers(), b"missing Host header\n"
+            return 400, Headers(), b"missing Host header\n", 0.0
         try:
             vip = IPv4Address.parse(vip_text)
         except ValueError:
-            return 400, Headers(), b"unparseable X-Vip address\n"
+            return 400, Headers(), b"unparseable X-Vip address\n", 0.0
         path = target.split("?")[0] or "/"
+
+        delay = 0.0
+        if self._faults is not None:
+            operator = self._operator_for(vip) if self._operator_for else None
+            if self._faults.vip_down(vip_text, operator):
+                return 503, Headers(), b"vip offline (injected fault)\n", 0.0
+            if operator is not None and self._faults.cdn_down(
+                operator, key=(vip_text, path)
+            ):
+                return 503, Headers(), b"delivery network down (injected fault)\n", 0.0
+            delay = self._faults.http_delay(vip_text, operator)
         model_request = HttpRequest(
             method="GET",
             host=host,
@@ -234,7 +282,7 @@ class AsyncHttpEdge:
         )
         model_response = self.router(vip, model_request, self.object_size)
         if model_response is None:
-            return 404, Headers(), b"no delivery server at that vip\n"
+            return 404, Headers(), b"no delivery server at that vip\n", 0.0
 
         entity_size = model_response.body_size
         range_header = headers.get("Range")
@@ -243,25 +291,28 @@ class AsyncHttpEdge:
         if range_header is not None:
             parsed = _RANGE.match(range_header.strip())
             if parsed is None:
-                return 416, Headers({"Content-Range": f"bytes */{entity_size}"}), b""
+                return (416, Headers({"Content-Range": f"bytes */{entity_size}"}),
+                        b"", delay)
             first = int(parsed.group(1))
             last = int(parsed.group(2)) if parsed.group(2) else entity_size - 1
             last = min(last, entity_size - 1)
             if first >= entity_size or first > last:
-                return 416, Headers({"Content-Range": f"bytes */{entity_size}"}), b""
+                return (416, Headers({"Content-Range": f"bytes */{entity_size}"}),
+                        b"", delay)
             body = bytes(last - first + 1)
             status = 206
             out.set("Content-Range", f"bytes {first}-{last}/{entity_size}")
         else:
             body = bytes(entity_size)
         out.set("X-Body-Size", str(entity_size))
-        return status, out, body
+        return status, out, body, delay
 
     async def _send(self, writer: asyncio.StreamWriter, status: int,
                     headers: Headers, body: bytes, include_body: bool = True) -> None:
         reason = {200: "OK", 206: "Partial Content", 400: "Bad Request",
                   404: "Not Found", 405: "Method Not Allowed",
-                  416: "Range Not Satisfiable", 500: "Internal Server Error"}
+                  416: "Range Not Satisfiable", 500: "Internal Server Error",
+                  503: "Service Unavailable"}
         lines = [f"HTTP/1.1 {status} {reason.get(status, 'Unknown')}"]
         for name, value in headers:
             lines.append(f"{name}: {value}")

@@ -33,6 +33,7 @@ from ..net.ipv4 import IPv4Address, IPv4Prefix
 from ..obs import get_registry
 from ..obs.registry import HistogramChild
 from .clients import ClientDirectory
+from .resilience import BackoffPolicy, CircuitBreaker, HedgePolicy
 
 __all__ = [
     "DnsClientError",
@@ -136,6 +137,8 @@ class AsyncDnsClient:
         retries: int = 2,
         source_prefix_len: int = 24,
         metrics=None,
+        backoff: Optional[BackoffPolicy] = None,
+        hedge: Optional[HedgePolicy] = None,
     ) -> None:
         if not 0 < source_prefix_len <= 32:
             raise ValueError("source_prefix_len must be in (0, 32]")
@@ -144,6 +147,10 @@ class AsyncDnsClient:
         self._timeout = timeout
         self._retries = retries
         self._source_prefix_len = source_prefix_len
+        # Resilience: exponential backoff between retry attempts (None =
+        # the legacy immediate retry) and hedged GSLB lookups.
+        self._backoff = backoff
+        self._hedge = hedge
         self._protocol: Optional[_DnsClientProtocol] = None
         self._ids = itertools.count(1)
         # Plain mirrors of the registry counters so reports work under
@@ -151,6 +158,8 @@ class AsyncDnsClient:
         self.queries_sent = 0
         self.timeouts = 0
         self.tcp_fallbacks = 0
+        self.hedged_queries = 0
+        self.hedge_wins = 0
         registry = metrics if metrics is not None else get_registry()
         self._m_queries = registry.counter(
             "loadgen_dns_queries_total", "Wire DNS queries issued by the client"
@@ -161,6 +170,14 @@ class AsyncDnsClient:
         self._m_tcp = registry.counter(
             "loadgen_dns_tcp_fallbacks_total",
             "Truncated UDP answers retried over TCP",
+        )
+        self._m_hedged = registry.counter(
+            "loadgen_dns_hedged_total",
+            "GSLB lookups that launched a hedge to the second name",
+        )
+        self._m_hedge_wins = registry.counter(
+            "loadgen_dns_hedge_wins_total",
+            "Hedged lookups where the second name answered first",
         )
 
     @classmethod
@@ -191,6 +208,8 @@ class AsyncDnsClient:
         ecs = ClientSubnet(IPv4Prefix.containing(client, self._source_prefix_len))
         last_error = "no attempt made"
         for _attempt in range(self._retries + 1):
+            if _attempt > 0 and self._backoff is not None:
+                await asyncio.sleep(self._backoff.delay(_attempt - 1, name))
             message_id = self._next_id()
             payload = encode_message(
                 WireMessage(
@@ -251,13 +270,79 @@ class AsyncDnsClient:
         self._m_queries.inc()
         return decode_message(raw)
 
+    async def _query_hedged(self, name: str, alternate: str,
+                            client: IPv4Address) -> WireMessage:
+        """Race ``name`` against ``alternate`` after the latency budget.
+
+        The primary query runs alone until ``hedge.budget`` seconds
+        elapse; past that a second query for the alternate GSLB name
+        launches and whichever completes first wins.  The loser is
+        cancelled — its in-flight waiter is cleaned up by the timeout
+        path, so no message-id leaks.
+        """
+        assert self._hedge is not None
+        primary = asyncio.ensure_future(self.query(name, client))
+        try:
+            return await asyncio.wait_for(
+                asyncio.shield(primary), timeout=self._hedge.budget
+            )
+        except asyncio.TimeoutError:
+            pass
+        except DnsClientError:
+            # Primary failed outright within budget: go straight to the
+            # alternate name rather than giving up.
+            self.hedged_queries += 1
+            self._m_hedged.inc()
+            self.hedge_wins += 1
+            self._m_hedge_wins.inc()
+            return await self.query(alternate, client)
+        self.hedged_queries += 1
+        self._m_hedged.inc()
+        fallback = asyncio.ensure_future(self.query(alternate, client))
+        pending: set[asyncio.Future] = {primary, fallback}
+        try:
+            while pending:
+                done, pending = await asyncio.wait(
+                    pending, return_when=asyncio.FIRST_COMPLETED
+                )
+                # Prefer the primary when both land in the same wake-up.
+                for winner in sorted(done, key=lambda t: t is not primary):
+                    if winner.exception() is None:
+                        if winner is fallback:
+                            self.hedge_wins += 1
+                            self._m_hedge_wins.inc()
+                        return winner.result()
+                if not pending:
+                    # Both failed; surface the primary's error.
+                    raise primary.exception() or DnsClientError(
+                        f"hedged query for {name!r} failed"
+                    )
+        finally:
+            for task in (primary, fallback):
+                if not task.done():
+                    task.cancel()
+            await asyncio.gather(primary, fallback, return_exceptions=True)
+        raise DnsClientError(f"hedged query for {name!r} failed")
+
     async def resolve(self, name: str, client: IPv4Address) -> WireResolution:
-        """Chase the CNAME chain from ``name`` down to A records."""
+        """Chase the CNAME chain from ``name`` down to A records.
+
+        When a :class:`~repro.serve.resilience.HedgePolicy` is set and
+        the chase reaches one of the two published GSLB names, the
+        lookup is hedged against the other name past the latency budget
+        — mirroring a client falling back to ``b.gslb.applimg.com``.
+        """
         current = name
         steps: list[tuple[ResourceRecord, ...]] = []
         seen = {current}
         for _hop in range(_MAX_CHAIN):
-            response = await self.query(current, client)
+            alternate = (
+                self._hedge.hedge_name(current) if self._hedge is not None else None
+            )
+            if alternate is not None and alternate not in seen:
+                response = await self._query_hedged(current, alternate, client)
+            else:
+                response = await self.query(current, client)
             if response.rcode not in (RCode.NOERROR, RCode.NXDOMAIN):
                 raise DnsClientError(
                     f"{current!r} answered {response.rcode.name}"
@@ -394,6 +479,15 @@ class LoadConfig:
     http_timeout: float = 5.0
     retries: int = 2
     source_prefix_len: int = 24
+    # Client-side resilience (see repro.serve.resilience).  A cached
+    # resolution older than ``resolution_max_age`` (the 15 s selection
+    # TTL) is re-resolved instead of reused across HTTP retries.
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+    hedge: Optional[HedgePolicy] = field(default_factory=HedgePolicy)
+    http_retries: int = 1
+    resolution_max_age: float = 15.0
+    breaker_failures: int = 5
+    breaker_cooldown: float = 1.0
 
     def __post_init__(self) -> None:
         if self.requests <= 0:
@@ -404,6 +498,10 @@ class LoadConfig:
             raise ValueError("object_count must be positive")
         if self.range_bytes <= 0:
             raise ValueError("range_bytes must be positive")
+        if self.http_retries < 0:
+            raise ValueError("http_retries must be non-negative")
+        if self.resolution_max_age <= 0:
+            raise ValueError("resolution_max_age must be positive")
 
 
 @dataclass(frozen=True)
@@ -423,6 +521,9 @@ class LoadReport:
     http_p50_ms: float
     http_p99_ms: float
     error_samples: tuple[str, ...] = field(default_factory=tuple)
+    retries: int = 0
+    reresolutions: int = 0
+    hedged: int = 0
 
     @property
     def dns_qps(self) -> float:
@@ -453,6 +554,12 @@ class LoadReport:
             f"http latency    p50 {self.http_p50_ms:.2f} ms   p99 {self.http_p99_ms:.2f} ms",
             f"body bytes      {self.body_bytes:,}",
         ]
+        if self.retries:
+            lines.append(f"http retries    {self.retries}")
+        if self.reresolutions:
+            lines.append(f"re-resolutions  {self.reresolutions}  (15 s TTL expired mid-retry)")
+        if self.hedged:
+            lines.append(f"hedged lookups  {self.hedged}")
         for sample in self.error_samples:
             lines.append(f"error sample    {sample}")
         return "\n".join(lines)
@@ -501,9 +608,23 @@ class LoadGenerator:
         self._m_in_flight = registry.gauge(
             "loadgen_in_flight", "Requests currently in flight"
         )
+        self._m_retries = registry.counter(
+            "loadgen_http_retries_total",
+            "HTTP attempts beyond the first, per request",
+        )
+        self._m_reresolutions = registry.counter(
+            "loadgen_reresolutions_total",
+            "Retries that re-resolved because the cached chain's TTL expired",
+        )
         self._errors: list[str] = []
         self._ok_count = 0
         self._body_bytes = 0
+        self._retry_count = 0
+        self._reresolution_count = 0
+        self._breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_failures,
+            cooldown=self.config.breaker_cooldown,
+        )
 
     async def run(self) -> LoadReport:
         """Execute the configured run; always returns a report."""
@@ -514,6 +635,8 @@ class LoadGenerator:
             retries=config.retries,
             source_prefix_len=config.source_prefix_len,
             metrics=self._registry,
+            backoff=config.backoff,
+            hedge=config.hedge,
         )
         http = PooledHttpClient(
             *self.http_endpoint,
@@ -547,6 +670,9 @@ class LoadGenerator:
             http_p50_ms=self._http_hist.quantile(0.5) * 1000.0,
             http_p99_ms=self._http_hist.quantile(0.99) * 1000.0,
             error_samples=tuple(self._errors[:5]),
+            retries=self._retry_count,
+            reresolutions=self._reresolution_count,
+            hedged=dns.hedged_queries,
         )
 
     async def _worker(self, dns: AsyncDnsClient, http: PooledHttpClient,
@@ -568,33 +694,96 @@ class LoadGenerator:
                 finally:
                     self._m_in_flight.dec()
 
-    async def _one_request(self, dns: AsyncDnsClient, http: PooledHttpClient,
-                           seq: int) -> None:
-        config = self.config
-        client = self.directory.sample(seq)
+    async def _resolve_timed(self, dns: AsyncDnsClient, client,
+                             entry_point: str) -> WireResolution:
         t_dns = time.perf_counter()
-        resolution = await dns.resolve(config.entry_point, client.address)
+        resolution = await dns.resolve(entry_point, client)
         dns_elapsed = time.perf_counter() - t_dns
         self._dns_hist.observe(dns_elapsed)
         self._m_dns_seconds.observe(dns_elapsed)
         if not resolution.addresses:
             raise DnsClientError(
-                f"chain for {config.entry_point!r} ended without A records "
+                f"chain for {entry_point!r} ended without A records "
                 f"at {resolution.final_name!r}"
             )
-        vip = resolution.addresses[seq % len(resolution.addresses)]
+        return resolution
+
+    def _pick_vip(self, resolution: WireResolution, seq: int,
+                  attempt: int) -> IPv4Address:
+        """A vip from the answer set, skipping open circuits.
+
+        Rotation starts at ``seq + attempt`` so a retry naturally lands
+        on a different vip; if every circuit is open the rotated first
+        choice is used anyway (the breaker must not wedge the run).
+        """
+        addresses = resolution.addresses
+        start = (seq + attempt) % len(addresses)
+        rotated = addresses[start:] + addresses[:start]
+        for vip in rotated:
+            if self._breaker.allow(str(vip)):
+                return vip
+        return rotated[0]
+
+    async def _one_request(self, dns: AsyncDnsClient, http: PooledHttpClient,
+                           seq: int) -> None:
+        config = self.config
+        client = self.directory.sample(seq)
         path = f"/content/ios11-part{seq % config.object_count:03d}.ipsw"
-        t_http = time.perf_counter()
-        status, _headers, body_length = await http.get(
-            path,
-            host=config.entry_point,
-            vip=vip,
-            client=client.address,
-            range_bytes=(0, config.range_bytes - 1),
+        resolution: Optional[WireResolution] = None
+        resolved_at = 0.0
+        last_exc: Optional[Exception] = None
+        for attempt in range(config.http_retries + 1):
+            if attempt > 0:
+                self._retry_count += 1
+                self._m_retries.inc()
+                await asyncio.sleep(
+                    config.backoff.delay(attempt - 1, "http", seq)
+                )
+            # The cached CNAME chain is only valid for one selection-step
+            # TTL; a retry past that must re-resolve, not replay a stale
+            # vip set (the re-steer would otherwise be invisible).
+            now = time.perf_counter()
+            if resolution is not None and now - resolved_at > config.resolution_max_age:
+                resolution = None
+                self._reresolution_count += 1
+                self._m_reresolutions.inc()
+            if resolution is None:
+                try:
+                    resolution = await self._resolve_timed(
+                        dns, client.address, config.entry_point
+                    )
+                except DnsClientError as exc:
+                    last_exc = exc
+                    continue
+                resolved_at = time.perf_counter()
+            vip = self._pick_vip(resolution, seq, attempt)
+            t_http = time.perf_counter()
+            try:
+                status, _headers, body_length = await http.get(
+                    path,
+                    host=config.entry_point,
+                    vip=vip,
+                    client=client.address,
+                    range_bytes=(0, config.range_bytes - 1),
+                )
+            except (ConnectionError, asyncio.TimeoutError, OSError) as exc:
+                self._breaker.record_failure(str(vip))
+                last_exc = RuntimeError(f"transport to vip {vip}: {exc}")
+                continue
+            http_elapsed = time.perf_counter() - t_http
+            self._http_hist.observe(http_elapsed)
+            self._m_http_seconds.observe(http_elapsed)
+            if status in (200, 206):
+                self._breaker.record_success(str(vip))
+                self._body_bytes += body_length
+                return
+            self._breaker.record_failure(str(vip))
+            last_exc = RuntimeError(f"HTTP {status} from vip {vip} for {path}")
+            if status >= 500:
+                # A failing vip (injected fault or real outage) may be
+                # re-steered away from by the next selection: drop the
+                # cached chain so the retry resolves fresh.
+                resolution = None
+        raise last_exc if last_exc is not None else RuntimeError(
+            f"request seq={seq} failed with no recorded cause"
         )
-        http_elapsed = time.perf_counter() - t_http
-        self._http_hist.observe(http_elapsed)
-        self._m_http_seconds.observe(http_elapsed)
-        if status not in (200, 206):
-            raise RuntimeError(f"HTTP {status} from vip {vip} for {path}")
-        self._body_bytes += body_length

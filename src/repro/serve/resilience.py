@@ -1,0 +1,166 @@
+"""Client-side resilience primitives for the load generator.
+
+Real update clients do not hammer a dead vip at a fixed interval; they
+back off exponentially with jitter, stop talking to endpoints that keep
+failing, and hedge slow lookups.  This module supplies those three
+mechanisms for :mod:`repro.serve.loadgen`:
+
+* :class:`BackoffPolicy` — exponential backoff with deterministic
+  jitter (the same BLAKE2b ``stable_fraction`` hash the mapping
+  policies use, so a fixed seed replays identical sleep sequences);
+* :class:`CircuitBreaker` — a per-target closed → open → half-open
+  breaker keeping retries away from vips that just failed;
+* :class:`HedgePolicy` — the latency budget after which a resolution of
+  ``a.gslb.applimg.com`` launches a parallel query against
+  ``b.gslb.applimg.com`` and takes whichever answers first (the reason
+  Apple publishes two GSLB names).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..dns.policies import stable_fraction
+
+__all__ = ["BackoffPolicy", "CircuitBreaker", "HedgePolicy"]
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    Attempt ``n`` (0-based) sleeps ``base * multiplier**n`` capped at
+    ``cap``, then jittered downward by up to ``jitter`` of itself so
+    synchronized failures do not retry in lockstep.  Jitter is a stable
+    hash of ``(salt, attempt, *key)``: no random state, reproducible
+    runs.
+    """
+
+    base: float = 0.05
+    multiplier: float = 2.0
+    cap: float = 2.0
+    jitter: float = 0.5
+    salt: str = ""
+
+    def __post_init__(self) -> None:
+        if self.base <= 0 or self.cap <= 0 or self.multiplier < 1.0:
+            raise ValueError("base/cap must be positive, multiplier >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int, *key) -> float:
+        """The sleep before retry ``attempt`` (0-based)."""
+        raw = min(self.cap, self.base * self.multiplier ** max(0, attempt))
+        if self.jitter <= 0.0:
+            return raw
+        spread = stable_fraction("backoff", self.salt, attempt, *key)
+        return raw * (1.0 - self.jitter * spread)
+
+
+class CircuitBreaker:
+    """A per-target breaker: closed → open → half-open → closed.
+
+    ``failure_threshold`` consecutive failures open the circuit for the
+    target; while open, :meth:`allow` answers False until ``cooldown``
+    seconds pass, after which one half-open trial is admitted — success
+    closes the circuit, failure re-opens it for another cooldown.
+    Targets are arbitrary strings (vip addresses here).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold <= 0:
+            raise ValueError("failure_threshold must be positive")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be positive")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        # target -> [consecutive failures, opened_at or None, trial in flight]
+        self._targets: dict[str, list] = {}
+        self.opened_total = 0
+
+    def _entry(self, target: str) -> list:
+        entry = self._targets.get(target)
+        if entry is None:
+            entry = [0, None, False]
+            self._targets[target] = entry
+        return entry
+
+    def state(self, target: str) -> str:
+        """``"closed"``, ``"open"`` or ``"half-open"`` for ``target``."""
+        entry = self._targets.get(target)
+        if entry is None or entry[1] is None:
+            return "closed"
+        if self._clock() - entry[1] >= self.cooldown:
+            return "half-open"
+        return "open"
+
+    def allow(self, target: str) -> bool:
+        """Whether a request to ``target`` may proceed right now."""
+        entry = self._targets.get(target)
+        if entry is None or entry[1] is None:
+            return True
+        if self._clock() - entry[1] < self.cooldown:
+            return False
+        if entry[2]:
+            return False  # a half-open trial is already in flight
+        entry[2] = True
+        return True
+
+    def record_success(self, target: str) -> None:
+        """A request to ``target`` succeeded: close its circuit."""
+        entry = self._targets.get(target)
+        if entry is not None:
+            entry[0] = 0
+            entry[1] = None
+            entry[2] = False
+
+    def record_failure(self, target: str) -> None:
+        """A request to ``target`` failed: count toward opening."""
+        entry = self._entry(target)
+        if entry[1] is not None:
+            # open or failed half-open trial: restart the cooldown
+            entry[1] = self._clock()
+            entry[2] = False
+            return
+        entry[0] += 1
+        if entry[0] >= self.failure_threshold:
+            entry[1] = self._clock()
+            entry[2] = False
+            self.opened_total += 1
+
+    def open_targets(self) -> tuple[str, ...]:
+        """Targets whose circuit is currently open or half-open."""
+        return tuple(
+            sorted(t for t, e in self._targets.items() if e[1] is not None)
+        )
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """When to hedge a GSLB lookup against the second published name."""
+
+    primary: str = "a.gslb.applimg.com"
+    fallback: str = "b.gslb.applimg.com"
+    budget: float = 0.25  # seconds before the hedge launches
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0:
+            raise ValueError("budget must be positive")
+        if self.primary == self.fallback:
+            raise ValueError("hedge needs two distinct names")
+
+    def hedge_name(self, name: str) -> Optional[str]:
+        """The name to hedge ``name`` with, if it is hedgeable."""
+        if name == self.primary:
+            return self.fallback
+        if name == self.fallback:
+            return self.primary
+        return None

@@ -35,6 +35,13 @@ from ..cdn.deployment import CdnDeployment, ExposureController
 from ..cdn.server import CacheServer, ServerFunction, ServerRole
 from ..cdn.thirdparty import AKAMAI_PLAN, LEVEL3_PLAN, LIMELIGHT_PLAN, build_third_party
 from ..dns.policies import WeightSchedule, stable_fraction
+from ..faults import (
+    DEFAULT_MEMBERS,
+    CdnHealthMonitor,
+    FailoverLoop,
+    FaultInjector,
+    FaultSchedule,
+)
 from ..isp.bgp import BgpRib, BgpRoute
 from ..isp.netflow import NetflowCollector
 from ..isp.snmp import SnmpCounters
@@ -139,6 +146,13 @@ class ScenarioConfig:
     # --- event times (defaults from the Timeline) -------------------------
     a1015_delay_seconds: float = 6 * 3600.0
 
+    # --- fault plane (used only when a FaultSchedule is passed) -----------
+    fault_probe_interval: float = 60.0     # health-probe cadence
+    fault_k_failures: int = 3              # probes before failover
+    fault_cooldown: float = 300.0          # unhealthy re-probe cadence
+    fault_recovery_probes: int = 2         # half-open successes to recover
+    fault_seed: int = 0                    # seeds probabilistic severities
+
     @classmethod
     def from_adoption(cls, model: "AdoptionModel", **overrides) -> "ScenarioConfig":
         """Derive the surge amplitudes from a population adoption model.
@@ -161,13 +175,37 @@ class Sep2017Scenario:
         self,
         config: Optional[ScenarioConfig] = None,
         timeline: Timeline = TIMELINE,
+        faults: Optional[FaultSchedule] = None,
     ) -> None:
         self.config = config if config is not None else ScenarioConfig()
         self.timeline = timeline
         self.locations = LocodeDatabase.builtin()
         self.registry = ASRegistry()
 
+        # Fault plane (optional): an injector evaluating the schedule at
+        # engine time, a health monitor probing the member CDNs against
+        # it, and the failover loop the engine advances once per step.
+        self.faults: Optional[FaultInjector] = None
+        self.failover: Optional[FailoverLoop] = None
+        self._health_monitor: Optional[CdnHealthMonitor] = None
+        if faults is not None and len(faults):
+            cfg = self.config
+            self.faults = FaultInjector(faults, seed=cfg.fault_seed)
+            members = list(DEFAULT_MEMBERS)
+            if cfg.include_level3:
+                members.append("Level3")
+            self._health_monitor = CdnHealthMonitor(
+                members=tuple(members),
+                k_failures=cfg.fault_k_failures,
+                recovery_probes=cfg.fault_recovery_probes,
+                probe_interval=cfg.fault_probe_interval,
+                cooldown=cfg.fault_cooldown,
+            )
+
         self.estate = self._build_estate()
+        if self.faults is not None and self._health_monitor is not None:
+            self.estate.apple.install_fault_injector(self.faults)
+            self.failover = FailoverLoop(self._health_monitor, self.faults)
         self.isp, self.rib = self._build_isp()
         self._register_asns()
         self.operator_by_address = self._index_operators()
@@ -307,6 +345,7 @@ class Sep2017Scenario:
             third_party_weights=self._third_party_weights(),
             a1015_from=self.timeline.ios_11_0_release + config.a1015_delay_seconds,
             level3=level3,
+            health_monitor=self._health_monitor,
         )
 
     def _add_overflow_cluster(self, limelight: CdnDeployment) -> None:
@@ -542,6 +581,12 @@ class Sep2017Scenario:
         model; returns ``None`` for unknown addresses.  This is the
         fetcher behind the AWS-VM availability checks.
         """
+        if self.faults is not None:
+            operator = self.operator_of(address)
+            if operator is not None and self.faults.cdn_down(
+                operator, key=("fetch", str(address), request.path)
+            ):
+                return None
         if self.estate.apple.site_for(address) is not None:
             return self.estate.apple.serve(address, request, size).response
         for deployment in (self.estate.akamai, self.estate.limelight,

@@ -1,0 +1,155 @@
+"""Tests for repro.faults.injector — deterministic fault decisions."""
+
+from repro.faults import FaultInjector, FaultKind, FaultSchedule, FaultWindow
+from repro.obs import EventTracer, MetricsRegistry
+
+
+def _injector(windows, seed=0, **kwargs):
+    return FaultInjector(FaultSchedule(windows), seed=seed, **kwargs)
+
+
+class TestClock:
+    def test_set_time_mode(self):
+        injector = _injector([])
+        assert injector.now() == 0.0
+        injector.set_time(42.0)
+        assert injector.now() == 42.0
+
+    def test_clock_mode_wins(self):
+        injector = _injector([], clock=lambda: 7.0)
+        injector.set_time(42.0)
+        assert injector.now() == 7.0
+
+
+class TestCdnDown:
+    def test_blackout_is_total_and_bounded(self):
+        injector = _injector(
+            [FaultWindow(3.0, 9.0, "Limelight", FaultKind.CDN_BLACKOUT)]
+        )
+        injector.set_time(2.9)
+        assert not injector.cdn_down("Limelight")
+        injector.set_time(3.0)
+        assert injector.cdn_down("Limelight")
+        assert not injector.cdn_down("Akamai")
+        injector.set_time(9.0)
+        assert not injector.cdn_down("Limelight")
+
+    def test_brownout_fails_roughly_severity_fraction(self):
+        injector = _injector(
+            [FaultWindow(0.0, 10.0, "Akamai", FaultKind.CDN_BROWNOUT, 0.5)]
+        )
+        injector.set_time(5.0)
+        failures = sum(
+            injector.cdn_down("Akamai", key=("probe", index))
+            for index in range(400)
+        )
+        assert 120 < failures < 280
+
+    def test_same_seed_same_decisions(self):
+        windows = [FaultWindow(0.0, 10.0, "Akamai", FaultKind.CDN_BROWNOUT, 0.5)]
+        first = _injector(windows, seed=7)
+        second = _injector(windows, seed=7)
+        third = _injector(windows, seed=8)
+        first.set_time(5.0)
+        second.set_time(5.0)
+        third.set_time(5.0)
+        pattern = [first.cdn_down("Akamai", key=i) for i in range(64)]
+        assert pattern == [second.cdn_down("Akamai", key=i) for i in range(64)]
+        assert pattern != [third.cdn_down("Akamai", key=i) for i in range(64)]
+
+
+class TestVipAndEdgeFaults:
+    def test_vip_outage_is_stable_per_vip(self):
+        injector = _injector(
+            [FaultWindow(0.0, 10.0, "Apple", FaultKind.VIP_OUTAGE, 0.2)]
+        )
+        injector.set_time(1.0)
+        vips = [f"17.0.{index}.1" for index in range(100)]
+        down_first = [v for v in vips if injector.vip_down(v, "Apple")]
+        # The same subset is down for the whole window: an outage, not
+        # per-request noise.
+        injector.set_time(8.0)
+        down_later = [v for v in vips if injector.vip_down(v, "Apple")]
+        assert down_first == down_later
+        assert 5 < len(down_first) < 40
+
+    def test_exact_vip_target(self):
+        injector = _injector(
+            [FaultWindow(0.0, 10.0, "17.0.0.1", FaultKind.VIP_OUTAGE)]
+        )
+        injector.set_time(1.0)
+        assert injector.vip_down("17.0.0.1")
+        assert not injector.vip_down("17.0.0.2")
+
+    def test_edge_crash_keyed_by_hostname(self):
+        injector = _injector(
+            [FaultWindow(0.0, 10.0, "Apple", FaultKind.EDGE_CRASH, 0.5)]
+        )
+        injector.set_time(1.0)
+        hosts = [f"edge-bx-{index:03d}.fra.apple.com" for index in range(64)]
+        crashed = [h for h in hosts if injector.edge_crashed(h)]
+        assert crashed == [h for h in hosts if injector.edge_crashed(h)]
+        assert 10 < len(crashed) < 54
+
+    def test_slow_start_delay(self):
+        injector = _injector(
+            [FaultWindow(0.0, 10.0, "*", FaultKind.SLOW_START, 0.25)]
+        )
+        injector.set_time(1.0)
+        assert injector.http_delay("17.0.0.1") == 0.25
+        injector.set_time(11.0)
+        assert injector.http_delay("17.0.0.1") == 0.0
+
+
+class TestDnsFaults:
+    def test_drop_servfail_delay_stale(self):
+        injector = _injector([
+            FaultWindow(0.0, 10.0, "Apple", FaultKind.DNS_DELAY, 0.5),
+            FaultWindow(0.0, 10.0, "Apple", FaultKind.DNS_STALE, 30.0),
+            FaultWindow(20.0, 30.0, "Apple", FaultKind.DNS_SERVFAIL),
+            FaultWindow(40.0, 50.0, "Apple", FaultKind.DNS_DROP),
+        ])
+        injector.set_time(5.0)
+        action, delay, staleness = injector.dns_fault("Apple", key=1)
+        assert action is None
+        assert delay == 0.5
+        assert staleness == 30.0
+        injector.set_time(25.0)
+        assert injector.dns_fault("Apple", key=1)[0] == "servfail"
+        injector.set_time(45.0)
+        assert injector.dns_fault("Apple", key=1)[0] == "drop"
+        assert injector.dns_fault("Akamai", key=1) == (None, 0.0, 0.0)
+
+
+class TestObservability:
+    def test_observe_emits_open_close_events(self):
+        tracer = EventTracer()
+        registry = MetricsRegistry()
+        injector = _injector(
+            [FaultWindow(3.0, 9.0, "Limelight", FaultKind.CDN_BLACKOUT)],
+            metrics=registry, tracer=tracer,
+        )
+        injector.observe(1.0)
+        assert tracer.find("fault_opened") == []
+        injector.observe(4.0)
+        opened = tracer.find("fault_opened")
+        assert len(opened) == 1
+        assert opened[0].fields["kind"] == "cdn-blackout"
+        assert opened[0].fields["target"] == "Limelight"
+        injector.observe(5.0)  # still open: no duplicate event
+        assert len(tracer.find("fault_opened")) == 1
+        injector.observe(10.0)
+        assert len(tracer.find("fault_closed")) == 1
+
+    def test_injected_counter(self):
+        registry = MetricsRegistry()
+        injector = _injector(
+            [FaultWindow(0.0, 10.0, "Limelight", FaultKind.CDN_BLACKOUT)],
+            metrics=registry,
+        )
+        injector.set_time(1.0)
+        injector.cdn_down("Limelight")
+        injector.cdn_down("Limelight")
+        family = registry.get("faults_injected_total")
+        total = sum(child.value for _labels, child in family.children())
+        assert total == 2
