@@ -14,12 +14,13 @@ and exposure dynamics they are supposed to witness.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
+from ..dns.resolver import ServerMap, resolve_bulk
 from ..obs import get_registry
 from ..workload.timeline import MeasurementWindow
 from .probe import AtlasProbe
-from .results import MeasurementStore
+from .results import DnsMeasurement, MeasurementStore
 
 __all__ = ["DnsCampaign", "TracerouteCampaign"]
 
@@ -40,7 +41,12 @@ class DnsCampaign:
     window: MeasurementWindow
     store: MeasurementStore = field(default_factory=MeasurementStore)
     name: str = "dns"
+    # bulk=True resolves a tick's queries level-synchronously in one
+    # sweep (shared server lookups); bulk=False is the legacy one-chase-
+    # per-probe loop.  Results are value-identical either way.
+    bulk: bool = True
     _next_due: Optional[float] = field(default=None, init=False, repr=False)
+    _server_map: Optional[ServerMap] = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.interval <= 0:
@@ -76,21 +82,77 @@ class DnsCampaign:
         """Fire a tick if due; returns the number of measurements taken."""
         if not self.due(now):
             return 0
-        for probe in self.probes:
-            self.store.add_dns(probe.measure_dns(self.target, now))
-        self._m_measurements.inc(len(self.probes))
+        for measurement in self.measure_slice(now):
+            self.store.add_dns(measurement)
+        self.mark_fired(now)
+        return len(self.probes)
+
+    def measure_slice(
+        self, now: float, indices: Optional[Sequence[int]] = None
+    ) -> List[DnsMeasurement]:
+        """Measure a subset of probes (all by default) without recording.
+
+        Sharded execution carves the probe set into index slices owned
+        by different workers; each worker measures only its slice and
+        the coordinator recombines them in probe order via
+        :meth:`absorb_tick`.  No store, grid or telemetry state is
+        touched here.
+        """
+        probes = (
+            list(self.probes) if indices is None
+            else [self.probes[i] for i in indices]
+        )
+        if not self.bulk:
+            return [probe.measure_dns(self.target, now) for probe in probes]
+        if self._server_map is None:
+            # All campaign probes are built from one estate server
+            # list, so a single shared map serves every chase.
+            self._server_map = ServerMap(self.probes[0].resolver.servers)
+        outcomes = resolve_bulk(
+            [(probe.resolver, probe.context(now)) for probe in probes],
+            self.target,
+            self._server_map,
+        )
+        return [
+            probe.measurement_from(self.target, now, outcome)
+            for probe, outcome in zip(probes, outcomes)
+        ]
+
+    def mark_fired(self, now: float, count_metrics: bool = True) -> None:
+        """Advance the due grid after a tick fired at ``now``.
+
+        Every replica of a sharded run calls this (so ``due`` stays in
+        lockstep across workers), but only the process that owns the
+        recorded measurements counts telemetry — workers pass
+        ``count_metrics=False`` and the coordinator counts once.
+        """
+        if count_metrics:
+            self._m_measurements.inc(len(self.probes))
         if self._next_due is None:
             self._next_due = now + self.interval
         else:
-            if now > self._next_due:
+            if now > self._next_due and count_metrics:
                 self._m_late.inc()
             # Keep the grid aligned even if the engine stepped past a tick.
             slots = 0
             while self._next_due <= now:
                 self._next_due += self.interval
                 slots += 1
-            if slots > 1:
+            if slots > 1 and count_metrics:
                 self._m_missed.inc(slots - 1)
+        return None
+
+    def absorb_tick(self, now: float, measurements: Sequence[DnsMeasurement]) -> int:
+        """Record one tick's worth of externally measured results.
+
+        The coordinator of a sharded run merges the workers' slices —
+        already recombined into probe order — through this, producing
+        the same store contents and grid state as a serial
+        :meth:`maybe_run` at ``now``.
+        """
+        for measurement in measurements:
+            self.store.add_dns(measurement)
+        self.mark_fired(now)
         return len(self.probes)
 
     def run_window(self, step: Optional[float] = None) -> MeasurementStore:

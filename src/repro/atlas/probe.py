@@ -85,14 +85,29 @@ class AtlasProbe:
         rcode, not raised — a probe in the field reports what it saw.
         """
         try:
-            resolution = self.resolver.resolve(target, self.context(now))
-            rcode = resolution.rcode.name
-            chain = resolution.chain_names
-            addresses = resolution.addresses
-        except ResolutionError:
+            outcome = self.resolver.resolve(target, self.context(now))
+        except ResolutionError as exc:
+            outcome = exc
+        return self.measurement_from(target, now, outcome)
+
+    def measurement_from(self, target: str, now: float, outcome) -> DnsMeasurement:
+        """Wrap a resolution outcome as the measurement record.
+
+        ``outcome`` is either a completed
+        :class:`~repro.dns.resolver.Resolution` or the
+        :class:`~repro.dns.resolver.ResolutionError` the chase died
+        with — the two shapes :func:`~repro.dns.resolver.resolve_bulk`
+        returns, so bulk campaign ticks produce records identical to
+        the per-probe path.
+        """
+        if isinstance(outcome, ResolutionError):
             rcode = RCode.SERVFAIL.name
-            chain = (target,)
-            addresses = ()
+            chain: tuple = (target,)
+            addresses: tuple = ()
+        else:
+            rcode = outcome.rcode.name
+            chain = outcome.chain_names
+            addresses = outcome.addresses
         return DnsMeasurement(
             probe_id=self.probe_id,
             timestamp=now,

@@ -86,6 +86,7 @@ class MeasurementStore:
         self._dns: list[DnsMeasurement] = []
         self._dns_times: list[float] = []
         self._traceroutes: list[TracerouteMeasurement] = []
+        self._unique_addresses: set[IPv4Address] = set()
 
     def add_dns(self, measurement: DnsMeasurement) -> None:
         """Record a DNS measurement (must be appended in time order)."""
@@ -93,6 +94,7 @@ class MeasurementStore:
             raise ValueError("measurements must be appended in time order")
         self._dns.append(measurement)
         self._dns_times.append(measurement.timestamp)
+        self._unique_addresses.update(measurement.addresses)
 
     def add_traceroute(self, measurement: TracerouteMeasurement) -> None:
         """Record a traceroute measurement."""
@@ -121,11 +123,14 @@ class MeasurementStore:
         return (m for m in self._dns if predicate(m))
 
     def unique_addresses(self) -> set[IPv4Address]:
-        """Every cache address observed across all DNS measurements."""
-        addresses: set[IPv4Address] = set()
-        for measurement in self._dns:
-            addresses.update(measurement.addresses)
-        return addresses
+        """Every cache address observed across all DNS measurements.
+
+        Maintained incrementally in :meth:`add_dns` — the traceroute
+        campaign asks for this every sweep, and rescanning the full DNS
+        history each hour dominated large-run profiles.  Returns a copy
+        so callers cannot mutate the internal set.
+        """
+        return set(self._unique_addresses)
 
     def __len__(self) -> int:
         return len(self._dns) + len(self._traceroutes)

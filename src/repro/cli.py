@@ -70,7 +70,8 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     simulate = commands.add_parser(
-        "simulate", help="run the Sep-2017 scenario over a date window"
+        "simulate", aliases=["run"],
+        help="run the Sep-2017 scenario over a date window",
     )
     simulate.add_argument("--start", default="9-17", metavar="M-D",
                           help="start date in 2017 (default 9-17)")
@@ -82,6 +83,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="global probe count (default 60)")
     simulate.add_argument("--isp-probes", type=int, default=30,
                           help="ISP probe count (default 30)")
+    simulate.add_argument("--workers", type=int, default=1,
+                          help="worker processes for the sharded engine "
+                               "(default 1 = serial)")
     _add_telemetry_args(simulate)
 
     report = commands.add_parser(
@@ -90,6 +94,9 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--probes", type=int, default=80)
     report.add_argument("--isp-probes", type=int, default=40)
     report.add_argument("--step", type=float, default=1800.0)
+    report.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the sharded engine "
+                             "(default 1 = serial)")
     _add_telemetry_args(report)
 
     commands.add_parser(
@@ -143,6 +150,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "default: the standard drill)")
     chaos.add_argument("--skip-simulation", action="store_true",
                        help="run only the live phase")
+    chaos.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the simulation phase "
+                            "(default 1 = serial)")
     return parser
 
 
@@ -234,7 +244,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             if args.verbose:
                 print(_step_line(report))
 
-        steps = engine.run(start, end, progress=progress)
+        steps = engine.run(start, end, progress=progress, workers=args.workers)
     print(f"\n{steps} steps; "
           f"{len(scenario.global_campaign.store.dns)} global + "
           f"{len(scenario.isp_campaign.store.dns)} ISP DNS measurements; "
@@ -255,6 +265,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         engine.run(
             TIMELINE.at(9, 15), TIMELINE.at(9, 23),
             progress=(lambda r: print(_step_line(r))) if args.verbose else None,
+            workers=args.workers,
         )
     print(generate_report(scenario))
     _write_telemetry(args, registry, tracer)
@@ -390,6 +401,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         concurrency=args.concurrency,
         error_budget=args.error_budget,
         run_simulation=not args.skip_simulation,
+        workers=args.workers,
     )
     report, _registry, _tracer = run_chaos(config)
     print(report.render())
@@ -401,6 +413,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "simulate": _cmd_simulate,
+        "run": _cmd_simulate,
         "report": _cmd_report,
         "survey": _cmd_survey,
         "serve": _cmd_serve,

@@ -15,6 +15,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
 from typing import Union
 
 from ..net.ipv4 import IPv4Address
@@ -36,8 +37,14 @@ class NameError_(ValueError):
     """Raised for malformed DNS names (trailing underscore avoids the builtin)."""
 
 
+@lru_cache(maxsize=16384)
 def normalize_name(name: str) -> str:
     """Lowercase ``name`` and strip any trailing dot; validate labels.
+
+    The same few dozen chain names are normalised millions of times per
+    simulation run (every record construction and zone lookup funnels
+    through here), so results are memoised; the function is pure and
+    validation errors are never cached.
 
     >>> normalize_name("AppLDNLD.Apple.COM.")
     'appldnld.apple.com'

@@ -14,13 +14,13 @@ whole Figure 2 chain.  :class:`RecursiveResolver` reproduces that walk:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..net.ipv4 import IPv4Address
 from ..obs import get_registry
 from .query import DnsResponse, Question, QueryContext, RCode
 from .records import RecordType, ResourceRecord, normalize_name
-from .zone import AuthoritativeServer
+from .zone import AuthoritativeServer, Zone
 
 __all__ = [
     "RecursiveResolver",
@@ -28,6 +28,8 @@ __all__ = [
     "ResolutionStep",
     "ResolutionError",
     "ResolverCacheStats",
+    "ServerMap",
+    "resolve_bulk",
 ]
 
 _MAX_CHAIN = 16  # generous; the Apple chain is 5 hops at its longest
@@ -210,6 +212,11 @@ class RecursiveResolver:
         """Register an additional authoritative server."""
         self._servers.append(server)
 
+    @property
+    def servers(self) -> tuple[AuthoritativeServer, ...]:
+        """The authoritative server universe this resolver consults."""
+        return tuple(self._servers)
+
     def server_for(self, name: str) -> Optional[AuthoritativeServer]:
         """The authoritative server for ``name`` (most specific zone)."""
         best: Optional[AuthoritativeServer] = None
@@ -257,7 +264,12 @@ class RecursiveResolver:
             seen.add(current)
         raise ResolutionError(f"chain longer than {_MAX_CHAIN} for {question.name!r}")
 
-    def _query_one(self, name: str, context: QueryContext) -> ResolutionStep:
+    def _query_one(
+        self,
+        name: str,
+        context: QueryContext,
+        locate: Optional[Callable[[str], "tuple[Optional[AuthoritativeServer], Optional[Zone]]"]] = None,
+    ) -> ResolutionStep:
         if self._cache_enabled:
             entry = self._cache.get(name)
             if entry is not None:
@@ -276,11 +288,20 @@ class RecursiveResolver:
                 self._m_cache_evictions.inc()
             self._misses += 1
             self._m_cache_misses.inc()
-        server = self.server_for(name)
+        # ``locate`` lets the bulk path share one (server, zone) lookup
+        # across many clients; it must agree with ``server_for``, which
+        # holds whenever the clients share one server universe.
+        zone: Optional[Zone] = None
+        if locate is not None:
+            server, zone = locate(name)
+        else:
+            server = self.server_for(name)
         if server is None:
             raise ResolutionError(f"no authoritative server for {name!r}")
         if self._wire_mode:
             response = self._query_wire(server, name, context)
+        elif zone is not None:
+            response = server.query_in_zone(zone, Question(name), context)
         else:
             response = server.query(Question(name), context)
         if response.rcode is RCode.REFUSED:
@@ -347,3 +368,137 @@ class RecursiveResolver:
             evictions=self._evictions,
             size=len(self._cache),
         )
+
+
+class ServerMap:
+    """A shared name -> (server, zone) index over one server universe.
+
+    ``server_for`` linearly scans servers and zones on every hop of
+    every client's chase; during a campaign tick hundreds of probes
+    walk the same handful of chain names, so the scan result is pure
+    duplication.  A :class:`ServerMap` memoises the most-specific match
+    once per distinct name, to be shared by every client that consults
+    the same server universe (which campaign probe sets do by
+    construction).
+
+    The selection rule replicates :meth:`RecursiveResolver.server_for`
+    exactly: first server (in registration order) whose deepest
+    covering zone strictly beats the best seen so far.
+    """
+
+    def __init__(self, servers: Iterable[AuthoritativeServer]) -> None:
+        self._servers = list(servers)
+        self._memo: dict[str, tuple[Optional[AuthoritativeServer], Optional[Zone]]] = {}
+
+    def locate(self, name: str) -> tuple[Optional[AuthoritativeServer], Optional[Zone]]:
+        """The authoritative (server, zone) for ``name`` (memoised)."""
+        hit = self._memo.get(name)
+        if hit is not None:
+            return hit
+        best: Optional[AuthoritativeServer] = None
+        best_zone: Optional[Zone] = None
+        best_depth = -1
+        for server in self._servers:
+            zone = server.zone_for(name)
+            if zone is not None:
+                depth = zone.origin.count(".") + 1
+                if depth > best_depth:
+                    best = server
+                    best_zone = zone
+                    best_depth = depth
+        located = (best, best_zone)
+        self._memo[name] = located
+        return located
+
+
+@dataclass
+class _BulkChase:
+    """One client's in-flight state during a bulk resolution."""
+
+    index: int
+    resolver: RecursiveResolver
+    context: QueryContext
+    current: str
+    steps: List[ResolutionStep] = field(default_factory=list)
+    seen: set = field(default_factory=set)
+
+
+def resolve_bulk(
+    clients: Sequence[Tuple[RecursiveResolver, QueryContext]],
+    name: str,
+    server_map: Optional[ServerMap] = None,
+) -> List[Union[Resolution, ResolutionError]]:
+    """Resolve ``name`` for many clients in one level-synchronous sweep.
+
+    This is the vectorised form of calling ``resolver.resolve(name,
+    context)`` once per client: all chases advance one CNAME hop per
+    round, so the authoritative (server, zone) for each distinct chain
+    name is located once per round via ``server_map`` instead of once
+    per client.  Per-client semantics — TTL caches, metrics, rcodes,
+    loop detection, chain-length limits — are exactly those of
+    :meth:`RecursiveResolver.resolve`; the resolutions returned are
+    value-identical to the serial ones.
+
+    Failures that :meth:`RecursiveResolver.resolve` would raise are
+    returned in-place as :class:`ResolutionError` instances so one bad
+    vantage cannot abort a whole campaign tick (callers translate them
+    into SERVFAIL measurements, as the per-probe path does).
+
+    All clients must share one server universe when ``server_map`` is
+    given; campaigns satisfy this by building every probe resolver from
+    the same estate server list.
+    """
+    qname = normalize_name(name)
+    question = Question(qname)
+    outcomes: List[Union[Resolution, ResolutionError]] = [None] * len(clients)  # type: ignore[list-item]
+    active: List[_BulkChase] = []
+    for index, (resolver, context) in enumerate(clients):
+        chase = _BulkChase(index, resolver, context, qname)
+        chase.seen.add(qname)
+        active.append(chase)
+
+    locate = server_map.locate if server_map is not None else None
+    for _ in range(_MAX_CHAIN):
+        if not active:
+            break
+        still_active: List[_BulkChase] = []
+        for chase in active:
+            resolver = chase.resolver
+            try:
+                step = resolver._query_one(chase.current, chase.context, locate)
+            except ResolutionError as exc:
+                outcomes[chase.index] = exc
+                continue
+            chase.steps.append(step)
+            a_records = [r for r in step.records if r.rtype is RecordType.A]
+            cnames = [r for r in step.records if r.rtype is RecordType.CNAME]
+            if a_records:
+                resolver._m_resolutions.inc()
+                resolver._m_chain_length.observe(len(chase.steps))
+                outcomes[chase.index] = Resolution(
+                    question=question, steps=tuple(chase.steps)
+                )
+                continue
+            if not cnames:
+                resolver._m_resolutions.inc()
+                resolver._m_chain_length.observe(len(chase.steps))
+                outcomes[chase.index] = Resolution(
+                    question=question,
+                    steps=tuple(chase.steps),
+                    rcode=RCode.NXDOMAIN,
+                )
+                continue
+            chase.current = cnames[0].target
+            if chase.current in chase.seen:
+                outcomes[chase.index] = ResolutionError(
+                    f"CNAME loop at {chase.current!r}"
+                )
+                continue
+            chase.seen.add(chase.current)
+            still_active.append(chase)
+        active = still_active
+    for chase in active:
+        outcomes[chase.index] = ResolutionError(
+            f"chain longer than {_MAX_CHAIN} for {qname!r}"
+        )
+    return outcomes

@@ -20,7 +20,7 @@ from typing import Optional
 
 from ..net.ipv4 import IPv4Address, IPv4Prefix
 from .query import Question, RCode
-from .records import RecordType, ResourceRecord, normalize_name
+from .records import NameError_, RecordType, ResourceRecord, normalize_name
 
 __all__ = [
     "WireError",
@@ -272,11 +272,13 @@ def _decode_record(
         record_data, _ = decode_name(data, cursor)
     else:
         raise WireError(f"cannot decode {rtype}")
-    return (
-        ResourceRecord(name=name, rtype=rtype, ttl=ttl, data=record_data),
-        next_offset,
-        None,
-    )
+    try:
+        record = ResourceRecord(name=name, rtype=rtype, ttl=ttl, data=record_data)
+    except NameError_ as exc:
+        # Label syntax is validated by the record model; on the decode
+        # path a violation is malformed wire input, not a caller bug.
+        raise WireError(f"invalid name in record: {exc}") from exc
+    return record, next_offset, None
 
 
 def _decode_owner(data: bytes, offset: int) -> tuple[str, int]:
@@ -377,7 +379,10 @@ def decode_message(data: bytes) -> WireMessage:
             rtype = WireType(type_code).to_record_type()
         except ValueError as exc:
             raise WireError(f"unsupported question type {type_code}") from exc
-        message.questions.append(Question(name, rtype))
+        try:
+            message.questions.append(Question(name, rtype))
+        except NameError_ as exc:
+            raise WireError(f"invalid name in question: {exc}") from exc
     for section_count in (ancount, nscount + arcount):
         for _ in range(section_count):
             record, cursor, opt = _decode_record(data, cursor)

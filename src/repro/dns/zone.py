@@ -102,7 +102,20 @@ class AuthoritativeServer:
         yields NOERROR even if the policy currently returns no records
         (an empty, NODATA-style answer).
         """
-        zone = self.zone_for(question.name)
+        return self.query_in_zone(self.zone_for(question.name), question, context)
+
+    def query_in_zone(
+        self, zone: Optional[Zone], question: Question, context: QueryContext
+    ) -> DnsResponse:
+        """Answer ``question`` from an already-located ``zone``.
+
+        The bulk resolution path locates the (server, zone) pair once
+        per distinct name and tick instead of once per client; passing
+        the zone here skips the per-query linear scan while producing
+        the byte-identical answer :meth:`query` would.  ``zone=None``
+        means no hosted zone covers the name (REFUSED, as in
+        :meth:`query`).
+        """
         if zone is None:
             return DnsResponse(question=question, rcode=RCode.REFUSED)
         policy = zone.policy_for(question.name)

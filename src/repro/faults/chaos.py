@@ -74,12 +74,15 @@ class ChaosConfig:
     probe_cooldown: float = 0.5       # unhealthy re-probe cadence
     run_simulation: bool = True
     servers_per_metro: int = 4
+    workers: int = 1                  # worker processes for the simulation phase
 
     def __post_init__(self) -> None:
         if self.batch_requests <= 0 or self.concurrency <= 0:
             raise ValueError("batch_requests and concurrency must be positive")
         if not 0.0 < self.error_budget < 1.0:
             raise ValueError("error_budget must be a fraction in (0, 1)")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -302,7 +305,10 @@ def _simulation_phase(config: ChaosConfig) -> dict:
     scenario = Sep2017Scenario(scenario_config, faults=schedule)
     engine = SimulationEngine(scenario, step_seconds=1800.0)
     reports: list = []
-    engine.run(release - 1800.0, release + 8 * 3600.0, progress=reports.append)
+    engine.run(
+        release - 1800.0, release + 8 * 3600.0,
+        progress=reports.append, workers=config.workers,
+    )
 
     def limelight_peak(lo: float, hi: float) -> float:
         return max(

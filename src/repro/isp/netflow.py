@@ -12,7 +12,7 @@ collector here, the SNMP-scaled estimator in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterable, Iterator, Optional
 
 from ..dns.policies import stable_fraction
 from ..net.ipv4 import IPv4Address
@@ -129,6 +129,27 @@ class NetflowCollector:
                 link_id=link_id,
             )
         )
+
+    def mark(self) -> int:
+        """A cursor over the record log (for :meth:`records_since`)."""
+        return len(self._records)
+
+    def records_since(self, cursor: int) -> tuple[FlowRecord, ...]:
+        """Records appended after a :meth:`mark` cursor was taken."""
+        return tuple(self._records[cursor:])
+
+    def absorb(self, records: Iterable[FlowRecord], offered_bytes: int) -> None:
+        """Append records exported by another collector replica.
+
+        The sharded engine generates flows in a worker process and
+        merges them here; the worker's collector already counted the
+        export metrics, so this only extends the log and the offered-
+        bytes tally (no re-counting).
+        """
+        if offered_bytes < 0:
+            raise ValueError("bytes cannot be negative")
+        self._records.extend(records)
+        self.total_offered_bytes += offered_bytes
 
     @property
     def records(self) -> tuple[FlowRecord, ...]:

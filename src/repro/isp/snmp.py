@@ -49,6 +49,35 @@ class SnmpCounters:
         bins[bin_key] = bins.get(bin_key, 0) + count
         self._m_bytes.labels(link_id).inc(count)
 
+    def snapshot_bins(self) -> dict[str, dict[float, int]]:
+        """A deep copy of the per-link bins (diff input for sharding)."""
+        return {link: dict(bins) for link, bins in self._bytes.items()}
+
+    def bins_since(self, base: dict[str, dict[float, int]]) -> dict[str, dict[float, int]]:
+        """Per-link byte deltas accumulated since ``base`` was snapshot."""
+        delta: dict[str, dict[float, int]] = {}
+        for link, bins in self._bytes.items():
+            base_bins = base.get(link, {})
+            changed = {
+                bin_key: count - base_bins.get(bin_key, 0)
+                for bin_key, count in bins.items()
+                if count != base_bins.get(bin_key, 0)
+            }
+            if changed:
+                delta[link] = changed
+        return delta
+
+    def absorb(self, delta: dict[str, dict[float, int]]) -> None:
+        """Merge per-link byte deltas counted by another replica.
+
+        Worker-side counters already emitted the ``snmp_bytes_total``
+        metrics for these bytes, so absorption updates bins only.
+        """
+        for link, bins in delta.items():
+            target = self._bytes[link]
+            for bin_key, count in bins.items():
+                target[bin_key] = target.get(bin_key, 0) + count
+
     def bytes_in_bin(self, link_id: str, timestamp: float) -> int:
         """Bytes counted on ``link_id`` in the bin containing ``timestamp``."""
         return self._bytes.get(link_id, {}).get(self.bin_start(timestamp), 0)

@@ -17,6 +17,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
 from typing import Iterable
 
 __all__ = [
@@ -97,8 +98,14 @@ _REGION_OF_CONTINENT = {
 }
 
 
+@lru_cache(maxsize=65536)
 def great_circle_km(a: Coordinates, b: Coordinates) -> float:
-    """Great-circle distance between two coordinates (haversine formula)."""
+    """Great-circle distance between two coordinates (haversine formula).
+
+    Memoised: probes, metros and cache servers all sit at fixed
+    coordinates, so the same pairs are measured millions of times per
+    simulation run (GSLB pool ranking, traceroute RTT synthesis).
+    """
     lat_a = math.radians(a.latitude)
     lat_b = math.radians(b.latitude)
     delta_lat = lat_b - lat_a

@@ -66,8 +66,20 @@ class IPv4Address:
         """Return the address ``offset`` positions away (may be negative)."""
         return IPv4Address(self.value + offset)
 
+    def __hash__(self) -> int:
+        # The generated dataclass hash builds a field tuple per call;
+        # addresses are hashed tens of millions of times per run (set
+        # membership in stores, caches, routing tables), so hash the
+        # backing int directly.  Consistent with the generated __eq__,
+        # which compares the single ``value`` field.
+        return hash(self.value)
+
     def __str__(self) -> str:
-        return ".".join(str(octet) for octet in self.octets)
+        text = self.__dict__.get("_text")
+        if text is None:
+            text = ".".join(str(octet) for octet in self.octets)
+            object.__setattr__(self, "_text", text)
+        return text
 
     def __int__(self) -> int:
         return self.value

@@ -50,6 +50,7 @@ from .registry import (
     NullRegistry,
     get_registry,
     set_registry,
+    snapshot_delta,
     use_registry,
 )
 from .tracer import (
@@ -73,6 +74,7 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "get_registry",
     "set_registry",
+    "snapshot_delta",
     "use_registry",
     "EventTracer",
     "NullTracer",

@@ -36,6 +36,7 @@ __all__ = [
     "NullRegistry",
     "NULL_REGISTRY",
     "DEFAULT_BUCKETS",
+    "snapshot_delta",
     "get_registry",
     "set_registry",
     "use_registry",
@@ -346,6 +347,74 @@ class MetricsRegistry:
         """The family registered under ``name``, if any."""
         return self._families.get(name)
 
+    def snapshot(self, names: Optional[Sequence[str]] = None) -> dict:
+        """A plain-data dump of (a subset of) the registry's state.
+
+        The result is picklable and self-describing: per family the
+        kind, label schema, help text, buckets (histograms) and every
+        child's payload.  ``names`` restricts the dump to those
+        families (missing names are skipped).  Used by the sharded
+        engine to ship worker-side metrics back to the coordinator.
+        """
+        selected = (
+            sorted(self._families) if names is None
+            else [n for n in names if n in self._families]
+        )
+        dump: dict = {}
+        for name in selected:
+            family = self._families[name]
+            children: dict = {}
+            for labelvalues, child in family.children():
+                if isinstance(child, HistogramChild):
+                    children[labelvalues] = (
+                        list(child.bucket_counts), child.sum, child.count
+                    )
+                else:
+                    children[labelvalues] = child.value
+            entry: dict = {
+                "kind": family.kind,
+                "help": family.help,
+                "labelnames": family.labelnames,
+                "children": children,
+            }
+            if isinstance(family, Histogram):
+                entry["buckets"] = family.buckets
+            dump[name] = entry
+        return dump
+
+    def absorb_snapshot(self, snapshot: dict) -> None:
+        """Merge a :meth:`snapshot` (usually a delta) into this registry.
+
+        Families are created on demand with the snapshot's schema;
+        counter/gauge children add their values, histogram children add
+        bucket counts, sums and observation counts.  Schema mismatches
+        with already-registered families raise :class:`MetricError`,
+        exactly as double registration would.
+        """
+        for name, entry in snapshot.items():
+            kind = entry["kind"]
+            labelnames = entry["labelnames"]
+            if kind == "counter":
+                family = self.counter(name, entry["help"], labelnames)
+            elif kind == "gauge":
+                family = self.gauge(name, entry["help"], labelnames)
+            elif kind == "histogram":
+                family = self.histogram(
+                    name, entry["help"], labelnames, entry["buckets"]
+                )
+            else:  # pragma: no cover - snapshots only contain known kinds
+                raise MetricError(f"unknown metric kind {kind!r} for {name}")
+            for labelvalues, payload in entry["children"].items():
+                child = family.labels(*labelvalues)
+                if isinstance(child, HistogramChild):
+                    buckets, total, count = payload
+                    for index, n in enumerate(buckets):
+                        child.bucket_counts[index] += n
+                    child.sum += total
+                    child.count += count
+                else:
+                    child.value += payload
+
     def collect(self) -> Iterator[MetricFamily]:
         """All families, name-ordered (the exposition order)."""
         for name in sorted(self._families):
@@ -417,6 +486,12 @@ class NullRegistry:
     def get(self, name: str) -> None:
         return None
 
+    def snapshot(self, names: Optional[Sequence[str]] = None) -> dict:
+        return {}
+
+    def absorb_snapshot(self, snapshot: dict) -> None:
+        pass
+
     def collect(self) -> Iterator[MetricFamily]:
         return iter(())
 
@@ -428,6 +503,36 @@ class NullRegistry:
 
 
 NULL_REGISTRY = NullRegistry()
+
+
+def snapshot_delta(new: dict, base: dict) -> dict:
+    """What ``new`` accumulated beyond ``base`` (both :meth:`snapshot` dumps).
+
+    Children absent from ``base`` pass through unchanged; children whose
+    delta is zero (or an empty histogram) are dropped, as are families
+    left without children.  The result is itself a valid snapshot, ready
+    for :meth:`MetricsRegistry.absorb_snapshot`.
+    """
+    delta: dict = {}
+    for name, entry in new.items():
+        base_children = base.get(name, {}).get("children", {})
+        children: dict = {}
+        for labelvalues, payload in entry["children"].items():
+            before = base_children.get(labelvalues)
+            if entry["kind"] == "histogram":
+                b_buckets, b_sum, b_count = before if before else ([0] * len(payload[0]), 0.0, 0)
+                buckets = [n - m for n, m in zip(payload[0], b_buckets)]
+                count = payload[2] - b_count
+                if count or any(buckets):
+                    children[labelvalues] = (buckets, payload[1] - b_sum, count)
+            else:
+                value = payload - (before if before else 0.0)
+                if value:
+                    children[labelvalues] = value
+        if children:
+            delta[name] = {**entry, "children": children}
+    return delta
+
 
 _default_registry: Union[MetricsRegistry, NullRegistry] = NULL_REGISTRY
 

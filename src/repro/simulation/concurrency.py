@@ -1,0 +1,491 @@
+"""Sharded parallel execution of the simulation engine.
+
+The world state of :class:`~repro.simulation.engine.SimulationEngine`
+is a *pure function of the tick sequence*: DNS selection policies hash
+client and time (no draws from shared RNGs), exposure controllers are
+lag filters over the demand series, and the failover loop replays a
+deterministic health-probe schedule.  That makes the replicated
+state-machine decomposition exact rather than approximate:
+
+* every worker process holds a **full replica** of the scenario and
+  advances the cheap world state (:meth:`SimulationEngine.advance_state`)
+  for every tick, keeping all replicas bit-identical;
+* the expensive work — resolving the measurement campaigns' DNS chases
+  and generating the ISP's Netflow/SNMP traffic — is **partitioned**
+  into shards (probe slices grouped by continent, plus one shard
+  owning the ISP ingress), each executed in exactly one worker;
+* the coordinator merges each shard's output back in probe order,
+  runs the two campaigns that need global state (the AWS sweep owns
+  the HTTP caches, the traceroute sweep needs the merged DNS store)
+  and emits the same :class:`StepReport` stream the serial loop would.
+
+Cross-shard agreement on the Meta-CDN selection state is validated by
+a **batched digest exchange**: workers return one digest per tick over
+(demand, EU operator split), the coordinator recomputes its own, and a
+mismatch raises :class:`ShardDivergenceError` naming the first
+divergent tick.  Ticks are shipped to workers in chunks, with chunk
+``c+1`` submitted before chunk ``c`` is merged, so worker processes
+never idle waiting on the coordinator.
+
+``workers=1`` never enters this module: the engine's serial loop runs
+unchanged, bit-for-bit identical to the pre-sharding engine.
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from hashlib import blake2b
+from typing import Callable, Optional, Sequence
+
+from ..net.geo import MappingRegion
+from ..obs import NULL_TRACER, MetricsRegistry, set_registry, set_tracer, snapshot_delta
+from ..obs.registry import NULL_REGISTRY
+
+__all__ = [
+    "ShardRng",
+    "Shard",
+    "ShardPlan",
+    "ShardDivergenceError",
+    "EngineSpec",
+    "plan_shards",
+    "state_digest",
+    "run_sharded",
+    "WORKER_METRIC_FAMILIES",
+]
+
+# Metric families whose samples originate inside worker processes (the
+# sharded DNS chases and the traffic generation).  Everything else —
+# engine observer, campaign tick counters, AWS/traceroute, HTTP caches —
+# is emitted by the coordinator, so only these are shipped home and
+# merged, keeping parallel totals equal to serial ones.
+WORKER_METRIC_FAMILIES = (
+    "dns_queries_total",
+    "dns_answer_records_total",
+    "dns_cache_hits_total",
+    "dns_cache_misses_total",
+    "dns_cache_evictions_total",
+    "dns_resolutions_total",
+    "dns_cname_chain_length",
+    "netflow_records_total",
+    "netflow_offered_bytes_total",
+    "snmp_bytes_total",
+)
+
+
+class ShardDivergenceError(RuntimeError):
+    """A worker replica's world state disagreed with the coordinator's."""
+
+
+class ShardRng(random.Random):
+    """A deterministic per-shard random stream.
+
+    Streams are derived by hashing ``(seed, shard_id, stream)`` with
+    BLAKE2b, so every (shard, purpose) pair gets an independent,
+    reproducible sequence regardless of how many shards exist or in
+    which order they draw — the property that keeps stochastic
+    extensions (sampled Netflow, probabilistic faults) stable under
+    re-sharding.
+    """
+
+    def __init__(self, seed: int, shard_id: int, stream: str = "") -> None:
+        self._base_seed = seed
+        self._shard_id = shard_id
+        self._stream = stream
+        digest = blake2b(
+            f"{seed}|{shard_id}|{stream}".encode(), digest_size=8
+        ).digest()
+        super().__init__(int.from_bytes(digest, "big"))
+
+    def substream(self, name: str) -> "ShardRng":
+        """An independent child stream labelled ``name``."""
+        suffix = f"{self._stream}/{name}" if self._stream else name
+        return ShardRng(self._base_seed, self._shard_id, suffix)
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One worker's slice of the per-tick work."""
+
+    shard_id: int
+    global_indices: tuple[int, ...] = ()
+    isp_indices: tuple[int, ...] = ()
+    owns_traffic: bool = False
+
+    @property
+    def weight(self) -> int:
+        """Relative per-tick cost (probe counts + traffic surcharge)."""
+        return (
+            len(self.global_indices)
+            + len(self.isp_indices)
+            + (self.traffic_weight if self.owns_traffic else 0)
+        )
+
+    # The ISP traffic step costs roughly this many probe-resolutions
+    # per tick at default scale; only used for load balancing.
+    traffic_weight = 24
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The partition of one run's per-tick work over worker processes."""
+
+    shards: tuple[Shard, ...]
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+
+def plan_shards(engine, workers: int) -> ShardPlan:
+    """Partition the engine's campaign probes into ``workers`` shards.
+
+    Global probes are grouped by continent (the paper's own breakdown
+    axis), groups too large for balance are split, and the resulting
+    units — plus the ISP probe slices and the single ISP-traffic unit —
+    are greedy-packed onto the requested number of shards.  Fewer
+    shards come back when there is not enough work to go around.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    scenario = engine.scenario
+    globals_by_continent: dict[str, list[int]] = {}
+    for index, probe in enumerate(scenario.global_campaign.probes):
+        globals_by_continent.setdefault(probe.continent.value, []).append(index)
+
+    # units: (weight, kind, payload) — deterministic order.
+    units: list[tuple[int, str, tuple]] = [
+        (len(indices), "global", tuple(indices))
+        for _, indices in sorted(globals_by_continent.items())
+    ]
+    # Split the largest global unit until there are enough units to
+    # occupy every shard (continent × CDN granularity tops out at a
+    # handful of groups; per-continent halves keep locality).
+    while 0 < len(units) < workers:
+        units.sort(reverse=True)
+        weight, kind, payload = units[0]
+        if kind != "global" or weight < 2:
+            break
+        half = len(payload) // 2
+        units[0:1] = [
+            (half, "global", payload[:half]),
+            (len(payload) - half, "global", payload[half:]),
+        ]
+    isp_count = len(scenario.isp_campaign.probes)
+    isp_slices = max(1, min(workers, isp_count))
+    per_slice = isp_count // isp_slices
+    remainder = isp_count % isp_slices
+    cursor = 0
+    for slice_index in range(isp_slices):
+        size = per_slice + (1 if slice_index < remainder else 0)
+        if size == 0:
+            continue
+        units.append((size, "isp", tuple(range(cursor, cursor + size))))
+        cursor += size
+    units.append((Shard.traffic_weight, "traffic", ()))
+
+    bins: list[dict] = [
+        {"load": 0, "global": [], "isp": [], "traffic": False}
+        for _ in range(min(workers, len(units)))
+    ]
+    for weight, kind, payload in sorted(units, reverse=True):
+        target = min(bins, key=lambda b: b["load"])
+        target["load"] += weight
+        if kind == "traffic":
+            target["traffic"] = True
+        else:
+            target[kind].extend(payload)
+    shards = tuple(
+        Shard(
+            shard_id=shard_id,
+            global_indices=tuple(sorted(b["global"])),
+            isp_indices=tuple(sorted(b["isp"])),
+            owns_traffic=b["traffic"],
+        )
+        for shard_id, b in enumerate(bins)
+        if b["load"] > 0
+    )
+    return ShardPlan(shards=shards)
+
+
+def state_digest(
+    now: float,
+    demand_by_region: dict,
+    eu_split: dict,
+) -> str:
+    """Digest of one tick's replicated selection state.
+
+    Covers the per-region demand and the EU operator split — the split
+    is a function of the Meta-CDN controller's apple-share and the
+    failover-bent third-party weights, so any replica whose controller,
+    exposure or failover state drifted produces a different digest.
+    """
+    h = blake2b(digest_size=16)
+    h.update(repr(now).encode())
+    for region in sorted(demand_by_region, key=lambda r: r.value):
+        h.update(f"|{region.value}={demand_by_region[region]!r}".encode())
+    for operator in sorted(eu_split):
+        h.update(f"|{operator}={eu_split[operator]!r}".encode())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Everything a worker needs to rebuild a bit-identical replica."""
+
+    scenario_class: type
+    config: object
+    timeline: object
+    faults: Optional[object]
+    step_seconds: float
+    collect_metrics: bool
+    global_bulk: bool = True
+    isp_bulk: bool = True
+
+    @classmethod
+    def from_engine(cls, engine) -> "EngineSpec":
+        scenario = engine.scenario
+        return cls(
+            scenario_class=type(scenario),
+            config=scenario.config,
+            timeline=scenario.timeline,
+            faults=getattr(scenario, "fault_schedule", None),
+            step_seconds=engine.step_seconds,
+            collect_metrics=bool(getattr(engine._obs.metrics, "enabled", False)),
+            global_bulk=scenario.global_campaign.bulk,
+            isp_bulk=scenario.isp_campaign.bulk,
+        )
+
+    def build(self):
+        """Construct the replica engine (under the ambient registry)."""
+        from .engine import SimulationEngine
+
+        scenario = self.scenario_class(
+            self.config, timeline=self.timeline, faults=self.faults
+        )
+        scenario.global_campaign.bulk = self.global_bulk
+        scenario.isp_campaign.bulk = self.isp_bulk
+        return SimulationEngine(scenario, step_seconds=self.step_seconds)
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+_WORKER: dict = {}
+
+
+def _init_worker(spec: EngineSpec, shard: Shard) -> None:
+    """Build this process's replica (runs once per worker process).
+
+    The process may have inherited the parent's registry/tracer
+    defaults across ``fork`` — including open trace sinks — so both are
+    replaced before any component captures an instrument handle.
+    """
+    registry = MetricsRegistry() if spec.collect_metrics else NULL_REGISTRY
+    set_registry(registry)
+    set_tracer(NULL_TRACER)
+    engine = spec.build()
+    _WORKER["engine"] = engine
+    _WORKER["shard"] = shard
+    _WORKER["registry"] = registry
+    _WORKER["baseline"] = registry.snapshot(WORKER_METRIC_FAMILIES)
+
+
+def _worker_chunk(ticks: Sequence[float], final: bool) -> dict:
+    """Advance the replica over ``ticks``; return this shard's output."""
+    engine = _WORKER["engine"]
+    shard: Shard = _WORKER["shard"]
+    scenario = engine.scenario
+    digests: list[str] = []
+    global_slices: dict[float, list] = {}
+    isp_slices: dict[float, list] = {}
+    traffic: dict[float, tuple[int, dict]] = {}
+    netflow_cursor = scenario.netflow.mark()
+    offered_before = scenario.netflow.total_offered_bytes
+    snmp_base = scenario.snmp.snapshot_bins() if shard.owns_traffic else None
+
+    for now in ticks:
+        demand, splits = engine.advance_state(now)
+        digests.append(state_digest(now, demand, splits[MappingRegion.EU]))
+        if scenario.global_campaign.due(now):
+            if shard.global_indices:
+                global_slices[now] = scenario.global_campaign.measure_slice(
+                    now, shard.global_indices
+                )
+            scenario.global_campaign.mark_fired(now, count_metrics=False)
+        if scenario.isp_campaign.due(now):
+            if shard.isp_indices:
+                isp_slices[now] = scenario.isp_campaign.measure_slice(
+                    now, shard.isp_indices
+                )
+            scenario.isp_campaign.mark_fired(now, count_metrics=False)
+        if shard.owns_traffic and scenario.traffic_window.contains(now):
+            traffic[now] = engine._generate_isp_traffic_impl(
+                now, splits[MappingRegion.EU]
+            )
+
+    result: dict = {
+        "shard_id": shard.shard_id,
+        "digests": digests,
+        "global": global_slices,
+        "isp": isp_slices,
+        "traffic": traffic,
+    }
+    if shard.owns_traffic:
+        result["netflow"] = (
+            scenario.netflow.records_since(netflow_cursor),
+            scenario.netflow.total_offered_bytes - offered_before,
+        )
+        result["snmp"] = scenario.snmp.bins_since(snmp_base)
+    if final:
+        registry = _WORKER["registry"]
+        result["metrics"] = snapshot_delta(
+            registry.snapshot(WORKER_METRIC_FAMILIES), _WORKER["baseline"]
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# coordinator side
+# ----------------------------------------------------------------------
+
+
+def _require_fresh(engine) -> None:
+    scenario = engine.scenario
+    if (
+        len(scenario.global_campaign.store)
+        or len(scenario.isp_campaign.store)
+        or len(scenario.netflow)
+        or scenario.global_campaign._next_due is not None
+        or scenario.isp_campaign._next_due is not None
+    ):
+        raise RuntimeError(
+            "sharded runs must start from a fresh scenario: worker "
+            "replicas are rebuilt from the spec and cannot reproduce "
+            "state this engine already accumulated"
+        )
+
+
+def _combine_slices(shards, results, key: str, now: float) -> Optional[list]:
+    """Recombine worker probe slices into serial probe order."""
+    pairs: list = []
+    for shard, result in zip(shards, results):
+        measurements = result[key].get(now)
+        if measurements:
+            indices = (
+                shard.global_indices if key == "global" else shard.isp_indices
+            )
+            pairs.extend(zip(indices, measurements))
+    pairs.sort(key=lambda pair: pair[0])
+    return [measurement for _, measurement in pairs]
+
+
+def run_sharded(
+    engine,
+    start: float,
+    end: float,
+    progress: Optional[Callable] = None,
+    workers: int = 2,
+    chunk_ticks: int = 16,
+) -> int:
+    """Run ``engine`` from ``start`` to ``end`` over worker processes.
+
+    Entry point behind ``SimulationEngine.run(..., workers=N)``.
+    Reproduces the serial run's observable outputs exactly: identical
+    DNS/traceroute stores, Netflow log, SNMP bins, StepReport stream
+    and (merged) metric totals.  Raises :class:`ShardDivergenceError`
+    if any worker replica's state drifts from the coordinator's.
+    """
+    if end <= start:
+        raise ValueError("end must be after start")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if chunk_ticks < 1:
+        raise ValueError("chunk_ticks must be >= 1")
+    if workers == 1:
+        return engine.run(start, end, progress=progress)
+    _require_fresh(engine)
+
+    ticks: list[float] = []
+    now = start
+    while now < end:
+        ticks.append(now)
+        now += engine.step_seconds
+
+    plan = plan_shards(engine, workers)
+    spec = EngineSpec.from_engine(engine)
+    scenario = engine.scenario
+    chunks = [
+        tuple(ticks[index : index + chunk_ticks])
+        for index in range(0, len(ticks), chunk_ticks)
+    ]
+
+    # One single-worker pool per shard: shard state lives in the worker
+    # process, so every chunk of a shard must land on the same process.
+    pools = [
+        ProcessPoolExecutor(
+            max_workers=1, initializer=_init_worker, initargs=(spec, shard)
+        )
+        for shard in plan.shards
+    ]
+    final_metrics: list[dict] = []
+    try:
+        futures = [
+            pool.submit(_worker_chunk, chunks[0], len(chunks) == 1)
+            for pool in pools
+        ]
+        for chunk_index, chunk in enumerate(chunks):
+            results = [future.result() for future in futures]
+            if chunk_index + 1 < len(chunks):
+                # Pipeline: hand workers their next chunk before
+                # merging this one, so they never wait on the merge.
+                is_final = chunk_index + 2 == len(chunks)
+                futures = [
+                    pool.submit(_worker_chunk, chunks[chunk_index + 1], is_final)
+                    for pool in pools
+                ]
+            for tick_index, tick in enumerate(chunk):
+                global_measurements = (
+                    _combine_slices(plan.shards, results, "global", tick)
+                    if scenario.global_campaign.due(tick)
+                    else None
+                )
+                isp_measurements = (
+                    _combine_slices(plan.shards, results, "isp", tick)
+                    if scenario.isp_campaign.due(tick)
+                    else None
+                )
+                traffic = None
+                for result in results:
+                    if tick in result.get("traffic", {}):
+                        traffic = result["traffic"][tick]
+                        break
+                report = engine.advance_merged(
+                    tick, global_measurements, isp_measurements, traffic
+                )
+                expected = state_digest(
+                    tick, report.demand_gbps, report.operator_gbps
+                )
+                for shard, result in zip(plan.shards, results):
+                    if result["digests"][tick_index] != expected:
+                        raise ShardDivergenceError(
+                            f"shard {shard.shard_id} diverged from the "
+                            f"coordinator at t={tick}"
+                        )
+                if progress is not None:
+                    progress(report)
+            for result in results:
+                if "netflow" in result:
+                    records, offered = result["netflow"]
+                    scenario.netflow.absorb(records, offered)
+                    scenario.snmp.absorb(result["snmp"])
+                if "metrics" in result:
+                    final_metrics.append(result["metrics"])
+    finally:
+        for pool in pools:
+            pool.shutdown(wait=False, cancel_futures=True)
+    registry = engine._obs.metrics
+    for snapshot in final_metrics:
+        registry.absorb_snapshot(snapshot)
+    return len(ticks)

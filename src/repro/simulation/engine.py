@@ -18,13 +18,13 @@ Each step the engine:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Optional, Sequence
 
 from ..net.geo import MappingRegion, great_circle_km
 from ..net.ipv4 import IPv4Address
 from ..obs import get_registry, get_tracer
-from .scenario import Sep2017Scenario
+from .scenario import OVERFLOW_CLUSTER_PREFIX, Sep2017Scenario
 
 __all__ = ["SimulationEngine", "StepReport", "RunSummary"]
 
@@ -58,6 +58,13 @@ class RunSummary:
     flows: int
     peak_demand_gbps: dict = field(default_factory=dict)
     peak_operator_gbps: dict = field(default_factory=dict)
+    # Run-level aggregates (populated by from_run): distinct cache
+    # addresses the global DNS campaign saw per operator, the share of
+    # EU demand spilled off Apple's own CDN, and the share of ISP
+    # ingress bytes sourced from the Limelight overflow cluster.
+    unique_ips: dict = field(default_factory=dict)
+    offload_share: float = 0.0
+    overflow_share: float = 0.0
 
     @classmethod
     def from_reports(cls, reports: Iterable[StepReport]) -> "RunSummary":
@@ -89,6 +96,89 @@ class RunSummary:
             peak_demand_gbps=peak_demand,
             peak_operator_gbps=peak_split,
         )
+
+    @classmethod
+    def from_run(
+        cls, scenario: "Sep2017Scenario", reports: Sequence[StepReport]
+    ) -> "RunSummary":
+        """Fold reports *and* the scenario's stores into one summary.
+
+        These are the aggregates the sharded engine must reproduce
+        bit-for-bit: the unique-IP series comes out of the merged DNS
+        store, the offload share out of the EU splits, the overflow
+        share out of the merged Netflow log.
+        """
+        base = cls.from_reports(reports)
+        per_operator: dict[str, set] = {}
+        for address in scenario.global_campaign.store.unique_addresses():
+            operator = scenario.operator_of(address) or "unknown"
+            per_operator.setdefault(operator, set()).add(address)
+        unique_ips = {
+            operator: len(addresses)
+            for operator, addresses in sorted(per_operator.items())
+        }
+        apple = total = 0.0
+        for report in reports:
+            for operator, gbps in report.operator_gbps.items():
+                total += gbps
+                if operator == "Apple":
+                    apple += gbps
+        offload_share = (1.0 - apple / total) if total > 0 else 0.0
+        overflow_bytes = total_bytes = 0
+        for record in scenario.netflow.records:
+            total_bytes += record.bytes
+            if OVERFLOW_CLUSTER_PREFIX.contains(record.src):
+                overflow_bytes += record.bytes
+        overflow_share = overflow_bytes / total_bytes if total_bytes else 0.0
+        return replace(
+            base,
+            unique_ips=unique_ips,
+            offload_share=offload_share,
+            overflow_share=overflow_share,
+        )
+
+    def to_json_dict(self) -> dict:
+        """A JSON-ready dict with a byte-stable canonical form.
+
+        Enum keys become their values, float values are rounded to six
+        decimals and every mapping is key-sorted, so
+        ``json.dumps(summary.to_json_dict(), sort_keys=True)`` is
+        stable across runs and platforms — the golden-run contract.
+        """
+
+        def fkey(key) -> str:
+            return key.value if hasattr(key, "value") else str(key)
+
+        def fval(value: float) -> float:
+            return round(value, 6)
+
+        return {
+            "steps": self.steps,
+            "first_ts": None if self.first_ts is None else fval(self.first_ts),
+            "last_ts": None if self.last_ts is None else fval(self.last_ts),
+            "measurements": self.measurements,
+            "flows": self.flows,
+            "peak_demand_gbps": {
+                fkey(k): fval(v)
+                for k, v in sorted(
+                    self.peak_demand_gbps.items(), key=lambda kv: fkey(kv[0])
+                )
+            },
+            "peak_operator_gbps": {
+                fkey(k): fval(v)
+                for k, v in sorted(
+                    self.peak_operator_gbps.items(), key=lambda kv: fkey(kv[0])
+                )
+            },
+            "unique_ips": {
+                fkey(k): v
+                for k, v in sorted(
+                    self.unique_ips.items(), key=lambda kv: fkey(kv[0])
+                )
+            },
+            "offload_share": fval(self.offload_share),
+            "overflow_share": fval(self.overflow_share),
+        }
 
 
 class _EngineObserver:
@@ -267,11 +357,17 @@ class SimulationEngine:
         step_seconds: float = 900.0,
         metrics=None,
         tracer=None,
+        clock: Optional[Callable[[], float]] = None,
     ):
         if step_seconds <= 0:
             raise ValueError("step_seconds must be positive")
         self.scenario = scenario
         self.step_seconds = step_seconds
+        # Wall-clock source for step-duration telemetry; injectable so
+        # tests can feed a fake clock and sharded workers a zero clock.
+        self.clock: Callable[[], float] = (
+            clock if clock is not None else time.perf_counter
+        )
         self._isp_center = scenario.locations.get("defra").coordinates
         self._server_rank_cache: dict[tuple[str, int], list] = {}
         self._obs = _EngineObserver(
@@ -286,10 +382,22 @@ class SimulationEngine:
         start: float,
         end: float,
         progress: Optional[Callable[[StepReport], None]] = None,
+        workers: int = 1,
     ) -> int:
-        """Advance from ``start`` to ``end``; returns the step count."""
+        """Advance from ``start`` to ``end``; returns the step count.
+
+        ``workers > 1`` shards the run over that many worker processes
+        (see :mod:`repro.simulation.concurrency`); ``workers=1`` is the
+        serial loop, bit-for-bit identical to the pre-sharding engine.
+        """
         if end <= start:
             raise ValueError("end must be after start")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if workers > 1:
+            from .concurrency import run_sharded
+
+            return run_sharded(self, start, end, progress=progress, workers=workers)
         steps = 0
         now = start
         while now < end:
@@ -303,25 +411,14 @@ class SimulationEngine:
     def advance(self, now: float) -> StepReport:
         """Execute one step at simulation time ``now``."""
         obs = self._obs
-        started = time.perf_counter() if obs.enabled else 0.0
+        started = self.clock() if obs.enabled else 0.0
         failover = getattr(self.scenario, "failover", None)
         if failover is not None:
             # Replay health probes up to this step so the selection
             # policies and the operator split see current member state.
             failover.advance(now)
         with obs.tracer.span("engine.step", ts=now):
-            demand_by_region: dict[MappingRegion, float] = {}
-            operator_gbps_by_region: dict[MappingRegion, dict[str, float]] = {}
-            for region in MappingRegion:
-                demand = self.scenario.demand.demand_gbps(region, now)
-                demand_by_region[region] = demand
-                self.scenario.estate.controller.observe_demand(region, demand)
-                split = self.operator_split(region, now, demand)
-                operator_gbps_by_region[region] = split
-                for operator, gbps in split.items():
-                    deployment = self.scenario.estate.deployments.get(operator)
-                    if deployment is not None:
-                        deployment.offer_demand(now, region, gbps)
+            demand_by_region, operator_gbps_by_region = self._advance_demand(now)
 
             with obs.tracer.span("engine.measurements", ts=now):
                 measurements = self.scenario.global_campaign.maybe_run(now)
@@ -343,7 +440,98 @@ class SimulationEngine:
                 flows=flows,
             )
         obs.observe_step(
-            self, report, (time.perf_counter() - started) if obs.enabled else 0.0
+            self, report, (self.clock() - started) if obs.enabled else 0.0
+        )
+        return report
+
+    def advance_state(
+        self, now: float
+    ) -> tuple[dict[MappingRegion, float], dict[MappingRegion, dict[str, float]]]:
+        """Advance only the deterministic world state one step.
+
+        This is the replicated core of a sharded run: every worker and
+        the coordinator execute it for every tick, so all copies of the
+        failover loop, the Meta-CDN controller and the exposure
+        controllers stay bit-identical (the world state is a pure
+        function of the tick sequence).  No campaigns fire and no
+        traffic is generated.  Returns the per-region demand and the
+        per-region operator splits.
+        """
+        failover = getattr(self.scenario, "failover", None)
+        if failover is not None:
+            failover.advance(now)
+        return self._advance_demand(now)
+
+    def _advance_demand(
+        self, now: float
+    ) -> tuple[dict[MappingRegion, float], dict[MappingRegion, dict[str, float]]]:
+        """Evaluate demand, feed the controllers, offer the splits."""
+        demand_by_region: dict[MappingRegion, float] = {}
+        operator_gbps_by_region: dict[MappingRegion, dict[str, float]] = {}
+        for region in MappingRegion:
+            demand = self.scenario.demand.demand_gbps(region, now)
+            demand_by_region[region] = demand
+            self.scenario.estate.controller.observe_demand(region, demand)
+            split = self.operator_split(region, now, demand)
+            operator_gbps_by_region[region] = split
+            for operator, gbps in split.items():
+                deployment = self.scenario.estate.deployments.get(operator)
+                if deployment is not None:
+                    deployment.offer_demand(now, region, gbps)
+        return demand_by_region, operator_gbps_by_region
+
+    def advance_merged(
+        self,
+        now: float,
+        global_measurements: Optional[Sequence] = None,
+        isp_measurements: Optional[Sequence] = None,
+        traffic: Optional[tuple[int, dict]] = None,
+    ) -> StepReport:
+        """One coordinator step of a sharded run.
+
+        Mirrors :meth:`advance` exactly, except the sharded campaigns'
+        measurements arrive pre-computed from the workers (already
+        recombined into probe order) and ISP traffic — generated in the
+        shard that owns it — arrives as a ``(flows, link_used)`` pair.
+        The AWS and traceroute campaigns still run here: the AWS sweep
+        exercises the HTTP caches only the coordinator owns, and the
+        traceroute target list must see the *merged* DNS store.
+        """
+        obs = self._obs
+        started = self.clock() if obs.enabled else 0.0
+        failover = getattr(self.scenario, "failover", None)
+        if failover is not None:
+            failover.advance(now)
+        with obs.tracer.span("engine.step", ts=now):
+            demand_by_region, operator_gbps_by_region = self._advance_demand(now)
+
+            with obs.tracer.span("engine.measurements", ts=now):
+                measurements = 0
+                if global_measurements is not None:
+                    measurements += self.scenario.global_campaign.absorb_tick(
+                        now, global_measurements
+                    )
+                if isp_measurements is not None:
+                    measurements += self.scenario.isp_campaign.absorb_tick(
+                        now, isp_measurements
+                    )
+                measurements += self.scenario.aws_campaign.maybe_run(now)
+                measurements += self.scenario.traceroute_campaign.maybe_run(now)
+
+            flows = 0
+            if traffic is not None:
+                with obs.tracer.span("engine.isp_traffic", ts=now):
+                    flows, link_used = traffic
+                    self._obs.observe_links(self, now, link_used)
+            report = StepReport(
+                now=now,
+                demand_gbps=demand_by_region,
+                operator_gbps=operator_gbps_by_region[MappingRegion.EU],
+                measurements=measurements,
+                flows=flows,
+            )
+        obs.observe_step(
+            self, report, (self.clock() - started) if obs.enabled else 0.0
         )
         return report
 
@@ -371,6 +559,19 @@ class SimulationEngine:
     # ------------------------------------------------------------------
 
     def _generate_isp_traffic(self, now: float, eu_split: dict[str, float]) -> int:
+        flows, link_used = self._generate_isp_traffic_impl(now, eu_split)
+        self._obs.observe_links(self, now, link_used)
+        return flows
+
+    def _generate_isp_traffic_impl(
+        self, now: float, eu_split: dict[str, float]
+    ) -> tuple[int, dict[str, float]]:
+        """Generate one step's ISP ingress; returns (flows, link fill).
+
+        Split from the telemetry wrapper so the traffic-owning shard of
+        a parallel run can generate flows in its worker process and
+        ship the link-fill map home for the coordinator's observer.
+        """
         scenario = self.scenario
         config = scenario.config
         link_used: dict[str, float] = {}
@@ -401,8 +602,7 @@ class SimulationEngine:
             per_source = fill_bytes / len(fill_sources)
             for source in fill_sources:
                 flows += self._route_bytes(source, now, per_source, link_used)
-        self._obs.observe_links(self, now, link_used)
-        return flows
+        return flows, link_used
 
     def _deliver(
         self,

@@ -54,7 +54,8 @@ from ..workload.adoption import AdoptionModel
 from ..workload.flashcrowd import CdnBackground, UpdateDemandModel
 from ..workload.timeline import TIMELINE, MeasurementWindow, Timeline
 
-__all__ = ["ScenarioConfig", "Sep2017Scenario", "AS_HOSTER_AKAMAI", "AS_HOSTER_LIMELIGHT",
+__all__ = ["ScenarioConfig", "Sep2017Scenario", "OVERFLOW_CLUSTER_PREFIX",
+           "AS_HOSTER_AKAMAI", "AS_HOSTER_LIMELIGHT",
            "AS_TRANSIT_A", "AS_TRANSIT_B", "AS_TRANSIT_C", "AS_TRANSIT_D", "AS_ISP"]
 
 # Anonymised ASs, mirroring the paper's A-D naming.
@@ -68,6 +69,9 @@ AS_HOSTER_LIMELIGHT = ASN(64513)  # hosts "Limelight other AS" caches
 
 _ISP_CUSTOMER_PREFIX = IPv4Prefix.parse("89.0.0.0/12")
 _OVERFLOW_CLUSTER_PREFIX = IPv4Prefix.parse("208.111.160.0/19")
+# Public alias: the Limelight "overflow cluster" behind transit D
+# (Section 5.4); run summaries report its share of ISP ingress.
+OVERFLOW_CLUSTER_PREFIX = _OVERFLOW_CLUSTER_PREFIX
 
 # Metros where the third-party fleets deploy (worldwide coverage, so
 # South America and Africa — where Apple has no sites — are served).
@@ -179,6 +183,9 @@ class Sep2017Scenario:
     ) -> None:
         self.config = config if config is not None else ScenarioConfig()
         self.timeline = timeline
+        # The raw schedule (not the injector built from it) so sharded
+        # runs can rebuild bit-identical scenario replicas in workers.
+        self.fault_schedule = faults
         self.locations = LocodeDatabase.builtin()
         self.registry = ASRegistry()
 

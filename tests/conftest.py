@@ -3,6 +3,23 @@ simulation/analysis integration tests (built once per session)."""
 
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "rewrite checked-in golden snapshots (tests/simulation/golden/) "
+            "from the current run instead of comparing against them"
+        ),
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    return request.config.getoption("--update-golden")
+
 from repro.isp import TrafficClassifier
 from repro.simulation import ScenarioConfig, Sep2017Scenario, SimulationEngine
 from repro.workload import TIMELINE

@@ -1,0 +1,125 @@
+"""Property tests for the DNS wire codec.
+
+Two contracts: every message the encoder can produce decodes back to
+an equivalent message (round-trip), and the decoder never fails with
+anything but :class:`WireError` on arbitrary bytes (hardening — a
+malformed datagram must not crash the serving loop).
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.dns.wire import (  # noqa: E402
+    ClientSubnet,
+    Question,
+    RCode,
+    RecordType,
+    ResourceRecord,
+    WireError,
+    WireMessage,
+    decode_message,
+    encode_message,
+)
+from repro.net.ipv4 import IPv4Address, IPv4Prefix  # noqa: E402
+
+labels = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=12
+).filter(lambda label: not label.startswith("-") and not label.endswith("-"))
+names = st.lists(labels, min_size=1, max_size=5).map(".".join)
+addresses = st.integers(min_value=0, max_value=2**32 - 1).map(IPv4Address)
+
+
+@st.composite
+def prefixes(draw):
+    length = draw(st.integers(min_value=0, max_value=32))
+    value = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    mask = (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF if length else 0
+    return IPv4Prefix(IPv4Address(value & mask), length)
+
+
+@st.composite
+def records(draw):
+    rtype = draw(st.sampled_from([RecordType.A, RecordType.CNAME, RecordType.NS]))
+    data = draw(addresses) if rtype is RecordType.A else draw(names)
+    return ResourceRecord(
+        name=draw(names),
+        rtype=rtype,
+        ttl=draw(st.integers(min_value=0, max_value=2**31 - 1)),
+        data=data,
+    )
+
+
+@st.composite
+def messages(draw):
+    subnet = draw(st.none() | prefixes().map(lambda p: ClientSubnet(prefix=p)))
+    return WireMessage(
+        message_id=draw(st.integers(min_value=0, max_value=0xFFFF)),
+        is_response=draw(st.booleans()),
+        authoritative=draw(st.booleans()),
+        recursion_desired=draw(st.booleans()),
+        recursion_available=draw(st.booleans()),
+        rcode=draw(st.sampled_from(list(RCode))),
+        questions=tuple(
+            Question(name=draw(names)) for _ in range(draw(st.integers(0, 3)))
+        ),
+        answers=tuple(draw(st.lists(records(), min_size=0, max_size=4))),
+        client_subnet=subnet,
+    )
+
+
+def canonical(message: WireMessage):
+    """Fields in container-insensitive form (decode returns lists)."""
+    return (
+        message.message_id,
+        message.is_response,
+        message.authoritative,
+        message.recursion_desired,
+        message.recursion_available,
+        message.rcode,
+        tuple(message.questions),
+        tuple(message.answers),
+        message.client_subnet,
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(message=messages())
+def test_encode_decode_round_trip(message):
+    decoded = decode_message(encode_message(message))
+    assert canonical(decoded) == canonical(message)
+
+
+@settings(max_examples=200, deadline=None)
+@given(message=messages())
+def test_encoding_is_deterministic(message):
+    assert encode_message(message) == encode_message(message)
+
+
+@settings(max_examples=500, deadline=None)
+@given(data=st.binary(min_size=0, max_size=64))
+def test_decode_never_crashes_on_garbage(data):
+    try:
+        decode_message(data)
+    except WireError:
+        pass  # the one allowed failure mode
+
+
+@settings(max_examples=200, deadline=None)
+@given(message=messages(), flips=st.data())
+def test_decode_survives_corrupted_encodings(message, flips):
+    # Corrupting real packets probes deeper structure than pure random
+    # bytes (valid headers with broken bodies, truncated names, ...).
+    raw = bytearray(encode_message(message))
+    if not raw:
+        return
+    index = flips.draw(st.integers(0, len(raw) - 1))
+    raw[index] ^= flips.draw(st.integers(1, 255))
+    cut = flips.draw(st.integers(0, len(raw)))
+    try:
+        decode_message(bytes(raw[:cut]))
+    except WireError:
+        pass

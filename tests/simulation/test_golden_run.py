@@ -1,0 +1,79 @@
+"""Golden-run snapshot: a fixed-seed scenario must keep producing the
+exact same ``RunSummary``, byte for byte.
+
+The whole simulation is deterministic by construction (BLAKE2b-hashed
+policy decisions, seeded RNG streams, an injectable clock), so any
+drift in this snapshot is a behavior change — intended or not.  When
+the change *is* intended, regenerate the snapshot and review the diff:
+
+    PYTHONPATH=src python -m pytest tests/simulation/test_golden_run.py \
+        --update-golden
+
+and commit the updated ``tests/simulation/golden/run_summary.json``
+together with the code that changed it.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.simulation.engine import RunSummary, SimulationEngine
+from repro.simulation.scenario import ScenarioConfig, Sep2017Scenario
+from repro.workload import TIMELINE
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "run_summary.json"
+
+
+def golden_scenario():
+    """The frozen configuration behind the snapshot.
+
+    Deliberately small (seconds, not minutes) but still crossing the
+    iOS 11.0 release so the summary exercises surge demand, overflow
+    clusters, and all three operators.
+    """
+    config = ScenarioConfig(
+        global_probe_count=24,
+        isp_probe_count=12,
+        traceroute_probe_count=4,
+    )
+    return Sep2017Scenario(config)
+
+
+def run_golden(workers: int = 1) -> RunSummary:
+    scenario = golden_scenario()
+    engine = SimulationEngine(scenario, step_seconds=1800.0)
+    reports = []
+    engine.run(
+        TIMELINE.at(9, 18),
+        TIMELINE.at(9, 20),
+        progress=reports.append,
+        workers=workers,
+    )
+    return RunSummary.from_run(scenario, reports)
+
+
+def render(summary: RunSummary) -> str:
+    return json.dumps(summary.to_json_dict(), sort_keys=True, indent=2) + "\n"
+
+
+def test_golden_run_summary(update_golden):
+    text = render(run_golden())
+    if update_golden:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(text)
+        pytest.skip("golden snapshot rewritten")
+    assert GOLDEN_PATH.exists(), (
+        "missing golden snapshot; generate with --update-golden"
+    )
+    assert text == GOLDEN_PATH.read_text(), (
+        "RunSummary drifted from the golden snapshot; if intended, "
+        "regenerate with --update-golden and commit the diff"
+    )
+
+
+def test_golden_render_is_byte_stable():
+    # Two fresh runs must render to identical bytes — the snapshot
+    # comparison above is only meaningful if rendering itself is
+    # deterministic (sorted keys, rounded floats, no timestamps).
+    assert render(run_golden()) == render(run_golden())
