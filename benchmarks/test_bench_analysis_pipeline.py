@@ -1,0 +1,248 @@
+"""Analysis-pipeline throughput: columnar streaming vs the object scan.
+
+Builds a 500k-measurement DNS history once, then times the Figure 4/5
+windowed unique-IP aggregation two ways —
+
+* **seed**: the pre-columnar consumer pattern — materialize the full
+  history as a tuple of measurement objects (what ``store.dns`` used to
+  return), scan every object, then keep the bins inside the window;
+* **columnar**: :func:`windowed_unique_ip_series` on the segmented
+  store, which prunes segments by their time summaries and aggregates
+  packed address ints without reconstructing a single object;
+
+— and writes ``benchmarks/output/BENCH_analysis.json``.  Guards:
+
+* ``windowed_speedup`` (seed / columnar on the windowed query) must
+  hold the ≥5x floor on any host — the pruning does the work, so the
+  ratio is machine-portable;
+* ``full_speedup`` (seed / columnar over the full history) must stay
+  within ±30% of the committed
+  ``benchmarks/BENCH_analysis.baseline.json``.
+
+A spilled variant of the same store (budget far below the dataset)
+records that the resident footprint stays bounded while the windowed
+query still answers from segment summaries.
+
+Refresh the baseline by copying the output file over the committed one
+after an intentional perf change and reviewing the diff.
+"""
+
+import json
+import math
+import pathlib
+import tempfile
+import time
+
+import pytest
+
+from repro.analysis.unique_ips import (
+    UniqueIpPoint,
+    unique_ip_series,
+    windowed_unique_ip_series,
+)
+from repro.atlas.results import DnsMeasurement, MeasurementStore
+from repro.net.asys import ASN
+from repro.net.geo import Continent
+from repro.net.ipv4 import IPv4Address
+
+from conftest import write_json
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_analysis.baseline.json"
+RATIO_TOLERANCE = 0.30
+WINDOWED_FLOOR = 5.0
+
+ROWS = 500_000
+STEP_SECONDS = 5.0
+BIN_SECONDS = 7200.0
+# Window = the last ~10% of the run, aligned to bin edges so the seed
+# path's bin filter selects exactly the same measurements.
+WINDOW_START = math.floor(ROWS * STEP_SECONDS * 0.9 / BIN_SECONDS) * BIN_SECONDS
+WINDOW_END = math.ceil(ROWS * STEP_SECONDS / BIN_SECONDS) * BIN_SECONDS
+
+_CATEGORIES = ("Apple", "Akamai", "Akamai other AS",
+               "Limelight", "Limelight other AS", "other")
+
+
+def categorize(address: IPv4Address) -> str:
+    return _CATEGORIES[address.octets[1] % len(_CATEGORIES)]
+
+
+def build_measurements(rows: int = ROWS):
+    """A deterministic synthetic history shaped like a real campaign.
+
+    Address objects come from a fixed pool (campaigns re-observe the
+    same caches), so the object list stays a few hundred MB below what
+    distinct per-row allocations would cost.
+    """
+    continents = tuple(Continent)
+    pool = [
+        IPv4Address.parse(f"17.{(i >> 8) % 240}.{i % 256}.{1 + i % 250}")
+        for i in range(4096)
+    ]
+    chain = ("appldnld.apple.com", "dl.apple.com")
+    asns = tuple(ASN(64500 + i) for i in range(16))
+    out = []
+    for index in range(rows):
+        first = pool[(index * 7) % len(pool)]
+        addresses = (first,) if index % 3 else (first, pool[(index * 13 + 5) % len(pool)])
+        out.append(
+            DnsMeasurement(
+                probe_id=index % 800,
+                timestamp=index * STEP_SECONDS,
+                target="appldnld.apple.com",
+                probe_asn=asns[index % len(asns)],
+                continent=continents[index % len(continents)],
+                country="de",
+                rcode="NOERROR",
+                chain=chain,
+                addresses=addresses,
+            )
+        )
+    return out
+
+
+def seed_unique_ip_series(measurements, bin_seconds=BIN_SECONDS):
+    """The pre-columnar object-scan aggregation, verbatim."""
+    bins = {}
+    for measurement in measurements:
+        bin_start = math.floor(measurement.timestamp / bin_seconds) * bin_seconds
+        per_category = bins.setdefault(bin_start, {})
+        for address in measurement.addresses:
+            per_category.setdefault(categorize(address), set()).add(address)
+    return [
+        UniqueIpPoint(
+            bin_start=bin_start,
+            counts={
+                category: len(addresses)
+                for category, addresses in sorted(per_category.items())
+            },
+        )
+        for bin_start, per_category in sorted(bins.items())
+    ]
+
+
+def timed(fn, repeats: int = 2):
+    """(best wall seconds, last result) over ``repeats`` runs."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+@pytest.fixture(scope="module")
+def analysis_bench():
+    measurements = build_measurements()
+    store = MeasurementStore(segment_rows=8192, name="bench-analysis")
+    for measurement in measurements:
+        store.add_dns(measurement)
+
+    def seed_windowed():
+        # Exactly what pre-columnar consumers did: copy the history out
+        # of the store as objects, scan all of it, window afterwards.
+        history = tuple(measurements)
+        series = seed_unique_ip_series(history)
+        return [
+            point for point in series
+            if WINDOW_START <= point.bin_start < WINDOW_END
+        ]
+
+    seed_windowed_s, seed_points = timed(seed_windowed)
+    columnar_windowed_s, columnar_points = timed(
+        lambda: windowed_unique_ip_series(
+            store, categorize, BIN_SECONDS,
+            start=WINDOW_START, end=WINDOW_END,
+        )
+    )
+    assert columnar_points == seed_points, (
+        "columnar windowed aggregation diverged from the object scan"
+    )
+
+    seed_full_s, seed_full = timed(
+        lambda: seed_unique_ip_series(tuple(measurements))
+    )
+    columnar_full_s, columnar_full = timed(
+        lambda: unique_ip_series(store, categorize, BIN_SECONDS)
+    )
+    assert columnar_full == seed_full
+
+    # The same history under a budget far below its column bytes: the
+    # resident footprint must stay bounded with the history on disk.
+    budget = store.resident_bytes // 8
+    with tempfile.TemporaryDirectory(prefix="bench-analysis-spill-") as spill:
+        spilled = MeasurementStore(
+            segment_rows=8192,
+            memory_budget_bytes=budget,
+            spill_dir=spill,
+            name="bench-analysis-spill",
+        )
+        for measurement in measurements:
+            spilled.add_dns(measurement)
+        spilled_windowed_s, spilled_points = timed(
+            lambda: windowed_unique_ip_series(
+                spilled, categorize, BIN_SECONDS,
+                start=WINDOW_START, end=WINDOW_END,
+            )
+        )
+        assert spilled_points == seed_points
+        spill_stats = {
+            "budget_bytes": budget,
+            "sealed_resident_bytes": spilled._sealed_resident_bytes,
+            "resident_bytes": spilled.resident_bytes,
+            "segments": spilled.segment_count,
+            "spilled_segments": spilled.spilled_segment_count,
+            "windowed_query_seconds": round(spilled_windowed_s, 4),
+        }
+        budget_held = spilled._sealed_resident_bytes <= budget
+        spill_exercised = spilled.spilled_segment_count > 0
+
+    results = {
+        "rows": ROWS,
+        "window_rows": int((WINDOW_END - WINDOW_START) / STEP_SECONDS),
+        "bin_seconds": BIN_SECONDS,
+        "seed_windowed_seconds": round(seed_windowed_s, 4),
+        "columnar_windowed_seconds": round(columnar_windowed_s, 4),
+        "windowed_speedup": round(seed_windowed_s / columnar_windowed_s, 2),
+        "seed_full_seconds": round(seed_full_s, 4),
+        "columnar_full_seconds": round(columnar_full_s, 4),
+        "full_speedup": round(seed_full_s / columnar_full_s, 3),
+        "spill": spill_stats,
+        "spill_budget_held": budget_held,
+        "spill_exercised": spill_exercised,
+    }
+    write_json("BENCH_analysis.json", results)
+    return results
+
+
+def test_analysis_throughput_recorded(analysis_bench):
+    assert analysis_bench["rows"] == ROWS
+    assert analysis_bench["columnar_windowed_seconds"] > 0
+    assert analysis_bench["seed_windowed_seconds"] > 0
+
+
+def test_windowed_speedup_floor(analysis_bench):
+    assert analysis_bench["windowed_speedup"] >= WINDOWED_FLOOR, (
+        f"windowed unique-IP query sped up only "
+        f"{analysis_bench['windowed_speedup']}x over the object scan; "
+        f"the columnar floor is {WINDOWED_FLOOR}x"
+    )
+
+
+def test_full_speedup_within_baseline(analysis_bench):
+    baseline = json.loads(BASELINE_PATH.read_text())
+    expected = baseline["full_speedup"]
+    ratio = analysis_bench["full_speedup"] / expected
+    assert (1 - RATIO_TOLERANCE) <= ratio <= (1 + RATIO_TOLERANCE), (
+        f"full-history speedup {analysis_bench['full_speedup']} drifted "
+        f"more than ±{RATIO_TOLERANCE:.0%} from baseline {expected}; if "
+        f"intended, refresh benchmarks/BENCH_analysis.baseline.json from "
+        f"benchmarks/output/BENCH_analysis.json"
+    )
+
+
+def test_spill_budget_bounded(analysis_bench):
+    assert analysis_bench["spill_exercised"], "spill path was not exercised"
+    assert analysis_bench["spill_budget_held"], (
+        "sealed resident bytes exceeded the configured budget"
+    )

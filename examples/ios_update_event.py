@@ -38,13 +38,15 @@ def main() -> None:
     print("Simulating Sep 15 - Sep 23, 2017 (release Sep 19, 17h UTC)...")
     steps = engine.run(TIMELINE.at(9, 15), TIMELINE.at(9, 23))
     print(f"    {steps} steps, "
-          f"{len(scenario.global_campaign.store.dns)} global DNS measurements, "
+          f"{scenario.global_campaign.store.dns_count} global DNS measurements, "
           f"{len(scenario.netflow.records)} flow records\n")
 
     # Figure 4 (Europe facet): unique cache IPs around the release.
+    # Passing the store itself streams the aggregation over its
+    # columnar segments instead of reconstructing every record.
     categorizer = CdnCategorizer(scenario.estate.deployments)
     series = unique_ip_series(
-        scenario.global_campaign.store.dns,
+        scenario.global_campaign.store,
         categorizer.category,
         bin_seconds=7200.0,
         continent=Continent.EUROPE,

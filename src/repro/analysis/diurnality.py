@@ -29,6 +29,8 @@ def day_flatness(
     :func:`~repro.analysis.offload.operator_series`).  Returns ``None``
     when the day has fewer than three populated bins.
     """
+    if day_seconds <= 0:
+        raise ValueError("day_seconds must be positive")
     values = [
         volume
         for bin_start, volume in series.items()

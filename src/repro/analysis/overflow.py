@@ -53,6 +53,10 @@ def overflow_share_series(
     result = []
     for bin_start, per_as in sorted(bins.items()):
         total = sum(per_as.values())
+        if total <= 0:
+            # Zero-byte flows can put an empty-volume bin in the map;
+            # normalising it would divide by zero.
+            continue
         shares = {asn: volume / total for asn, volume in per_as.items()}
         result.append((bin_start, shares))
     return result

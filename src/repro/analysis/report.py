@@ -20,7 +20,7 @@ from .offload import summarize_offload
 from .overflow import summarize_overflow
 from .paths import geolocate_caches, geolocation_errors_km, summarize_paths
 from .sites import discover_sites
-from .unique_ips import peak_vs_baseline, unique_ip_series
+from .unique_ips import peak_vs_baseline, series_by_continent, unique_ip_series
 
 __all__ = ["generate_report"]
 
@@ -81,12 +81,14 @@ def generate_report(scenario, timeline: Optional[Timeline] = None) -> str:
     # --- Figure 4: global unique IPs --------------------------------------
     lines += _section("Figure 4 — unique cache IPs (worldwide probes)")
     categorizer = CdnCategorizer(scenario.estate.deployments)
-    global_dns = scenario.global_campaign.store.dns
-    if global_dns:
+    global_store = scenario.global_campaign.store
+    if global_store.dns_count:
+        # One streaming pass over the columnar store builds every
+        # continent facet (the old code rescanned a full history copy
+        # once per continent).
+        facets = series_by_continent(global_store, categorizer.category, 7200.0)
         for continent in Continent:
-            series = unique_ip_series(
-                global_dns, categorizer.category, 7200.0, continent=continent
-            )
+            series = facets[continent]
             if not series:
                 continue
             peak, baseline = peak_vs_baseline(series, release)
@@ -100,9 +102,9 @@ def generate_report(scenario, timeline: Optional[Timeline] = None) -> str:
 
     # --- Figure 5: ISP unique IPs -----------------------------------------
     lines += _section("Figure 5 — unique cache IPs (eyeball-ISP probes)")
-    isp_dns = scenario.isp_campaign.store.dns
-    if isp_dns:
-        series = unique_ip_series(isp_dns, categorizer.category, 43200.0)
+    isp_store = scenario.isp_campaign.store
+    if isp_store.dns_count:
+        series = unique_ip_series(isp_store, categorizer.category, 43200.0)
         for point in series:
             counts = ", ".join(
                 f"{name}={count}" for name, count in sorted(point.counts.items())

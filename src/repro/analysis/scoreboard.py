@@ -121,12 +121,14 @@ def evaluate_scoreboard(
         )
     add("fig8-asd-saturated-links", len(saturated))
 
-    # Figure 4 (needs the global campaign).
-    measurements = scenario.global_campaign.store.dns
-    if measurements:
+    # Figure 4 (needs the global campaign).  The store goes straight to
+    # unique_ip_series so the aggregation streams over columnar
+    # segments instead of reconstructing every record.
+    global_store = scenario.global_campaign.store
+    if global_store.dns_count:
         categorizer = CdnCategorizer(scenario.estate.deployments)
         europe = unique_ip_series(
-            measurements, categorizer.category, 7200.0, continent=Continent.EUROPE
+            global_store, categorizer.category, 7200.0, continent=Continent.EUROPE
         )
         peak, baseline = peak_vs_baseline(europe, release)
         add(

@@ -15,6 +15,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional
 
+from ..atlas.columnar import CONTINENT_INDEX, CONTINENTS
 from ..atlas.results import DnsMeasurement
 from ..net.geo import Continent
 from ..net.ipv4 import IPv4Address
@@ -23,6 +24,7 @@ from .categories import CATEGORY_ORDER
 __all__ = [
     "UniqueIpPoint",
     "unique_ip_series",
+    "windowed_unique_ip_series",
     "series_by_continent",
     "peak_vs_baseline",
     "count_change_ratio",
@@ -46,28 +48,8 @@ class UniqueIpPoint:
         return self.counts.get(category, 0)
 
 
-def unique_ip_series(
-    measurements: Iterable[DnsMeasurement],
-    categorize: Callable[[IPv4Address], str],
-    bin_seconds: float = 7200.0,
-    continent: Optional[Continent] = None,
-) -> list[UniqueIpPoint]:
-    """Unique cache IPs per category per time bin.
-
-    ``continent`` filters by probe continent (the Figure 4 facets);
-    ``None`` aggregates worldwide (the Figure 5 single panel uses the
-    ISP campaign store instead, no filter needed).
-    """
-    if bin_seconds <= 0:
-        raise ValueError("bin_seconds must be positive")
-    bins: dict[float, dict[str, set[IPv4Address]]] = {}
-    for measurement in measurements:
-        if continent is not None and measurement.continent is not continent:
-            continue
-        bin_start = math.floor(measurement.timestamp / bin_seconds) * bin_seconds
-        per_category = bins.setdefault(bin_start, {})
-        for address in measurement.addresses:
-            per_category.setdefault(categorize(address), set()).add(address)
+def _points(bins: dict) -> list[UniqueIpPoint]:
+    """Materialize the bin accumulator as a sorted point series."""
     return [
         UniqueIpPoint(
             bin_start=bin_start,
@@ -80,12 +62,143 @@ def unique_ip_series(
     ]
 
 
+def _accumulate_store(
+    store,
+    categorize: Callable[[IPv4Address], str],
+    bin_seconds: float,
+    continent: Optional[Continent],
+    start: Optional[float],
+    end: Optional[float],
+    cat_of: Optional[dict] = None,
+) -> dict:
+    """One streaming pass over a store's columnar segments.
+
+    Works on packed address ints (category per int memoized in
+    ``cat_of``) and never reconstructs a measurement object; segments
+    wholly outside ``[start, end)`` are pruned by their summaries.
+    Matches the object path exactly, including its subtlety that a
+    matching measurement creates its time bin even when the answer
+    carried no addresses.
+    """
+    wanted = None if continent is None else CONTINENT_INDEX[continent]
+    if cat_of is None:
+        cat_of = {}
+    bins: dict = {}
+    for columns, lo, hi in store.dns_segments(start, end):
+        times = columns.times
+        continents = columns.continents
+        offsets = columns.addr_offsets
+        values = columns.addr_values
+        for row in range(lo, hi):
+            if wanted is not None and continents[row] != wanted:
+                continue
+            bin_start = math.floor(times[row] / bin_seconds) * bin_seconds
+            per_category = bins.setdefault(bin_start, {})
+            for position in range(offsets[row], offsets[row + 1]):
+                value = values[position]
+                category = cat_of.get(value)
+                if category is None:
+                    category = categorize(IPv4Address(value))
+                    cat_of[value] = category
+                per_category.setdefault(category, set()).add(value)
+    return bins
+
+
+def unique_ip_series(
+    measurements,
+    categorize: Callable[[IPv4Address], str],
+    bin_seconds: float = 7200.0,
+    continent: Optional[Continent] = None,
+) -> list[UniqueIpPoint]:
+    """Unique cache IPs per category per time bin.
+
+    ``continent`` filters by probe continent (the Figure 4 facets);
+    ``None`` aggregates worldwide (the Figure 5 single panel uses the
+    ISP campaign store instead, no filter needed).
+
+    ``measurements`` may be any iterable of :class:`DnsMeasurement`
+    or a :class:`~repro.atlas.results.MeasurementStore`; a store is
+    aggregated columnar-segment-wise without reconstructing records.
+    """
+    if bin_seconds <= 0:
+        raise ValueError("bin_seconds must be positive")
+    if hasattr(measurements, "dns_segments"):
+        return _points(
+            _accumulate_store(
+                measurements, categorize, bin_seconds, continent, None, None
+            )
+        )
+    bins: dict[float, dict[str, set[IPv4Address]]] = {}
+    for measurement in measurements:
+        if continent is not None and measurement.continent is not continent:
+            continue
+        bin_start = math.floor(measurement.timestamp / bin_seconds) * bin_seconds
+        per_category = bins.setdefault(bin_start, {})
+        for address in measurement.addresses:
+            per_category.setdefault(categorize(address), set()).add(address)
+    return _points(bins)
+
+
+def windowed_unique_ip_series(
+    store,
+    categorize: Callable[[IPv4Address], str],
+    bin_seconds: float = 7200.0,
+    start: Optional[float] = None,
+    end: Optional[float] = None,
+    continent: Optional[Continent] = None,
+) -> list[UniqueIpPoint]:
+    """Unique-IP series restricted to ``start <= t < end``.
+
+    The windowed form of :func:`unique_ip_series` for stores: segment
+    summaries prune everything outside the window before any column is
+    decoded (or read back from a spill file), so the cost scales with
+    the window, not the run length.
+    """
+    if bin_seconds <= 0:
+        raise ValueError("bin_seconds must be positive")
+    return _points(
+        _accumulate_store(store, categorize, bin_seconds, continent, start, end)
+    )
+
+
 def series_by_continent(
-    measurements: Iterable[DnsMeasurement],
+    measurements,
     categorize: Callable[[IPv4Address], str],
     bin_seconds: float = 7200.0,
 ) -> dict[Continent, list[UniqueIpPoint]]:
     """The full Figure 4: one unique-IP series per continent facet."""
+    if bin_seconds <= 0:
+        raise ValueError("bin_seconds must be positive")
+    if hasattr(measurements, "dns_segments"):
+        # Single streaming pass building every facet at once (the
+        # per-continent scans of the object path re-read the history
+        # len(Continent) times); the category memo is shared.
+        per_continent: dict[int, dict] = {
+            index: {} for index in range(len(CONTINENTS))
+        }
+        cat_of: dict = {}
+        for columns, lo, hi in measurements.dns_segments():
+            times = columns.times
+            continents = columns.continents
+            offsets = columns.addr_offsets
+            values = columns.addr_values
+            for row in range(lo, hi):
+                bins = per_continent[continents[row]]
+                bin_start = (
+                    math.floor(times[row] / bin_seconds) * bin_seconds
+                )
+                per_category = bins.setdefault(bin_start, {})
+                for position in range(offsets[row], offsets[row + 1]):
+                    value = values[position]
+                    category = cat_of.get(value)
+                    if category is None:
+                        category = categorize(IPv4Address(value))
+                        cat_of[value] = category
+                    per_category.setdefault(category, set()).add(value)
+        return {
+            continent: _points(per_continent[CONTINENT_INDEX[continent]])
+            for continent in Continent
+        }
     materialized = list(measurements)
     return {
         continent: unique_ip_series(

@@ -10,6 +10,7 @@ from .awsvm import (
     build_aws_vantages,
 )
 from .campaign import DnsCampaign, TracerouteCampaign
+from .columnar import DnsColumns, DnsRowRef, DnsSegment
 from .placement import (
     ATLAS_CONTINENT_WEIGHTS,
     place_global_probes,
@@ -37,6 +38,9 @@ __all__ = [
     "ATLAS_CONTINENT_WEIGHTS",
     "DnsCampaign",
     "TracerouteCampaign",
+    "DnsColumns",
+    "DnsRowRef",
+    "DnsSegment",
     "DnsMeasurement",
     "TracerouteHop",
     "TracerouteMeasurement",

@@ -19,6 +19,7 @@ from typing import Callable, List, Optional, Sequence
 from ..dns.resolver import ServerMap, resolve_bulk
 from ..obs import get_registry
 from ..workload.timeline import MeasurementWindow
+from .columnar import DnsRowRef
 from .probe import AtlasProbe
 from .results import DnsMeasurement, MeasurementStore
 
@@ -142,16 +143,23 @@ class DnsCampaign:
                 self._m_missed.inc(slots - 1)
         return None
 
-    def absorb_tick(self, now: float, measurements: Sequence[DnsMeasurement]) -> int:
+    def absorb_tick(self, now: float, measurements: Sequence) -> int:
         """Record one tick's worth of externally measured results.
 
         The coordinator of a sharded run merges the workers' slices —
         already recombined into probe order — through this, producing
         the same store contents and grid state as a serial
-        :meth:`maybe_run` at ``now``.
+        :meth:`maybe_run` at ``now``.  Items are either
+        :class:`DnsMeasurement` objects or columnar
+        :class:`~repro.atlas.columnar.DnsRowRef` handles (the sealed
+        batches workers ship home), which land in the store without
+        object reconstruction.
         """
-        for measurement in measurements:
-            self.store.add_dns(measurement)
+        for item in measurements:
+            if isinstance(item, DnsRowRef):
+                self.store.add_dns_row(item.columns, item.row)
+            else:
+                self.store.add_dns(item)
         self.mark_fired(now)
         return len(self.probes)
 

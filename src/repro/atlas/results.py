@@ -5,19 +5,39 @@ delivers, per probe and tick, the DNS answer seen by the probe's local
 resolver.  The reproduction's records carry the same analytical payload:
 who measured (probe, AS, continent), when, what the CNAME chain was and
 which addresses came back.
+
+:class:`MeasurementStore` keeps DNS history in columnar segments (see
+:mod:`repro.atlas.columnar`): appends go into an open typed-column
+block that is sealed into an immutable :class:`~repro.atlas.columnar.
+DnsSegment` every ``segment_rows`` rows, and sealed segments spill to a
+compact binary file under a run directory once the in-memory budget is
+exceeded.  Per-segment min/max-time summaries let windowed queries
+prune whole segments; ``store.dns`` stays available as a zero-copy
+sequence view that reconstructs records on demand.
 """
 
 from __future__ import annotations
 
 import bisect
+import tempfile
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Sequence, Tuple, Union
 
 from ..net.asys import ASN
 from ..net.geo import Continent
 from ..net.ipv4 import IPv4Address
+from ..obs import get_registry
+from .columnar import DnsColumns, DnsSegment
 
-__all__ = ["DnsMeasurement", "TracerouteHop", "TracerouteMeasurement", "MeasurementStore"]
+__all__ = [
+    "DnsMeasurement",
+    "TracerouteHop",
+    "TracerouteMeasurement",
+    "MeasurementStore",
+    "DnsSequenceView",
+    "ListView",
+]
 
 
 @dataclass(frozen=True)
@@ -79,58 +99,392 @@ class TracerouteMeasurement:
         return tuple(path)
 
 
-class MeasurementStore:
-    """An append-only, time-ordered store of measurement records."""
+class _SequenceViewMixin:
+    """Element-wise equality and representation shared by the views."""
 
-    def __init__(self) -> None:
-        self._dns: list[DnsMeasurement] = []
-        self._dns_times: list[float] = []
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, (Sequence, _SequenceViewMixin)):
+            return NotImplemented
+        if len(self) != len(other):  # type: ignore[arg-type]
+            return False
+        return all(a == b for a, b in zip(iter(self), iter(other)))  # type: ignore[call-overload]
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    __hash__ = None  # views are mutable windows onto a growing store
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} of {len(self)} records>"  # type: ignore[arg-type]
+
+
+class DnsSequenceView(_SequenceViewMixin, Sequence):
+    """A zero-copy, read-only sequence view over a store's DNS history.
+
+    Unlike the old ``tuple(self._dns)`` property this never copies the
+    history; records are reconstructed from the columnar segments on
+    demand.  Iteration decodes segment by segment (one disk read per
+    spilled segment), so full scans stay O(n) even when most of the
+    history lives on disk.
+    """
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: "MeasurementStore") -> None:
+        self._store = store
+
+    def __len__(self) -> int:
+        return self._store.dns_count
+
+    def __iter__(self) -> Iterator[DnsMeasurement]:
+        return self._store.iter_dns()
+
+    def __getitem__(
+        self, index: Union[int, slice]
+    ) -> Union[DnsMeasurement, list]:
+        count = self._store.dns_count
+        if isinstance(index, slice):
+            return [self._store._dns_at(i) for i in range(*index.indices(count))]
+        if index < 0:
+            index += count
+        if not 0 <= index < count:
+            raise IndexError("DNS measurement index out of range")
+        return self._store._dns_at(index)
+
+
+class ListView(_SequenceViewMixin, Sequence):
+    """A zero-copy, read-only view over an internal list."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: list) -> None:
+        self._items = items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._items)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return self._items[index]
+        return self._items[index]
+
+
+class MeasurementStore:
+    """An append-only, time-ordered store of measurement records.
+
+    DNS history is columnar and segmented: ``segment_rows`` rows per
+    sealed segment, with sealed segments spilling to ``spill_dir`` (a
+    temporary run directory if none is given) once their resident bytes
+    exceed ``memory_budget_bytes``.  ``name`` labels the store's
+    telemetry series and spill files.
+    """
+
+    #: How many spilled segments' columns are kept decoded at once.
+    LOAD_CACHE_SEGMENTS = 2
+
+    def __init__(
+        self,
+        segment_rows: int = 8192,
+        memory_budget_bytes: Optional[int] = None,
+        spill_dir: Optional[Union[str, Path]] = None,
+        name: str = "store",
+    ) -> None:
+        if segment_rows < 1:
+            raise ValueError("segment_rows must be >= 1")
+        if memory_budget_bytes is not None and memory_budget_bytes < 0:
+            raise ValueError("memory_budget_bytes must be >= 0")
+        self.name = name
+        self._segment_rows = segment_rows
+        self._memory_budget_bytes = memory_budget_bytes
+        self._spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
+        self._segments: list[DnsSegment] = []
+        self._segment_starts: list[int] = []
+        self._open = DnsColumns()
+        self._dns_count = 0
+        self._last_time: Optional[float] = None
+        self._sealed_resident_bytes = 0
+        self._spill_cursor = 0
+        self._load_cache: dict[int, DnsColumns] = {}
         self._traceroutes: list[TracerouteMeasurement] = []
-        self._unique_addresses: set[IPv4Address] = set()
+        self._unique_values: set[int] = set()
+        self._unique_frozen: Optional[frozenset] = None
+        self._dns_view = DnsSequenceView(self)
+        self._traceroute_view = ListView(self._traceroutes)
+        registry = get_registry()
+        labels = (self.name,)
+        self._m_sealed = registry.counter(
+            "store_segments_sealed_total",
+            "Columnar segments sealed, by store",
+            ("store",),
+        ).labels(*labels)
+        self._m_spilled = registry.counter(
+            "store_segments_spilled_total",
+            "Sealed segments spilled to disk, by store",
+            ("store",),
+        ).labels(*labels)
+        self._m_spilled_bytes = registry.counter(
+            "store_spilled_bytes_total",
+            "Column bytes written to spill files, by store",
+            ("store",),
+        ).labels(*labels)
+        self._m_reloads = registry.counter(
+            "store_segment_reloads_total",
+            "Spilled segments decoded back from disk, by store",
+            ("store",),
+        ).labels(*labels)
+        self._m_resident = registry.gauge(
+            "store_resident_bytes",
+            "Resident column bytes (sealed + open), by store",
+            ("store",),
+        ).labels(*labels)
+
+    # ----- append paths -------------------------------------------------
 
     def add_dns(self, measurement: DnsMeasurement) -> None:
         """Record a DNS measurement (must be appended in time order)."""
-        if self._dns_times and measurement.timestamp < self._dns_times[-1]:
+        timestamp = measurement.timestamp
+        if self._last_time is not None and timestamp < self._last_time:
             raise ValueError("measurements must be appended in time order")
-        self._dns.append(measurement)
-        self._dns_times.append(measurement.timestamp)
-        self._unique_addresses.update(measurement.addresses)
+        self._open.append(measurement)
+        self._last_time = timestamp
+        self._dns_count += 1
+        if measurement.addresses:
+            before = len(self._unique_values)
+            for address in measurement.addresses:
+                self._unique_values.add(address.value)
+            if len(self._unique_values) != before:
+                self._unique_frozen = None
+        if len(self._open) >= self._segment_rows:
+            self._seal_open()
+
+    def add_dns_row(self, columns: DnsColumns, row: int) -> None:
+        """Record one columnar row directly (no object reconstruction).
+
+        The sharded coordinator absorbs worker measurement slices
+        through this: rows travel between processes as typed columns
+        and land in the store column-to-column.
+        """
+        timestamp = columns.times[row]
+        if self._last_time is not None and timestamp < self._last_time:
+            raise ValueError("measurements must be appended in time order")
+        self._open.append_row_from(columns, row)
+        self._last_time = timestamp
+        self._dns_count += 1
+        before = len(self._unique_values)
+        for position in range(columns.addr_offsets[row], columns.addr_offsets[row + 1]):
+            self._unique_values.add(columns.addr_values[position])
+        if len(self._unique_values) != before:
+            self._unique_frozen = None
+        if len(self._open) >= self._segment_rows:
+            self._seal_open()
 
     def add_traceroute(self, measurement: TracerouteMeasurement) -> None:
-        """Record a traceroute measurement."""
+        """Record a traceroute measurement (must be appended in time order).
+
+        The same monotonicity rule as :meth:`add_dns` (equal timestamps
+        are fine — a sweep fires many traceroutes at one tick), so
+        windowed traceroute queries can rely on time order.
+        """
+        if (
+            self._traceroutes
+            and measurement.timestamp < self._traceroutes[-1].timestamp
+        ):
+            raise ValueError("traceroutes must be appended in time order")
         self._traceroutes.append(measurement)
 
-    @property
-    def dns(self) -> tuple[DnsMeasurement, ...]:
-        """All DNS measurements, oldest first."""
-        return tuple(self._dns)
+    # ----- segment management -------------------------------------------
+
+    def _seal_open(self) -> None:
+        segment = DnsSegment(
+            self._open,
+            segment_id=len(self._segments),
+            start_row=self._dns_count - len(self._open),
+        )
+        self._segments.append(segment)
+        self._segment_starts.append(segment.start_row)
+        self._open = DnsColumns()
+        self._sealed_resident_bytes += segment.nbytes
+        self._m_sealed.inc()
+        self._enforce_budget()
+        self._m_resident.set(self.resident_bytes)
+
+    def _enforce_budget(self) -> None:
+        if self._memory_budget_bytes is None:
+            return
+        while (
+            self._sealed_resident_bytes > self._memory_budget_bytes
+            and self._spill_cursor < len(self._segments)
+        ):
+            segment = self._segments[self._spill_cursor]
+            self._spill_cursor += 1
+            if not segment.resident:
+                continue
+            freed = segment.spill(self._segment_path(segment))
+            self._sealed_resident_bytes -= freed
+            self._m_spilled.inc()
+            self._m_spilled_bytes.inc(freed)
+
+    def _segment_path(self, segment: DnsSegment) -> Path:
+        if self._spill_dir is None:
+            if self._tmpdir is None:
+                self._tmpdir = tempfile.TemporaryDirectory(
+                    prefix=f"repro-store-{self.name}-"
+                )
+            self._spill_dir = Path(self._tmpdir.name)
+        self._spill_dir.mkdir(parents=True, exist_ok=True)
+        return self._spill_dir / f"{self.name}-{segment.segment_id:06d}.seg"
+
+    def _columns_of(self, segment: DnsSegment) -> DnsColumns:
+        if segment.resident:
+            return segment.load()
+        cached = self._load_cache.get(segment.segment_id)
+        if cached is not None:
+            return cached
+        columns = segment.load()
+        self._m_reloads.inc()
+        self._load_cache[segment.segment_id] = columns
+        while len(self._load_cache) > self.LOAD_CACHE_SEGMENTS:
+            self._load_cache.pop(next(iter(self._load_cache)))
+        return columns
+
+    def dns_segments(
+        self, start: Optional[float] = None, end: Optional[float] = None
+    ) -> Iterator[Tuple[DnsColumns, int, int]]:
+        """Stream ``(columns, lo, hi)`` scan ranges for a time window.
+
+        Segments wholly outside ``start <= t < end`` are pruned via
+        their resident summaries without touching their columns (or the
+        disk, for spilled segments); boundary segments are narrowed by
+        bisection on the timestamp column.  This is the primitive the
+        windowed analysis aggregations stream over.
+        """
+        blocks: list = list(self._segments)
+        if len(self._open):
+            blocks.append(None)  # sentinel for the open block
+        for block in blocks:
+            if block is None:
+                columns = self._open
+                min_time, max_time = columns.times[0], columns.times[-1]
+            else:
+                if not block.rows:
+                    continue
+                min_time, max_time = block.min_time, block.max_time
+                columns = None
+            if start is not None and max_time < start:
+                continue
+            if end is not None and min_time >= end:
+                break  # segments are time-ordered: nothing later matches
+            if columns is None:
+                columns = self._columns_of(block)
+            rows = len(columns)
+            lo = 0
+            if start is not None and min_time < start:
+                lo = bisect.bisect_left(columns.times, start)
+            hi = rows
+            if end is not None and max_time >= end:
+                hi = bisect.bisect_left(columns.times, end)
+            if lo < hi:
+                yield columns, lo, hi
+
+    def iter_dns(self) -> Iterator[DnsMeasurement]:
+        """All DNS measurements, oldest first, decoded segment-wise."""
+        for columns, lo, hi in self.dns_segments():
+            for measurement in columns.iter_measurements(lo, hi):
+                yield measurement
+
+    def _dns_at(self, index: int) -> DnsMeasurement:
+        """Random access for the sequence view (index already validated)."""
+        open_start = self._dns_count - len(self._open)
+        if index >= open_start:
+            return self._open.measurement(index - open_start)
+        position = bisect.bisect_right(self._segment_starts, index) - 1
+        segment = self._segments[position]
+        return self._columns_of(segment).measurement(index - segment.start_row)
+
+    # ----- read API -----------------------------------------------------
 
     @property
-    def traceroutes(self) -> tuple[TracerouteMeasurement, ...]:
-        """All traceroute measurements."""
-        return tuple(self._traceroutes)
+    def dns(self) -> DnsSequenceView:
+        """All DNS measurements, oldest first (zero-copy view)."""
+        return self._dns_view
+
+    @property
+    def traceroutes(self) -> ListView:
+        """All traceroute measurements (zero-copy view)."""
+        return self._traceroute_view
+
+    @property
+    def dns_count(self) -> int:
+        """Number of DNS measurements recorded."""
+        return self._dns_count
+
+    @property
+    def traceroute_count(self) -> int:
+        """Number of traceroute measurements recorded."""
+        return len(self._traceroutes)
+
+    @property
+    def segment_count(self) -> int:
+        """Sealed segments so far (excluding the open block)."""
+        return len(self._segments)
+
+    @property
+    def spilled_segment_count(self) -> int:
+        """Sealed segments currently spilled to disk."""
+        return sum(1 for segment in self._segments if not segment.resident)
+
+    @property
+    def resident_bytes(self) -> int:
+        """Resident column bytes: sealed-resident plus the open block.
+
+        The transient decode cache (at most ``LOAD_CACHE_SEGMENTS``
+        segments during queries over spilled history) is extra.
+        """
+        return self._sealed_resident_bytes + self._open.nbytes
+
+    @property
+    def spill_dir(self) -> Optional[Path]:
+        """Where spilled segments live (``None`` until the first spill
+        when no directory was configured)."""
+        return self._spill_dir
 
     def dns_between(self, start: float, end: float) -> Iterator[DnsMeasurement]:
         """DNS measurements with ``start <= timestamp < end``."""
-        lo = bisect.bisect_left(self._dns_times, start)
-        hi = bisect.bisect_left(self._dns_times, end)
-        return iter(self._dns[lo:hi])
+        for columns, lo, hi in self.dns_segments(start, end):
+            for measurement in columns.iter_measurements(lo, hi):
+                yield measurement
 
     def dns_where(
         self, predicate: Callable[[DnsMeasurement], bool]
     ) -> Iterator[DnsMeasurement]:
         """DNS measurements satisfying ``predicate``."""
-        return (m for m in self._dns if predicate(m))
+        return (m for m in self.iter_dns() if predicate(m))
 
-    def unique_addresses(self) -> set[IPv4Address]:
+    def unique_addresses(self) -> frozenset:
         """Every cache address observed across all DNS measurements.
 
-        Maintained incrementally in :meth:`add_dns` — the traceroute
+        Maintained incrementally on the append paths — the traceroute
         campaign asks for this every sweep, and rescanning the full DNS
-        history each hour dominated large-run profiles.  Returns a copy
-        so callers cannot mutate the internal set.
+        history each hour dominated large-run profiles.  Returns an
+        immutable (frozen) view, cached until a new address appears, so
+        callers can neither mutate store state nor pay a copy.
         """
-        return set(self._unique_addresses)
+        if self._unique_frozen is None:
+            self._unique_frozen = frozenset(
+                IPv4Address(value) for value in self._unique_values
+            )
+        return self._unique_frozen
+
+    def unique_address_values(self) -> frozenset:
+        """The unique addresses as packed 32-bit ints (no objects)."""
+        return frozenset(self._unique_values)
 
     def __len__(self) -> int:
-        return len(self._dns) + len(self._traceroutes)
+        return self._dns_count + len(self._traceroutes)

@@ -86,6 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--workers", type=int, default=1,
                           help="worker processes for the sharded engine "
                                "(default 1 = serial)")
+    _add_store_args(simulate)
     _add_telemetry_args(simulate)
 
     report = commands.add_parser(
@@ -97,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--workers", type=int, default=1,
                         help="worker processes for the sharded engine "
                              "(default 1 = serial)")
+    _add_store_args(report)
     _add_telemetry_args(report)
 
     commands.add_parser(
@@ -164,6 +166,47 @@ def _parse_date(text: str) -> float:
         raise SystemExit(f"bad date {text!r}; expected M-D, e.g. 9-19") from exc
 
 
+def _add_store_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--store-budget-mb", type=float, default=None,
+                     metavar="MB",
+                     help="in-memory budget per measurement store; sealed "
+                          "columnar segments spill to disk beyond it "
+                          "(default: unlimited, never spill)")
+    sub.add_argument("--store-spill-dir", metavar="DIR", default=None,
+                     help="directory for spilled segments (default: a "
+                          "temporary directory, removed on exit)")
+
+
+def _store_config_kwargs(args: argparse.Namespace) -> dict:
+    """ScenarioConfig keywords for the measurement-store flags."""
+    kwargs: dict = {}
+    if args.store_budget_mb is not None:
+        if args.store_budget_mb < 0:
+            raise SystemExit("--store-budget-mb must be >= 0")
+        kwargs["store_memory_budget_bytes"] = int(
+            args.store_budget_mb * 1024 * 1024
+        )
+    if args.store_spill_dir is not None:
+        kwargs["store_spill_dir"] = args.store_spill_dir
+    return kwargs
+
+
+def _store_stats_line(scenario) -> str:
+    """One line of spill accounting for the campaign stores."""
+    parts = []
+    for store in (
+        scenario.global_campaign.store,
+        scenario.isp_campaign.store,
+        scenario.traceroute_campaign.store,
+    ):
+        parts.append(
+            f"{store.name}: {store.segment_count} segments "
+            f"({store.spilled_segment_count} spilled, "
+            f"{store.resident_bytes / 1024:.0f} KiB resident)"
+        )
+    return "store segments: " + "; ".join(parts)
+
+
 def _add_telemetry_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--metrics-out", metavar="PATH", default=None,
                      help="write Prometheus-style metrics here after the run")
@@ -224,7 +267,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     with use_registry(registry), use_tracer(tracer):
         scenario = Sep2017Scenario(
             ScenarioConfig(
-                global_probe_count=args.probes, isp_probe_count=args.isp_probes
+                global_probe_count=args.probes,
+                isp_probe_count=args.isp_probes,
+                **_store_config_kwargs(args),
             )
         )
         engine = SimulationEngine(scenario, step_seconds=args.step)
@@ -246,9 +291,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
         steps = engine.run(start, end, progress=progress, workers=args.workers)
     print(f"\n{steps} steps; "
-          f"{len(scenario.global_campaign.store.dns)} global + "
-          f"{len(scenario.isp_campaign.store.dns)} ISP DNS measurements; "
+          f"{scenario.global_campaign.store.dns_count} global + "
+          f"{scenario.isp_campaign.store.dns_count} ISP DNS measurements; "
           f"{len(scenario.netflow.records)} flow records")
+    if args.store_budget_mb is not None or args.store_spill_dir is not None:
+        print(_store_stats_line(scenario))
     _write_telemetry(args, registry, tracer)
     return 0
 
@@ -258,7 +305,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
     with use_registry(registry), use_tracer(tracer):
         scenario = Sep2017Scenario(
             ScenarioConfig(
-                global_probe_count=args.probes, isp_probe_count=args.isp_probes
+                global_probe_count=args.probes,
+                isp_probe_count=args.isp_probes,
+                **_store_config_kwargs(args),
             )
         )
         engine = SimulationEngine(scenario, step_seconds=args.step)
@@ -268,6 +317,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
             workers=args.workers,
         )
     print(generate_report(scenario))
+    if args.store_budget_mb is not None or args.store_spill_dir is not None:
+        print()
+        print(_store_stats_line(scenario))
     _write_telemetry(args, registry, tracer)
     return 0
 

@@ -39,6 +39,7 @@ from dataclasses import dataclass, field
 from hashlib import blake2b
 from typing import Callable, Optional, Sequence
 
+from ..atlas.columnar import DnsColumns, DnsRowRef
 from ..net.geo import MappingRegion
 from ..obs import NULL_TRACER, MetricsRegistry, set_registry, set_tracer, snapshot_delta
 from ..obs.registry import NULL_REGISTRY
@@ -310,14 +311,21 @@ def _worker_chunk(ticks: Sequence[float], final: bool) -> dict:
         digests.append(state_digest(now, demand, splits[MappingRegion.EU]))
         if scenario.global_campaign.due(now):
             if shard.global_indices:
-                global_slices[now] = scenario.global_campaign.measure_slice(
-                    now, shard.global_indices
+                # Ship the slice home as a sealed columnar block: typed
+                # arrays + intern tables pickle far smaller than object
+                # lists and the coordinator absorbs rows column-to-column.
+                global_slices[now] = DnsColumns.from_measurements(
+                    scenario.global_campaign.measure_slice(
+                        now, shard.global_indices
+                    )
                 )
             scenario.global_campaign.mark_fired(now, count_metrics=False)
         if scenario.isp_campaign.due(now):
             if shard.isp_indices:
-                isp_slices[now] = scenario.isp_campaign.measure_slice(
-                    now, shard.isp_indices
+                isp_slices[now] = DnsColumns.from_measurements(
+                    scenario.isp_campaign.measure_slice(
+                        now, shard.isp_indices
+                    )
                 )
             scenario.isp_campaign.mark_fired(now, count_metrics=False)
         if shard.owns_traffic and scenario.traffic_window.contains(now):
@@ -368,17 +376,26 @@ def _require_fresh(engine) -> None:
 
 
 def _combine_slices(shards, results, key: str, now: float) -> Optional[list]:
-    """Recombine worker probe slices into serial probe order."""
+    """Recombine worker columnar slices into serial probe order.
+
+    Workers ship each tick's slice as one :class:`DnsColumns` block;
+    the interleave is expressed as :class:`DnsRowRef` handles so no
+    measurement object is ever rebuilt on the merge path — the
+    campaign's ``absorb_tick`` copies the rows straight into the
+    coordinator store's columns.
+    """
     pairs: list = []
     for shard, result in zip(shards, results):
-        measurements = result[key].get(now)
-        if measurements:
+        batch = result[key].get(now)
+        if batch is not None and len(batch):
             indices = (
                 shard.global_indices if key == "global" else shard.isp_indices
             )
-            pairs.extend(zip(indices, measurements))
+            pairs.extend(
+                zip(indices, (DnsRowRef(batch, row) for row in range(len(batch))))
+            )
     pairs.sort(key=lambda pair: pair[0])
-    return [measurement for _, measurement in pairs]
+    return [row_ref for _, row_ref in pairs]
 
 
 def run_sharded(

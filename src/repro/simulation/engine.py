@@ -109,13 +109,12 @@ class RunSummary:
         share out of the merged Netflow log.
         """
         base = cls.from_reports(reports)
-        per_operator: dict[str, set] = {}
+        per_operator: dict[str, int] = {}
         for address in scenario.global_campaign.store.unique_addresses():
             operator = scenario.operator_of(address) or "unknown"
-            per_operator.setdefault(operator, set()).add(address)
+            per_operator[operator] = per_operator.get(operator, 0) + 1
         unique_ips = {
-            operator: len(addresses)
-            for operator, addresses in sorted(per_operator.items())
+            operator: count for operator, count in sorted(per_operator.items())
         }
         apple = total = 0.0
         for report in reports:

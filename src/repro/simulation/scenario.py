@@ -21,6 +21,7 @@ records the scaling factors next to each reproduced figure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Optional
 
 from ..apple.deployment import AppleCdn
@@ -29,6 +30,7 @@ from ..apple.policy import MetaCdnController
 from ..atlas.campaign import DnsCampaign, TracerouteCampaign
 from ..atlas.awsvm import AwsVmCampaign, build_aws_vantages
 from ..atlas.placement import place_global_probes, place_isp_probes
+from ..atlas.results import MeasurementStore
 from ..atlas.traceroute import SimulatedTracer
 from ..cdn.cache import ContentCache
 from ..cdn.deployment import CdnDeployment, ExposureController
@@ -157,6 +159,11 @@ class ScenarioConfig:
     fault_recovery_probes: int = 2         # half-open successes to recover
     fault_seed: int = 0                    # seeds probabilistic severities
 
+    # --- measurement stores (columnar segments + spill) -------------------
+    store_segment_rows: int = 8192         # rows per sealed segment
+    store_memory_budget_bytes: Optional[int] = None  # None = never spill
+    store_spill_dir: Optional[str] = None  # None = temp dir on first spill
+
     @classmethod
     def from_adoption(cls, model: "AdoptionModel", **overrides) -> "ScenarioConfig":
         """Derive the surge amplitudes from a population adoption model.
@@ -244,6 +251,7 @@ class Sep2017Scenario:
             target=NAMES.entry_point,
             interval=self.config.global_dns_interval,
             window=timeline.ripe_global_window,
+            store=self._measurement_store("ripe-global"),
             name="ripe-global",
         )
         self.isp_campaign = DnsCampaign(
@@ -251,6 +259,7 @@ class Sep2017Scenario:
             target=NAMES.entry_point,
             interval=self.config.isp_dns_interval,
             window=timeline.ripe_isp_window,
+            store=self._measurement_store("ripe-isp"),
             name="ripe-isp",
         )
         self.aws_vantages = build_aws_vantages(
@@ -277,6 +286,7 @@ class Sep2017Scenario:
             interval=self.config.traceroute_interval,
             window=timeline.ripe_global_window,
             tracer=self.tracer.trace,
+            store=self._measurement_store("traceroute"),
             max_targets_per_tick=self.config.traceroute_max_targets,
             name="traceroute",
         )
@@ -284,6 +294,26 @@ class Sep2017Scenario:
     # ------------------------------------------------------------------
     # construction helpers
     # ------------------------------------------------------------------
+
+    def _measurement_store(self, name: str) -> MeasurementStore:
+        """A campaign store wired to the config's columnar/spill knobs.
+
+        Each store spills into its own subdirectory of
+        ``store_spill_dir`` so concurrent campaigns never collide on
+        segment file names.
+        """
+        config = self.config
+        spill_dir = (
+            str(Path(config.store_spill_dir) / name)
+            if config.store_spill_dir is not None
+            else None
+        )
+        return MeasurementStore(
+            segment_rows=config.store_segment_rows,
+            memory_budget_bytes=config.store_memory_budget_bytes,
+            spill_dir=spill_dir,
+            name=name,
+        )
 
     def _build_estate(self) -> MetaCdnEstate:
         config = self.config

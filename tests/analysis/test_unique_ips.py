@@ -8,8 +8,9 @@ from repro.analysis.unique_ips import (
     peak_vs_baseline,
     series_by_continent,
     unique_ip_series,
+    windowed_unique_ip_series,
 )
-from repro.atlas.results import DnsMeasurement
+from repro.atlas.results import DnsMeasurement, MeasurementStore
 from repro.net.asys import ASN
 from repro.net.geo import Continent
 from repro.net.ipv4 import IPv4Address
@@ -73,6 +74,118 @@ class TestUniqueIpSeries:
     def test_invalid_bin(self):
         with pytest.raises(ValueError):
             unique_ip_series([], simple_categorize, bin_seconds=0)
+
+    def test_failed_measurement_still_creates_its_bin(self):
+        # A matching measurement with no addresses creates its time bin
+        # (with an empty counts dict) — both paths must agree on this.
+        measurements = [measurement(0.0, [])]
+        series = unique_ip_series(measurements, simple_categorize)
+        assert len(series) == 1
+        assert series[0].counts == {}
+        assert series[0].total == 0
+
+
+def store_of(measurements, segment_rows=4):
+    store = MeasurementStore(segment_rows=segment_rows)
+    for m in measurements:
+        store.add_dns(m)
+    return store
+
+
+class TestStoreFastPath:
+    """The columnar store path must agree with the object-scan path."""
+
+    def sample(self):
+        measurements = []
+        continents = [Continent.EUROPE, Continent.ASIA, Continent.NORTH_AMERICA]
+        for index in range(60):
+            addresses = [f"17.0.0.{1 + index % 7}", f"23.0.{index % 3}.1"]
+            if index % 9 == 4:
+                addresses = []
+            measurements.append(
+                measurement(
+                    index * 600.0,
+                    addresses,
+                    continent=continents[index % 3],
+                    probe=index % 5,
+                )
+            )
+        return measurements
+
+    def test_store_matches_iterable(self):
+        measurements = self.sample()
+        store = store_of(measurements)
+        for continent in (None, Continent.EUROPE, Continent.AFRICA):
+            assert unique_ip_series(
+                store, simple_categorize, 7200.0, continent=continent
+            ) == unique_ip_series(
+                measurements, simple_categorize, 7200.0, continent=continent
+            )
+
+    def test_series_by_continent_matches_iterable(self):
+        measurements = self.sample()
+        store = store_of(measurements)
+        assert series_by_continent(store, simple_categorize) == (
+            series_by_continent(measurements, simple_categorize)
+        )
+
+    def test_empty_store(self):
+        store = MeasurementStore()
+        assert unique_ip_series(store, simple_categorize) == []
+        assert windowed_unique_ip_series(store, simple_categorize) == []
+        facets = series_by_continent(store, simple_categorize)
+        assert set(facets) == set(Continent)
+        assert all(series == [] for series in facets.values())
+
+    def test_single_measurement(self):
+        store = store_of([measurement(100.0, ["17.0.0.1"])])
+        series = unique_ip_series(store, simple_categorize)
+        assert len(series) == 1
+        assert series[0].bin_start == 0.0
+        assert series[0].counts == {"Apple": 1}
+
+    def test_windowed_matches_filtered_scan(self):
+        measurements = self.sample()
+        store = store_of(measurements)
+        start, end = 6_000.0, 24_000.0
+        expected = unique_ip_series(
+            [m for m in measurements if start <= m.timestamp < end],
+            simple_categorize,
+        )
+        assert windowed_unique_ip_series(
+            store, simple_categorize, start=start, end=end
+        ) == expected
+
+    def test_window_boundaries_exactly_on_bucket_edges(self):
+        bin_seconds = 7200.0
+        measurements = [
+            measurement(0.0, ["17.0.0.1"]),
+            measurement(bin_seconds, ["17.0.0.2"]),  # first instant of bin 1
+            measurement(2 * bin_seconds - 0.001, ["23.0.0.1"]),  # last of bin 1
+            measurement(2 * bin_seconds, ["17.0.0.3"]),  # first of bin 2
+        ]
+        store = store_of(measurements, segment_rows=2)
+        # Window [bin 1, bin 2): includes both edge measurements of bin
+        # 1, excludes the measurement sitting exactly on the end bound.
+        series = windowed_unique_ip_series(
+            store,
+            simple_categorize,
+            bin_seconds=bin_seconds,
+            start=bin_seconds,
+            end=2 * bin_seconds,
+        )
+        assert len(series) == 1
+        assert series[0].bin_start == bin_seconds
+        assert series[0].counts == {"Akamai": 1, "Apple": 1}
+
+    def test_invalid_bin_on_store_paths(self):
+        store = MeasurementStore()
+        with pytest.raises(ValueError):
+            unique_ip_series(store, simple_categorize, bin_seconds=0)
+        with pytest.raises(ValueError):
+            windowed_unique_ip_series(store, simple_categorize, bin_seconds=-1)
+        with pytest.raises(ValueError):
+            series_by_continent(store, simple_categorize, bin_seconds=0)
 
 
 class TestPeakVsBaseline:

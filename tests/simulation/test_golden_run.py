@@ -25,7 +25,7 @@ from repro.workload import TIMELINE
 GOLDEN_PATH = Path(__file__).parent / "golden" / "run_summary.json"
 
 
-def golden_scenario():
+def golden_scenario(**config_overrides):
     """The frozen configuration behind the snapshot.
 
     Deliberately small (seconds, not minutes) but still crossing the
@@ -36,12 +36,13 @@ def golden_scenario():
         global_probe_count=24,
         isp_probe_count=12,
         traceroute_probe_count=4,
+        **config_overrides,
     )
     return Sep2017Scenario(config)
 
 
-def run_golden(workers: int = 1) -> RunSummary:
-    scenario = golden_scenario()
+def run_golden(workers: int = 1, **config_overrides) -> RunSummary:
+    scenario = golden_scenario(**config_overrides)
     engine = SimulationEngine(scenario, step_seconds=1800.0)
     reports = []
     engine.run(
@@ -77,3 +78,28 @@ def test_golden_render_is_byte_stable():
     # comparison above is only meaningful if rendering itself is
     # deterministic (sorted keys, rounded floats, no timestamps).
     assert render(run_golden()) == render(run_golden())
+
+
+def test_golden_run_summary_workers_4():
+    # The sharded engine, exchanging columnar measurement batches, must
+    # reproduce the committed serial snapshot byte for byte.
+    assert GOLDEN_PATH.exists(), (
+        "missing golden snapshot; generate with --update-golden"
+    )
+    assert render(run_golden(workers=4)) == GOLDEN_PATH.read_text()
+
+
+def test_golden_run_summary_with_spill(tmp_path):
+    # Forcing tiny segments and a zero in-memory budget pushes every
+    # sealed segment through the spill/reload path; the summary must
+    # still match the committed snapshot byte for byte.
+    assert GOLDEN_PATH.exists(), (
+        "missing golden snapshot; generate with --update-golden"
+    )
+    summary = run_golden(
+        store_segment_rows=64,
+        store_memory_budget_bytes=0,
+        store_spill_dir=str(tmp_path),
+    )
+    assert render(summary) == GOLDEN_PATH.read_text()
+    assert any(tmp_path.rglob("*.seg")), "spill path was not exercised"
