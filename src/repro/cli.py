@@ -16,7 +16,11 @@ Seven commands cover the common workflows:
   verify throughput, latency and cache health in one shot;
 * ``chaos`` — the fault-injection drill: scheduled outages against the
   live cluster plus an engine-time blackout, gated on error rate,
-  re-steer time and recovery.
+  re-steer time and recovery;
+* ``top`` — poll a running cluster's admin endpoint and render a live
+  panel (qps, cache-hit ratio, error rate, latency percentiles);
+* ``profile`` — run the engine under the phase profiler and print the
+  per-worker per-phase time breakdown.
 """
 
 from __future__ import annotations
@@ -24,6 +28,9 @@ from __future__ import annotations
 import argparse
 import asyncio
 import sys
+import time
+import urllib.request
+from contextlib import nullcontext
 from typing import Optional, Sequence
 
 from .analysis import MappingGraph, discover_sites, infer_hierarchy
@@ -37,8 +44,12 @@ from .obs import (
     NULL_REGISTRY,
     NULL_TRACER,
     EventTracer,
+    FlightRecorder,
     MetricsRegistry,
+    parse_exposition,
+    parsed_histogram,
     summary_table,
+    use_flight_recorder,
     use_registry,
     use_tracer,
     write_metrics,
@@ -88,6 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "(default 1 = serial)")
     _add_store_args(simulate)
     _add_telemetry_args(simulate)
+    _add_flight_args(simulate)
 
     report = commands.add_parser(
         "report", help="run the event window and print the full report"
@@ -100,6 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default 1 = serial)")
     _add_store_args(report)
     _add_telemetry_args(report)
+    _add_flight_args(report)
 
     commands.add_parser(
         "survey", help="survey the mapping chain, sites and headers"
@@ -116,6 +129,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="HTTP edge port (default 8080; 0 = ephemeral)")
     serve.add_argument("--object-size", type=int, default=262_144,
                        help="modelled entity size in bytes (default 256 KiB)")
+    serve.add_argument("--admin-port", type=int, default=9900,
+                       help="admin endpoint (/metrics, /healthz, /traces) "
+                            "port (default 9900; 0 = ephemeral)")
 
     loadgen = commands.add_parser(
         "loadgen", help="drive the load generator against a running serve pair"
@@ -126,6 +142,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="HTTP endpoint of a running `repro serve`")
     loadgen.add_argument("--requests", type=int, default=1000)
     loadgen.add_argument("--concurrency", type=int, default=32)
+    loadgen.add_argument("--trace-sample", type=float, default=1.0,
+                         metavar="RATE",
+                         help="fraction of requests to trace end-to-end "
+                              "(deterministic per trace id; default 1.0)")
+    loadgen.add_argument("--trace-out", metavar="PATH", default=None,
+                         help="write the client-side span trace here (JSONL)")
 
     selftest_cmd = commands.add_parser(
         "selftest", help="boot a loopback cluster, drive it, verify health"
@@ -136,6 +158,13 @@ def build_parser() -> argparse.ArgumentParser:
                               help="concurrent workers (default 64)")
     selftest_cmd.add_argument("--qps-floor", type=float, default=1000.0,
                               help="required sustained DNS qps (default 1000)")
+    selftest_cmd.add_argument("--trace-sample", type=float, default=1.0,
+                              metavar="RATE",
+                              help="fraction of requests to trace end-to-end "
+                                   "(deterministic per trace id; default 1.0)")
+    selftest_cmd.add_argument("--trace-out", metavar="PATH", default=None,
+                              help="write the full causal-chain trace here "
+                                   "(JSONL; enables tracing)")
 
     chaos = commands.add_parser(
         "chaos", help="run the fault-injection drill against live + engine"
@@ -155,6 +184,35 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--workers", type=int, default=1,
                        help="worker processes for the simulation phase "
                             "(default 1 = serial)")
+    _add_flight_args(chaos)
+
+    top = commands.add_parser(
+        "top", help="live panel polled off a running cluster's admin endpoint"
+    )
+    top.add_argument("--endpoint", default="127.0.0.1:9900", metavar="HOST:PORT",
+                     help="admin endpoint of a running `repro serve` "
+                          "(default 127.0.0.1:9900)")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between polls (default 2)")
+    top.add_argument("--iterations", type=int, default=0,
+                     help="stop after N panels (default 0 = until Ctrl-C)")
+
+    profile = commands.add_parser(
+        "profile", help="run the engine under the phase profiler"
+    )
+    profile.add_argument("--start", default="9-18", metavar="M-D",
+                         help="start date in 2017 (default 9-18)")
+    profile.add_argument("--end", default="9-19", metavar="M-D",
+                         help="end date in 2017 (default 9-19)")
+    profile.add_argument("--step", type=float, default=1800.0,
+                         help="engine step in seconds (default 1800)")
+    profile.add_argument("--probes", type=int, default=24,
+                         help="global probe count (default 24)")
+    profile.add_argument("--isp-probes", type=int, default=12,
+                         help="ISP probe count (default 12)")
+    profile.add_argument("--workers", type=int, default=4,
+                         help="worker processes to profile (default 4)")
+    _add_flight_args(profile)
     return parser
 
 
@@ -205,6 +263,21 @@ def _store_stats_line(scenario) -> str:
             f"{store.resident_bytes / 1024:.0f} KiB resident)"
         )
     return "store segments: " + "; ".join(parts)
+
+
+def _add_flight_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--flight-dir", metavar="DIR", default=None,
+                     help="arm the flight recorder: dump the span ring "
+                          "buffer here when a chaos drill fails or shards "
+                          "diverge")
+
+
+def _flight_scope(args: argparse.Namespace):
+    """The flight-recorder context for a command (no-op when unarmed)."""
+    flight_dir = getattr(args, "flight_dir", None)
+    if flight_dir is None:
+        return nullcontext()
+    return use_flight_recorder(FlightRecorder(flight_dir))
 
 
 def _add_telemetry_args(sub: argparse.ArgumentParser) -> None:
@@ -264,7 +337,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     start = _parse_date(args.start)
     end = _parse_date(args.end)
     registry, tracer = _telemetry(args)
-    with use_registry(registry), use_tracer(tracer):
+    with use_registry(registry), use_tracer(tracer), _flight_scope(args):
         scenario = Sep2017Scenario(
             ScenarioConfig(
                 global_probe_count=args.probes,
@@ -302,7 +375,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     registry, tracer = _telemetry(args)
-    with use_registry(registry), use_tracer(tracer):
+    with use_registry(registry), use_tracer(tracer), _flight_scope(args):
         scenario = Sep2017Scenario(
             ScenarioConfig(
                 global_probe_count=args.probes,
@@ -391,17 +464,29 @@ def _parse_endpoint(text: str) -> tuple[str, int]:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    # A standing server always carries live instruments — that is what
+    # the admin endpoint (and `repro top`) reads.  Installed ambiently
+    # so the estate's construction-time cache counters land in the same
+    # registry the admin plane exposes.
+    registry = MetricsRegistry()
+    tracer = EventTracer()
+
     async def _run() -> None:
         cluster = ServeCluster(
-            config=ClusterConfig(object_size=args.object_size)
+            config=ClusterConfig(object_size=args.object_size),
+            metrics=registry,
+            tracer=tracer,
         )
         await cluster.start(
-            host=args.host, dns_port=args.dns_port, http_port=args.http_port
+            host=args.host, dns_port=args.dns_port, http_port=args.http_port,
+            admin_port=args.admin_port,
         )
         dns_host, dns_port = cluster.dns.endpoint
         http_host, http_port = cluster.http.endpoint
+        admin_host, admin_port = cluster.admin.endpoint
         print(f"dns   {dns_host}:{dns_port}  (udp + tcp fallback)")
         print(f"http  {http_host}:{http_port}")
+        print(f"admin {admin_host}:{admin_port}  (/metrics /healthz /traces)")
         print("serving the Figure 2 estate; Ctrl-C to stop")
         try:
             await asyncio.Event().wait()
@@ -409,29 +494,67 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             await cluster.stop()
 
     try:
-        asyncio.run(_run())
+        with use_registry(registry), use_tracer(tracer):
+            asyncio.run(_run())
     except KeyboardInterrupt:
         print("\nstopped")
     return 0
 
 
+def _trace_stats_line(tracer) -> Optional[str]:
+    """Span accounting for the run report; None for the null tracer."""
+    if not isinstance(tracer, EventTracer):
+        return None
+    stats = tracer.stats()
+    return (
+        f"tracing: {stats['emitted']} spans emitted, "
+        f"{stats['sampled_out']} sampled out, {stats['dropped']} dropped"
+    )
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
+    # A live tracer whenever spans are wanted on disk or sampling is in
+    # play (sampled-out counts are part of the report either way).
+    traced = bool(args.trace_out) or args.trace_sample < 1.0
+    tracer = EventTracer() if traced else NULL_TRACER
     generator = LoadGenerator(
         dns_endpoint=_parse_endpoint(args.dns),
         http_endpoint=_parse_endpoint(args.http),
         directory=ClientDirectory.from_adoption(),
-        config=LoadConfig(requests=args.requests, concurrency=args.concurrency),
+        config=LoadConfig(
+            requests=args.requests,
+            concurrency=args.concurrency,
+            trace_sample=args.trace_sample,
+        ),
+        tracer=tracer,
     )
     report = asyncio.run(generator.run())
     print(report.render())
+    stats_line = _trace_stats_line(tracer)
+    if stats_line:
+        print(stats_line)
+    if args.trace_out:
+        write_trace(tracer, args.trace_out)
+        print(f"trace written to {args.trace_out} ({len(tracer)} records)")
     return 0 if report.healthy() else 1
 
 
 def _cmd_selftest(args: argparse.Namespace) -> int:
+    traced = bool(args.trace_out) or args.trace_sample < 1.0
+    tracer = EventTracer() if traced else NULL_TRACER
     report, registry = selftest(
-        requests=args.requests, concurrency=args.concurrency
+        requests=args.requests,
+        concurrency=args.concurrency,
+        tracer=tracer,
+        trace_sample=args.trace_sample,
     )
     print(render_selftest(report, registry, qps_floor=args.qps_floor))
+    stats_line = _trace_stats_line(tracer)
+    if stats_line:
+        print(stats_line)
+    if args.trace_out:
+        write_trace(tracer, args.trace_out)
+        print(f"trace written to {args.trace_out} ({len(tracer)} records)")
     checks = selftest_checks(report, registry, qps_floor=args.qps_floor)
     return 0 if all(passed for _, passed in checks) else 1
 
@@ -455,9 +578,172 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         run_simulation=not args.skip_simulation,
         workers=args.workers,
     )
-    report, _registry, _tracer = run_chaos(config)
+    with _flight_scope(args):
+        report, _registry, _tracer = run_chaos(config)
     print(report.render())
     return 0 if report.passed() else 1
+
+
+# ----------------------------------------------------------------------
+# top: the live dashboard
+# ----------------------------------------------------------------------
+
+
+def _sample_sum(families, name: str, want=None) -> float:
+    """Sum a counter family's samples, optionally filtering on labels."""
+    family = families.get(name)
+    if family is None:
+        return 0.0
+    total = 0.0
+    for (sample_name, labelitems), value in family.samples.items():
+        if sample_name != name:
+            continue
+        labels = dict(labelitems)
+        if want is not None and not want(labels):
+            continue
+        total += value
+    return total
+
+
+def _panel_percentiles(families, name: str) -> Optional[dict]:
+    family = families.get(name)
+    if family is None:
+        return None
+    try:
+        child = parsed_histogram(family)
+    except ValueError:
+        return None
+    return {k: v * 1000.0 for k, v in child.percentile_summary().items()}
+
+
+def render_top_panel(
+    families: dict, previous: Optional[dict], elapsed: float
+) -> str:
+    """One `repro top` frame from (current, previous) /metrics scrapes.
+
+    Rates (qps / rps) need two scrapes; on the first frame they render
+    as ``-``.  Ratios and percentiles come from the cumulative state.
+    """
+    dns_now = _sample_sum(families, "serve_dns_queries_total")
+    http_now = _sample_sum(families, "serve_http_requests_total")
+    if previous is not None and elapsed > 0:
+        dns_prev = _sample_sum(previous, "serve_dns_queries_total")
+        http_prev = _sample_sum(previous, "serve_http_requests_total")
+        qps = f"{max(0.0, dns_now - dns_prev) / elapsed:8.1f}"
+        rps = f"{max(0.0, http_now - http_prev) / elapsed:8.1f}"
+    else:
+        qps = rps = f"{'-':>8}"
+    hits = _sample_sum(
+        families, "cache_requests_total", lambda l: "hit" in l.values()
+    )
+    lookups = _sample_sum(families, "cache_requests_total")
+    hit_line = f"{hits / lookups:6.1%}" if lookups else "     -"
+    errors = _sample_sum(
+        families,
+        "serve_http_requests_total",
+        lambda l: l.get("status", "").startswith(("4", "5")),
+    )
+    error_line = f"{errors / http_now:6.1%}" if http_now else "     -"
+    lines = [
+        f"dns {qps} qps    http {rps} rps    "
+        f"cache hit {hit_line}    errors {error_line}",
+    ]
+    for label, name in (
+        ("dns handle ms ", "serve_dns_handle_seconds"),
+        ("http handle ms", "serve_http_handle_seconds"),
+    ):
+        panel = _panel_percentiles(families, name)
+        if panel is None:
+            lines.append(f"{label}  (no samples yet)")
+        else:
+            lines.append(
+                f"{label}  p50 {panel['p50']:7.3f}  p95 {panel['p95']:7.3f}  "
+                f"p99 {panel['p99']:7.3f}  p999 {panel['p999']:7.3f}"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    host, port = _parse_endpoint(args.endpoint)
+    url = f"http://{host}:{port}/metrics"
+    previous: Optional[dict] = None
+    last_ts: Optional[float] = None
+    iteration = 0
+    try:
+        while args.iterations <= 0 or iteration < args.iterations:
+            if iteration:
+                time.sleep(args.interval)
+            try:
+                with urllib.request.urlopen(url, timeout=10.0) as response:
+                    text = response.read().decode("utf-8")
+            except OSError as exc:
+                raise SystemExit(f"cannot scrape {url}: {exc}") from exc
+            families = parse_exposition(text)
+            now = time.monotonic()
+            elapsed = (now - last_ts) if last_ts is not None else 0.0
+            print(f"-- {args.endpoint}  frame {iteration + 1} --")
+            print(render_top_panel(families, previous, elapsed))
+            previous, last_ts = families, now
+            iteration += 1
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+# ----------------------------------------------------------------------
+# profile: per-worker per-phase engine timings
+# ----------------------------------------------------------------------
+
+
+def render_profile(registry) -> str:
+    """The `engine_phase_seconds` family as a per-worker breakdown."""
+    family = registry.get("engine_phase_seconds")
+    if family is None:
+        return "(no phase timings recorded)"
+    rows = []
+    worker_totals: dict[str, float] = {}
+    for (phase, worker), child in family.children():
+        rows.append((worker, phase, child))
+        worker_totals[worker] = worker_totals.get(worker, 0.0) + child.sum
+    if not rows:
+        return "(no phase timings recorded)"
+    lines = [
+        f"{'worker':<8} {'phase':<12} {'ticks':>7} {'total s':>9} "
+        f"{'mean ms':>9} {'p95 ms':>9} {'share':>7}",
+    ]
+    lines.append("-" * len(lines[0]))
+    for worker, phase, child in sorted(rows, key=lambda r: (r[0], r[1])):
+        total = worker_totals[worker]
+        share = child.sum / total if total > 0 else 0.0
+        mean_ms = (child.sum / child.count * 1000.0) if child.count else 0.0
+        lines.append(
+            f"{worker:<8} {phase:<12} {child.count:>7} {child.sum:>9.3f} "
+            f"{mean_ms:>9.3f} {child.quantile(0.95) * 1000.0:>9.3f} "
+            f"{share:>7.1%}"
+        )
+    lines.append("")
+    for worker in sorted(worker_totals):
+        lines.append(f"{worker}: {worker_totals[worker]:.3f} s total phase time")
+    return "\n".join(lines)
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    start = _parse_date(args.start)
+    end = _parse_date(args.end)
+    registry = MetricsRegistry()
+    with use_registry(registry), _flight_scope(args):
+        scenario = Sep2017Scenario(
+            ScenarioConfig(
+                global_probe_count=args.probes,
+                isp_probe_count=args.isp_probes,
+            )
+        )
+        engine = SimulationEngine(scenario, step_seconds=args.step)
+        steps = engine.run(start, end, workers=args.workers)
+    print(f"{steps} steps over workers={args.workers}")
+    print()
+    print(render_profile(registry))
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -472,6 +758,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "loadgen": _cmd_loadgen,
         "selftest": _cmd_selftest,
         "chaos": _cmd_chaos,
+        "top": _cmd_top,
+        "profile": _cmd_profile,
     }
     return handlers[args.command](args)
 

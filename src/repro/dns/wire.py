@@ -19,6 +19,7 @@ from enum import IntEnum
 from typing import Optional
 
 from ..net.ipv4 import IPv4Address, IPv4Prefix
+from ..obs.trace_context import TRACE_OPTION_CODE, TraceContext
 from .query import Question, RCode
 from .records import NameError_, RecordType, ResourceRecord, normalize_name
 
@@ -120,6 +121,11 @@ class WireMessage:
     # field); None when the message carries no OPT record.  A server
     # uses it to decide when a UDP response must be truncated.
     udp_payload_size: Optional[int] = None
+    # Observability trace context, carried as an EDNS0 option in the
+    # local-use code range alongside ECS.  Malformed trace options are
+    # dropped on decode rather than failing the message: tracing must
+    # never break name resolution.
+    trace_context: Optional[TraceContext] = None
 
     def __post_init__(self) -> None:
         if not 0 <= self.message_id <= 0xFFFF:
@@ -308,7 +314,9 @@ def encode_message(message: WireMessage) -> bytes:
     flags |= message.rcode.value & 0x000F
 
     emit_opt = (
-        message.client_subnet is not None or message.udp_payload_size is not None
+        message.client_subnet is not None
+        or message.udp_payload_size is not None
+        or message.trace_context is not None
     )
     additional_count = 1 if emit_opt else 0
     out = bytearray(
@@ -332,15 +340,17 @@ def encode_message(message: WireMessage) -> bytes:
         out += _encode_record(record, compression, len(out))
     if emit_opt:
         # OPT pseudo-record: root name, type 41, class = UDP size.
-        option = (
-            message.client_subnet.encode()
-            if message.client_subnet is not None
-            else b""
-        )
+        options = bytearray()
+        if message.client_subnet is not None:
+            options += message.client_subnet.encode()
+        if message.trace_context is not None:
+            payload = message.trace_context.encode_option()
+            options += struct.pack("!HH", TRACE_OPTION_CODE, len(payload))
+            options += payload
         payload_size = message.udp_payload_size or _DEFAULT_UDP_PAYLOAD
         out += b"\x00"
-        out += struct.pack("!HHIH", _OPT_TYPE, payload_size, 0, len(option))
-        out += option
+        out += struct.pack("!HHIH", _OPT_TYPE, payload_size, 0, len(options))
+        out += options
     if len(out) > _MAX_MESSAGE:
         raise WireError("message exceeds 64 KiB")
     return bytes(out)
@@ -392,19 +402,34 @@ def decode_message(data: bytes) -> WireMessage:
                 payload_size, opt_rdata = opt
                 message.udp_payload_size = payload_size
                 if opt_rdata:
-                    message.client_subnet = _decode_ecs(opt_rdata)
+                    ecs, trace = _decode_options(opt_rdata)
+                    message.client_subnet = ecs
+                    message.trace_context = trace
     return message
 
 
-def _decode_ecs(opt_rdata: bytes) -> Optional[ClientSubnet]:
+def _decode_options(
+    opt_rdata: bytes,
+) -> tuple[Optional[ClientSubnet], Optional[TraceContext]]:
+    """Walk the OPT RDATA's option list; unknown codes are skipped.
+
+    ECS keeps its strict semantics (a malformed ECS raises, since the
+    answer depends on it); the trace option degrades to ``None`` on any
+    malformation, including truncation by the ``length`` field running
+    past the RDATA.
+    """
+    ecs: Optional[ClientSubnet] = None
+    trace: Optional[TraceContext] = None
     cursor = 0
     while cursor + 4 <= len(opt_rdata):
         code, length = struct.unpack("!HH", opt_rdata[cursor:cursor + 4])
         payload = opt_rdata[cursor + 4:cursor + 4 + length]
         if code == _ECS_OPTION_CODE:
-            return ClientSubnet.decode(payload)
+            ecs = ClientSubnet.decode(payload)
+        elif code == TRACE_OPTION_CODE and len(payload) == length:
+            trace = TraceContext.decode_option(payload)
         cursor += 4 + length
-    return None
+    return ecs, trace
 
 
 def answer_wire(server, payload: bytes, context) -> bytes:
@@ -437,5 +462,6 @@ def answer_wire(server, payload: bytes, context) -> bytes:
             questions=[question],
             answers=list(response.answers),
             client_subnet=ecs,
+            trace_context=query.trace_context,
         )
     )

@@ -28,7 +28,13 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..obs import EventTracer, MetricsRegistry, use_registry, use_tracer
+from ..obs import (
+    EventTracer,
+    MetricsRegistry,
+    get_flight_recorder,
+    use_registry,
+    use_tracer,
+)
 from ..workload.timeline import TIMELINE
 from .health import FailoverConfig
 from .schedule import FaultKind, FaultSchedule, FaultWindow
@@ -394,6 +400,10 @@ def run_chaos(
         sim_overflow_akamai_bytes=None if sim is None else sim["overflow_akamai"],
         checks=tuple(checks),
     )
+    if not report.passed():
+        recorder = get_flight_recorder()
+        if recorder is not None:
+            recorder.trip("chaos-failure", tracer)
     return report, registry, tracer
 
 

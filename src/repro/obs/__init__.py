@@ -11,7 +11,15 @@ here.
   registry whose instruments are no-ops (the default, so an
   un-configured run pays nothing);
 * :mod:`repro.obs.tracer` — timestamped point events and nested spans
-  in a bounded ring buffer, optionally streamed as JSONL;
+  in a bounded ring buffer, optionally streamed as JSONL; span
+  parentage is :mod:`contextvars`-based, so concurrent asyncio tasks
+  nest correctly;
+* :mod:`repro.obs.trace_context` — the wire-level trace context
+  (EDNS0 option / ``traceparent`` header) that joins client, DNS and
+  HTTP spans into one causal chain, with deterministic per-trace-id
+  sampling;
+* :mod:`repro.obs.flight` — the flight recorder that persists the span
+  ring buffer to JSONL when a chaos drill or shard divergence trips;
 * :mod:`repro.obs.export` — Prometheus text exposition (render and
   parse), JSONL trace dumps, human-readable summary tables.
 
@@ -33,11 +41,18 @@ from .export import (
     ExpositionError,
     ParsedFamily,
     parse_exposition,
+    parsed_histogram,
     render_exposition,
     render_trace_jsonl,
     summary_table,
     write_metrics,
     write_trace,
+)
+from .flight import (
+    FlightRecorder,
+    get_flight_recorder,
+    set_flight_recorder,
+    use_flight_recorder,
 )
 from .registry import (
     DEFAULT_BUCKETS,
@@ -45,6 +60,7 @@ from .registry import (
     Counter,
     Gauge,
     Histogram,
+    HistogramChild,
     MetricError,
     MetricsRegistry,
     NullRegistry,
@@ -52,6 +68,17 @@ from .registry import (
     set_registry,
     snapshot_delta,
     use_registry,
+)
+from .trace_context import (
+    TRACE_OPTION_CODE,
+    TraceChain,
+    TraceContext,
+    assemble_chains,
+    current_context,
+    new_trace_id,
+    sample_trace,
+    set_context,
+    use_context,
 )
 from .tracer import (
     NULL_TRACER,
@@ -70,6 +97,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "HistogramChild",
     "MetricError",
     "DEFAULT_BUCKETS",
     "get_registry",
@@ -83,8 +111,22 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "use_tracer",
+    "TRACE_OPTION_CODE",
+    "TraceContext",
+    "TraceChain",
+    "assemble_chains",
+    "current_context",
+    "set_context",
+    "use_context",
+    "new_trace_id",
+    "sample_trace",
+    "FlightRecorder",
+    "get_flight_recorder",
+    "set_flight_recorder",
+    "use_flight_recorder",
     "render_exposition",
     "parse_exposition",
+    "parsed_histogram",
     "ParsedFamily",
     "ExpositionError",
     "summary_table",

@@ -32,6 +32,7 @@ from .tracer import EventTracer, NullTracer
 __all__ = [
     "render_exposition",
     "parse_exposition",
+    "parsed_histogram",
     "ParsedFamily",
     "ExpositionError",
     "summary_table",
@@ -203,6 +204,37 @@ def parse_exposition(text: str) -> dict[str, ParsedFamily]:
             )
         family.samples[(sample_name, tuple(sorted(labels.items())))] = value
     return families
+
+
+def parsed_histogram(family: ParsedFamily, **labels) -> HistogramChild:
+    """Rebuild a :class:`HistogramChild` from a scraped histogram family.
+
+    Collects the ``_bucket`` samples matching ``labels`` (ignoring the
+    ``le`` label itself) plus the ``_sum``, and hands them to
+    :meth:`HistogramChild.from_cumulative` — giving remote consumers
+    like ``repro top`` the same ``quantile`` / ``percentile_summary``
+    machinery local histograms have.  Raises :class:`ExpositionError`
+    when no buckets match.
+    """
+    wanted = tuple(sorted((k, str(v)) for k, v in labels.items()))
+    buckets: list[tuple[float, float]] = []
+    total = 0.0
+    for (sample_name, labelitems), value in family.samples.items():
+        rest = tuple(
+            (k, v) for k, v in labelitems if k != "le"
+        )
+        if rest != wanted:
+            continue
+        if sample_name == family.name + "_bucket":
+            le = dict(labelitems).get("le", "")
+            buckets.append((_parse_value(le), value))
+        elif sample_name == family.name + "_sum":
+            total = value
+    if not buckets:
+        raise ExpositionError(
+            f"no histogram buckets for {family.name}{dict(labels)!r}"
+        )
+    return HistogramChild.from_cumulative(buckets, sum=total)
 
 
 def summary_table(registry: Union[MetricsRegistry, NullRegistry]) -> str:

@@ -164,6 +164,43 @@ class HistogramChild:
         out.append((float("inf"), self.count))
         return out
 
+    def percentile_summary(self) -> dict[str, float]:
+        """The standard latency panel: p50/p95/p99/p999.
+
+        The quantiles every live view and bench gate reads; an empty
+        histogram yields all zeros (see :meth:`quantile`).
+        """
+        return {
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "p999": self.quantile(0.999),
+        }
+
+    @classmethod
+    def from_cumulative(
+        cls,
+        buckets: Sequence[tuple[float, float]],
+        sum: float = 0.0,
+    ) -> "HistogramChild":
+        """Rebuild a child from Prometheus-style cumulative ``le`` pairs.
+
+        ``buckets`` is (upper bound, cumulative count) with the +Inf
+        bucket last — exactly what a scraped exposition provides — so
+        ``repro top`` can run :meth:`quantile` on remote histograms.
+        """
+        finite = [(u, c) for u, c in buckets if u != float("inf")]
+        finite.sort(key=lambda pair: pair[0])
+        child = cls(tuple(u for u, _ in finite) or (float("inf"),))
+        running = 0
+        for index, (_, cumulative) in enumerate(finite):
+            child.bucket_counts[index] = int(cumulative) - running
+            running = int(cumulative)
+        total = max((int(c) for _, c in buckets), default=0)
+        child.count = total
+        child.sum = sum
+        return child
+
 
 _Child = Union[CounterChild, GaugeChild, HistogramChild]
 
@@ -458,6 +495,9 @@ class _NullInstrument:
 
     def quantile(self, q: float) -> float:
         return 0.0
+
+    def percentile_summary(self) -> dict:
+        return {"p50": 0.0, "p95": 0.0, "p99": 0.0, "p999": 0.0}
 
 
 NULL_INSTRUMENT = _NullInstrument()

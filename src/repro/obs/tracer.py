@@ -8,10 +8,21 @@ later, the ``a1015`` rollout landed at 23:00.  Records carry the
 span durations are wall-clock seconds, measured with
 ``time.perf_counter``.
 
+Span parentage is tracked with :mod:`contextvars`, not a shared stack:
+each asyncio task sees its own "currently open span", so concurrent
+loadgen workers and server handlers interleaving on one event loop
+cannot mis-parent each other's spans.  When a wire-level
+:class:`~repro.obs.trace_context.TraceContext` is ambient (see
+:func:`~repro.obs.trace_context.use_context`), new spans inherit its
+trace id and — absent a local parent — attach under its remote span id,
+which is how client and server spans join into one causal chain.
+
 Records land in a bounded in-memory ring buffer (old records drop
 silently once ``capacity`` is exceeded; ``dropped`` counts them) and,
 optionally, stream to a file-like object as JSONL the moment they are
-emitted.  :class:`NullTracer` is the zero-overhead opt-out.
+emitted.  Ambient contexts marked unsampled suppress recording
+entirely (``sampled_out`` counts the suppressions).  :class:`NullTracer`
+is the zero-overhead opt-out.
 """
 
 from __future__ import annotations
@@ -20,6 +31,7 @@ import json
 import time
 from collections import deque
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import IO, Iterator, Optional, Union
 
@@ -33,6 +45,14 @@ __all__ = [
     "use_tracer",
 ]
 
+# The ambient wire-level trace context of the current asyncio task.
+# Owned here (rather than in trace_context) so the hot recording path
+# reads it without a circular import; trace_context re-exports the
+# public accessors.
+_ambient_context: "ContextVar[Optional[object]]" = ContextVar(
+    "repro_trace_context", default=None
+)
+
 
 @dataclass(frozen=True)
 class TraceRecord:
@@ -45,6 +65,7 @@ class TraceRecord:
     span_id: Optional[int] = None   # set for spans
     parent_id: Optional[int] = None  # enclosing span, if any
     duration: Optional[float] = None  # wall seconds; spans only
+    trace_id: Optional[int] = None  # wire-level chain id, if ambient
 
     def to_json(self) -> dict:
         """The JSONL representation (stable key order)."""
@@ -55,6 +76,8 @@ class TraceRecord:
             out["parent_id"] = self.parent_id
         if self.duration is not None:
             out["duration_s"] = round(self.duration, 9)
+        if self.trace_id is not None:
+            out["trace_id"] = "{:016x}".format(self.trace_id)
         if self.fields:
             out["fields"] = self.fields
         return out
@@ -67,18 +90,36 @@ class TraceRecord:
 class _Span:
     """Context manager recording a span on exit."""
 
-    __slots__ = ("_tracer", "name", "ts", "fields", "span_id", "_t0")
+    __slots__ = (
+        "_tracer", "name", "ts", "fields",
+        "span_id", "parent_id", "trace_id", "_t0", "_token",
+    )
 
-    def __init__(self, tracer: "EventTracer", name: str, ts: float, fields: dict):
+    def __init__(
+        self,
+        tracer: "EventTracer",
+        name: str,
+        ts: float,
+        fields: dict,
+        trace_id: Optional[int],
+    ):
         self._tracer = tracer
         self.name = name
         self.ts = ts
         self.fields = fields
+        self.trace_id = trace_id
         self.span_id = 0
+        self.parent_id: Optional[int] = None
         self._t0 = 0.0
+        self._token = None
 
     def __enter__(self) -> "_Span":
-        self.span_id = self._tracer._open_span()
+        tracer = self._tracer
+        self.parent_id = tracer._parent_id()
+        self.span_id = tracer._new_span_id()
+        # Task-local: entering a span only re-parents spans opened in
+        # the *same* task (or tasks spawned while it is open).
+        self._token = tracer._current.set(self.span_id)
         self._t0 = time.perf_counter()
         return self
 
@@ -88,6 +129,9 @@ class _Span:
 
     def __exit__(self, exc_type, exc, tb) -> None:
         elapsed = time.perf_counter() - self._t0
+        if self._token is not None:
+            self._tracer._current.reset(self._token)
+            self._token = None
         self._tracer._close_span(self, elapsed, failed=exc_type is not None)
 
 
@@ -107,37 +151,71 @@ class EventTracer:
         self.capacity = capacity
         self._buffer: "deque[TraceRecord]" = deque(maxlen=capacity)
         self._stream = stream
-        self._stack: list[int] = []   # open span ids, innermost last
+        # The currently open span of *this task*; each tracer gets its
+        # own variable so independent tracers never share nesting state.
+        self._current: "ContextVar[Optional[int]]" = ContextVar(
+            "repro_trace_span", default=None
+        )
         self._next_id = 1
         self.emitted = 0
+        self.sampled_out = 0
 
     # ----- recording ----------------------------------------------------
 
-    def event(self, name: str, ts: float, **fields) -> TraceRecord:
-        """Record a point event at simulation time ``ts``."""
+    def event(self, name: str, ts: float, **fields) -> Optional[TraceRecord]:
+        """Record a point event at simulation time ``ts``.
+
+        Returns the record, or ``None`` when the ambient trace context
+        is marked unsampled (the suppression is counted).
+        """
+        context = _ambient_context.get()
+        if context is not None and not context.sampled:
+            self.sampled_out += 1
+            return None
         record = TraceRecord(
             name=name,
             ts=float(ts),
             kind="event",
             fields=fields,
-            parent_id=self._stack[-1] if self._stack else None,
+            parent_id=self._parent_id(),
+            trace_id=context.trace_id if context is not None else None,
         )
         self._emit(record)
         return record
 
-    def span(self, name: str, ts: float, **fields) -> _Span:
-        """A context manager timing a nested span starting at ``ts``."""
-        return _Span(self, name, float(ts), fields)
+    def span(self, name: str, ts: float, **fields):
+        """A context manager timing a nested span starting at ``ts``.
 
-    def _open_span(self) -> int:
+        Unsampled ambient contexts get the no-op span (counted in
+        ``sampled_out``), so high-qps call sites need no extra gating.
+        """
+        context = _ambient_context.get()
+        if context is not None and not context.sampled:
+            self.sampled_out += 1
+            return _NULL_SPAN
+        trace_id = context.trace_id if context is not None else None
+        return _Span(self, name, float(ts), fields, trace_id)
+
+    def current_span_id(self) -> Optional[int]:
+        """The id of this task's innermost open span, if any."""
+        return self._current.get()
+
+    def _parent_id(self) -> Optional[int]:
+        """Local open span first, else the ambient remote parent."""
+        local = self._current.get()
+        if local is not None:
+            return local
+        context = _ambient_context.get()
+        if context is not None:
+            return context.span_id
+        return None
+
+    def _new_span_id(self) -> int:
         span_id = self._next_id
         self._next_id += 1
-        self._stack.append(span_id)
         return span_id
 
     def _close_span(self, span: _Span, elapsed: float, failed: bool) -> None:
-        if self._stack and self._stack[-1] == span.span_id:
-            self._stack.pop()
         fields = dict(span.fields)
         if failed:
             fields["failed"] = True
@@ -148,8 +226,9 @@ class EventTracer:
                 kind="span",
                 fields=fields,
                 span_id=span.span_id,
-                parent_id=self._stack[-1] if self._stack else None,
+                parent_id=span.parent_id,
                 duration=elapsed,
+                trace_id=span.trace_id,
             )
         )
 
@@ -165,6 +244,15 @@ class EventTracer:
     def dropped(self) -> int:
         """Records pushed out of the ring buffer."""
         return self.emitted - len(self._buffer)
+
+    def stats(self) -> dict:
+        """Ring-buffer accounting: emitted / buffered / dropped / sampled_out."""
+        return {
+            "emitted": self.emitted,
+            "buffered": len(self._buffer),
+            "dropped": self.dropped,
+            "sampled_out": self.sampled_out,
+        }
 
     def records(self) -> tuple[TraceRecord, ...]:
         """Everything still in the buffer, oldest first."""
@@ -214,12 +302,19 @@ class NullTracer:
     enabled = False
     emitted = 0
     dropped = 0
+    sampled_out = 0
 
     def event(self, name: str, ts: float, **fields) -> None:
         return None
 
     def span(self, name: str, ts: float, **fields) -> _NullSpan:
         return _NULL_SPAN
+
+    def current_span_id(self) -> None:
+        return None
+
+    def stats(self) -> dict:
+        return {"emitted": 0, "buffered": 0, "dropped": 0, "sampled_out": 0}
 
     def records(self) -> tuple:
         return ()

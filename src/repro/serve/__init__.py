@@ -15,9 +15,12 @@ the flash-crowd workload — is made network-reachable here:
 * :mod:`repro.serve.clients` — the shared client-address ⇄ geography
   contract both ends rely on;
 * :mod:`repro.serve.cluster` — the one-call loopback topology and the
-  ``repro selftest`` entry point.
+  ``repro selftest`` entry point;
+* :mod:`repro.serve.admin` — the live admin plane (``/metrics``,
+  ``/healthz``, ``/traces``) the ``repro top`` dashboard polls.
 """
 
+from .admin import AdminServer
 from .clients import DEFAULT_VANTAGES, ClientDirectory, SampledClient, Vantage
 from .cluster import (
     ClusterConfig,
@@ -41,6 +44,7 @@ from .loadgen import (
 from .resilience import BackoffPolicy, CircuitBreaker, HedgePolicy
 
 __all__ = [
+    "AdminServer",
     "BackoffPolicy",
     "CircuitBreaker",
     "HedgePolicy",

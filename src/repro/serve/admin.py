@@ -1,0 +1,173 @@
+"""Live admin plane: scrape metrics, health and traces off a running cluster.
+
+:class:`AdminServer` is a deliberately tiny asyncio HTTP/1.0-style
+endpoint (one request per connection, always ``Connection: close``)
+that exposes the cluster's observability state while it serves:
+
+* ``GET /metrics`` — the registry in Prometheus text exposition, the
+  same bytes :func:`repro.obs.export.render_exposition` writes to
+  files, so any scrape tool (or ``repro top``) can poll it live;
+* ``GET /healthz`` — the :class:`~repro.faults.health.CdnHealthMonitor`
+  member states as JSON; HTTP 200 while every member is healthy, 503
+  once any member is marked down (load-balancer semantics);
+* ``GET /traces?tail=N`` — the most recent N *completed* causal chains
+  from the tracer's ring buffer, one JSON object per line (see
+  :func:`repro.obs.trace_context.assemble_chains`).
+
+The admin listener is separate from the serving sockets: scraping must
+never contend with the data path's accept queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+from urllib.parse import parse_qs, urlsplit
+
+from ..obs import assemble_chains, get_registry, get_tracer, render_exposition
+
+__all__ = ["AdminServer"]
+
+_READ_TIMEOUT = 10.0
+_MAX_HEAD_BYTES = 8192
+_DEFAULT_TAIL = 20
+_MAX_TAIL = 1000
+
+
+class AdminServer:
+    """Serves ``/metrics``, ``/healthz`` and ``/traces`` for one cluster."""
+
+    def __init__(
+        self,
+        registry=None,
+        tracer=None,
+        health_monitor=None,
+    ) -> None:
+        self._registry = registry if registry is not None else get_registry()
+        self._tracer = tracer if tracer is not None else get_tracer()
+        self._health = health_monitor
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._host: Optional[str] = None
+        self._port: Optional[int] = None
+        self._conn_tasks: set = set()
+
+    @property
+    def endpoint(self) -> tuple:
+        """(host, port) once started."""
+        if self._host is None or self._port is None:
+            raise RuntimeError("admin server is not started")
+        return self._host, self._port
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple:
+        """Start listening; returns the bound endpoint."""
+        if self._server is not None:
+            raise RuntimeError("admin server already started")
+        self._server = await asyncio.start_server(
+            self._handle, host=host, port=port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self._host, self._port = sockname[0], sockname[1]
+        return self.endpoint
+
+    async def stop(self) -> None:
+        """Stop accepting and drain in-flight scrapes."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._host = self._port = None
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), timeout=_READ_TIMEOUT
+            )
+            # Drain (and bound) the header block; nothing in it matters.
+            total = len(request_line)
+            while total <= _MAX_HEAD_BYTES:
+                line = await asyncio.wait_for(
+                    reader.readline(), timeout=_READ_TIMEOUT
+                )
+                total += len(line)
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2 or parts[0] != "GET":
+                await self._send(writer, 405, "text/plain",
+                                 "only GET is supported\n")
+                return
+            status, content_type, body = self._route(parts[1])
+            await self._send(writer, status, content_type, body)
+        except (ConnectionError, asyncio.TimeoutError):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - teardown race
+                pass
+
+    def _route(self, target: str) -> tuple:
+        split = urlsplit(target)
+        path = split.path
+        if path == "/metrics":
+            return 200, "text/plain; version=0.0.4", render_exposition(self._registry)
+        if path == "/healthz":
+            return self._healthz()
+        if path == "/traces":
+            return self._traces(parse_qs(split.query))
+        return 404, "text/plain", f"no route for {path}\n"
+
+    def _healthz(self) -> tuple:
+        members: dict = {}
+        unhealthy = 0
+        if self._health is not None:
+            for member in self._health.members:
+                state = self._health.state(member)
+                members[member] = state.value
+                if state.name != "HEALTHY":
+                    unhealthy += 1
+        payload = {
+            "status": "ok" if unhealthy == 0 else "degraded",
+            "members": members,
+        }
+        status = 200 if unhealthy == 0 else 503
+        return status, "application/json", json.dumps(payload) + "\n"
+
+    def _traces(self, query: dict) -> tuple:
+        try:
+            tail = int(query.get("tail", [str(_DEFAULT_TAIL)])[0])
+        except ValueError:
+            return 400, "text/plain", "tail must be an integer\n"
+        tail = max(1, min(tail, _MAX_TAIL))
+        chains = assemble_chains(self._tracer.records(), complete_only=True)
+        lines = [json.dumps(chain.to_json()) for chain in chains[-tail:]]
+        body = "\n".join(lines) + ("\n" if lines else "")
+        return 200, "application/x-ndjson", body
+
+    async def _send(self, writer: asyncio.StreamWriter, status: int,
+                    content_type: str, body: str) -> None:
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  405: "Method Not Allowed", 503: "Service Unavailable"}
+        payload = body.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {reason.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + payload)
+        await writer.drain()

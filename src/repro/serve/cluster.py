@@ -29,7 +29,8 @@ from ..faults import CdnHealthMonitor, FailoverConfig, FailoverLoop, FaultInject
 from ..net.asys import ASN
 from ..net.geo import MappingRegion
 from ..net.locode import LocodeDatabase
-from ..obs import MetricsRegistry, get_registry, use_registry
+from ..obs import MetricsRegistry, get_registry, get_tracer, use_registry, use_tracer
+from .admin import AdminServer
 from .clients import ClientDirectory
 from .dnsserver import AsyncDnsServer
 from .httpserver import AsyncHttpEdge, estate_router
@@ -145,6 +146,8 @@ class ServeCluster:
             directory if directory is not None else ClientDirectory.from_adoption()
         )
         registry = metrics if metrics is not None else get_registry()
+        tracer = tracer if tracer is not None else get_tracer()
+        self._tracer = tracer
         self._failover_cfg = failover if failover is not None else FailoverConfig()
         self.faults: Optional[FaultInjector] = None
         self.health_monitor: Optional[CdnHealthMonitor] = None
@@ -193,6 +196,7 @@ class ServeCluster:
             max_udp_payload=self.config.max_udp_payload,
             metrics=registry,
             faults=self.faults,
+            tracer=tracer,
         )
         self.http = AsyncHttpEdge(
             estate_router(self.estate),
@@ -200,6 +204,12 @@ class ServeCluster:
             metrics=registry,
             faults=self.faults,
             operator_for=_operator_at(self.estate) if self.faults is not None else None,
+            tracer=tracer,
+        )
+        self.admin = AdminServer(
+            registry=registry,
+            tracer=tracer,
+            health_monitor=self.health_monitor,
         )
         self._registry = registry
 
@@ -220,11 +230,12 @@ class ServeCluster:
             await asyncio.sleep(interval)
 
     async def start(self, host: str = "127.0.0.1", dns_port: int = 0,
-                    http_port: int = 0) -> "ServeCluster":
-        """Boot both servers (ephemeral loopback ports by default)."""
+                    http_port: int = 0, admin_port: int = 0) -> "ServeCluster":
+        """Boot both servers plus the admin plane (ephemeral ports)."""
         self._t0 = time.monotonic()
         await self.dns.start(host=host, port=dns_port)
         await self.http.start(host=host, port=http_port)
+        await self.admin.start(host=host, port=admin_port)
         if self.failover_loop is not None:
             interval = max(0.05, self._failover_cfg.probe_interval / 2.0)
             self._failover_task = asyncio.create_task(
@@ -241,6 +252,7 @@ class ServeCluster:
             except asyncio.CancelledError:
                 pass
             self._failover_task = None
+        await self.admin.stop()
         await self.http.stop()
         await self.dns.stop()
 
@@ -258,6 +270,7 @@ class ServeCluster:
             directory=self.directory,
             config=config,
             metrics=self._registry,
+            tracer=self._tracer,
         )
         return await generator.run()
 
@@ -279,21 +292,32 @@ def selftest(
     concurrency: int = 64,
     registry: Optional[MetricsRegistry] = None,
     cluster_config: Optional[ClusterConfig] = None,
+    tracer=None,
+    trace_sample: float = 1.0,
 ) -> tuple[LoadReport, MetricsRegistry]:
     """Boot a cluster, drive a full load run, return (report, registry).
 
     The registry is installed process-wide for the duration so the
     estate's construction-time instruments (cache hit/miss counters,
     site request counters) land in it alongside the serve metrics.
+    Passing a ``tracer`` installs it ambiently so client and server
+    spans land in the same ring buffer; ``trace_sample`` is the
+    per-trace sampling rate the load generator stamps on each request.
     """
     registry = registry if registry is not None else MetricsRegistry()
-    config = LoadConfig(requests=requests, concurrency=concurrency)
+    tracer = tracer if tracer is not None else get_tracer()
+    config = LoadConfig(
+        requests=requests, concurrency=concurrency, trace_sample=trace_sample
+    )
 
     async def _run() -> LoadReport:
-        async with ServeCluster(config=cluster_config, metrics=registry) as cluster:
+        cluster = ServeCluster(
+            config=cluster_config, metrics=registry, tracer=tracer
+        )
+        async with cluster:
             return await cluster.drive(config)
 
-    with use_registry(registry):
+    with use_registry(registry), use_tracer(tracer):
         report = asyncio.run(_run())
     return report, registry
 

@@ -29,7 +29,7 @@ from typing import Callable, Iterable, Optional
 from ..dns.query import DnsResponse, QueryContext, RCode
 from ..dns.wire import ClientSubnet, WireError, WireMessage, decode_message, encode_message
 from ..dns.zone import AuthoritativeServer
-from ..obs import get_registry
+from ..obs import get_registry, get_tracer, use_context
 from .clients import ClientDirectory
 
 __all__ = ["ZoneFrontend", "AsyncDnsServer"]
@@ -96,6 +96,9 @@ class ZoneFrontend:
             questions=[question],
             answers=list(response.answers),
             client_subnet=ecs,
+            # Echo the trace option too, so a captured response still
+            # names the chain it belonged to.
+            trace_context=query.trace_context,
         )
 
 
@@ -140,6 +143,7 @@ class AsyncDnsServer:
         max_udp_payload: Optional[int] = None,
         metrics=None,
         faults=None,
+        tracer=None,
     ) -> None:
         self.frontend = ZoneFrontend(servers)
         self.directory = directory if directory is not None else ClientDirectory()
@@ -149,6 +153,10 @@ class AsyncDnsServer:
         # healthy path.  DNS faults target the *operator* whose zone
         # answers the question (drop, delay, SERVFAIL, stale answers).
         self._faults = faults
+        # Spans adopt the wire trace context of each query (EDNS0
+        # option), parenting server-side work under the client's
+        # resolve span.
+        self._tracer = tracer if tracer is not None else get_tracer()
         self._udp_transport: Optional[asyncio.DatagramTransport] = None
         self._tcp_server: Optional[asyncio.base_events.Server] = None
         self._host: Optional[str] = None
@@ -279,22 +287,52 @@ class AsyncDnsServer:
         packet must never take the transport task down.  ``delay`` is
         the fault-injected send delay (0.0 without a fault plane).
         """
-        delay = 0.0
         try:
             query = decode_message(payload)
+        except Exception:
+            self._m_malformed.inc()
+            return self._servfail_for(payload), None, None, 0.0
+        trace = query.trace_context
+        if trace is None or not self._tracer.enabled:
+            return self._answer_decoded(query, payload, None)
+        # Adopt the wire context for the duration of the answer: the
+        # span (and everything it emits) joins the client's chain, and
+        # unsampled traces collapse to a counted no-op.
+        with use_context(trace):
+            ts = self._clock() if self._clock is not None else 0.0
+            with self._tracer.span("serve.dns.query", ts=ts) as span:
+                return self._answer_decoded(query, payload, span)
+
+    def _answer_decoded(
+        self, query: WireMessage, payload: bytes, span
+    ) -> tuple[Optional[bytes], Optional[WireMessage], Optional[WireMessage], float]:
+        delay = 0.0
+        if span is not None and query.questions:
+            span.annotate(qname=query.questions[0].name)
+        try:
             staleness = 0.0
             if self._faults is not None:
                 action, delay, staleness = self._dns_fault(query)
                 if action == "drop":
+                    if span is not None:
+                        span.annotate(outcome="drop")
                     return None, None, None, 0.0
                 if action == "servfail":
+                    if span is not None:
+                        span.annotate(outcome="servfail-fault")
                     return self._servfail_for(payload), None, None, delay
             response = self.frontend.answer(query, self._context_for(query, staleness))
         except Exception:
             self._m_malformed.inc()
+            if span is not None:
+                span.annotate(outcome="malformed")
             return self._servfail_for(payload), None, None, delay
         if response.rcode is RCode.REFUSED:
             self._m_refused.inc()
+        if span is not None:
+            span.annotate(
+                rcode=response.rcode.name, answers=len(response.answers)
+            )
         return encode_message(response), response, query, delay
 
     @staticmethod

@@ -24,9 +24,10 @@ import time
 from typing import Callable, Optional
 
 from ..apple.mapping import MetaCdnEstate
+from ..http.headers import CacheStatus
 from ..http.messages import Headers, HttpRequest, HttpResponse
 from ..net.ipv4 import IPv4Address
-from ..obs import get_registry
+from ..obs import TraceContext, get_registry, get_tracer, use_context
 
 __all__ = ["AsyncHttpEdge", "estate_router"]
 
@@ -70,6 +71,8 @@ class AsyncHttpEdge:
         metrics=None,
         faults=None,
         operator_for: Optional[Callable[[IPv4Address], Optional[str]]] = None,
+        tracer=None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if object_size <= 0:
             raise ValueError("object_size must be positive")
@@ -79,6 +82,11 @@ class AsyncHttpEdge:
         # maps a vip to its CDN operator so whole-CDN windows apply.
         self._faults = faults
         self._operator_for = operator_for
+        # Spans adopt the request's ``Traceparent`` header, parenting
+        # edge-side work under the client's fetch span; ``clock``
+        # supplies span timestamps (defaults to seconds since start).
+        self._tracer = tracer if tracer is not None else get_tracer()
+        self._clock = clock
         self._server: Optional[asyncio.base_events.Server] = None
         self._host: Optional[str] = None
         self._port: Optional[int] = None
@@ -123,6 +131,9 @@ class AsyncHttpEdge:
         """Start listening; returns the bound endpoint."""
         if self._server is not None:
             raise RuntimeError("server already started")
+        if self._clock is None:
+            origin = time.monotonic()
+            self._clock = lambda: time.monotonic() - origin
         self._server = await asyncio.start_server(self._handle, host=host, port=port)
         sockname = self._server.sockets[0].getsockname()
         self._host, self._port = sockname[0], sockname[1]
@@ -233,20 +244,53 @@ class AsyncHttpEdge:
             elif "keep-alive" in connection:
                 keep_alive = True
 
-            status, out_headers, body, delay = self._serve(method, target, headers)
-            if delay > 0.0:
-                await asyncio.sleep(delay)
-            # A teardown begun while this request was in flight must end
-            # with an honest Connection: close, never a reset.
-            keep = keep_alive and status < 500 and not self._closing
-            out_headers.set("Connection", "keep-alive" if keep else "close")
-            await self._send(writer, status, out_headers, body,
-                             include_body=(method != "HEAD"))
-            self._m_requests.labels(str(status)).inc()
-            self._m_handle.observe(time.perf_counter() - started)
-            return keep
+            context = TraceContext.from_traceparent(headers.get("Traceparent"))
+            if context is None or not self._tracer.enabled:
+                return await self._respond(
+                    writer, method, target, headers, keep_alive, started, None
+                )
+            # Adopt the client's trace for the duration of the exchange:
+            # the span joins its chain, and unsampled traces collapse to
+            # a counted no-op.
+            with use_context(context):
+                ts = self._clock() if self._clock is not None else 0.0
+                with self._tracer.span(
+                    "serve.http.request", ts=ts, path=target
+                ) as span:
+                    return await self._respond(
+                        writer, method, target, headers, keep_alive, started, span
+                    )
         finally:
             self._busy.discard(writer)
+
+    async def _respond(self, writer: asyncio.StreamWriter, method: str,
+                       target: str, headers: Headers, keep_alive: bool,
+                       started: float, span) -> bool:
+        status, out_headers, body, delay = self._serve(method, target, headers)
+        if delay > 0.0:
+            await asyncio.sleep(delay)
+        # A teardown begun while this request was in flight must end
+        # with an honest Connection: close, never a reset.
+        keep = keep_alive and status < 500 and not self._closing
+        out_headers.set("Connection", "keep-alive" if keep else "close")
+        await self._send(writer, status, out_headers, body,
+                         include_body=(method != "HEAD"))
+        self._m_requests.labels(str(status)).inc()
+        self._m_handle.observe(time.perf_counter() - started)
+        if span is not None:
+            span.annotate(status=status, bytes=len(body))
+            cache = out_headers.get("X-Cache")
+            if cache:
+                # Client-most verdict first; "hit"/"miss"/"origin" is
+                # the chain's terminal classification.
+                span.annotate(cache=cache)
+                try:
+                    verdict = CacheStatus.parse(cache.split(",")[0])
+                except ValueError:
+                    pass
+                else:
+                    span.annotate(cache_hit=verdict.is_hit)
+        return keep
 
     def _serve(self, method: str, target: str,
                headers: Headers) -> tuple[int, Headers, bytes, float]:

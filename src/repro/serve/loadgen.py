@@ -30,7 +30,15 @@ from ..dns.records import RecordType, ResourceRecord
 from ..dns.wire import ClientSubnet, WireError, WireMessage, decode_message, encode_message
 from ..http.messages import Headers
 from ..net.ipv4 import IPv4Address, IPv4Prefix
-from ..obs import get_registry
+from ..obs import (
+    TraceContext,
+    current_context,
+    get_registry,
+    get_tracer,
+    new_trace_id,
+    sample_trace,
+    use_context,
+)
 from ..obs.registry import HistogramChild
 from .clients import ClientDirectory
 from .resilience import BackoffPolicy, CircuitBreaker, HedgePolicy
@@ -139,6 +147,7 @@ class AsyncDnsClient:
         metrics=None,
         backoff: Optional[BackoffPolicy] = None,
         hedge: Optional[HedgePolicy] = None,
+        tracer=None,
     ) -> None:
         if not 0 < source_prefix_len <= 32:
             raise ValueError("source_prefix_len must be in (0, 32]")
@@ -151,6 +160,10 @@ class AsyncDnsClient:
         # the legacy immediate retry) and hedged GSLB lookups.
         self._backoff = backoff
         self._hedge = hedge
+        # Queries are stamped with the ambient trace context (EDNS0
+        # option); the tracer supplies the current span id as the
+        # remote parent the server's span attaches under.
+        self._tracer = tracer if tracer is not None else get_tracer()
         self._protocol: Optional[_DnsClientProtocol] = None
         self._ids = itertools.count(1)
         # Plain mirrors of the registry counters so reports work under
@@ -206,6 +219,11 @@ class AsyncDnsClient:
         if self._protocol is None or self._protocol.transport is None:
             raise DnsClientError("client is not connected")
         ecs = ClientSubnet(IPv4Prefix.containing(client, self._source_prefix_len))
+        context = current_context()
+        trace = (
+            context.child(self._tracer.current_span_id())
+            if context is not None else None
+        )
         last_error = "no attempt made"
         for _attempt in range(self._retries + 1):
             if _attempt > 0 and self._backoff is not None:
@@ -216,6 +234,7 @@ class AsyncDnsClient:
                     message_id=message_id,
                     questions=[Question(name, rtype)],
                     client_subnet=ecs,
+                    trace_context=trace,
                 )
             )
             waiter = asyncio.get_running_loop().create_future()
@@ -366,12 +385,13 @@ class PooledHttpClient:
     """A keep-alive HTTP/1.1 client with a bounded connection pool."""
 
     def __init__(self, host: str, port: int, pool_size: int = 16,
-                 timeout: float = 5.0) -> None:
+                 timeout: float = 5.0, tracer=None) -> None:
         if pool_size <= 0:
             raise ValueError("pool_size must be positive")
         self._host = host
         self._port = port
         self._timeout = timeout
+        self._tracer = tracer if tracer is not None else get_tracer()
         self._pool: asyncio.LifoQueue = asyncio.LifoQueue(maxsize=pool_size)
         self._created = 0
         self._pool_size = pool_size
@@ -414,6 +434,11 @@ class PooledHttpClient:
             f"X-Client: {client}",
             "Connection: keep-alive",
         ]
+        context = current_context()
+        if context is not None:
+            # Propagate the trace with the fetch span as remote parent.
+            carrier = context.child(self._tracer.current_span_id())
+            request.append(f"Traceparent: {carrier.to_traceparent()}")
         if range_bytes is not None:
             request.append(f"Range: bytes={range_bytes[0]}-{range_bytes[1]}")
         try:
@@ -488,8 +513,13 @@ class LoadConfig:
     resolution_max_age: float = 15.0
     breaker_failures: int = 5
     breaker_cooldown: float = 1.0
+    # Fraction of traces recorded when a tracer is active; the decision
+    # is deterministic per trace id, so client and servers agree.
+    trace_sample: float = 1.0
 
     def __post_init__(self) -> None:
+        if not 0.0 <= self.trace_sample <= 1.0:
+            raise ValueError("trace_sample must be in [0, 1]")
         if self.requests <= 0:
             raise ValueError("requests must be positive")
         if self.concurrency <= 0:
@@ -524,6 +554,9 @@ class LoadReport:
     retries: int = 0
     reresolutions: int = 0
     hedged: int = 0
+    # Full p50/p95/p99/p999 panels (ms), from percentile_summary.
+    dns_percentiles_ms: dict = field(default_factory=dict)
+    http_percentiles_ms: dict = field(default_factory=dict)
 
     @property
     def dns_qps(self) -> float:
@@ -554,6 +587,16 @@ class LoadReport:
             f"http latency    p50 {self.http_p50_ms:.2f} ms   p99 {self.http_p99_ms:.2f} ms",
             f"body bytes      {self.body_bytes:,}",
         ]
+        if self.dns_percentiles_ms and self.http_percentiles_ms:
+            lines.append(
+                "latency panel   dns p95 {:.2f} ms  p999 {:.2f} ms | "
+                "http p95 {:.2f} ms  p999 {:.2f} ms".format(
+                    self.dns_percentiles_ms.get("p95", 0.0),
+                    self.dns_percentiles_ms.get("p999", 0.0),
+                    self.http_percentiles_ms.get("p95", 0.0),
+                    self.http_percentiles_ms.get("p999", 0.0),
+                )
+            )
         if self.retries:
             lines.append(f"http retries    {self.retries}")
         if self.reresolutions:
@@ -575,6 +618,7 @@ class LoadGenerator:
         directory: Optional[ClientDirectory] = None,
         config: Optional[LoadConfig] = None,
         metrics=None,
+        tracer=None,
     ) -> None:
         self.dns_endpoint = dns_endpoint
         self.http_endpoint = http_endpoint
@@ -588,6 +632,10 @@ class LoadGenerator:
         self._http_hist = HistogramChild(_LATENCY_BUCKETS)
         registry = metrics if metrics is not None else get_registry()
         self._registry = registry
+        # Each logical request roots one trace; spans and wire stamps
+        # only happen when this tracer is enabled.
+        self._tracer = tracer if tracer is not None else get_tracer()
+        self._t0 = 0.0
         self._m_requests = registry.counter(
             "loadgen_requests_total",
             "Closed-loop requests issued, by outcome",
@@ -637,15 +685,18 @@ class LoadGenerator:
             metrics=self._registry,
             backoff=config.backoff,
             hedge=config.hedge,
+            tracer=self._tracer,
         )
         http = PooledHttpClient(
             *self.http_endpoint,
             pool_size=config.concurrency,
             timeout=config.http_timeout,
+            tracer=self._tracer,
         )
         in_flight = asyncio.Semaphore(config.max_in_flight or config.concurrency)
         sequence = itertools.count()
         started = time.perf_counter()
+        self._t0 = started
         try:
             workers = [
                 asyncio.create_task(self._worker(dns, http, sequence, in_flight))
@@ -656,6 +707,12 @@ class LoadGenerator:
             elapsed = time.perf_counter() - started
             dns.close()
             await http.close()
+        dns_panel = {
+            k: v * 1000.0 for k, v in self._dns_hist.percentile_summary().items()
+        }
+        http_panel = {
+            k: v * 1000.0 for k, v in self._http_hist.percentile_summary().items()
+        }
         return LoadReport(
             requests=config.requests,
             ok=self._ok_count,
@@ -665,14 +722,16 @@ class LoadGenerator:
             dns_timeouts=dns.timeouts,
             tcp_fallbacks=dns.tcp_fallbacks,
             body_bytes=self._body_bytes,
-            dns_p50_ms=self._dns_hist.quantile(0.5) * 1000.0,
-            dns_p99_ms=self._dns_hist.quantile(0.99) * 1000.0,
-            http_p50_ms=self._http_hist.quantile(0.5) * 1000.0,
-            http_p99_ms=self._http_hist.quantile(0.99) * 1000.0,
+            dns_p50_ms=dns_panel["p50"],
+            dns_p99_ms=dns_panel["p99"],
+            http_p50_ms=http_panel["p50"],
+            http_p99_ms=http_panel["p99"],
             error_samples=tuple(self._errors[:5]),
             retries=self._retry_count,
             reresolutions=self._reresolution_count,
             hedged=dns.hedged_queries,
+            dns_percentiles_ms=dns_panel,
+            http_percentiles_ms=http_panel,
         )
 
     async def _worker(self, dns: AsyncDnsClient, http: PooledHttpClient,
@@ -694,10 +753,21 @@ class LoadGenerator:
                 finally:
                     self._m_in_flight.dec()
 
+    def _now(self) -> float:
+        """Run-relative seconds, the ts stamped on client spans."""
+        return time.perf_counter() - self._t0
+
     async def _resolve_timed(self, dns: AsyncDnsClient, client,
                              entry_point: str) -> WireResolution:
         t_dns = time.perf_counter()
-        resolution = await dns.resolve(entry_point, client)
+        with self._tracer.span(
+            "client.resolve", ts=self._now(), qname=entry_point
+        ) as span:
+            resolution = await dns.resolve(entry_point, client)
+            span.annotate(
+                chain=len(resolution.chain_names),
+                addresses=len(resolution.addresses),
+            )
         dns_elapsed = time.perf_counter() - t_dns
         self._dns_hist.observe(dns_elapsed)
         self._m_dns_seconds.observe(dns_elapsed)
@@ -726,6 +796,25 @@ class LoadGenerator:
 
     async def _one_request(self, dns: AsyncDnsClient, http: PooledHttpClient,
                            seq: int) -> None:
+        if not self._tracer.enabled:
+            return await self._attempts(dns, http, seq)
+        # Root one trace per logical request.  The id is deterministic
+        # in ``seq`` and the sampling decision deterministic in the id,
+        # so a re-run traces the same requests.
+        trace_id = new_trace_id(f"loadgen|{seq}")
+        context = TraceContext(
+            trace_id=trace_id,
+            sampled=sample_trace(trace_id, self.config.trace_sample),
+        )
+        with use_context(context):
+            with self._tracer.span(
+                "client.request", ts=self._now(), seq=seq
+            ) as span:
+                await self._attempts(dns, http, seq)
+                span.annotate(outcome="ok")
+
+    async def _attempts(self, dns: AsyncDnsClient, http: PooledHttpClient,
+                        seq: int) -> None:
         config = self.config
         client = self.directory.sample(seq)
         path = f"/content/ios11-part{seq % config.object_count:03d}.ipsw"
@@ -759,13 +848,17 @@ class LoadGenerator:
             vip = self._pick_vip(resolution, seq, attempt)
             t_http = time.perf_counter()
             try:
-                status, _headers, body_length = await http.get(
-                    path,
-                    host=config.entry_point,
-                    vip=vip,
-                    client=client.address,
-                    range_bytes=(0, config.range_bytes - 1),
-                )
+                with self._tracer.span(
+                    "client.fetch", ts=self._now(), vip=str(vip)
+                ) as fetch_span:
+                    status, _headers, body_length = await http.get(
+                        path,
+                        host=config.entry_point,
+                        vip=vip,
+                        client=client.address,
+                        range_bytes=(0, config.range_bytes - 1),
+                    )
+                    fetch_span.annotate(status=status)
             except (ConnectionError, asyncio.TimeoutError, OSError) as exc:
                 self._breaker.record_failure(str(vip))
                 last_exc = RuntimeError(f"transport to vip {vip}: {exc}")

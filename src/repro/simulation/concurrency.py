@@ -41,7 +41,14 @@ from typing import Callable, Optional, Sequence
 
 from ..atlas.columnar import DnsColumns, DnsRowRef
 from ..net.geo import MappingRegion
-from ..obs import NULL_TRACER, MetricsRegistry, set_registry, set_tracer, snapshot_delta
+from ..obs import (
+    NULL_TRACER,
+    MetricsRegistry,
+    get_flight_recorder,
+    set_registry,
+    set_tracer,
+    snapshot_delta,
+)
 from ..obs.registry import NULL_REGISTRY
 
 __all__ = [
@@ -72,6 +79,10 @@ WORKER_METRIC_FAMILIES = (
     "netflow_records_total",
     "netflow_offered_bytes_total",
     "snmp_bytes_total",
+    # Per-phase tick timings recorded inside the replicas (labelled
+    # "wN"); the coordinator's own phases carry worker="main", so the
+    # merge is disjoint by construction.
+    "engine_phase_seconds",
 )
 
 
@@ -287,6 +298,7 @@ def _init_worker(spec: EngineSpec, shard: Shard) -> None:
     set_registry(registry)
     set_tracer(NULL_TRACER)
     engine = spec.build()
+    engine.profile_worker = f"w{shard.shard_id}"
     _WORKER["engine"] = engine
     _WORKER["shard"] = shard
     _WORKER["registry"] = registry
@@ -306,32 +318,52 @@ def _worker_chunk(ticks: Sequence[float], final: bool) -> dict:
     offered_before = scenario.netflow.total_offered_bytes
     snmp_base = scenario.snmp.snapshot_bins() if shard.owns_traffic else None
 
+    obs = engine._obs
+    profiling = obs.profiling
+    worker = engine.profile_worker
+    clock = engine.clock
+
     for now in ticks:
         demand, splits = engine.advance_state(now)
+        t0 = clock() if profiling else 0.0
         digests.append(state_digest(now, demand, splits[MappingRegion.EU]))
+        if profiling:
+            obs.observe_phase("digest", worker, clock() - t0)
+        campaigns_s = 0.0
         if scenario.global_campaign.due(now):
             if shard.global_indices:
                 # Ship the slice home as a sealed columnar block: typed
                 # arrays + intern tables pickle far smaller than object
                 # lists and the coordinator absorbs rows column-to-column.
+                t0 = clock() if profiling else 0.0
                 global_slices[now] = DnsColumns.from_measurements(
                     scenario.global_campaign.measure_slice(
                         now, shard.global_indices
                     )
                 )
+                if profiling:
+                    campaigns_s += clock() - t0
             scenario.global_campaign.mark_fired(now, count_metrics=False)
         if scenario.isp_campaign.due(now):
             if shard.isp_indices:
+                t0 = clock() if profiling else 0.0
                 isp_slices[now] = DnsColumns.from_measurements(
                     scenario.isp_campaign.measure_slice(
                         now, shard.isp_indices
                     )
                 )
+                if profiling:
+                    campaigns_s += clock() - t0
             scenario.isp_campaign.mark_fired(now, count_metrics=False)
+        if profiling and campaigns_s > 0.0:
+            obs.observe_phase("campaigns", worker, campaigns_s)
         if shard.owns_traffic and scenario.traffic_window.contains(now):
+            t0 = clock() if profiling else 0.0
             traffic[now] = engine._generate_isp_traffic_impl(
                 now, splits[MappingRegion.EU]
             )
+            if profiling:
+                obs.observe_phase("traffic", worker, clock() - t0)
 
     result: dict = {
         "shard_id": shard.shard_id,
@@ -433,6 +465,7 @@ def run_sharded(
     plan = plan_shards(engine, workers)
     spec = EngineSpec.from_engine(engine)
     scenario = engine.scenario
+    obs = engine._obs
     chunks = [
         tuple(ticks[index : index + chunk_ticks])
         for index in range(0, len(ticks), chunk_ticks)
@@ -463,6 +496,7 @@ def run_sharded(
                     for pool in pools
                 ]
             for tick_index, tick in enumerate(chunk):
+                t0 = engine.clock() if obs.profiling else 0.0
                 global_measurements = (
                     _combine_slices(plan.shards, results, "global", tick)
                     if scenario.global_campaign.due(tick)
@@ -478,18 +512,26 @@ def run_sharded(
                     if tick in result.get("traffic", {}):
                         traffic = result["traffic"][tick]
                         break
+                merge_s = (engine.clock() - t0) if obs.profiling else 0.0
                 report = engine.advance_merged(
                     tick, global_measurements, isp_measurements, traffic
                 )
+                t0 = engine.clock() if obs.profiling else 0.0
                 expected = state_digest(
                     tick, report.demand_gbps, report.operator_gbps
                 )
                 for shard, result in zip(plan.shards, results):
                     if result["digests"][tick_index] != expected:
+                        recorder = get_flight_recorder()
+                        if recorder is not None:
+                            recorder.trip("shard-divergence", obs.tracer)
                         raise ShardDivergenceError(
                             f"shard {shard.shard_id} diverged from the "
                             f"coordinator at t={tick}"
                         )
+                if obs.profiling:
+                    merge_s += engine.clock() - t0
+                    obs.observe_phase("merge", engine.profile_worker, merge_s)
                 if progress is not None:
                     progress(report)
             for result in results:

@@ -192,8 +192,10 @@ class _EngineObserver:
         "metrics",
         "tracer",
         "enabled",
+        "profiling",
         "steps",
         "step_wall",
+        "phase_wall",
         "demand",
         "offload",
         "split",
@@ -219,6 +221,21 @@ class _EngineObserver:
             "engine_step_wall_seconds",
             "Wall-clock time per engine step",
             buckets=(0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0),
+        )
+        # Per-phase tick timings, labelled by worker ("main" for the
+        # serial loop / coordinator, "wN" inside sharded replicas).
+        # Profiling is gated on the registry alone: it only *times*
+        # phases — world state is untouched, so golden-run byte
+        # identity holds with profiling on or off.
+        self.profiling = bool(metrics.enabled)
+        self.phase_wall = metrics.histogram(
+            "engine_phase_seconds",
+            "Wall-clock time per engine tick phase",
+            ("phase", "worker"),
+            buckets=(
+                0.00001, 0.0001, 0.0005, 0.001, 0.005,
+                0.01, 0.05, 0.1, 0.5, 1.0,
+            ),
         )
         self.demand = metrics.gauge(
             "engine_demand_gbps", "Offered demand per mapping region", ("region",)
@@ -247,6 +264,10 @@ class _EngineObserver:
         self._peak_eu = 0.0
 
     # ----- per-step -----------------------------------------------------
+
+    def observe_phase(self, phase: str, worker: str, seconds: float) -> None:
+        """Record one tick's time spent in one engine phase."""
+        self.phase_wall.labels(phase, worker).observe(seconds)
 
     def observe_step(
         self, engine: "SimulationEngine", report: StepReport, elapsed: float
@@ -369,6 +390,9 @@ class SimulationEngine:
         )
         self._isp_center = scenario.locations.get("defra").coordinates
         self._server_rank_cache: dict[tuple[str, int], list] = {}
+        # Worker label on per-phase timings: "main" for the serial loop
+        # and the sharded coordinator; replicas get "wN" at init.
+        self.profile_worker = "main"
         self._obs = _EngineObserver(
             metrics if metrics is not None else get_registry(),
             tracer if tracer is not None else get_tracer(),
@@ -420,17 +444,27 @@ class SimulationEngine:
             demand_by_region, operator_gbps_by_region = self._advance_demand(now)
 
             with obs.tracer.span("engine.measurements", ts=now):
+                t0 = self.clock() if obs.profiling else 0.0
                 measurements = self.scenario.global_campaign.maybe_run(now)
                 measurements += self.scenario.isp_campaign.maybe_run(now)
                 measurements += self.scenario.aws_campaign.maybe_run(now)
                 measurements += self.scenario.traceroute_campaign.maybe_run(now)
+                if obs.profiling:
+                    obs.observe_phase(
+                        "campaigns", self.profile_worker, self.clock() - t0
+                    )
 
             flows = 0
             if self.scenario.traffic_window.contains(now):
                 with obs.tracer.span("engine.isp_traffic", ts=now):
+                    t0 = self.clock() if obs.profiling else 0.0
                     flows = self._generate_isp_traffic(
                         now, operator_gbps_by_region[MappingRegion.EU]
                     )
+                    if obs.profiling:
+                        obs.observe_phase(
+                            "traffic", self.profile_worker, self.clock() - t0
+                        )
             report = StepReport(
                 now=now,
                 demand_gbps=demand_by_region,
@@ -464,19 +498,40 @@ class SimulationEngine:
     def _advance_demand(
         self, now: float
     ) -> tuple[dict[MappingRegion, float], dict[MappingRegion, dict[str, float]]]:
-        """Evaluate demand, feed the controllers, offer the splits."""
+        """Evaluate demand, feed the controllers, offer the splits.
+
+        When profiling is on, the per-region loop is timed into two
+        phases — "arrivals" (workload evaluation + controller feed) and
+        "selection" (operator split + exposure offers) — via pure
+        accumulators: the sequence of state-mutating calls is identical
+        either way, preserving golden-run byte identity.
+        """
+        obs = self._obs
+        profiling = obs.profiling
+        arrivals_s = selection_s = 0.0
         demand_by_region: dict[MappingRegion, float] = {}
         operator_gbps_by_region: dict[MappingRegion, dict[str, float]] = {}
         for region in MappingRegion:
+            t0 = self.clock() if profiling else 0.0
             demand = self.scenario.demand.demand_gbps(region, now)
             demand_by_region[region] = demand
             self.scenario.estate.controller.observe_demand(region, demand)
+            if profiling:
+                t1 = self.clock()
+                arrivals_s += t1 - t0
+                t0 = t1
             split = self.operator_split(region, now, demand)
             operator_gbps_by_region[region] = split
             for operator, gbps in split.items():
                 deployment = self.scenario.estate.deployments.get(operator)
                 if deployment is not None:
                     deployment.offer_demand(now, region, gbps)
+            if profiling:
+                selection_s += self.clock() - t0
+        if profiling:
+            worker = self.profile_worker
+            obs.observe_phase("arrivals", worker, arrivals_s)
+            obs.observe_phase("selection", worker, selection_s)
         return demand_by_region, operator_gbps_by_region
 
     def advance_merged(
@@ -505,6 +560,7 @@ class SimulationEngine:
             demand_by_region, operator_gbps_by_region = self._advance_demand(now)
 
             with obs.tracer.span("engine.measurements", ts=now):
+                t0 = self.clock() if obs.profiling else 0.0
                 measurements = 0
                 if global_measurements is not None:
                     measurements += self.scenario.global_campaign.absorb_tick(
@@ -516,6 +572,10 @@ class SimulationEngine:
                     )
                 measurements += self.scenario.aws_campaign.maybe_run(now)
                 measurements += self.scenario.traceroute_campaign.maybe_run(now)
+                if obs.profiling:
+                    obs.observe_phase(
+                        "campaigns", self.profile_worker, self.clock() - t0
+                    )
 
             flows = 0
             if traffic is not None:

@@ -5,6 +5,7 @@ import pytest
 from repro.obs import (
     DEFAULT_BUCKETS,
     NULL_REGISTRY,
+    HistogramChild,
     MetricError,
     MetricsRegistry,
     NullRegistry,
@@ -248,3 +249,71 @@ class TestHistogramQuantile:
 
     def test_null_instrument_quantile_is_zero(self):
         assert NULL_REGISTRY.histogram("latency").quantile(0.99) == 0.0
+
+
+class TestPercentileSummary:
+    def test_panel_keys_and_ordering(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "latency", buckets=(0.001, 0.01, 0.1, 1.0)
+        ).labels()
+        for value in (0.0005, 0.002, 0.05, 0.02, 0.3):
+            hist.observe(value)
+        panel = hist.percentile_summary()
+        assert set(panel) == {"p50", "p95", "p99", "p999"}
+        assert panel["p50"] <= panel["p95"] <= panel["p99"] <= panel["p999"]
+
+    def test_empty_histogram_is_all_zero(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency", buckets=(0.1, 1.0)).labels()
+        assert hist.percentile_summary() == {
+            "p50": 0.0, "p95": 0.0, "p99": 0.0, "p999": 0.0,
+        }
+
+    def test_single_bucket_histogram(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency", buckets=(0.5,)).labels()
+        hist.observe(0.1)
+        panel = hist.percentile_summary()
+        # Everything fell in the one finite bucket: percentiles
+        # interpolate inside (0, 0.5] and never exceed its bound.
+        assert panel["p50"] == pytest.approx(0.25)
+        assert 0.0 < panel["p50"] <= panel["p999"] <= 0.5
+
+    def test_overflow_bucket_clamps_to_last_finite_bound(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency", buckets=(0.1,)).labels()
+        hist.observe(5.0)  # lands in +Inf
+        panel = hist.percentile_summary()
+        assert panel["p999"] == 0.1  # clamped, never inf
+
+    def test_null_registry_summary_is_zero(self):
+        panel = NULL_REGISTRY.histogram("latency").percentile_summary()
+        assert panel == {"p50": 0.0, "p95": 0.0, "p99": 0.0, "p999": 0.0}
+
+
+class TestFromCumulative:
+    def test_round_trips_a_local_histogram(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "latency", buckets=(0.01, 0.1, 1.0)
+        ).labels()
+        for value in (0.005, 0.05, 0.05, 0.5, 2.0):
+            hist.observe(value)
+        rebuilt = HistogramChild.from_cumulative(
+            list(hist.cumulative_buckets()), sum=hist.sum
+        )
+        assert rebuilt.count == hist.count
+        assert rebuilt.sum == hist.sum
+        assert rebuilt.percentile_summary() == hist.percentile_summary()
+
+    def test_unsorted_input_is_sorted(self):
+        rebuilt = HistogramChild.from_cumulative(
+            [(1.0, 5.0), (0.1, 2.0), (float("inf"), 6.0)]
+        )
+        assert rebuilt.count == 6
+        assert rebuilt.quantile(0.5) <= 1.0
+
+    def test_only_inf_bucket(self):
+        rebuilt = HistogramChild.from_cumulative([(float("inf"), 3.0)])
+        assert rebuilt.count == 3

@@ -129,3 +129,88 @@ class TestNullTracer:
         with use_tracer(tracer):
             assert get_tracer() is tracer
         assert not get_tracer().enabled
+
+
+class TestAsyncSpanNesting:
+    """Span parentage must be task-local, not a shared stack.
+
+    The pre-contextvars tracer kept one open-span stack per instance,
+    so spans from interleaved asyncio tasks adopted each other as
+    parents.  These are the regression tests for that bug.
+    """
+
+    def test_interleaved_tasks_keep_their_own_parents(self):
+        import asyncio
+
+        tracer = EventTracer()
+
+        async def request(name, pause):
+            with tracer.span(f"{name}.outer", ts=0.0):
+                await asyncio.sleep(pause)
+                with tracer.span(f"{name}.inner", ts=0.1):
+                    await asyncio.sleep(pause)
+
+        async def main():
+            await asyncio.gather(
+                request("a", 0.002), request("b", 0.001), request("c", 0.0)
+            )
+
+        asyncio.run(main())
+        spans = {r.name: r for r in tracer.records()}
+        for name in ("a", "b", "c"):
+            assert spans[f"{name}.outer"].parent_id is None, name
+            assert (
+                spans[f"{name}.inner"].parent_id
+                == spans[f"{name}.outer"].span_id
+            ), name
+
+    def test_concurrent_tasks_under_ambient_contexts(self):
+        import asyncio
+
+        from repro.obs.trace_context import TraceContext, use_context
+
+        tracer = EventTracer()
+
+        async def request(trace_id):
+            with use_context(TraceContext(trace_id=trace_id)):
+                with tracer.span("request", ts=0.0):
+                    await asyncio.sleep(0.001)
+                    with tracer.span("fetch", ts=0.1):
+                        pass
+
+        async def main():
+            await asyncio.gather(*(request(i + 1) for i in range(6)))
+
+        asyncio.run(main())
+        by_trace = {}
+        for record in tracer.records():
+            by_trace.setdefault(record.trace_id, []).append(record)
+        assert sorted(by_trace) == [1, 2, 3, 4, 5, 6]
+        for trace_id, records in by_trace.items():
+            spans = {r.name: r for r in records}
+            assert spans["fetch"].parent_id == spans["request"].span_id
+
+    def test_current_span_id_tracks_open_span(self):
+        tracer = EventTracer()
+        assert tracer.current_span_id() is None
+        with tracer.span("outer", ts=0.0):
+            outer_id = tracer.current_span_id()
+            assert outer_id is not None
+            with tracer.span("inner", ts=0.1):
+                assert tracer.current_span_id() != outer_id
+            assert tracer.current_span_id() == outer_id
+        assert tracer.current_span_id() is None
+
+    def test_stats_reports_sampling(self):
+        from repro.obs.trace_context import TraceContext, use_context
+
+        tracer = EventTracer(capacity=4)
+        with use_context(TraceContext(trace_id=1, sampled=False)):
+            tracer.event("dropped", ts=0.0)
+        for index in range(6):
+            tracer.event(f"kept{index}", ts=float(index))
+        stats = tracer.stats()
+        assert stats["sampled_out"] == 1
+        assert stats["emitted"] == 6
+        assert stats["buffered"] == 4
+        assert stats["dropped"] == 2

@@ -24,7 +24,9 @@ START, END = TIMELINE.at(9, 18), TIMELINE.at(9, 20)
 
 # Wall-clock timing histograms differ between any two runs (serial or
 # not); everything else in the registry is deterministic.
-WALL_CLOCK_FAMILIES = frozenset({"engine_step_wall_seconds"})
+WALL_CLOCK_FAMILIES = frozenset(
+    {"engine_step_wall_seconds", "engine_phase_seconds"}
+)
 
 
 def run_once(workers: int):

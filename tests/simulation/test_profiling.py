@@ -1,0 +1,116 @@
+"""Per-shard per-phase engine profiling.
+
+Profiling is observational: it must label every worker's phase
+timings in ``engine_phase_seconds`` without perturbing the simulated
+world — a profiled run stays byte-identical to an unprofiled one.
+"""
+
+import pytest
+
+from repro.obs import MetricsRegistry, use_registry
+from repro.simulation.engine import RunSummary, SimulationEngine
+from repro.simulation.scenario import ScenarioConfig, Sep2017Scenario
+from repro.workload import TIMELINE
+
+START, END = TIMELINE.at(9, 18), TIMELINE.at(9, 19)
+
+SERIAL_PHASES = {"arrivals", "selection", "campaigns", "traffic"}
+WORKER_PHASES = {"arrivals", "selection", "campaigns", "traffic", "digest"}
+
+
+def run_profiled(workers: int):
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        config = ScenarioConfig(
+            global_probe_count=24, isp_probe_count=12, traceroute_probe_count=4
+        )
+        scenario = Sep2017Scenario(config)
+        engine = SimulationEngine(scenario, step_seconds=1800.0)
+        reports = []
+        engine.run(START, END, progress=reports.append, workers=workers)
+    return scenario, reports, registry
+
+
+def phase_rows(registry):
+    """(phase, worker) -> observation count from the profile family."""
+    family = registry.get("engine_phase_seconds")
+    assert family is not None
+    return {
+        labels: child.count
+        for labels, child in family.children()
+        if child.count > 0
+    }
+
+
+class TestSerialProfile:
+    def test_every_phase_is_timed_under_main(self):
+        _, reports, registry = run_profiled(workers=1)
+        rows = phase_rows(registry)
+        workers = {worker for _, worker in rows}
+        assert workers == {"main"}
+        phases = {phase for phase, _ in rows}
+        assert phases == SERIAL_PHASES
+        # One observation per tick for the whole-tick phases.
+        assert rows[("campaigns", "main")] == len(reports)
+        assert rows[("traffic", "main")] == len(reports)
+
+
+class TestShardedProfile:
+    def test_each_worker_reports_its_own_phases(self):
+        _, _, registry = run_profiled(workers=4)
+        rows = phase_rows(registry)
+        workers = {worker for _, worker in rows}
+        # Four shard workers plus the coordinator's merge lane.
+        assert workers == {"w0", "w1", "w2", "w3", "main"}
+        shard_names = ("w0", "w1", "w2", "w3")
+        for shard in shard_names:
+            phases = {phase for phase, worker in rows if worker == shard}
+            # Demand arrival, selection and the digest run on every
+            # shard every tick; campaign probes and the ISP traffic
+            # unit are load-balanced so only their owners report them.
+            assert {"arrivals", "selection", "digest"} <= phases, shard
+            assert phases <= WORKER_PHASES, shard
+        shard_phases = {
+            phase for phase, worker in rows if worker in shard_names
+        }
+        assert shard_phases == WORKER_PHASES
+        traffic_owners = [
+            worker for phase, worker in rows if phase == "traffic"
+        ]
+        assert len(traffic_owners) == 1  # a single shard owns traffic
+        # The coordinator replays the merged advance (arrivals,
+        # selection, campaign adoption) and adds its merge lane; it
+        # never recomputes worker-side digests or traffic.
+        main_phases = {phase for phase, worker in rows if worker == "main"}
+        assert "merge" in main_phases
+        assert main_phases <= {"arrivals", "selection", "campaigns", "merge"}
+
+    def test_phase_time_is_positive(self):
+        _, _, registry = run_profiled(workers=2)
+        family = registry.get("engine_phase_seconds")
+        total = sum(child.sum for _, child in family.children())
+        assert total > 0.0
+
+
+class TestProfilingIsInvisible:
+    def test_profiled_run_matches_unprofiled_world(self):
+        # An unprofiled run: no ambient registry, so the engine's
+        # observer is disabled and no timing branches execute.
+        config = ScenarioConfig(
+            global_probe_count=24, isp_probe_count=12, traceroute_probe_count=4
+        )
+        bare_scenario = Sep2017Scenario(config)
+        bare_engine = SimulationEngine(bare_scenario, step_seconds=1800.0)
+        bare_reports = []
+        bare_engine.run(START, END, progress=bare_reports.append)
+
+        scenario, reports, _ = run_profiled(workers=1)
+
+        assert reports == bare_reports
+        assert scenario.netflow.records == bare_scenario.netflow.records
+        assert (
+            scenario.snmp.snapshot_bins() == bare_scenario.snmp.snapshot_bins()
+        )
+        left = RunSummary.from_run(scenario, reports).to_json_dict()
+        right = RunSummary.from_run(bare_scenario, bare_reports).to_json_dict()
+        assert left == right

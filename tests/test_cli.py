@@ -161,3 +161,199 @@ class TestServeCommands:
         captured = capsys.readouterr().out
         assert code == 1
         assert "selftest FAILED" in captured
+
+
+class TestObservabilityParser:
+    def test_top_defaults(self):
+        args = build_parser().parse_args(["top"])
+        assert args.endpoint == "127.0.0.1:9900"
+        assert args.interval == 2.0
+        assert args.iterations == 0
+
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.workers == 4
+        assert args.start == "9-18"
+
+    def test_serve_admin_port(self):
+        args = build_parser().parse_args(["serve", "--admin-port", "9123"])
+        assert args.admin_port == 9123
+
+    def test_trace_sample_on_load_commands(self):
+        for command, extra in (
+            ("loadgen", ["--dns", "127.0.0.1:1", "--http", "127.0.0.1:2"]),
+            ("selftest", []),
+        ):
+            args = build_parser().parse_args(
+                [command, *extra, "--trace-sample", "0.25"]
+            )
+            assert args.trace_sample == 0.25
+
+    def test_flight_dir_on_engine_commands(self):
+        for command in ("simulate", "report", "chaos", "profile"):
+            args = build_parser().parse_args(
+                [command, "--flight-dir", "flights"]
+            )
+            assert args.flight_dir == "flights"
+
+
+class TestTopPanel:
+    def _families(self, dns=100.0, http=80.0, errors=0.0):
+        from repro.obs import MetricsRegistry, render_exposition
+
+        registry = MetricsRegistry()
+        registry.counter("serve_dns_queries_total").inc(dns)
+        status = registry.counter("serve_http_requests_total", "", ("status",))
+        status.labels("206").inc(http - errors)
+        if errors:
+            status.labels("502").inc(errors)
+        cache = registry.counter("cache_requests_total", "", ("outcome",))
+        cache.labels("hit").inc(30)
+        cache.labels("miss").inc(10)
+        hist = registry.histogram(
+            "serve_http_handle_seconds", buckets=(0.001, 0.01, 0.1)
+        ).labels()
+        for value in (0.0005, 0.005, 0.05):
+            hist.observe(value)
+        return parse_exposition(render_exposition(registry))
+
+    def test_first_frame_has_no_rates(self):
+        from repro.cli import render_top_panel
+
+        panel = render_top_panel(self._families(), None, 0.0)
+        assert "dns        - qps" in panel
+        assert "cache hit  75.0%" in panel
+
+    def test_second_frame_computes_rates(self):
+        from repro.cli import render_top_panel
+
+        previous = self._families(dns=100.0, http=80.0)
+        current = self._families(dns=300.0, http=180.0)
+        panel = render_top_panel(current, previous, 2.0)
+        assert "dns    100.0 qps" in panel
+        assert "http     50.0 rps" in panel
+
+    def test_error_rate_from_status_labels(self):
+        from repro.cli import render_top_panel
+
+        panel = render_top_panel(
+            self._families(http=100.0, errors=5.0), None, 0.0
+        )
+        assert "errors   5.0%" in panel
+
+    def test_percentile_lines(self):
+        from repro.cli import render_top_panel
+
+        panel = render_top_panel(self._families(), None, 0.0)
+        assert "http handle ms" in panel
+        assert "p999" in panel
+        assert "dns handle ms" in panel
+        assert "(no samples yet)" in panel  # no dns histogram above
+
+
+class TestProfileCommand:
+    def test_render_profile_empty_registry(self):
+        from repro.cli import render_profile
+        from repro.obs import MetricsRegistry
+
+        assert "no phase timings" in render_profile(MetricsRegistry())
+
+    def test_profile_reports_per_worker_phases(self, capsys):
+        code = main(
+            ["profile", "--start", "9-18", "--end", "9-19",
+             "--step", "3600", "--probes", "4", "--isp-probes", "3",
+             "--workers", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "workers=2" in out
+        for needle in ("worker", "phase", "p95 ms", "share",
+                       "w0", "w1", "main", "arrivals", "merge"):
+            assert needle in out, needle
+
+
+class TestTopCommand:
+    def test_top_polls_a_live_admin_endpoint(self, capsys):
+        import asyncio
+        import threading
+
+        from repro.obs import EventTracer, MetricsRegistry, use_registry
+        from repro.serve import (
+            ClientDirectory,
+            ClusterConfig,
+            LoadConfig,
+            ServeCluster,
+            build_serve_estate,
+        )
+
+        ready = threading.Event()
+        done = threading.Event()
+        box = {}
+
+        async def serve_forever():
+            registry = MetricsRegistry()
+            with use_registry(registry):
+                estate = build_serve_estate(ClusterConfig(servers_per_metro=2))
+                cluster = ServeCluster(
+                    estate=estate,
+                    directory=ClientDirectory.from_adoption(),
+                    metrics=registry,
+                    tracer=EventTracer(),
+                )
+                async with cluster:
+                    await cluster.drive(
+                        LoadConfig(requests=40, concurrency=8)
+                    )
+                    box["endpoint"] = cluster.admin.endpoint
+                    ready.set()
+                    while not done.is_set():
+                        await asyncio.sleep(0.02)
+
+        thread = threading.Thread(
+            target=lambda: asyncio.run(serve_forever()), daemon=True
+        )
+        thread.start()
+        assert ready.wait(timeout=30), "cluster never came up"
+        host, port = box["endpoint"]
+        try:
+            code = main(
+                ["top", "--endpoint", f"{host}:{port}",
+                 "--iterations", "2", "--interval", "0.05"]
+            )
+        finally:
+            done.set()
+            thread.join(timeout=10)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("frame") == 2
+        assert "qps" in out and "cache hit" in out
+
+    def test_top_unreachable_endpoint_exits(self):
+        with pytest.raises(SystemExit):
+            main(["top", "--endpoint", "127.0.0.1:1",
+                  "--iterations", "1"])
+
+
+class TestTraceOut:
+    def test_selftest_writes_trace_jsonl(self, tmp_path, capsys):
+        trace_path = tmp_path / "traces.jsonl"
+        code = main(
+            ["selftest", "--requests", "60", "--concurrency", "8",
+             "--qps-floor", "10", "--trace-sample", "1.0",
+             "--trace-out", str(trace_path)]
+        )
+        assert code == 0
+        lines = trace_path.read_text().splitlines()
+        assert lines
+        names = {json.loads(line)["name"] for line in lines}
+        assert "client.fetch" in names
+        assert "serve.dns.query" in names
+
+    def test_selftest_sampling_reports_drops(self, capsys):
+        code = main(
+            ["selftest", "--requests", "60", "--concurrency", "8",
+             "--qps-floor", "10", "--trace-sample", "0.0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sampled out" in out
