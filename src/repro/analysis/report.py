@@ -139,4 +139,32 @@ def generate_report(scenario, timeline: Optional[Timeline] = None) -> str:
     else:
         lines.append("(no ISP traffic collected in this run)")
 
+    # --- Steering ablation: anycast catchments (beyond the paper) ---------
+    plane = getattr(scenario, "anycast", None)
+    if plane is not None:
+        from ..anycast import CatchmentAnalysis
+
+        analysis = CatchmentAnalysis.from_plane(plane)
+        steering = getattr(scenario.config, "steering", "anycast")
+        lines += _section(
+            f"Steering ablation — anycast catchments ({steering} mode)"
+        )
+        for site_id, share in sorted(
+            analysis.peak_share_by_site.items(),
+            key=lambda item: (-item[1], item[0]),
+        )[:10]:
+            lines.append(f"    {site_id:<12} peak share {share * 100:5.1f}%")
+        lines.append("")
+        lines.append(
+            f"    {analysis.sites_live} sites live over {analysis.ticks} "
+            f"ticks; {analysis.map_changes} catchment-map changes, "
+            f"affinity-break rate {analysis.affinity_break_rate:.4f}"
+        )
+        lines.append(
+            f"    shifted traffic {analysis.shifted_gbps_total:.0f} Gbps; "
+            f"mapping distance {analysis.mapping_distance_km:.0f} km vs "
+            f"nearest-site {analysis.nearest_distance_km:.0f} km "
+            f"(anycast cost +{analysis.mapping_distance_delta_km:.0f} km)"
+        )
+
     return "\n".join(lines)

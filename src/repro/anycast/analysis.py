@@ -1,0 +1,93 @@
+"""Catchment analysis: what the anycast plane did over a run.
+
+Folds the per-tick :class:`~repro.anycast.plane.AnycastTick` log into
+run-level aggregates for the report, the scoreboard and the golden
+snapshots: peak catchment share per site, the affinity-break rate
+(how often a client population changed site mid-run), the traffic
+volume those breaks moved, and the mapping-distance delta against the
+DNS ideal (nearest site), which prices anycast's topology-driven
+mapping against DNS's geography-driven one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from .catchment import mean_mapping_distance_km, mean_nearest_distance_km
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .plane import AnycastPlane
+
+__all__ = ["CatchmentAnalysis"]
+
+
+@dataclass(frozen=True)
+class CatchmentAnalysis:
+    """Run-level catchment aggregates."""
+
+    ticks: int
+    sites_live: int  # distinct sites that held any catchment
+    peak_share_by_site: dict = field(default_factory=dict)
+    map_changes: int = 0  # ticks whose map differed from the previous
+    affinity_break_rate: float = 0.0  # group-moves per group per tick
+    shifted_gbps_total: float = 0.0  # demand moved by catchment shifts
+    mapping_distance_km: float = 0.0  # mean client -> catchment site
+    nearest_distance_km: float = 0.0  # mean client -> nearest site
+    mapping_distance_delta_km: float = 0.0  # anycast price vs DNS ideal
+
+    @classmethod
+    def from_plane(cls, plane: "AnycastPlane") -> "CatchmentAnalysis":
+        """Fold a plane's tick log (empty log is fine)."""
+        log = plane.log
+        peak: dict[str, float] = {}
+        changes = 0
+        breaks = 0
+        shifted_gbps = 0.0
+        for tick in log:
+            for site, share in tick.share_by_site.items():
+                if share > peak.get(site, 0.0):
+                    peak[site] = share
+            if tick.broken_groups:
+                changes += 1
+                breaks += len(tick.broken_groups)
+            shifted_gbps += tick.shifted_gbps
+        group_count = len(plane.groups)
+        tick_count = len(log)
+        rate = (
+            breaks / (group_count * tick_count)
+            if group_count and tick_count
+            else 0.0
+        )
+        # Distance quality of the steady-state (unfaulted) map.
+        baseline = plane.catchment_map(-1.0)
+        mapping_km = mean_mapping_distance_km(baseline, plane.site_by_id)
+        nearest_km = mean_nearest_distance_km(baseline, plane.site_by_id)
+        return cls(
+            ticks=tick_count,
+            sites_live=len(peak),
+            peak_share_by_site={site: peak[site] for site in sorted(peak)},
+            map_changes=changes,
+            affinity_break_rate=rate,
+            shifted_gbps_total=shifted_gbps,
+            mapping_distance_km=mapping_km,
+            nearest_distance_km=nearest_km,
+            mapping_distance_delta_km=mapping_km - nearest_km,
+        )
+
+    def to_json_dict(self) -> dict:
+        """Canonical JSON form (sorted keys, rounded floats)."""
+        return {
+            "ticks": self.ticks,
+            "sites_live": self.sites_live,
+            "peak_share_by_site": {
+                site: round(share, 6)
+                for site, share in sorted(self.peak_share_by_site.items())
+            },
+            "map_changes": self.map_changes,
+            "affinity_break_rate": round(self.affinity_break_rate, 6),
+            "shifted_gbps_total": round(self.shifted_gbps_total, 6),
+            "mapping_distance_km": round(self.mapping_distance_km, 3),
+            "nearest_distance_km": round(self.nearest_distance_km, 3),
+            "mapping_distance_delta_km": round(self.mapping_distance_delta_km, 3),
+        }

@@ -97,6 +97,13 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--workers", type=int, default=1,
                           help="worker processes for the sharded engine "
                                "(default 1 = serial)")
+    _add_steering_args(simulate)
+    simulate.add_argument("--fault", action="append", default=None,
+                          metavar="SPEC",
+                          help="fault window as kind@target:start-end"
+                               "[:severity], e.g. route-withdraw@defra-1:"
+                               "3600-7200 (repeatable; seconds are "
+                               "relative to --start)")
     _add_store_args(simulate)
     _add_telemetry_args(simulate)
     _add_flight_args(simulate)
@@ -110,6 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--workers", type=int, default=1,
                         help="worker processes for the sharded engine "
                              "(default 1 = serial)")
+    _add_steering_args(report)
     _add_store_args(report)
     _add_telemetry_args(report)
     _add_flight_args(report)
@@ -181,6 +189,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "default: the standard drill)")
     chaos.add_argument("--skip-simulation", action="store_true",
                        help="run only the live phase")
+    chaos.add_argument("--steering", choices=("dns", "anycast", "hybrid"),
+                       default="dns",
+                       help="steering mode under test; 'anycast' adds the "
+                            "route-flap drill (catchment shift, zero DNS "
+                            "re-steers)")
     chaos.add_argument("--workers", type=int, default=1,
                        help="worker processes for the simulation phase "
                             "(default 1 = serial)")
@@ -213,7 +226,47 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--workers", type=int, default=4,
                          help="worker processes to profile (default 4)")
     _add_flight_args(profile)
+
+    catchments = commands.add_parser(
+        "catchments",
+        help="run a window under anycast steering and print the catchment map",
+    )
+    catchments.add_argument("--start", default="9-18", metavar="M-D",
+                            help="start date in 2017 (default 9-18)")
+    catchments.add_argument("--end", default="9-20", metavar="M-D",
+                            help="end date in 2017 (default 9-20)")
+    catchments.add_argument("--step", type=float, default=1800.0,
+                            help="engine step in seconds (default 1800)")
+    catchments.add_argument("--probes", type=int, default=60,
+                            help="global probe count (default 60)")
+    catchments.add_argument("--isp-probes", type=int, default=30,
+                            help="ISP probe count (default 30)")
+    catchments.add_argument("--workers", type=int, default=1,
+                            help="worker processes for the sharded engine "
+                                 "(default 1 = serial)")
+    catchments.add_argument("--steering", choices=("anycast", "hybrid"),
+                            default="anycast",
+                            help="steering mode to replay (default anycast)")
+    catchments.add_argument("--fault", action="append", default=None,
+                            metavar="SPEC",
+                            help="route flap as kind@site:start-end[:severity],"
+                                 " e.g. route-withdraw@defra-1:3600-7200 "
+                                 "(repeatable; seconds relative to --start)")
+    catchments.add_argument("--json", action="store_true",
+                            help="print the catchment analysis as JSON")
     return parser
+
+
+def _add_steering_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--steering", choices=("dns", "anycast", "hybrid"),
+                     default="dns",
+                     help="client steering mode: dns (the 15 s selection "
+                          "CNAME), anycast (BGP catchments bypass DNS), or "
+                          "hybrid (only the DNS share is broker-steerable)")
+    sub.add_argument("--hybrid-dns-share", type=float, default=0.5,
+                     metavar="FRACTION",
+                     help="DNS-steered demand share under hybrid "
+                          "(default 0.5)")
 
 
 def _parse_date(text: str) -> float:
@@ -333,6 +386,22 @@ def _step_line(report) -> str:
             f"meas={report.measurements} flows={report.flows}")
 
 
+def _parse_fault_schedule(args: argparse.Namespace, start: float):
+    """The --fault specs as a FaultSchedule anchored at ``start``.
+
+    Spec times are written relative to the window start (easier to type
+    than absolute timeline seconds), so shift them onto the timeline.
+    """
+    if not getattr(args, "fault", None):
+        return None
+    from .faults import FaultSchedule
+
+    try:
+        return FaultSchedule.parse(args.fault).shifted(start)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     start = _parse_date(args.start)
     end = _parse_date(args.end)
@@ -342,8 +411,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             ScenarioConfig(
                 global_probe_count=args.probes,
                 isp_probe_count=args.isp_probes,
+                steering=args.steering,
+                hybrid_dns_share=args.hybrid_dns_share,
                 **_store_config_kwargs(args),
-            )
+            ),
+            faults=_parse_fault_schedule(args, start),
         )
         engine = SimulationEngine(scenario, step_seconds=args.step)
 
@@ -367,6 +439,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
           f"{scenario.global_campaign.store.dns_count} global + "
           f"{scenario.isp_campaign.store.dns_count} ISP DNS measurements; "
           f"{len(scenario.netflow.records)} flow records")
+    if scenario.anycast is not None:
+        from .anycast import CatchmentAnalysis
+
+        analysis = CatchmentAnalysis.from_plane(scenario.anycast)
+        print(f"anycast ({args.steering} steering): "
+              f"{analysis.sites_live} sites live, "
+              f"{analysis.map_changes} catchment-map changes, "
+              f"{analysis.shifted_gbps_total:.0f} Gbps shifted, "
+              f"mapping distance {analysis.mapping_distance_km:.0f} km "
+              f"(+{analysis.mapping_distance_delta_km:.0f} vs nearest-site)")
     if args.store_budget_mb is not None or args.store_spill_dir is not None:
         print(_store_stats_line(scenario))
     _write_telemetry(args, registry, tracer)
@@ -380,6 +462,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
             ScenarioConfig(
                 global_probe_count=args.probes,
                 isp_probe_count=args.isp_probes,
+                steering=args.steering,
+                hybrid_dns_share=args.hybrid_dns_share,
                 **_store_config_kwargs(args),
             )
         )
@@ -394,6 +478,59 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print()
         print(_store_stats_line(scenario))
     _write_telemetry(args, registry, tracer)
+    return 0
+
+
+def _cmd_catchments(args: argparse.Namespace) -> int:
+    import json
+
+    from .anycast import CatchmentAnalysis
+
+    start = _parse_date(args.start)
+    end = _parse_date(args.end)
+    scenario = Sep2017Scenario(
+        ScenarioConfig(
+            global_probe_count=args.probes,
+            isp_probe_count=args.isp_probes,
+            steering=args.steering,
+        ),
+        faults=_parse_fault_schedule(args, start),
+    )
+    engine = SimulationEngine(scenario, step_seconds=args.step)
+    engine.run(start, end, workers=args.workers)
+    plane = scenario.anycast
+    assert plane is not None  # steering is never "dns" here
+    final_map = plane.catchment_map(end)
+    analysis = CatchmentAnalysis.from_plane(plane)
+    if args.json:
+        print(json.dumps(
+            {
+                "steering": args.steering,
+                "catchments": analysis.to_json_dict(),
+                "final_map": final_map.to_json_dict(),
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+        return 0
+    print(f"catchment map at {TIMELINE.date_label(end)} "
+          f"({args.steering} steering, {len(plane.groups)} client groups, "
+          f"{len(plane.sites)} sites, signature {final_map.signature[:16]}):")
+    for site_id, share in final_map.share_by_site().items():
+        site = plane.site_by_id[site_id]
+        bar = "#" * max(1, round(share * 40))
+        print(f"  {site_id:<12} {share * 100:5.1f}%  "
+              f"({site.region.value}) {bar}")
+    print()
+    print(f"ticks observed        {analysis.ticks}")
+    print(f"sites live            {analysis.sites_live} / {len(plane.sites)}")
+    print(f"catchment-map changes {analysis.map_changes}")
+    print(f"affinity-break rate   {analysis.affinity_break_rate:.4f} "
+          f"(group-moves per group per tick)")
+    print(f"shifted traffic       {analysis.shifted_gbps_total:.1f} Gbps")
+    print(f"mapping distance      {analysis.mapping_distance_km:.0f} km mean "
+          f"(nearest-site ideal {analysis.nearest_distance_km:.0f} km, "
+          f"anycast cost +{analysis.mapping_distance_delta_km:.0f} km)")
     return 0
 
 
@@ -577,6 +714,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         error_budget=args.error_budget,
         run_simulation=not args.skip_simulation,
         workers=args.workers,
+        steering=args.steering,
     )
     with _flight_scope(args):
         report, _registry, _tracer = run_chaos(config)
@@ -760,6 +898,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "chaos": _cmd_chaos,
         "top": _cmd_top,
         "profile": _cmd_profile,
+        "catchments": _cmd_catchments,
     }
     return handlers[args.command](args)
 

@@ -43,6 +43,7 @@ __all__ = [
     "ChaosConfig",
     "ChaosReport",
     "default_chaos_schedule",
+    "anycast_drill_schedule",
     "run_chaos",
     "chaos_selftest",
 ]
@@ -59,6 +60,30 @@ def default_chaos_schedule() -> FaultSchedule:
             FaultWindow(1.0, 9.0, "Apple", FaultKind.VIP_OUTAGE, severity=0.2),
             FaultWindow(3.0, 9.0, "Limelight", FaultKind.CDN_BLACKOUT),
         ]
+    )
+
+
+def anycast_drill_schedule(site_id: Optional[str] = None) -> FaultSchedule:
+    """The route-flap drill: withdraw the busiest catchment mid-run.
+
+    Routing-plane only — no DNS or cache fault — so the acceptance
+    question is inverted from the blackout drill: traffic must *move*
+    (catchments shift to the next-best site) while the health monitor
+    sees *nothing* (zero unhealthy events, zero re-steers).
+    """
+    if site_id is None:
+        from ..serve.clients import ClientDirectory
+        from ..serve.cluster import ClusterConfig, build_serve_estate
+        from ..serve.steering import build_serve_plane
+
+        plane = build_serve_plane(
+            build_serve_estate(ClusterConfig(servers_per_metro=2)),
+            ClientDirectory.from_adoption(),
+        )
+        shares = plane.catchment_map(0.0).share_by_site()
+        site_id = max(shares, key=lambda site: shares[site])
+    return FaultSchedule(
+        [FaultWindow(1.0, 5.0, site_id, FaultKind.ROUTE_WITHDRAW)]
     )
 
 
@@ -81,8 +106,14 @@ class ChaosConfig:
     run_simulation: bool = True
     servers_per_metro: int = 4
     workers: int = 1                  # worker processes for the simulation phase
+    steering: str = "dns"             # dns | anycast | hybrid
 
     def __post_init__(self) -> None:
+        if self.steering not in ("dns", "anycast", "hybrid"):
+            raise ValueError(
+                f"unknown steering mode {self.steering!r} "
+                "(valid: dns, anycast, hybrid)"
+            )
         if self.batch_requests <= 0 or self.concurrency <= 0:
             raise ValueError("batch_requests and concurrency must be positive")
         if not 0.0 < self.error_budget < 1.0:
@@ -113,6 +144,13 @@ class ChaosReport:
     sim_limelight_blackout_gbps: Optional[float] = None
     sim_limelight_after_gbps: Optional[float] = None
     sim_overflow_akamai_bytes: Optional[int] = None
+    # anycast steering (populated when steering != "dns")
+    steering: str = "dns"
+    anycast_routed: int = 0
+    catchment_shift: tuple = ()
+    sim_flap_site: Optional[str] = None
+    sim_map_changes: Optional[int] = None
+    sim_shifted_gbps: Optional[float] = None
     checks: tuple = field(default_factory=tuple)
 
     def passed(self) -> bool:
@@ -148,6 +186,17 @@ class ChaosReport:
             )
         else:
             lines.append("recovery        not observed")
+        if self.steering != "dns":
+            lines += [
+                "",
+                f"anycast ({self.steering} steering)",
+                f"  catchment-routed     {self.anycast_routed} connections",
+            ]
+            if self.catchment_shift:
+                lines.append(
+                    f"  flap shifted         {len(self.catchment_shift)} "
+                    f"client group(s): {', '.join(self.catchment_shift)}"
+                )
         if self.sim_overflow_akamai_bytes is not None:
             lines += [
                 "",
@@ -156,6 +205,14 @@ class ChaosReport:
                 f" -> blackout {self.sim_limelight_blackout_gbps:.0f} Gbps"
                 f" -> after {self.sim_limelight_after_gbps:.0f} Gbps",
                 f"  overflow to Akamai   {self.sim_overflow_akamai_bytes:,} bytes",
+            ]
+        if self.sim_flap_site is not None:
+            lines += [
+                "",
+                "simulation (route flap, release+1h .. release+3h)",
+                f"  withdrawn site       {self.sim_flap_site}",
+                f"  catchment changes    {self.sim_map_changes}",
+                f"  shifted traffic      {self.sim_shifted_gbps:.0f} Gbps",
             ]
         lines.append("")
         for label, ok in self.checks:
@@ -248,6 +305,7 @@ async def _live_phase(config: ChaosConfig, schedule: FaultSchedule,
         tracer=tracer,
         faults=schedule,
         failover=failover,
+        steering=config.steering,
     )
     end_at = schedule.end_time() + config.recovery_margin
     totals = {"requests": 0, "ok": 0, "errors": 0,
@@ -279,6 +337,25 @@ async def _live_phase(config: ChaosConfig, schedule: FaultSchedule,
             if record.fields.get("member") == blackout.target:
                 recovery = max(0.0, record.ts - blackout.end)
                 break
+    # Anycast bookkeeping: how many connections the catchment router
+    # placed, and which client groups a route flap moved.  The shift is
+    # evaluated against the same schedule the live window ran.
+    anycast_routed = 0
+    catchment_shift: tuple[str, ...] = ()
+    plane = getattr(cluster, "anycast", None)
+    if plane is not None:
+        family = registry.get("serve_anycast_routed_total")
+        if family is not None:
+            anycast_routed = int(
+                sum(child.value for _labels, child in family.children())
+            )
+        flaps = [w for w in schedule if w.kind in
+                 (FaultKind.ROUTE_WITHDRAW, FaultKind.ROUTE_PREPEND)]
+        if flaps:
+            window = flaps[0]
+            before = plane.catchment_map(window.start - 1.0)
+            during = plane.catchment_map((window.start + window.end) / 2.0)
+            catchment_shift = before.diff(during)
     return {
         **totals,
         "watched": watched,
@@ -286,6 +363,8 @@ async def _live_phase(config: ChaosConfig, schedule: FaultSchedule,
         "recovery": recovery,
         "unhealthy": len(tracer.find("cdn_unhealthy")),
         "blackout": blackout,
+        "anycast_routed": anycast_routed,
+        "catchment_shift": catchment_shift,
     }
 
 
@@ -339,6 +418,58 @@ def _simulation_phase(config: ChaosConfig) -> dict:
     }
 
 
+def _anycast_simulation_phase(config: ChaosConfig) -> dict:
+    """Replay a mid-event route flap in engine time under anycast.
+
+    The flap must shift catchments (affinity breaks, shifted traffic)
+    while the DNS failover plane records nothing: route kinds never
+    reach the health probes.
+    """
+    from ..anycast.analysis import CatchmentAnalysis
+    from ..simulation.engine import SimulationEngine
+    from ..simulation.scenario import ScenarioConfig, Sep2017Scenario
+
+    release = TIMELINE.ios_11_0_release
+    flap_start = release + 3600.0
+    flap_end = release + 3 * 3600.0
+    scenario_config = ScenarioConfig(
+        global_probe_count=32,
+        isp_probe_count=16,
+        traceroute_probe_count=2,
+        fault_seed=config.seed,
+        steering=config.steering if config.steering != "dns" else "anycast",
+    )
+    # Find the busiest catchment first (pure function of the config),
+    # then rebuild the world with that site's announcement withdrawn
+    # mid-event.
+    probe_plane = Sep2017Scenario(scenario_config).anycast
+    shares = probe_plane.catchment_map(0.0).share_by_site()
+    site_id = max(shares, key=lambda site: shares[site])
+    schedule = FaultSchedule(
+        [FaultWindow(flap_start, flap_end, site_id, FaultKind.ROUTE_WITHDRAW)]
+    )
+    scenario = Sep2017Scenario(scenario_config, faults=schedule)
+    engine = SimulationEngine(scenario, step_seconds=1800.0)
+    engine.run(
+        release - 1800.0, release + 5 * 3600.0, workers=config.workers
+    )
+    analysis = CatchmentAnalysis.from_plane(scenario.anycast)
+    unhealthy = 0
+    monitor = scenario._health_monitor
+    if monitor is not None:
+        unhealthy = sum(
+            1 for member in monitor.members
+            if not monitor.is_healthy(member)
+        )
+    return {
+        "flap_site": site_id,
+        "map_changes": analysis.map_changes,
+        "affinity_break_rate": analysis.affinity_break_rate,
+        "shifted_gbps": analysis.shifted_gbps_total,
+        "unhealthy_members": unhealthy,
+    }
+
+
 def run_chaos(
     config: Optional[ChaosConfig] = None,
     registry: Optional[MetricsRegistry] = None,
@@ -346,14 +477,28 @@ def run_chaos(
 ) -> tuple[ChaosReport, MetricsRegistry, EventTracer]:
     """Run the full drill; returns (report, registry, tracer)."""
     config = config if config is not None else ChaosConfig()
-    schedule = config.schedule if config.schedule is not None else default_chaos_schedule()
+    if config.schedule is not None:
+        schedule = config.schedule
+    elif config.steering == "anycast":
+        schedule = anycast_drill_schedule()
+    else:
+        schedule = default_chaos_schedule()
     if not len(schedule):
         raise ValueError("a chaos drill needs at least one fault window")
     registry = registry if registry is not None else MetricsRegistry()
     tracer = tracer if tracer is not None else EventTracer()
+    route_only = all(
+        w.kind in (FaultKind.ROUTE_WITHDRAW, FaultKind.ROUTE_PREPEND)
+        for w in schedule
+    )
     with use_registry(registry), use_tracer(tracer):
         live = asyncio.run(_live_phase(config, schedule, registry, tracer))
-        sim = _simulation_phase(config) if config.run_simulation else None
+        sim = None
+        if config.run_simulation:
+            if config.steering == "anycast":
+                sim = _anycast_simulation_phase(config)
+            else:
+                sim = _simulation_phase(config)
 
     error_rate = live["errors"] / live["requests"] if live["requests"] else 1.0
     blackout = live["blackout"]
@@ -370,7 +515,32 @@ def run_chaos(
             ("recovery to healthy reported after the fault cleared",
              live["recovery"] is not None),
         ]
-    if sim is not None:
+    if config.steering != "dns":
+        checks.append(
+            ("anycast: connections routed by catchment",
+             live["anycast_routed"] > 0)
+        )
+    if config.steering != "dns" and live["catchment_shift"]:
+        checks.append(
+            ("anycast: route flap shifted catchments",
+             len(live["catchment_shift"]) > 0)
+        )
+    if route_only:
+        checks.append(
+            ("anycast: flap invisible to health monitor (zero unhealthy "
+             "events, zero re-steers)",
+             live["unhealthy"] == 0 and live["resteer"] is None)
+        )
+    if sim is not None and config.steering == "anycast":
+        checks += [
+            ("simulation: mid-event flap shifted catchments and reverted",
+             sim["map_changes"] >= 2 and sim["affinity_break_rate"] > 0.0),
+            ("simulation: shifted traffic volume is non-zero",
+             sim["shifted_gbps"] > 0.0),
+            ("simulation: zero members unhealthy after the flap",
+             sim["unhealthy_members"] == 0),
+        ]
+    elif sim is not None:
         checks += [
             ("simulation: Limelight split dropped to zero during blackout",
              sim["limelight_pre"] > 0.0 and sim["limelight_blackout"] == 0.0),
@@ -392,12 +562,22 @@ def run_chaos(
         recovery_seconds=live["recovery"],
         unhealthy_events=live["unhealthy"],
         watched_clients=live["watched"],
-        sim_limelight_pre_gbps=None if sim is None else sim["limelight_pre"],
+        sim_limelight_pre_gbps=None if sim is None else sim.get("limelight_pre"),
         sim_limelight_blackout_gbps=(
-            None if sim is None else sim["limelight_blackout"]
+            None if sim is None else sim.get("limelight_blackout")
         ),
-        sim_limelight_after_gbps=None if sim is None else sim["limelight_after"],
-        sim_overflow_akamai_bytes=None if sim is None else sim["overflow_akamai"],
+        sim_limelight_after_gbps=(
+            None if sim is None else sim.get("limelight_after")
+        ),
+        sim_overflow_akamai_bytes=(
+            None if sim is None else sim.get("overflow_akamai")
+        ),
+        steering=config.steering,
+        anycast_routed=live["anycast_routed"],
+        catchment_shift=live["catchment_shift"],
+        sim_flap_site=None if sim is None else sim.get("flap_site"),
+        sim_map_changes=None if sim is None else sim.get("map_changes"),
+        sim_shifted_gbps=None if sim is None else sim.get("shifted_gbps"),
         checks=tuple(checks),
     )
     if not report.passed():

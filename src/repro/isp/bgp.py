@@ -1,15 +1,22 @@
-"""The ISP's BGP view: best routes with origin AS and ingress links.
+"""The ISP's BGP view: candidate routes with origin AS and ingress links.
 
 Section 5.2 reports ~60 million BGP routes across ~300 sessions; the
 reproduction keeps the same *queryable facts* at laptop scale: for any
 source address, the originating AS (the paper's *Source AS*) and the
 set of peering links the prefix is reachable over (which fixes the
-*handover AS*).  Routes are the post-selection best paths — decision
-process details are irrelevant to the offload/overflow analyses.
+*handover AS*).
+
+The table holds every announced candidate per prefix, not just the
+post-selection winner: anycast prefixes are announced from many sites
+at once, so the decision process (shortest AS path, then a stable
+deterministic tie-break) has to run over the full candidate set.  For
+unicast prefixes with a single announcement the behaviour is identical
+to a best-route table.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
@@ -17,12 +24,12 @@ from ..net.asys import ASN
 from ..net.ipv4 import IPv4Address, IPv4Prefix
 from ..net.trie import PrefixTrie
 
-__all__ = ["BgpRoute", "BgpRib"]
+__all__ = ["BgpRoute", "BgpRib", "route_preference"]
 
 
 @dataclass(frozen=True)
 class BgpRoute:
-    """One installed best route.
+    """One announced route.
 
     ``link_ids`` are the ingress links traffic from this prefix
     arrives over (multiple links to the same neighbour are balanced);
@@ -60,37 +67,122 @@ class BgpRoute:
         return f"{self.prefix} via [{path}] over {','.join(self.link_ids)}"
 
 
+def _route_digest(route: BgpRoute) -> bytes:
+    """A stable content digest used to break best-path ties."""
+    text = "|".join(
+        [
+            str(route.prefix),
+            ".".join(str(asn.number) for asn in route.as_path),
+            ",".join(route.link_ids),
+        ]
+    )
+    return hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+
+
+def route_preference(route: BgpRoute) -> tuple[int, bytes]:
+    """Best-path sort key: shortest AS path, then stable BLAKE2b tie-break.
+
+    Lower sorts better.  The tie-break depends only on route content,
+    never on insertion order or ``id()``, so selection is bit-identical
+    across processes and runs.
+    """
+    return (len(route.as_path), _route_digest(route))
+
+
 class BgpRib:
-    """Longest-prefix-match table of installed best routes."""
+    """Longest-prefix-match table of announced candidate routes.
+
+    Each prefix maps to a deterministic candidate set; :meth:`lookup`
+    applies best-path selection (shortest AS path, stable tie-break)
+    over the candidates of the longest matching prefix.  Installing a
+    second distinct route for a prefix *adds a candidate* — it no
+    longer silently replaces the previous announcement.
+    """
 
     def __init__(self) -> None:
-        self._trie: PrefixTrie[BgpRoute] = PrefixTrie()
-        self._count = 0
+        self._trie: PrefixTrie[tuple[BgpRoute, ...]] = PrefixTrie()
 
     def install(self, route: BgpRoute) -> None:
-        """Install (or replace) the best route for ``route.prefix``."""
-        if self._trie.get(route.prefix) is None:
-            self._count += 1
-        self._trie.insert(route.prefix, route)
+        """Announce ``route``, adding it to its prefix's candidate set.
+
+        Re-announcing an identical route is a no-op; a route that
+        differs in AS path or ingress links joins the candidate set in
+        preference order.
+        """
+        existing = self._trie.get(route.prefix) or ()
+        if route in existing:
+            return
+        candidates = tuple(sorted(existing + (route,), key=route_preference))
+        self._trie.insert(route.prefix, candidates)
+
+    def withdraw(self, route: BgpRoute) -> bool:
+        """Withdraw one previously announced route.
+
+        Returns ``True`` if the route was present.  Withdrawing the
+        last candidate leaves an empty set installed, which lookups
+        skip over (the covering prefix, if any, answers instead).
+        """
+        existing = self._trie.get(route.prefix)
+        if not existing or route not in existing:
+            return False
+        remaining = tuple(r for r in existing if r != route)
+        self._trie.insert(route.prefix, remaining)
+        return True
+
+    def candidates(self, prefix: IPv4Prefix) -> tuple[BgpRoute, ...]:
+        """Every announced candidate for exactly ``prefix``, best first."""
+        return self._trie.get(prefix) or ()
 
     def lookup(self, address: IPv4Address) -> Optional[BgpRoute]:
-        """The best route covering ``address``, or ``None``."""
-        return self._trie.lookup(address)
+        """Best route covering ``address``, or ``None``."""
+        best = self.lookup_all(address)
+        return best[0] if best else None
+
+    def lookup_all(self, address: IPv4Address) -> tuple[BgpRoute, ...]:
+        """All candidates of the longest matching prefix, best first.
+
+        Prefixes whose candidates were all withdrawn are transparent:
+        the next-longest covering prefix answers.
+        """
+        # Walk covering prefixes longest-first: take the longest match,
+        # and if its candidate set is empty (fully withdrawn) retry
+        # strictly above it.
+        length = 33
+        while length > 0:
+            found = self._lookup_above(address, length)
+            if found is None:
+                break
+            match_prefix, candidates = found
+            if candidates:
+                return candidates
+            length = match_prefix.length
+        return ()
+
+    def _lookup_above(
+        self, address: IPv4Address, below: int
+    ) -> Optional[tuple[IPv4Prefix, tuple[BgpRoute, ...]]]:
+        """Longest match for ``address`` strictly shorter than ``below``."""
+        return self._trie.lookup_prefix(address, max_length=below - 1)
 
     def origin_asn(self, address: IPv4Address) -> Optional[ASN]:
         """Shortcut: the Source AS for ``address``."""
-        route = self._trie.lookup(address)
+        route = self.lookup(address)
         return route.origin_asn if route is not None else None
 
     def routes(self) -> Iterator[BgpRoute]:
-        """All installed routes."""
-        for _, route in self._trie.items():
-            yield route
+        """All announced routes (every candidate of every prefix)."""
+        for _, candidates in self._trie.items():
+            yield from candidates
+
+    def routes_under(self, prefix: IPv4Prefix) -> Iterator[BgpRoute]:
+        """All announced routes whose prefix is covered by ``prefix``."""
+        for _, candidates in self._trie.items_under(prefix):
+            yield from candidates
 
     @property
     def route_count(self) -> int:
-        """Number of installed routes (the paper tracked ~60 M)."""
-        return self._count
+        """Number of prefixes with at least one live candidate."""
+        return sum(1 for _, candidates in self._trie.items() if candidates)
 
     def __len__(self) -> int:
-        return self._count
+        return self.route_count

@@ -79,14 +79,21 @@ class PrefixTrie(Generic[V]):
                 best = node.value
         return best
 
-    def lookup_prefix(self, address: IPv4Address) -> Optional[tuple[IPv4Prefix, V]]:
-        """Like :meth:`lookup` but also return the matching prefix."""
+    def lookup_prefix(
+        self, address: IPv4Address, max_length: int = 32
+    ) -> Optional[tuple[IPv4Prefix, V]]:
+        """Like :meth:`lookup` but also return the matching prefix.
+
+        ``max_length`` bounds the match: only prefixes of at most that
+        length are considered, which lets callers walk the chain of
+        covering prefixes from longest to shortest.
+        """
         node = self._root
         best: Optional[tuple[IPv4Prefix, V]] = None
-        if node.has_value:
+        if node.has_value and max_length >= 0:
             best = (IPv4Prefix(IPv4Address(0), 0), node.value)  # type: ignore[arg-type]
         bits = address.value
-        for depth in range(32):
+        for depth in range(min(32, max_length)):
             bit = (bits >> (31 - depth)) & 1
             node = node.one if bit else node.zero  # type: ignore[assignment]
             if node is None:
@@ -112,14 +119,31 @@ class PrefixTrie(Generic[V]):
 
     def items(self) -> Iterator[tuple[IPv4Prefix, V]]:
         """Yield ``(prefix, value)`` pairs in depth-first order."""
+        yield from _walk(self._root, 0, 0)
 
-        def walk(node: _Node[V], bits: int, depth: int) -> Iterator[tuple[IPv4Prefix, V]]:
-            if node.has_value:
-                network = IPv4Address(bits << (32 - depth) if depth else 0)
-                yield IPv4Prefix(network, depth), node.value  # type: ignore[misc]
-            if node.zero is not None:
-                yield from walk(node.zero, bits << 1, depth + 1)
-            if node.one is not None:
-                yield from walk(node.one, (bits << 1) | 1, depth + 1)
+    def items_under(self, prefix: IPv4Prefix) -> Iterator[tuple[IPv4Prefix, V]]:
+        """Yield every stored ``(prefix, value)`` covered by ``prefix``.
 
-        yield from walk(self._root, 0, 0)
+        Descends directly to the subtree rooted at ``prefix`` and walks
+        only that subtree, so enumerating the entries under a covering
+        prefix costs O(length + subtree) rather than a full-table scan.
+        The entry stored *at* ``prefix`` itself (if any) is included.
+        """
+        node: Optional[_Node[V]] = self._root
+        bits = prefix.network.value
+        for depth in range(prefix.length):
+            bit = (bits >> (31 - depth)) & 1
+            node = node.one if bit else node.zero  # type: ignore[union-attr]
+            if node is None:
+                return
+        yield from _walk(node, bits >> (32 - prefix.length) if prefix.length else 0, prefix.length)
+
+
+def _walk(node: _Node[V], bits: int, depth: int) -> Iterator[tuple[IPv4Prefix, V]]:
+    if node.has_value:
+        network = IPv4Address(bits << (32 - depth) if depth else 0)
+        yield IPv4Prefix(network, depth), node.value  # type: ignore[misc]
+    if node.zero is not None:
+        yield from _walk(node.zero, bits << 1, depth + 1)
+    if node.one is not None:
+        yield from _walk(node.one, (bits << 1) | 1, depth + 1)

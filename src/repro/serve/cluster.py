@@ -35,6 +35,7 @@ from .clients import ClientDirectory
 from .dnsserver import AsyncDnsServer
 from .httpserver import AsyncHttpEdge, estate_router
 from .loadgen import LoadConfig, LoadGenerator, LoadReport
+from .steering import anycast_router, build_serve_plane
 
 __all__ = [
     "ClusterConfig",
@@ -140,7 +141,15 @@ class ServeCluster:
         faults: Optional[FaultSchedule] = None,
         failover: Optional[FailoverConfig] = None,
         tracer=None,
+        steering: str = "dns",
+        hybrid_dns_share: float = 0.5,
     ) -> None:
+        if steering not in ("dns", "anycast", "hybrid"):
+            raise ValueError(
+                f"unknown steering mode {steering!r} (valid: dns, anycast, hybrid)"
+            )
+        self.steering = steering
+        self.hybrid_dns_share = hybrid_dns_share
         self.config = config if config is not None else ClusterConfig()
         self.directory = (
             directory if directory is not None else ClientDirectory.from_adoption()
@@ -189,6 +198,23 @@ class ServeCluster:
                 estate if estate is not None else build_serve_estate(self.config)
             )
         self._clock = clock
+        # Anycast steering plane: catchments over the estate's Apple
+        # sites, evaluated against the fault schedule at the cluster
+        # clock so live route flaps shift connections instantly.
+        self.anycast = None
+        router = estate_router(self.estate)
+        if steering != "dns":
+            self.anycast = build_serve_plane(
+                self.estate, self.directory, schedule=faults
+            )
+            router = anycast_router(
+                self.estate,
+                self.anycast,
+                clock if clock is not None else self._cluster_clock,
+                steering=steering,
+                hybrid_dns_share=hybrid_dns_share,
+                metrics=registry,
+            )
         self.dns = AsyncDnsServer(
             self.estate.servers,
             directory=self.directory,
@@ -199,7 +225,7 @@ class ServeCluster:
             tracer=tracer,
         )
         self.http = AsyncHttpEdge(
-            estate_router(self.estate),
+            router,
             object_size=self.config.object_size,
             metrics=registry,
             faults=self.faults,

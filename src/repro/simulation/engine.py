@@ -65,6 +65,12 @@ class RunSummary:
     unique_ips: dict = field(default_factory=dict)
     offload_share: float = 0.0
     overflow_share: float = 0.0
+    # Steering mode and catchment aggregates (populated by from_run
+    # when the scenario runs an anycast plane; "dns" runs leave them
+    # empty and they stay out of the JSON form, keeping the original
+    # golden snapshot byte-identical).
+    steering: str = "dns"
+    catchments: dict = field(default_factory=dict)
 
     @classmethod
     def from_reports(cls, reports: Iterable[StepReport]) -> "RunSummary":
@@ -129,11 +135,20 @@ class RunSummary:
             if OVERFLOW_CLUSTER_PREFIX.contains(record.src):
                 overflow_bytes += record.bytes
         overflow_share = overflow_bytes / total_bytes if total_bytes else 0.0
+        steering = getattr(scenario.config, "steering", "dns")
+        catchments: dict = {}
+        anycast = getattr(scenario, "anycast", None)
+        if anycast is not None:
+            from ..anycast.analysis import CatchmentAnalysis
+
+            catchments = CatchmentAnalysis.from_plane(anycast).to_json_dict()
         return replace(
             base,
             unique_ips=unique_ips,
             offload_share=offload_share,
             overflow_share=overflow_share,
+            steering=steering,
+            catchments=catchments,
         )
 
     def to_json_dict(self) -> dict:
@@ -151,7 +166,7 @@ class RunSummary:
         def fval(value: float) -> float:
             return round(value, 6)
 
-        return {
+        result = {
             "steps": self.steps,
             "first_ts": None if self.first_ts is None else fval(self.first_ts),
             "last_ts": None if self.last_ts is None else fval(self.last_ts),
@@ -178,6 +193,10 @@ class RunSummary:
             "offload_share": fval(self.offload_share),
             "overflow_share": fval(self.overflow_share),
         }
+        if self.steering != "dns" or self.catchments:
+            result["steering"] = self.steering
+            result["catchments"] = self.catchments
+        return result
 
 
 class _EngineObserver:
@@ -528,6 +547,14 @@ class SimulationEngine:
                     deployment.offer_demand(now, region, gbps)
             if profiling:
                 selection_s += self.clock() - t0
+        anycast = getattr(self.scenario, "anycast", None)
+        if anycast is not None:
+            # One catchment observation per tick.  The map is a pure
+            # function of (config, fault schedule, now) and every
+            # replica calls this for the same tick sequence, so the
+            # log — and hence the catchment golden — is bit-identical
+            # across workers=1 and workers=N.
+            anycast.observe(now, sum(demand_by_region.values()))
         if profiling:
             worker = self.profile_worker
             obs.observe_phase("arrivals", worker, arrivals_s)
@@ -599,7 +626,30 @@ class SimulationEngine:
     def operator_split(
         self, region: MappingRegion, now: float, demand_gbps: float
     ) -> dict[str, float]:
-        """How ``region``'s demand divides over the CDNs right now."""
+        """How ``region``'s demand divides over the CDNs right now.
+
+        Under ``anycast`` steering every client already holds a route
+        to the shared VIP: the 15 s selection CNAME is never consulted
+        and all demand lands on Apple's own sites.  Under ``hybrid``
+        only the DNS-steered share flows through the selection split;
+        the anycast-pinned remainder cannot be re-steered by the
+        broker (or by health failover).
+        """
+        steering = getattr(self.scenario.config, "steering", "dns")
+        if steering == "anycast":
+            return {"Apple": demand_gbps}
+        if steering == "hybrid":
+            dns_share = self.scenario.config.hybrid_dns_share
+            split = self._dns_split(region, now, demand_gbps * dns_share)
+            pinned = demand_gbps * (1.0 - dns_share)
+            split["Apple"] = split.get("Apple", 0.0) + pinned
+            return split
+        return self._dns_split(region, now, demand_gbps)
+
+    def _dns_split(
+        self, region: MappingRegion, now: float, demand_gbps: float
+    ) -> dict[str, float]:
+        """The selection-CNAME split: Apple share, then member weights."""
         estate = self.scenario.estate
         apple_share = estate.apple_share(region, now)
         split = {"Apple": demand_gbps * apple_share}

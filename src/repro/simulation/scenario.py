@@ -44,6 +44,7 @@ from ..faults import (
     FaultInjector,
     FaultSchedule,
 )
+from ..anycast.plane import AnycastPlane, AnycastSite, ClientGroup
 from ..isp.bgp import BgpRib, BgpRoute
 from ..isp.netflow import NetflowCollector
 from ..isp.snmp import SnmpCounters
@@ -152,6 +153,11 @@ class ScenarioConfig:
     # --- event times (defaults from the Timeline) -------------------------
     a1015_delay_seconds: float = 6 * 3600.0
 
+    # --- steering ---------------------------------------------------------
+    steering: str = "dns"                  # "dns" | "anycast" | "hybrid"
+    hybrid_dns_share: float = 0.5          # DNS-steered demand share under
+    # hybrid; the rest is pinned to the anycast VIP and never re-steered
+
     # --- fault plane (used only when a FaultSchedule is passed) -----------
     fault_probe_interval: float = 60.0     # health-probe cadence
     fault_k_failures: int = 3              # probes before failover
@@ -189,6 +195,13 @@ class Sep2017Scenario:
         faults: Optional[FaultSchedule] = None,
     ) -> None:
         self.config = config if config is not None else ScenarioConfig()
+        if self.config.steering not in ("dns", "anycast", "hybrid"):
+            raise ValueError(
+                f"unknown steering mode {self.config.steering!r} "
+                "(valid: dns, anycast, hybrid)"
+            )
+        if not 0.0 <= self.config.hybrid_dns_share <= 1.0:
+            raise ValueError("hybrid_dns_share must be within [0, 1]")
         self.timeline = timeline
         # The raw schedule (not the injector built from it) so sharded
         # runs can rebuild bit-identical scenario replicas in workers.
@@ -280,6 +293,11 @@ class Sep2017Scenario:
         self.tracer = SimulatedTracer(
             self.registry, server_coordinates, transit_asn=AS_TRANSIT_A
         )
+        # Anycast steering plane: built only when a run actually steers
+        # over it, so plain DNS runs stay bit-identical to the seed.
+        self.anycast: Optional[AnycastPlane] = (
+            self._build_anycast() if self.config.steering != "dns" else None
+        )
         self.traceroute_campaign = TracerouteCampaign(
             probes=self.global_probes[: self.config.traceroute_probe_count],
             dns_store=self.global_campaign.store,
@@ -294,6 +312,38 @@ class Sep2017Scenario:
     # ------------------------------------------------------------------
     # construction helpers
     # ------------------------------------------------------------------
+
+    def _build_anycast(self) -> AnycastPlane:
+        """Wire the anycast plane over Apple's own sites and the probes.
+
+        Every Apple edge site announces the shared VIP prefix; the
+        client populations are the measurement probes' host routes
+        (global + ISP; placement packs probes densely, so /32s keep
+        them distinct), which gives the catchment map the same
+        worldwide spread the DNS campaigns observe.  Everything here derives from the
+        scenario config and fault schedule alone, so sharded worker
+        replicas rebuild an identical plane.
+        """
+        sites = [
+            AnycastSite(
+                site_id=f"{site.location.code}-{site.site_id}",
+                coordinates=site.location.coordinates,
+                continent=site.location.continent,
+                backend_vip=site.vip_addresses[0],
+                capacity_gbps=site.capacity_gbps,
+            )
+            for site in self.estate.apple.sites
+        ]
+        groups = [
+            ClientGroup(
+                name=f"probe-{probe.probe_id}",
+                prefix=IPv4Prefix.containing(probe.address, 32),
+                continent=probe.continent,
+                coordinates=probe.coordinates,
+            )
+            for probe in (*self.global_probes, *self.isp_probes)
+        ]
+        return AnycastPlane(sites, groups, schedule=self.fault_schedule)
 
     def _measurement_store(self, name: str) -> MeasurementStore:
         """A campaign store wired to the config's columnar/spill knobs.

@@ -1,0 +1,151 @@
+"""Property tests: RIB lookup agrees with a brute-force LPM oracle.
+
+``BgpRib.lookup_all`` layers two behaviours over the trie: candidate
+sets per prefix, and transparency of fully-withdrawn prefixes (the
+next covering prefix answers).  The oracle reimplements both in the
+obvious O(n·m) way over randomized announce/withdraw histories; the
+strategies force /0 default routes and /32 host routes to appear so
+both length edges are exercised, along with ``max_length``-bounded
+``PrefixTrie.lookup_prefix``.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.isp.bgp import BgpRib, BgpRoute, route_preference  # noqa: E402
+from repro.net.asys import ASN  # noqa: E402
+from repro.net.ipv4 import IPv4Address, IPv4Prefix  # noqa: E402
+from repro.net.trie import PrefixTrie  # noqa: E402
+
+addresses = st.integers(min_value=0, max_value=2**32 - 1).map(IPv4Address)
+
+# Force the edges: /0 (default route) and /32 (host route) appear often.
+lengths = st.one_of(
+    st.sampled_from([0, 32]),
+    st.integers(min_value=0, max_value=32),
+)
+
+
+@st.composite
+def prefixes(draw):
+    length = draw(lengths)
+    value = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    mask = (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF if length else 0
+    return IPv4Prefix(IPv4Address(value & mask), length)
+
+
+@st.composite
+def routes(draw):
+    prefix = draw(prefixes())
+    path = tuple(
+        ASN(draw(st.integers(min_value=1, max_value=65535)))
+        for _ in range(draw(st.integers(min_value=1, max_value=4)))
+    )
+    link = f"link-{draw(st.integers(min_value=0, max_value=7))}"
+    return BgpRoute(prefix, path, (link,))
+
+
+# An event history: announce or withdraw (withdraws may target routes
+# never announced — the RIB must treat those as no-ops).
+events = st.lists(
+    st.tuples(st.sampled_from(["announce", "withdraw"]), routes()),
+    min_size=0,
+    max_size=40,
+)
+
+
+def oracle(history):
+    """Replay the history into a dict of prefix -> set of live routes."""
+    live: dict[IPv4Prefix, set] = {}
+    for action, route in history:
+        if action == "announce":
+            live.setdefault(route.prefix, set()).add(route)
+        else:
+            live.get(route.prefix, set()).discard(route)
+    return live
+
+
+def oracle_lookup_all(live, address):
+    """Longest covering prefix with a non-empty candidate set."""
+    covering = sorted(
+        (prefix for prefix, rts in live.items()
+         if rts and prefix.contains(address)),
+        key=lambda p: p.length,
+        reverse=True,
+    )
+    if not covering:
+        return ()
+    return tuple(sorted(live[covering[0]], key=route_preference))
+
+
+@settings(max_examples=200, deadline=None)
+@given(history=events, queries=st.lists(addresses, min_size=1, max_size=8))
+def test_rib_lookup_matches_oracle(history, queries):
+    rib = BgpRib()
+    for action, route in history:
+        if action == "announce":
+            rib.install(route)
+        else:
+            rib.withdraw(route)
+    live = oracle(history)
+
+    for address in queries:
+        expected = oracle_lookup_all(live, address)
+        assert rib.lookup_all(address) == expected
+        assert rib.lookup(address) == (expected[0] if expected else None)
+
+    # Aggregates agree with the oracle too.
+    assert rib.route_count == sum(1 for rts in live.values() if rts)
+    assert sorted(map(str, rib.routes())) == sorted(
+        str(r) for rts in live.values() for r in rts
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    prefix_list=st.lists(prefixes(), min_size=0, max_size=24),
+    query=addresses,
+    max_length=st.integers(min_value=0, max_value=32),
+)
+def test_bounded_lookup_prefix_matches_oracle(prefix_list, query, max_length):
+    trie = PrefixTrie()
+    entries = {}
+    for order, prefix in enumerate(prefix_list):
+        trie.insert(prefix, order)
+        entries[prefix] = order
+
+    best = None
+    for prefix, value in entries.items():
+        if prefix.length <= max_length and prefix.contains(query):
+            if best is None or prefix.length > best[0].length:
+                best = (prefix, value)
+    assert trie.lookup_prefix(query, max_length=max_length) == best
+    # Unbounded lookup is the max_length=32 special case.
+    assert trie.lookup_prefix(query) == trie.lookup_prefix(query, max_length=32)
+
+
+@settings(max_examples=100, deadline=None)
+@given(query=addresses, path_len=st.integers(min_value=1, max_value=4))
+def test_default_and_host_routes(query, path_len):
+    """/0 answers everything; a /32 beats it only for its one address."""
+    rib = BgpRib()
+    default = BgpRoute(
+        IPv4Prefix.parse("0.0.0.0/0"), (ASN(65000),) * path_len, ("default",)
+    )
+    host = BgpRoute(
+        IPv4Prefix.containing(query, 32), (ASN(65001),), ("host",)
+    )
+    rib.install(default)
+    assert rib.lookup(query) == default
+    rib.install(host)
+    assert rib.lookup(query) == host
+    other = IPv4Address((int(query) + 1) % 2**32)
+    assert rib.lookup(other) == default
+    # Withdrawing the host route exposes the default again (/32 is
+    # transparent once empty).
+    rib.withdraw(host)
+    assert rib.lookup(query) == default

@@ -1,0 +1,90 @@
+"""Golden catchment snapshot: the anycast map must never drift.
+
+Catchments are a pure function of (sites, client populations, fault
+schedule, time) — BLAKE2b tie-breaks, no RNG, no wall clock — so the
+full catchment analysis of a fixed flash-crowd run is committed as a
+golden snapshot, exactly like the run summary.  Regenerate with:
+
+    PYTHONPATH=src python -m pytest \
+        tests/simulation/test_catchment_golden.py --update-golden
+
+and commit the updated ``golden/catchments.json`` with the change
+that moved it.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.anycast import CatchmentAnalysis
+from repro.faults import FaultKind, FaultSchedule, FaultWindow
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.scenario import ScenarioConfig, Sep2017Scenario
+from repro.workload import TIMELINE
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "catchments.json"
+
+START = TIMELINE.at(9, 18)
+END = TIMELINE.at(9, 20)
+
+
+def run_catchments(workers: int = 1):
+    """The frozen anycast scenario: flash crowd plus one route flap."""
+    scenario = Sep2017Scenario(
+        ScenarioConfig(
+            global_probe_count=24,
+            isp_probe_count=12,
+            steering="anycast",
+        ),
+        faults=FaultSchedule([
+            FaultWindow(START + 6 * 3600.0, START + 8 * 3600.0, "itmil-1",
+                        FaultKind.ROUTE_WITHDRAW),
+        ]),
+    )
+    engine = SimulationEngine(scenario, step_seconds=1800.0)
+    engine.run(START, END, workers=workers)
+    return scenario
+
+
+def render(scenario) -> str:
+    plane = scenario.anycast
+    payload = {
+        "analysis": CatchmentAnalysis.from_plane(plane).to_json_dict(),
+        "baseline_map": plane.catchment_map(START).to_json_dict(),
+        "flapped_map": plane.catchment_map(START + 7 * 3600.0).to_json_dict(),
+    }
+    return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+
+def test_golden_catchments(update_golden):
+    text = render(run_catchments())
+    if update_golden:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(text)
+        pytest.skip("golden snapshot rewritten")
+    assert GOLDEN_PATH.exists(), (
+        "missing golden snapshot; generate with --update-golden"
+    )
+    assert text == GOLDEN_PATH.read_text(), (
+        "catchments drifted from the golden snapshot; if intended, "
+        "regenerate with --update-golden and commit the diff"
+    )
+
+
+def test_golden_catchments_workers_4():
+    # The acceptance bar: catchment maps byte-identical between the
+    # serial engine and four worker shards.
+    assert GOLDEN_PATH.exists(), (
+        "missing golden snapshot; generate with --update-golden"
+    )
+    assert render(run_catchments(workers=4)) == GOLDEN_PATH.read_text()
+
+
+def test_flap_visible_in_golden_scenario():
+    scenario = run_catchments()
+    payload = json.loads(render(scenario))
+    assert payload["analysis"]["map_changes"] == 2
+    assert payload["analysis"]["shifted_gbps_total"] > 0.0
+    assert "itmil-1" in payload["baseline_map"]["share_by_site"]
+    assert "itmil-1" not in payload["flapped_map"]["share_by_site"]
