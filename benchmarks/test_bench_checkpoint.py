@@ -1,0 +1,94 @@
+"""Checkpoint cost: write cadence overhead and save/load throughput.
+
+Times the same bench-scale window twice — bare, and with an RCKPT
+write every 16 ticks (8 sim-hours, the cadence a long replay would
+actually use) — then times standalone save/load round-trips of
+the final checkpoint, and writes
+``benchmarks/output/BENCH_checkpoint.json`` (runtimes, per-write cost,
+file size).  One portable guard: the checkpointed run must stay within
+1.5× of the bare run — checkpointing is supposed to be a cadence
+users leave on for long runs, not a mode they budget for.
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.obs import MetricsRegistry, use_registry
+from repro.simulation import (
+    ScenarioConfig,
+    Sep2017Scenario,
+    SimulationEngine,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.workload import TIMELINE
+
+from conftest import write_json
+
+START = TIMELINE.at(9, 18)
+END = TIMELINE.at(9, 19)
+STEP_SECONDS = 1800.0
+EVERY = 16
+OVERHEAD_CEILING = 1.5
+ROUND_TRIPS = 5
+
+
+def build_engine():
+    config = ScenarioConfig(
+        global_probe_count=64,
+        isp_probe_count=32,
+        traceroute_probe_count=8,
+    )
+    return SimulationEngine(Sep2017Scenario(config), step_seconds=STEP_SECONDS)
+
+
+def timed_run(**kwargs):
+    with use_registry(MetricsRegistry()):
+        engine = build_engine()
+        started = time.perf_counter()
+        steps = engine.run(START, END, **kwargs)
+        elapsed = time.perf_counter() - started
+    return engine, steps, elapsed
+
+
+def test_checkpoint_overhead_and_throughput():
+    _, steps, bare = timed_run()
+
+    with tempfile.TemporaryDirectory() as td:
+        engine, _, checkpointed = timed_run(
+            checkpoint_every=EVERY, checkpoint_dir=td
+        )
+        writes = engine.run_stats["checkpoints_written"]
+        assert writes == steps // EVERY
+        newest = sorted(Path(td).glob("ckpt-*.rckpt"))[-1]
+        size = newest.stat().st_size
+
+        started = time.perf_counter()
+        for _ in range(ROUND_TRIPS):
+            checkpoint = load_checkpoint(newest)
+        load_seconds = (time.perf_counter() - started) / ROUND_TRIPS
+
+        started = time.perf_counter()
+        for _ in range(ROUND_TRIPS):
+            save_checkpoint(checkpoint, newest)
+        save_seconds = (time.perf_counter() - started) / ROUND_TRIPS
+
+    overhead = checkpointed / bare
+    write_json(
+        "BENCH_checkpoint.json",
+        {
+            "steps": steps,
+            "bare_seconds": round(bare, 4),
+            "checkpointed_seconds": round(checkpointed, 4),
+            "overhead_ratio": round(overhead, 4),
+            "checkpoints_written": writes,
+            "checkpoint_bytes": size,
+            "save_seconds": round(save_seconds, 5),
+            "load_seconds": round(load_seconds, 5),
+        },
+    )
+    assert overhead < OVERHEAD_CEILING, (
+        f"checkpointing every {EVERY} ticks cost {overhead:.2f}x "
+        f"(ceiling {OVERHEAD_CEILING}x)"
+    )

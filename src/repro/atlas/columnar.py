@@ -28,6 +28,7 @@ summaries byte-identical across the columnar swap.
 from __future__ import annotations
 
 import json
+import os
 import struct
 import sys
 from array import array
@@ -307,8 +308,16 @@ class DnsColumns:
         if not payload.startswith(_MAGIC):
             raise SegmentFormatError("bad segment magic")
         cursor = len(_MAGIC)
-        (header_len,) = _HEADER_LEN.unpack_from(payload, cursor)
+        try:
+            (header_len,) = _HEADER_LEN.unpack_from(payload, cursor)
+        except struct.error as exc:
+            raise SegmentFormatError(f"truncated segment header: {exc}") from exc
         cursor += _HEADER_LEN.size
+        if cursor + header_len > len(payload):
+            raise SegmentFormatError(
+                f"truncated segment header ({len(payload) - cursor} of "
+                f"{header_len} header bytes present)"
+            )
         try:
             header = json.loads(payload[cursor : cursor + header_len])
         except ValueError as exc:
@@ -336,6 +345,10 @@ class DnsColumns:
                 column.byteswap()
             setattr(columns, name, column)
             cursor += nbytes
+        if cursor != len(payload):
+            raise SegmentFormatError(
+                f"{len(payload) - cursor} trailing bytes after last column"
+            )
         if len(columns.addr_offsets) != header["rows"] + 1:
             raise SegmentFormatError("offset column does not match row count")
         columns._target_index = None
@@ -384,10 +397,20 @@ class DnsSegment:
         return self._columns is not None
 
     def spill(self, path) -> int:
-        """Write the columns to ``path`` and drop them from memory."""
+        """Write the columns to ``path`` atomically and drop them from memory.
+
+        The payload lands in ``path.tmp`` first, is fsynced, then renamed
+        over ``path`` — a crash mid-spill leaves either the old file or
+        no file, never a torn ``RSEG1`` payload.
+        """
         if self._columns is None:
             return 0
-        path.write_bytes(self._columns.to_bytes())
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(self._columns.to_bytes())
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
         self.path = path
         self._columns = None
         return self.nbytes
@@ -400,4 +423,10 @@ class DnsSegment:
             raise SegmentFormatError(
                 f"segment {self.segment_id} has neither columns nor a spill path"
             )
-        return DnsColumns.from_bytes(self.path.read_bytes())
+        try:
+            payload = self.path.read_bytes()
+        except FileNotFoundError as exc:
+            raise SegmentFormatError(
+                f"segment {self.segment_id} spill file is missing: {self.path}"
+            ) from exc
+        return DnsColumns.from_bytes(payload)

@@ -486,5 +486,83 @@ class MeasurementStore:
         """The unique addresses as packed 32-bit ints (no objects)."""
         return frozenset(self._unique_values)
 
+    # ----- checkpoint support -------------------------------------------
+
+    def dump_state(self) -> dict:
+        """A picklable snapshot of the full store contents.
+
+        Sealed segments travel as their binary ``RSEG1`` payloads
+        (spilled segments are read back from disk verbatim), the open
+        block as one more payload, plus the counters and the unique-IP
+        set.  :meth:`restore_state` on a fresh store reproduces the
+        exact segment structure, so a resumed run seals/spills at the
+        same row boundaries the uninterrupted run would.
+        """
+        segments = []
+        for segment in self._segments:
+            if segment.resident:
+                payload = segment.load().to_bytes()
+            else:
+                payload = segment.path.read_bytes()
+            segments.append(
+                {
+                    "segment_id": segment.segment_id,
+                    "start_row": segment.start_row,
+                    "payload": payload,
+                }
+            )
+        return {
+            "name": self.name,
+            "dns_count": self._dns_count,
+            "last_time": self._last_time,
+            "segments": segments,
+            "open": self._open.to_bytes(),
+            "traceroutes": list(self._traceroutes),
+            "unique_values": sorted(self._unique_values),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Rebuild the contents dumped by :meth:`dump_state`.
+
+        Only valid on an empty store (a freshly constructed scenario):
+        segment ids, start rows and the open block are restored exactly,
+        then the memory budget is re-enforced so oversized restored
+        history spills straight back to disk.
+        """
+        if self._dns_count or self._traceroutes or len(self._open):
+            raise ValueError("restore_state requires an empty store")
+        for entry in state["segments"]:
+            columns = DnsColumns.from_bytes(entry["payload"])
+            segment = DnsSegment(
+                columns,
+                segment_id=entry["segment_id"],
+                start_row=entry["start_row"],
+            )
+            self._segments.append(segment)
+            self._segment_starts.append(segment.start_row)
+            self._sealed_resident_bytes += segment.nbytes
+        self._open = DnsColumns.from_bytes(state["open"])
+        self._dns_count = state["dns_count"]
+        self._last_time = state["last_time"]
+        self._traceroutes.extend(state["traceroutes"])
+        self._unique_values = set(state["unique_values"])
+        self._unique_frozen = None
+        self._enforce_budget()
+        self._m_resident.set(self.resident_bytes)
+
+    def segment_summaries(self) -> list[dict]:
+        """Resident per-segment summaries (for checkpoint verification)."""
+        return [
+            {
+                "segment_id": segment.segment_id,
+                "start_row": segment.start_row,
+                "rows": segment.rows,
+                "min_time": segment.min_time,
+                "max_time": segment.max_time,
+                "nbytes": segment.nbytes,
+            }
+            for segment in self._segments
+        ]
+
     def __len__(self) -> int:
         return self._dns_count + len(self._traceroutes)

@@ -6,6 +6,8 @@ Seven commands cover the common workflows:
   per-step aggregates (demand, offload split, measurements, flows);
 * ``report`` — run the event window and emit the full reproduction
   report (Figures 2-8 in one document);
+* ``resume`` — continue a checkpointed run (``--checkpoint-every`` on
+  simulate/report) bit-identically from its newest ``RCKPT`` snapshot;
 * ``survey`` — the paper's generic CDN-survey methodology: mapping
   graph, site discovery and header inference, no time simulation;
 * ``serve`` — boot the live DNS + HTTP serving layer on loopback and
@@ -105,6 +107,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "3600-7200 (repeatable; seconds are "
                                "relative to --start)")
     _add_store_args(simulate)
+    _add_checkpoint_args(simulate)
     _add_telemetry_args(simulate)
     _add_flight_args(simulate)
 
@@ -119,8 +122,27 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default 1 = serial)")
     _add_steering_args(report)
     _add_store_args(report)
+    _add_checkpoint_args(report)
     _add_telemetry_args(report)
     _add_flight_args(report)
+
+    resume = commands.add_parser(
+        "resume",
+        help="continue a checkpointed run bit-identically to completion",
+    )
+    resume.add_argument("--from", dest="from_path", required=True,
+                        metavar="PATH",
+                        help="checkpoint file, or a checkpoint directory "
+                             "(the newest valid ckpt-*.rckpt is used)")
+    resume.add_argument("--end", default=None, metavar="M-D",
+                        help="extend/trim the run end (default: the "
+                             "original run's end)")
+    resume.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the resumed run "
+                             "(default 1 = serial)")
+    _add_checkpoint_args(resume)
+    _add_telemetry_args(resume)
+    _add_flight_args(resume)
 
     commands.add_parser(
         "survey", help="survey the mapping chain, sites and headers"
@@ -318,6 +340,30 @@ def _store_stats_line(scenario) -> str:
     return "store segments: " + "; ".join(parts)
 
 
+def _add_checkpoint_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                     help="write an atomic RCKPT snapshot every N completed "
+                          "ticks (default 0 = never); SIGTERM then drains "
+                          "gracefully and writes a final checkpoint")
+    sub.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                     help="directory for ckpt-*.rckpt files (required with "
+                          "--checkpoint-every; `repro resume` defaults to "
+                          "the --from directory)")
+
+
+def _checkpoint_kwargs(args: argparse.Namespace) -> dict:
+    """engine.run keywords for the checkpoint flags."""
+    every = getattr(args, "checkpoint_every", 0)
+    if every and not getattr(args, "checkpoint_dir", None):
+        raise SystemExit("--checkpoint-every needs --checkpoint-dir")
+    if not every:
+        return {}
+    return {
+        "checkpoint_every": every,
+        "checkpoint_dir": args.checkpoint_dir,
+    }
+
+
 def _add_flight_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--flight-dir", metavar="DIR", default=None,
                      help="arm the flight recorder: dump the span ring "
@@ -434,7 +480,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             if args.verbose:
                 print(_step_line(report))
 
-        steps = engine.run(start, end, progress=progress, workers=args.workers)
+        steps = engine.run(start, end, progress=progress, workers=args.workers,
+                           **_checkpoint_kwargs(args))
+        if engine.run_stats["drained"]:
+            print("SIGTERM: drained gracefully "
+                  f"({engine.run_stats['checkpoints_written']} checkpoints "
+                  "written; `repro resume` continues the run)")
     print(f"\n{steps} steps; "
           f"{scenario.global_campaign.store.dns_count} global + "
           f"{scenario.isp_campaign.store.dns_count} ISP DNS measurements; "
@@ -472,11 +523,68 @@ def _cmd_report(args: argparse.Namespace) -> int:
             TIMELINE.at(9, 15), TIMELINE.at(9, 23),
             progress=(lambda r: print(_step_line(r))) if args.verbose else None,
             workers=args.workers,
+            **_checkpoint_kwargs(args),
         )
     print(generate_report(scenario))
     if args.store_budget_mb is not None or args.store_spill_dir is not None:
         print()
         print(_store_stats_line(scenario))
+    _write_telemetry(args, registry, tracer)
+    return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    import os
+
+    from .simulation.checkpoint import CheckpointError, load_checkpoint
+
+    try:
+        checkpoint = load_checkpoint(args.from_path)
+    except CheckpointError as exc:
+        raise SystemExit(str(exc)) from exc
+    end = _parse_date(args.end) if args.end else None
+    checkpoint_kwargs: dict = {}
+    if args.checkpoint_every:
+        # Resuming from a directory keeps checkpointing into it unless
+        # told otherwise.
+        directory = args.checkpoint_dir
+        if directory is None and os.path.isdir(args.from_path):
+            directory = args.from_path
+        if directory is None:
+            raise SystemExit("--checkpoint-every needs --checkpoint-dir")
+        checkpoint_kwargs = {
+            "checkpoint_every": args.checkpoint_every,
+            "checkpoint_dir": directory,
+        }
+    registry, tracer = _telemetry(args)
+    with use_registry(registry), use_tracer(tracer), _flight_scope(args):
+        engine = checkpoint.spec.build()
+        scenario = engine.scenario
+
+        def progress(report):
+            if args.verbose:
+                print(_step_line(report))
+
+        try:
+            steps = engine.run(
+                end=end,
+                progress=progress,
+                workers=args.workers,
+                resume_from=checkpoint,
+                **checkpoint_kwargs,
+            )
+        except CheckpointError as exc:
+            raise SystemExit(str(exc)) from exc
+    print(f"resumed from step {checkpoint.steps} "
+          f"(t={TIMELINE.date_label(checkpoint.next_tick)}): "
+          f"{steps} further steps; "
+          f"{scenario.global_campaign.store.dns_count} global + "
+          f"{scenario.isp_campaign.store.dns_count} ISP DNS measurements; "
+          f"{len(scenario.netflow.records)} flow records")
+    if engine.run_stats["drained"]:
+        print("SIGTERM: drained gracefully "
+              f"({engine.run_stats['checkpoints_written']} checkpoints "
+              "written; `repro resume` continues the run)")
     _write_telemetry(args, registry, tracer)
     return 0
 
@@ -891,6 +999,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "run": _cmd_simulate,
         "report": _cmd_report,
+        "resume": _cmd_resume,
         "survey": _cmd_survey,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,

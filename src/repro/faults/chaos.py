@@ -151,6 +151,10 @@ class ChaosReport:
     sim_flap_site: Optional[str] = None
     sim_map_changes: Optional[int] = None
     sim_shifted_gbps: Optional[float] = None
+    # worker-crash drill (populated for worker-kill/worker-stall schedules)
+    sim_worker_restarts: Optional[int] = None
+    sim_worker_identical: Optional[bool] = None
+    sim_worker_divergence: Optional[str] = None
     checks: tuple = field(default_factory=tuple)
 
     def passed(self) -> bool:
@@ -165,27 +169,29 @@ class ChaosReport:
             "schedule:",
         ]
         lines += [f"  {line}" for line in self.schedule.splitlines()]
-        lines += [
-            "",
-            f"live requests   {self.requests}  (ok {self.ok}, errors {self.errors}, "
-            f"rate {self.error_rate:.2%})",
-            f"resilience      {self.retries} retries, "
-            f"{self.reresolutions} TTL re-resolutions, {self.hedged} hedged lookups",
-            f"failovers       {self.unhealthy_events} member(s) marked unhealthy",
-        ]
-        if self.resteer_seconds is not None:
-            lines.append(
-                f"re-steer        {self.resteer_seconds:.2f} s after blackout "
-                f"({self.watched_clients} watched Limelight clients)"
-            )
-        else:
-            lines.append("re-steer        not observed")
-        if self.recovery_seconds is not None:
-            lines.append(
-                f"recovery        healthy {self.recovery_seconds:.2f} s after the fault cleared"
-            )
-        else:
-            lines.append("recovery        not observed")
+        # The worker-crash drill has no live phase; skip the empty block.
+        if self.requests or self.sim_worker_restarts is None:
+            lines += [
+                "",
+                f"live requests   {self.requests}  (ok {self.ok}, errors {self.errors}, "
+                f"rate {self.error_rate:.2%})",
+                f"resilience      {self.retries} retries, "
+                f"{self.reresolutions} TTL re-resolutions, {self.hedged} hedged lookups",
+                f"failovers       {self.unhealthy_events} member(s) marked unhealthy",
+            ]
+            if self.resteer_seconds is not None:
+                lines.append(
+                    f"re-steer        {self.resteer_seconds:.2f} s after blackout "
+                    f"({self.watched_clients} watched Limelight clients)"
+                )
+            else:
+                lines.append("re-steer        not observed")
+            if self.recovery_seconds is not None:
+                lines.append(
+                    f"recovery        healthy {self.recovery_seconds:.2f} s after the fault cleared"
+                )
+            else:
+                lines.append("recovery        not observed")
         if self.steering != "dns":
             lines += [
                 "",
@@ -214,12 +220,35 @@ class ChaosReport:
                 f"  catchment changes    {self.sim_map_changes}",
                 f"  shifted traffic      {self.sim_shifted_gbps:.0f} Gbps",
             ]
+        if self.sim_worker_restarts is not None:
+            lines += [
+                "",
+                "simulation (worker-crash drill, sharded vs serial)",
+                f"  worker restarts      {self.sim_worker_restarts}",
+                f"  results identical    "
+                f"{'yes' if self.sim_worker_identical else 'NO'}",
+            ]
+            if self.sim_worker_divergence:
+                lines.append(
+                    f"  divergence           {self.sim_worker_divergence}"
+                )
         lines.append("")
         for label, ok in self.checks:
             lines.append(f"{'PASS' if ok else 'FAIL'}  {label}")
         lines.append("")
         lines.append("chaos " + ("PASSED" if self.passed() else "FAILED"))
         return "\n".join(lines)
+
+
+# What the live half of the report shows when a drill has no live
+# phase (the worker-crash drill runs entirely in engine time).
+_NO_LIVE_PHASE: dict = {
+    "requests": 0, "ok": 0, "errors": 0,
+    "retries": 0, "reresolutions": 0, "hedged": 0,
+    "watched": 0, "resteer": None, "recovery": None,
+    "unhealthy": 0, "blackout": None,
+    "anycast_routed": 0, "catchment_shift": (),
+}
 
 
 async def _watch_resteer(cluster, config: ChaosConfig, registry,
@@ -418,6 +447,81 @@ def _simulation_phase(config: ChaosConfig) -> dict:
     }
 
 
+def _worker_crash_phase(config: ChaosConfig, schedule: FaultSchedule) -> dict:
+    """Kill/hang live shard workers mid-run; the results must not care.
+
+    The same scenario runs twice under the same schedule: once serial
+    (worker fault kinds are never consulted outside worker processes,
+    so this is the clean reference) and once sharded with the faults
+    biting.  The supervisor must respawn every murdered worker and the
+    sharded ``RunSummary`` must stay byte-identical — crash recovery
+    with zero result divergence.  Window times on the CLI are *hours
+    after run start* here (the other drills use seconds since cluster
+    start; an engine run spans hours, not seconds).
+    """
+    import json
+
+    from ..simulation.concurrency import ShardDivergenceError, run_sharded
+    from ..simulation.engine import RunSummary, SimulationEngine
+    from ..simulation.scenario import ScenarioConfig, Sep2017Scenario
+
+    release = TIMELINE.ios_11_0_release
+    sim_start = release - 1800.0
+    sim_end = release + 4 * 3600.0
+    mapped = FaultSchedule(
+        [
+            FaultWindow(
+                sim_start + window.start * 3600.0,
+                sim_start + window.end * 3600.0,
+                window.target,
+                window.kind,
+                window.severity,
+            )
+            for window in schedule
+        ]
+    )
+    scenario_config = ScenarioConfig(
+        global_probe_count=32,
+        isp_probe_count=16,
+        traceroute_probe_count=2,
+        fault_seed=config.seed,
+    )
+
+    def run_once(workers: int) -> tuple:
+        scenario = Sep2017Scenario(scenario_config, faults=mapped)
+        engine = SimulationEngine(scenario, step_seconds=1800.0)
+        reports: list = []
+        if workers == 1:
+            engine.run(sim_start, sim_end, progress=reports.append)
+        else:
+            run_sharded(
+                engine, sim_start, sim_end,
+                progress=reports.append, workers=workers,
+                chunk_ticks=4, heartbeat_timeout=2.0,
+            )
+        summary = json.dumps(
+            RunSummary.from_run(scenario, reports).to_json_dict(),
+            sort_keys=True,
+        )
+        return engine, summary
+
+    _, reference = run_once(1)
+    restarts = 0
+    identical = False
+    divergence: Optional[str] = None
+    try:
+        engine, sharded = run_once(max(2, config.workers))
+        restarts = engine.run_stats["worker_restarts"]
+        identical = sharded == reference
+    except ShardDivergenceError as exc:
+        divergence = str(exc)
+    return {
+        "worker_restarts": restarts,
+        "identical": identical,
+        "divergence": divergence,
+    }
+
+
 def _anycast_simulation_phase(config: ChaosConfig) -> dict:
     """Replay a mid-event route flap in engine time under anycast.
 
@@ -491,64 +595,87 @@ def run_chaos(
         w.kind in (FaultKind.ROUTE_WITHDRAW, FaultKind.ROUTE_PREPEND)
         for w in schedule
     )
+    worker_drill = any(
+        w.kind in (FaultKind.WORKER_KILL, FaultKind.WORKER_STALL)
+        for w in schedule
+    )
     with use_registry(registry), use_tracer(tracer):
-        live = asyncio.run(_live_phase(config, schedule, registry, tracer))
-        sim = None
-        if config.run_simulation:
-            if config.steering == "anycast":
-                sim = _anycast_simulation_phase(config)
-            else:
-                sim = _simulation_phase(config)
+        if worker_drill:
+            # Worker faults hit shard processes, not the serving layer;
+            # the whole drill is the sharded-vs-serial engine run.
+            live = _NO_LIVE_PHASE
+            sim = _worker_crash_phase(config, schedule)
+        else:
+            live = asyncio.run(_live_phase(config, schedule, registry, tracer))
+            sim = None
+            if config.run_simulation:
+                if config.steering == "anycast":
+                    sim = _anycast_simulation_phase(config)
+                else:
+                    sim = _simulation_phase(config)
 
-    error_rate = live["errors"] / live["requests"] if live["requests"] else 1.0
-    blackout = live["blackout"]
-    checks = [
-        (f"client error rate below {config.error_budget:.0%}",
-         error_rate < config.error_budget),
-        ("load kept flowing throughout the schedule", live["requests"] > 0),
-    ]
-    if blackout is not None:
-        checks += [
-            (f"re-steered within one {config.resteer_budget:.0f} s TTL",
-             live["resteer"] is not None
-             and live["resteer"] <= config.resteer_budget),
-            ("recovery to healthy reported after the fault cleared",
-             live["recovery"] is not None),
+    if worker_drill:
+        error_rate = 0.0
+        checks = [
+            ("supervisor restarted the faulted worker at least once",
+             sim["worker_restarts"] >= 1),
+            ("sharded results byte-identical to the serial reference",
+             sim["identical"]),
+            ("no ShardDivergenceError escaped the supervisor",
+             sim["divergence"] is None),
         ]
-    if config.steering != "dns":
-        checks.append(
-            ("anycast: connections routed by catchment",
-             live["anycast_routed"] > 0)
+    else:
+        error_rate = (
+            live["errors"] / live["requests"] if live["requests"] else 1.0
         )
-    if config.steering != "dns" and live["catchment_shift"]:
-        checks.append(
-            ("anycast: route flap shifted catchments",
-             len(live["catchment_shift"]) > 0)
-        )
-    if route_only:
-        checks.append(
-            ("anycast: flap invisible to health monitor (zero unhealthy "
-             "events, zero re-steers)",
-             live["unhealthy"] == 0 and live["resteer"] is None)
-        )
-    if sim is not None and config.steering == "anycast":
-        checks += [
-            ("simulation: mid-event flap shifted catchments and reverted",
-             sim["map_changes"] >= 2 and sim["affinity_break_rate"] > 0.0),
-            ("simulation: shifted traffic volume is non-zero",
-             sim["shifted_gbps"] > 0.0),
-            ("simulation: zero members unhealthy after the flap",
-             sim["unhealthy_members"] == 0),
+        blackout = live["blackout"]
+        checks = [
+            (f"client error rate below {config.error_budget:.0%}",
+             error_rate < config.error_budget),
+            ("load kept flowing throughout the schedule", live["requests"] > 0),
         ]
-    elif sim is not None:
-        checks += [
-            ("simulation: Limelight split dropped to zero during blackout",
-             sim["limelight_pre"] > 0.0 and sim["limelight_blackout"] == 0.0),
-            ("simulation: Limelight split restored after recovery",
-             sim["limelight_after"] > 0.0),
-            ("simulation: overflow bytes attributed to Akamai",
-             sim["overflow_akamai"] > 0),
-        ]
+        if blackout is not None:
+            checks += [
+                (f"re-steered within one {config.resteer_budget:.0f} s TTL",
+                 live["resteer"] is not None
+                 and live["resteer"] <= config.resteer_budget),
+                ("recovery to healthy reported after the fault cleared",
+                 live["recovery"] is not None),
+            ]
+        if config.steering != "dns":
+            checks.append(
+                ("anycast: connections routed by catchment",
+                 live["anycast_routed"] > 0)
+            )
+        if config.steering != "dns" and live["catchment_shift"]:
+            checks.append(
+                ("anycast: route flap shifted catchments",
+                 len(live["catchment_shift"]) > 0)
+            )
+        if route_only:
+            checks.append(
+                ("anycast: flap invisible to health monitor (zero unhealthy "
+                 "events, zero re-steers)",
+                 live["unhealthy"] == 0 and live["resteer"] is None)
+            )
+        if sim is not None and config.steering == "anycast":
+            checks += [
+                ("simulation: mid-event flap shifted catchments and reverted",
+                 sim["map_changes"] >= 2 and sim["affinity_break_rate"] > 0.0),
+                ("simulation: shifted traffic volume is non-zero",
+                 sim["shifted_gbps"] > 0.0),
+                ("simulation: zero members unhealthy after the flap",
+                 sim["unhealthy_members"] == 0),
+            ]
+        elif sim is not None:
+            checks += [
+                ("simulation: Limelight split dropped to zero during blackout",
+                 sim["limelight_pre"] > 0.0 and sim["limelight_blackout"] == 0.0),
+                ("simulation: Limelight split restored after recovery",
+                 sim["limelight_after"] > 0.0),
+                ("simulation: overflow bytes attributed to Akamai",
+                 sim["overflow_akamai"] > 0),
+            ]
     report = ChaosReport(
         schedule=schedule.describe(),
         requests=live["requests"],
@@ -578,6 +705,9 @@ def run_chaos(
         sim_flap_site=None if sim is None else sim.get("flap_site"),
         sim_map_changes=None if sim is None else sim.get("map_changes"),
         sim_shifted_gbps=None if sim is None else sim.get("shifted_gbps"),
+        sim_worker_restarts=None if sim is None else sim.get("worker_restarts"),
+        sim_worker_identical=None if sim is None else sim.get("identical"),
+        sim_worker_divergence=None if sim is None else sim.get("divergence"),
         checks=tuple(checks),
     )
     if not report.passed():

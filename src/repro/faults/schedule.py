@@ -33,11 +33,22 @@ kind                   severity
 ``route-prepend``      number of AS-path prepends the target site adds
                        to its announcement (lengthens the path, shedding
                        most of its catchment without going dark)
+``worker-kill``        number of times the targeted shard worker process
+                       SIGKILLs itself mid-chunk (each respawned
+                       incarnation dies again until the count is spent)
+``worker-stall``       seconds the targeted shard worker hangs without
+                       heartbeating, tripping the supervisor's timeout
 =====================  =================================================
 
 The route kinds target an anycast *site id* (e.g. ``"defra-1"``).  They
 act purely on the routing plane: :class:`CdnHealthMonitor` probes never
 consult them, so catchment shifts are invisible to DNS health failover.
+
+The worker kinds target a shard worker id (``"w0"``, ``"w1"``, ... or
+``"*"``) and act purely on the *process* plane: they are evaluated only
+inside shard worker processes, never by the serial engine, so a run
+with worker faults must still produce byte-identical results — the
+supervisor's recovery is what the chaos drill asserts.
 
 ``target`` names what the window applies to: a CDN member / operator
 (``"Apple"``, ``"Akamai"``, ``"Limelight"``, ``"Level3"``), a vip
@@ -72,6 +83,9 @@ class FaultKind(Enum):
     # anycast routing plane (invisible to health probes)
     ROUTE_WITHDRAW = "route-withdraw"
     ROUTE_PREPEND = "route-prepend"
+    # shard worker processes (invisible to world state)
+    WORKER_KILL = "worker-kill"
+    WORKER_STALL = "worker-stall"
 
     @classmethod
     def parse(cls, text: str) -> "FaultKind":
@@ -94,8 +108,20 @@ class FaultWindow:
     severity: float = 1.0
 
     def __post_init__(self) -> None:
+        if isinstance(self.kind, str):
+            # A plain string kind would otherwise never match the
+            # identity checks in FaultSchedule.find — coerce it.
+            object.__setattr__(self, "kind", FaultKind.parse(self.kind))
+        elif not isinstance(self.kind, FaultKind):
+            valid = ", ".join(kind.value for kind in FaultKind)
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} (valid: {valid})"
+            )
         if self.end <= self.start:
-            raise ValueError("a fault window must end after it starts")
+            raise ValueError(
+                f"a fault window must end after it starts "
+                f"(got start={self.start:g}, end={self.end:g})"
+            )
         if self.severity <= 0.0:
             raise ValueError("severity must be positive")
         if not self.target:
@@ -130,8 +156,25 @@ class FaultSchedule:
     """An immutable, time-sorted collection of fault windows."""
 
     def __init__(self, windows: Iterable[FaultWindow] = ()) -> None:
+        checked = []
+        for window in windows:
+            # Validate before sorting: the sort key dereferences
+            # ``kind.value``, which would crash opaquely on a
+            # duck-typed window that skipped FaultWindow validation.
+            if not isinstance(window.kind, FaultKind):
+                valid = ", ".join(kind.value for kind in FaultKind)
+                raise ValueError(
+                    f"unknown fault kind {window.kind!r} (valid: {valid})"
+                )
+            if window.end <= window.start:
+                raise ValueError(
+                    f"fault window {window.kind.value}@{window.target} must "
+                    f"end after it starts (got start={window.start:g}, "
+                    f"end={window.end:g})"
+                )
+            checked.append(window)
         self._windows = tuple(
-            sorted(windows, key=lambda w: (w.start, w.end, w.kind.value, w.target))
+            sorted(checked, key=lambda w: (w.start, w.end, w.kind.value, w.target))
         )
 
     @property

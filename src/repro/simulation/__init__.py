@@ -1,6 +1,13 @@
 """The discrete-time simulation binding demand, the Meta-CDN, probes
 and the eyeball ISP together, plus the Sep 2017 scenario itself."""
 
+from .checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    latest_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .engine import RunSummary, SimulationEngine, StepReport
 from .microsim import DeviceAgent, MicroSimStats, MicroSimulation
 from .scenario import (
@@ -16,6 +23,11 @@ from .scenario import (
 )
 
 __all__ = [
+    "Checkpoint",
+    "CheckpointError",
+    "load_checkpoint",
+    "latest_checkpoint",
+    "save_checkpoint",
     "ScenarioConfig",
     "Sep2017Scenario",
     "SimulationEngine",

@@ -27,17 +27,38 @@ divergent tick.  Ticks are shipped to workers in chunks, with chunk
 ``c+1`` submitted before chunk ``c`` is merged, so worker processes
 never idle waiting on the coordinator.
 
+Workers run under a **supervisor** rather than a pool: each shard is
+one ``multiprocessing.Process`` on a duplex pipe, heartbeating every
+tick.  A worker that dies (SIGKILL, OOM) or goes silent past the
+heartbeat timeout is respawned with backoff and *replays* its way back
+— replica state is a pure function of the tick sequence, so the
+respawn warms up over the base warm-up ticks plus every chunk the
+coordinator has already consumed, then re-executes the chunks that
+were in flight.  Cross-shard digest disagreement is likewise handled
+by quarantine-and-replay (a modal vote picks the suspects, their
+FlightRecorder dump is preserved, and they are respawned) before the
+coordinator's own digest check — which remains a hard
+:class:`ShardDivergenceError` backstop.  On SIGTERM the coordinator
+drains: in-flight chunks finish, a final checkpoint is written, and
+workers stop cleanly.
+
 ``workers=1`` never enters this module: the engine's serial loop runs
 unchanged, bit-for-bit identical to the pre-sharding engine.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import random
-from concurrent.futures import ProcessPoolExecutor
+import signal
+import time
+from collections import Counter, deque
 from dataclasses import dataclass, field
 from hashlib import blake2b
 from typing import Callable, Optional, Sequence
+
+from ..faults.schedule import FaultKind
 
 from ..atlas.columnar import DnsColumns, DnsRowRef
 from ..net.geo import MappingRegion
@@ -253,6 +274,11 @@ class EngineSpec:
     collect_metrics: bool
     global_bulk: bool = True
     isp_bulk: bool = True
+    # Test hook: (shard_id, tick) whose incarnation-0 replica perturbs
+    # its controller right before that tick, forcing a digest
+    # divergence the quarantine path must heal.  Never set in
+    # production paths.
+    debug_corrupt: Optional[tuple] = None
 
     @classmethod
     def from_engine(cls, engine) -> "EngineSpec":
@@ -266,6 +292,7 @@ class EngineSpec:
             collect_metrics=bool(getattr(engine._obs.metrics, "enabled", False)),
             global_bulk=scenario.global_campaign.bulk,
             isp_bulk=scenario.isp_campaign.bulk,
+            debug_corrupt=getattr(engine, "debug_corrupt", None),
         )
 
     def build(self):
@@ -287,28 +314,78 @@ class EngineSpec:
 _WORKER: dict = {}
 
 
-def _init_worker(spec: EngineSpec, shard: Shard) -> None:
+def _init_worker(
+    spec: EngineSpec, shard: Shard, warmup_ticks: Sequence[float] = ()
+) -> None:
     """Build this process's replica (runs once per worker process).
 
     The process may have inherited the parent's registry/tracer
     defaults across ``fork`` — including open trace sinks — so both are
     replaced before any component captures an instrument handle.
+
+    ``warmup_ticks`` replays the replica to a mid-run tick boundary:
+    the cheap world state advances and the campaign grids march in
+    lockstep, but nothing is measured and no traffic is generated (the
+    coordinator already holds those chunks' results).  Resumed runs and
+    respawned workers both enter through here; the metric baseline is
+    taken *after* the warm-up so replay accumulation is never shipped.
     """
     registry = MetricsRegistry() if spec.collect_metrics else NULL_REGISTRY
     set_registry(registry)
     set_tracer(NULL_TRACER)
     engine = spec.build()
     engine.profile_worker = f"w{shard.shard_id}"
+    scenario = engine.scenario
+    conn = _WORKER.get("conn")
+    saved_profiling = engine._obs.profiling
+    engine._obs.profiling = False
+    try:
+        for index, now in enumerate(warmup_ticks):
+            engine.advance_state(now)
+            if scenario.global_campaign.due(now):
+                scenario.global_campaign.mark_fired(now, count_metrics=False)
+            if scenario.isp_campaign.due(now):
+                scenario.isp_campaign.mark_fired(now, count_metrics=False)
+            if conn is not None and index % 64 == 63:
+                conn.send(("hb", now))
+    finally:
+        engine._obs.profiling = saved_profiling
     _WORKER["engine"] = engine
     _WORKER["shard"] = shard
+    _WORKER["spec"] = spec
     _WORKER["registry"] = registry
     _WORKER["baseline"] = registry.snapshot(WORKER_METRIC_FAMILIES)
 
 
-def _worker_chunk(ticks: Sequence[float], final: bool) -> dict:
+def _worker_faults(spec: EngineSpec, shard: Shard, now: float) -> None:
+    """Evaluate the process-plane fault kinds for this tick.
+
+    Only shard worker processes ever get here — the serial engine never
+    consults the worker kinds — so a schedule with worker faults still
+    demands byte-identical results; the supervisor's recovery provides
+    them.  ``severity`` on a kill window is how many incarnations die;
+    a stall only hangs the first incarnation so respawns make progress.
+    """
+    schedule = spec.faults
+    if schedule is None:
+        return
+    incarnation = _WORKER.get("incarnation", 0)
+    worker_id = f"w{shard.shard_id}"
+    window = schedule.find(FaultKind.WORKER_KILL, now, worker_id)
+    if window is not None and incarnation < max(1, int(window.severity)):
+        os.kill(os.getpid(), signal.SIGKILL)
+    window = schedule.find(FaultKind.WORKER_STALL, now, worker_id)
+    if window is not None and incarnation == 0:
+        time.sleep(window.severity)
+
+
+def _worker_chunk(ticks: Sequence[float]) -> dict:
     """Advance the replica over ``ticks``; return this shard's output."""
     engine = _WORKER["engine"]
     shard: Shard = _WORKER["shard"]
+    spec: EngineSpec = _WORKER["spec"]
+    conn = _WORKER.get("conn")
+    incarnation = _WORKER.get("incarnation", 0)
     scenario = engine.scenario
     digests: list[str] = []
     global_slices: dict[float, list] = {}
@@ -324,6 +401,17 @@ def _worker_chunk(ticks: Sequence[float], final: bool) -> dict:
     clock = engine.clock
 
     for now in ticks:
+        if conn is not None:
+            conn.send(("hb", now))
+        _worker_faults(spec, shard, now)
+        if (
+            spec.debug_corrupt is not None
+            and incarnation == 0
+            and spec.debug_corrupt == (shard.shard_id, now)
+        ):
+            # Poison this replica's controller state so its digests
+            # diverge; the respawned incarnation skips this and heals.
+            scenario.estate.controller.min_third_party_share = 0.5
         demand, splits = engine.advance_state(now)
         t0 = clock() if profiling else 0.0
         digests.append(state_digest(now, demand, splits[MappingRegion.EU]))
@@ -378,12 +466,49 @@ def _worker_chunk(ticks: Sequence[float], final: bool) -> dict:
             scenario.netflow.total_offered_bytes - offered_before,
         )
         result["snmp"] = scenario.snmp.bins_since(snmp_base)
-    if final:
-        registry = _WORKER["registry"]
-        result["metrics"] = snapshot_delta(
-            registry.snapshot(WORKER_METRIC_FAMILIES), _WORKER["baseline"]
-        )
+    # Ship the metric delta with every chunk (not just the last): the
+    # coordinator's registry is then complete at any chunk boundary —
+    # which is what makes mid-run checkpoints capture full metrics —
+    # and a killed worker's un-consumed partials simply die with it.
+    registry = _WORKER["registry"]
+    snapshot = registry.snapshot(WORKER_METRIC_FAMILIES)
+    result["metrics"] = snapshot_delta(snapshot, _WORKER["baseline"])
+    _WORKER["baseline"] = snapshot
     return result
+
+
+def _shard_worker_main(conn, spec, shard, warmup_ticks, incarnation) -> None:
+    """Entry point of one shard worker process.
+
+    Protocol (all tuples over the duplex pipe): the worker warms up
+    (heartbeating), announces ``("ready", shard_id)``, then serves
+    ``("chunk", ticks)`` → ``("result", payload)`` until ``("stop",)``.
+    Any exception is reported as ``("error", text)`` — a deterministic
+    failure the supervisor treats as fatal rather than respawning.
+    """
+    try:
+        _WORKER["conn"] = conn
+        _WORKER["incarnation"] = incarnation
+        _init_worker(spec, shard, warmup_ticks)
+        conn.send(("ready", shard.shard_id))
+        while True:
+            message = conn.recv()
+            if message[0] == "chunk":
+                conn.send(("result", _worker_chunk(message[1])))
+            elif message[0] == "stop":
+                break
+    except (EOFError, KeyboardInterrupt):
+        pass
+    except Exception as exc:
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except OSError:
+            pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
 
 
 # ----------------------------------------------------------------------
@@ -392,19 +517,212 @@ def _worker_chunk(ticks: Sequence[float], final: bool) -> dict:
 
 
 def _require_fresh(engine) -> None:
-    scenario = engine.scenario
-    if (
-        len(scenario.global_campaign.store)
-        or len(scenario.isp_campaign.store)
-        or len(scenario.netflow)
-        or scenario.global_campaign._next_due is not None
-        or scenario.isp_campaign._next_due is not None
-    ):
+    if not engine.scenario.is_fresh():
         raise RuntimeError(
             "sharded runs must start from a fresh scenario: worker "
             "replicas are rebuilt from the spec and cannot reproduce "
             "state this engine already accumulated"
         )
+
+
+class _WorkerHandle:
+    """The coordinator's supervision record for one shard worker.
+
+    Tracks everything needed to resurrect the worker at any point:
+    the spec and base warm-up (how to rebuild the replica), every chunk
+    whose result the coordinator has consumed (``completed`` — replayed
+    as warm-up on respawn), and every chunk dispatched but not yet
+    answered (``pending`` — re-sent after respawn).
+    """
+
+    def __init__(self, spec, shard, base_warmup, context) -> None:
+        self.spec = spec
+        self.shard = shard
+        self.base_warmup = tuple(base_warmup)
+        self._context = context
+        self.incarnation = 0
+        self.restarts = 0
+        self.ready = False
+        self.pending: deque = deque()
+        self.completed: list = []
+        self.process = None
+        self.conn = None
+        self._spawn()
+
+    def _spawn(self) -> None:
+        self.ready = False
+        warmup = self.base_warmup + tuple(
+            tick for chunk in self.completed for tick in chunk
+        )
+        parent_conn, child_conn = self._context.Pipe()
+        self.process = self._context.Process(
+            target=_shard_worker_main,
+            args=(child_conn, self.spec, self.shard, warmup, self.incarnation),
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+
+    def dispatch(self, chunk) -> None:
+        """Queue ``chunk`` on this worker (result collected later)."""
+        self.pending.append(chunk)
+        self._send(("chunk", chunk))
+
+    def _send(self, message) -> None:
+        try:
+            self.conn.send(message)
+        except (BrokenPipeError, OSError):
+            pass  # the crash surfaces on the receive side
+
+    def receive_result(self, engine, heartbeat_timeout, max_restarts) -> dict:
+        """Collect the next chunk result, supervising liveness.
+
+        Heartbeats and the ready announcement reset the liveness clock;
+        a silent pipe past the timeout (stall) or a broken pipe (crash)
+        triggers a backoff respawn that replays ``completed`` and
+        re-dispatches ``pending``.  A worker-reported error is fatal:
+        the failure is deterministic, so a respawn would just repeat it.
+        """
+        while True:
+            # A freshly spawned replica builds its scenario and warms
+            # up before it can heartbeat; give it a generous grace
+            # period, then hold it to the configured timeout.
+            timeout = (
+                heartbeat_timeout
+                if self.ready
+                else max(heartbeat_timeout, 60.0)
+            )
+            try:
+                if not self.conn.poll(timeout):
+                    self._respawn(
+                        engine,
+                        max_restarts,
+                        f"no heartbeat for {timeout:g}s (stalled)",
+                    )
+                    continue
+                message = self.conn.recv()
+            except (EOFError, OSError):
+                self._respawn(engine, max_restarts, "worker process died")
+                continue
+            tag = message[0]
+            if tag == "hb":
+                continue
+            if tag == "ready":
+                self.ready = True
+                continue
+            if tag == "result":
+                chunk = self.pending.popleft()
+                self.completed.append(chunk)
+                return message[1]
+            if tag == "error":
+                raise RuntimeError(
+                    f"shard {self.shard.shard_id} worker failed: {message[1]}"
+                )
+            raise RuntimeError(
+                f"shard {self.shard.shard_id} sent unknown message {tag!r}"
+            )
+
+    def quarantine_last(self, engine, max_restarts) -> None:
+        """Disown the last consumed chunk and replay it on a fresh replica.
+
+        The divergence path: the chunk moves from ``completed`` back to
+        the head of ``pending`` and the worker is respawned, so the
+        replacement replica warms up *without* the suspect state and
+        re-executes the chunk from scratch.
+        """
+        chunk = self.completed.pop()
+        self.pending.appendleft(chunk)
+        stats = getattr(engine, "run_stats", None)
+        if stats is not None:
+            stats["divergence_replays"] += 1
+        self._respawn(engine, max_restarts, "state digest divergence")
+
+    def _respawn(self, engine, max_restarts, why) -> None:
+        self.restarts += 1
+        stats = getattr(engine, "run_stats", None)
+        if stats is not None:
+            stats["worker_restarts"] += 1
+        if self.restarts > max_restarts:
+            raise RuntimeError(
+                f"shard {self.shard.shard_id} exceeded {max_restarts} "
+                f"restarts (last failure: {why})"
+            )
+        self.kill()
+        self.incarnation += 1
+        time.sleep(min(0.05 * self.restarts, 0.5))
+        pending = list(self.pending)
+        self.pending.clear()
+        self._spawn()
+        for chunk in pending:
+            self.dispatch(chunk)
+
+    def kill(self) -> None:
+        """Tear the worker process down unconditionally."""
+        if self.process is not None and self.process.is_alive():
+            self.process.kill()
+        if self.process is not None:
+            self.process.join(timeout=5.0)
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+
+    def stop(self) -> None:
+        """Ask the worker to exit, then reap it."""
+        self._send(("stop",))
+        if self.process is not None:
+            self.process.join(timeout=2.0)
+        self.kill()
+
+
+def _reconcile_digests(
+    handles, results, chunk, engine, obs, heartbeat_timeout, max_restarts
+):
+    """Cross-shard digest agreement vote for one chunk.
+
+    Every replica computes the same per-tick digests, so disagreement
+    means some replica's world state is corrupt.  A modal vote picks
+    the suspects (tie → everyone off the first list is suspect), their
+    chunk is quarantined and replayed on fresh replicas, and after two
+    failed rounds the divergence escalates to the hard error.  The
+    FlightRecorder dump is preserved at first detection, before any
+    evidence is torn down.
+    """
+    rounds = 0
+    while True:
+        digest_lists = [tuple(result["digests"]) for result in results]
+        if len(set(digest_lists)) == 1:
+            return results
+        if rounds == 0:
+            recorder = get_flight_recorder()
+            if recorder is not None:
+                recorder.trip("shard-divergence", obs.tracer)
+        if rounds >= 2:
+            raise ShardDivergenceError(
+                f"shards still disagree on chunk starting t={chunk[0]} "
+                f"after {rounds} quarantine replays"
+            )
+        counts = Counter(digest_lists)
+        top = max(counts.values())
+        modal = [d for d, count in counts.items() if count == top]
+        majority = modal[0] if len(modal) == 1 else None
+        if majority is not None:
+            suspects = [
+                index
+                for index, digests in enumerate(digest_lists)
+                if digests != majority
+            ]
+        else:
+            # No winner — every replica is suspect; replay them all.
+            suspects = list(range(len(handles)))
+        for index in suspects:
+            handles[index].quarantine_last(engine, max_restarts)
+            results[index] = handles[index].receive_result(
+                engine, heartbeat_timeout, max_restarts
+            )
+        rounds += 1
 
 
 def _combine_slices(shards, results, key: str, now: float) -> Optional[list]:
@@ -437,6 +755,10 @@ def run_sharded(
     progress: Optional[Callable] = None,
     workers: int = 2,
     chunk_ticks: int = 16,
+    warmup_ticks: Sequence[float] = (),
+    heartbeat_timeout: float = 60.0,
+    max_restarts: int = 3,
+    checkpoint_plan=None,
 ) -> int:
     """Run ``engine`` from ``start`` to ``end`` over worker processes.
 
@@ -444,7 +766,16 @@ def run_sharded(
     Reproduces the serial run's observable outputs exactly: identical
     DNS/traceroute stores, Netflow log, SNMP bins, StepReport stream
     and (merged) metric totals.  Raises :class:`ShardDivergenceError`
-    if any worker replica's state drifts from the coordinator's.
+    if the replicas' state drifts from the coordinator's beyond what
+    quarantine-and-replay can heal.
+
+    ``warmup_ticks`` is the resume path: the coordinator has already
+    been restored through those ticks, and every worker replays them
+    before taking chunks.  ``heartbeat_timeout``/``max_restarts`` tune
+    the supervisor; ``checkpoint_plan`` (a
+    :class:`~repro.simulation.checkpoint.CheckpointPlan`) gets a write
+    opportunity at every chunk boundary and a forced final write when a
+    SIGTERM drain is requested.
     """
     if end <= start:
         raise ValueError("end must be after start")
@@ -452,9 +783,12 @@ def run_sharded(
         raise ValueError("workers must be >= 1")
     if chunk_ticks < 1:
         raise ValueError("chunk_ticks must be >= 1")
+    if heartbeat_timeout <= 0:
+        raise ValueError("heartbeat_timeout must be positive")
     if workers == 1:
         return engine.run(start, end, progress=progress)
-    _require_fresh(engine)
+    if not warmup_ticks:
+        _require_fresh(engine)
 
     ticks: list[float] = []
     now = start
@@ -466,35 +800,39 @@ def run_sharded(
     spec = EngineSpec.from_engine(engine)
     scenario = engine.scenario
     obs = engine._obs
+    registry = obs.metrics
     chunks = [
         tuple(ticks[index : index + chunk_ticks])
         for index in range(0, len(ticks), chunk_ticks)
     ]
 
-    # One single-worker pool per shard: shard state lives in the worker
-    # process, so every chunk of a shard must land on the same process.
-    pools = [
-        ProcessPoolExecutor(
-            max_workers=1, initializer=_init_worker, initargs=(spec, shard)
-        )
+    # One supervised process per shard: shard state lives in the worker
+    # process, so every chunk of a shard must land on the same process
+    # (or a respawn that replayed its way back to the same state).
+    context = multiprocessing.get_context()
+    handles = [
+        _WorkerHandle(spec, shard, warmup_ticks, context)
         for shard in plan.shards
     ]
-    final_metrics: list[dict] = []
+    steps = 0
     try:
-        futures = [
-            pool.submit(_worker_chunk, chunks[0], len(chunks) == 1)
-            for pool in pools
-        ]
+        for handle in handles:
+            handle.dispatch(chunks[0])
         for chunk_index, chunk in enumerate(chunks):
-            results = [future.result() for future in futures]
-            if chunk_index + 1 < len(chunks):
+            results = [
+                handle.receive_result(engine, heartbeat_timeout, max_restarts)
+                for handle in handles
+            ]
+            results = _reconcile_digests(
+                handles, results, chunk, engine, obs,
+                heartbeat_timeout, max_restarts,
+            )
+            drain = getattr(engine, "_drain_requested", False)
+            if chunk_index + 1 < len(chunks) and not drain:
                 # Pipeline: hand workers their next chunk before
                 # merging this one, so they never wait on the merge.
-                is_final = chunk_index + 2 == len(chunks)
-                futures = [
-                    pool.submit(_worker_chunk, chunks[chunk_index + 1], is_final)
-                    for pool in pools
-                ]
+                for handle in handles:
+                    handle.dispatch(chunks[chunk_index + 1])
             for tick_index, tick in enumerate(chunk):
                 t0 = engine.clock() if obs.profiling else 0.0
                 global_measurements = (
@@ -522,6 +860,9 @@ def run_sharded(
                 )
                 for shard, result in zip(plan.shards, results):
                     if result["digests"][tick_index] != expected:
+                        # The replicas agree with each other (the vote
+                        # above healed any dissent) but not with the
+                        # coordinator — nothing left to quarantine.
                         recorder = get_flight_recorder()
                         if recorder is not None:
                             recorder.trip("shard-divergence", obs.tracer)
@@ -540,11 +881,26 @@ def run_sharded(
                     scenario.netflow.absorb(records, offered)
                     scenario.snmp.absorb(result["snmp"])
                 if "metrics" in result:
-                    final_metrics.append(result["metrics"])
+                    registry.absorb_snapshot(result["metrics"])
+            steps += len(chunk)
+            if checkpoint_plan is not None:
+                next_tick = chunk[-1] + engine.step_seconds
+                checkpoint_plan.maybe_write(engine, next_tick=next_tick)
+                if drain:
+                    checkpoint_plan.maybe_write(
+                        engine, next_tick=next_tick, force=True
+                    )
+                    stats = getattr(engine, "run_stats", None)
+                    if stats is not None:
+                        stats["drained"] = True
+                    break
     finally:
-        for pool in pools:
-            pool.shutdown(wait=False, cancel_futures=True)
-    registry = engine._obs.metrics
-    for snapshot in final_metrics:
-        registry.absorb_snapshot(snapshot)
-    return len(ticks)
+        # Guaranteed teardown on every exit path — success, divergence,
+        # worker error, KeyboardInterrupt — so a failed run never leaks
+        # worker processes.
+        for handle in handles:
+            try:
+                handle.stop()
+            except Exception:
+                handle.kill()
+    return steps

@@ -17,6 +17,8 @@ Each step the engine:
 
 from __future__ import annotations
 
+import signal
+import threading
 import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Optional, Sequence
@@ -416,39 +418,153 @@ class SimulationEngine:
             metrics if metrics is not None else get_registry(),
             tracer if tracer is not None else get_tracer(),
         )
+        # Crash-tolerance bookkeeping, reset at each run() entry: how
+        # many shard workers were respawned, how many divergence
+        # quarantine replays ran, how many checkpoints were written,
+        # whether a SIGTERM drain cut the run short, and which step a
+        # resume picked up from (None for a fresh run).
+        self.run_stats: dict = {
+            "worker_restarts": 0,
+            "divergence_replays": 0,
+            "checkpoints_written": 0,
+            "drained": False,
+            "resumed_from_step": None,
+        }
+        self._drain_requested = False
 
     # ------------------------------------------------------------------
 
     def run(
         self,
-        start: float,
-        end: float,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
         progress: Optional[Callable[[StepReport], None]] = None,
         workers: int = 1,
+        *,
+        checkpoint_every: int = 0,
+        checkpoint_dir=None,
+        resume_from=None,
     ) -> int:
         """Advance from ``start`` to ``end``; returns the step count.
 
         ``workers > 1`` shards the run over that many worker processes
         (see :mod:`repro.simulation.concurrency`); ``workers=1`` is the
         serial loop, bit-for-bit identical to the pre-sharding engine.
+
+        ``checkpoint_every=N`` (with ``checkpoint_dir``) writes an
+        atomic ``RCKPT`` snapshot every N completed ticks and a final
+        one on SIGTERM drain.  ``resume_from`` takes a
+        :class:`~repro.simulation.checkpoint.Checkpoint` and continues
+        that run bit-identically on a *freshly built* engine —
+        ``start``/``end`` default to the checkpoint's; restored
+        :class:`StepReport` entries are re-fed through ``progress`` so
+        callers accumulate the full stream.  Returns the number of
+        steps executed by *this* call (replayed ticks excluded).
         """
+        if resume_from is not None:
+            if start is None:
+                start = resume_from.start
+            if end is None:
+                end = resume_from.end
+        if start is None or end is None:
+            raise ValueError("run() needs start and end unless resuming")
         if end <= start:
             raise ValueError("end must be after start")
         if workers < 1:
             raise ValueError("workers must be >= 1")
-        if workers > 1:
-            from .concurrency import run_sharded
+        self.run_stats = {
+            "worker_restarts": 0,
+            "divergence_replays": 0,
+            "checkpoints_written": 0,
+            "drained": False,
+            "resumed_from_step": None,
+        }
+        self._drain_requested = False
 
-            return run_sharded(self, start, end, progress=progress, workers=workers)
-        steps = 0
-        now = start
-        while now < end:
-            report = self.advance(now)
+        plan = None
+        if checkpoint_every:
+            from .checkpoint import CheckpointPlan
+
+            if checkpoint_dir is None:
+                raise ValueError("checkpoint_every needs checkpoint_dir")
+            plan = CheckpointPlan(
+                directory=checkpoint_dir,
+                every=checkpoint_every,
+                origin_start=start,
+                origin_end=end,
+            )
+
+        begin = start
+        replayed: tuple = ()
+        if resume_from is not None:
+            from .checkpoint import CheckpointError, restore_run_state
+
+            if start != resume_from.start:
+                raise CheckpointError(
+                    f"resume must keep the original start tick "
+                    f"{resume_from.start} (got {start})"
+                )
+            replayed = restore_run_state(self, resume_from)
+            self.run_stats["resumed_from_step"] = resume_from.steps
+            begin = resume_from.next_tick
+            if plan is not None:
+                plan.reports = list(resume_from.reports)
+                plan.written = resume_from.steps
             if progress is not None:
-                progress(report)
-            now += self.step_seconds
-            steps += 1
-        return steps
+                for report in resume_from.reports:
+                    progress(report)
+        if begin >= end:
+            return 0
+
+        run_progress = progress
+        if plan is not None:
+            def run_progress(report, _user=progress):
+                plan.reports.append(report)
+                if _user is not None:
+                    _user(report)
+
+        # A SIGTERM during a checkpointed run drains instead of dying:
+        # the loop finishes the tick (sharded: the chunk) in flight,
+        # writes a final checkpoint and returns.  Only installable from
+        # the main thread; elsewhere the default handling applies.
+        saved_handler = None
+        if plan is not None and threading.current_thread() is threading.main_thread():
+            def _request_drain(signum, frame):
+                self._drain_requested = True
+
+            saved_handler = signal.getsignal(signal.SIGTERM)
+            signal.signal(signal.SIGTERM, _request_drain)
+        try:
+            if workers > 1:
+                from .concurrency import run_sharded
+
+                return run_sharded(
+                    self,
+                    begin,
+                    end,
+                    progress=run_progress,
+                    workers=workers,
+                    warmup_ticks=replayed,
+                    checkpoint_plan=plan,
+                )
+            steps = 0
+            now = begin
+            while now < end:
+                report = self.advance(now)
+                if run_progress is not None:
+                    run_progress(report)
+                now += self.step_seconds
+                steps += 1
+                if plan is not None:
+                    plan.maybe_write(self, next_tick=now)
+                    if self._drain_requested:
+                        plan.maybe_write(self, next_tick=now, force=True)
+                        self.run_stats["drained"] = True
+                        break
+            return steps
+        finally:
+            if saved_handler is not None:
+                signal.signal(signal.SIGTERM, saved_handler)
 
     def advance(self, now: float) -> StepReport:
         """Execute one step at simulation time ``now``."""

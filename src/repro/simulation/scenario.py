@@ -660,6 +660,21 @@ class Sep2017Scenario:
         """The CDN operating ``address``, if it is a known cache."""
         return self.operator_by_address.get(address)
 
+    def is_fresh(self) -> bool:
+        """Whether no run state has accumulated yet.
+
+        Sharded runs and checkpoint resumes both rebuild state from a
+        spec or a replay, so they must start from a just-constructed
+        scenario; this is the shared precondition both paths check.
+        """
+        return not (
+            len(self.global_campaign.store)
+            or len(self.isp_campaign.store)
+            or len(self.netflow)
+            or self.global_campaign._next_due is not None
+            or self.isp_campaign._next_due is not None
+        )
+
     def http_fetch(self, address, request, size: int = 2_800_000_000):
         """Fetch ``request`` from whichever fleet owns ``address``.
 

@@ -258,3 +258,52 @@ class TestSpillPath:
         assert store.spilled_segment_count > 0
         assert store.spill_dir is not None
         assert list(store.iter_dns()) == sample_measurements(40)
+
+
+class TestAtomicSpill:
+    """Crash-safety of the spill path: a reader never sees a torn
+    ``RSEG1`` payload, and torn payloads are detected, not decoded."""
+
+    def seg(self, count=20):
+        return DnsSegment(
+            DnsColumns.from_measurements(sample_measurements(count)),
+            segment_id=7,
+            start_row=0,
+        )
+
+    def test_spill_leaves_no_tmp_residue(self, tmp_path):
+        segment = self.seg()
+        segment.spill(tmp_path / "seg.bin")
+        assert [p.name for p in tmp_path.iterdir()] == ["seg.bin"]
+
+    def test_truncated_header_detected(self, tmp_path):
+        path = tmp_path / "seg.bin"
+        self.seg().spill(path)
+        path.write_bytes(path.read_bytes()[:8])  # magic + partial header len
+        with pytest.raises(SegmentFormatError):
+            DnsColumns.from_bytes(path.read_bytes())
+
+    def test_torn_mid_column_detected(self, tmp_path):
+        path = tmp_path / "seg.bin"
+        segment = self.seg()
+        segment.spill(path)
+        payload = path.read_bytes()
+        path.write_bytes(payload[: int(len(payload) * 0.75)])
+        with pytest.raises(SegmentFormatError, match="truncated"):
+            segment.load()
+
+    def test_trailing_bytes_detected(self, tmp_path):
+        path = tmp_path / "seg.bin"
+        segment = self.seg()
+        segment.spill(path)
+        path.write_bytes(path.read_bytes() + b"\x00\x00\x00")
+        with pytest.raises(SegmentFormatError, match="trailing bytes"):
+            segment.load()
+
+    def test_missing_spill_file_named_in_error(self, tmp_path):
+        path = tmp_path / "seg.bin"
+        segment = self.seg()
+        segment.spill(path)
+        path.unlink()
+        with pytest.raises(SegmentFormatError, match="seg.bin"):
+            segment.load()

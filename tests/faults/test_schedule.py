@@ -98,3 +98,44 @@ class TestFaultSchedule:
         schedule = FaultSchedule.parse(["cdn-blackout@Limelight:3-9"]).shifted(100.0)
         assert schedule.windows[0].start == 103.0
         assert schedule.end_time() == 109.0
+
+
+class TestWindowValidation:
+    """Constructor-time validation: bad windows fail loudly, naming
+    what would have been valid, instead of silently never firing."""
+
+    def test_end_before_start_rejected_with_values(self):
+        with pytest.raises(ValueError, match=r"start=5.*end=3"):
+            FaultWindow(5.0, 3.0, "Apple", FaultKind.CDN_BLACKOUT)
+
+    def test_end_equal_start_rejected(self):
+        with pytest.raises(ValueError, match="end after it starts"):
+            FaultWindow(2.0, 2.0, "Apple", FaultKind.DNS_DROP, 0.5)
+
+    def test_unknown_kind_names_valid_kinds(self):
+        with pytest.raises(ValueError, match="cdn-blackout"):
+            FaultWindow(0.0, 1.0, "Apple", "not-a-kind")
+        with pytest.raises(ValueError, match="worker-kill"):
+            FaultWindow(0.0, 1.0, "Apple", object())  # type: ignore[arg-type]
+
+    def test_unknown_kind_through_schedule_constructor(self):
+        with pytest.raises(ValueError, match=r"unknown fault kind.*valid:"):
+            FaultSchedule([FaultWindow(0.0, 1.0, "Apple", "no-such-kind")])
+
+    def test_string_kind_coerced_to_enum(self):
+        window = FaultWindow(0.0, 1.0, "Akamai", "cdn-brownout", 0.3)
+        assert window.kind is FaultKind.CDN_BROWNOUT
+        # Coercion matters: find() uses identity checks on the enum.
+        schedule = FaultSchedule([window])
+        assert schedule.find(FaultKind.CDN_BROWNOUT, 0.5, "Akamai") is window
+
+    def test_worker_kinds_parse(self):
+        schedule = FaultSchedule.parse([
+            "worker-kill@w0:1-2",
+            "worker-stall@*:3-4:5.0",
+        ])
+        kill, stall = sorted(schedule, key=lambda w: w.start)
+        assert kill.kind is FaultKind.WORKER_KILL
+        assert kill.target == "w0"
+        assert stall.kind is FaultKind.WORKER_STALL
+        assert stall.severity == 5.0

@@ -1,0 +1,155 @@
+"""Property tests for the RCKPT checkpoint building blocks.
+
+The resume contract rests on four round-trips being exact — the file
+format, the RNG streams, the metrics registry snapshot and the
+measurement-store dump.  Hypothesis sweeps the inputs the example
+tests would hand-pick.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.atlas.results import MeasurementStore  # noqa: E402
+from repro.net.asys import ASN  # noqa: E402
+from repro.net.geo import Continent  # noqa: E402
+from repro.net.ipv4 import IPv4Address  # noqa: E402
+from repro.obs import MetricsRegistry, snapshot_delta  # noqa: E402
+from repro.simulation.checkpoint import (  # noqa: E402
+    Checkpoint,
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.simulation.concurrency import ShardRng  # noqa: E402
+from tests.atlas.test_columnar import measurement  # noqa: E402
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=32)
+labels = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=12
+)
+
+
+def synthetic_checkpoints():
+    reports = st.tuples(finite, finite, st.integers(0, 1 << 20))
+    return st.builds(
+        Checkpoint,
+        spec=st.none(),
+        start=finite,
+        end=finite,
+        next_tick=finite,
+        steps=st.integers(min_value=0, max_value=1 << 30),
+        step_seconds=st.floats(min_value=1.0, max_value=86400.0,
+                               allow_nan=False),
+        reports=st.tuples(reports, reports),
+        state=st.dictionaries(labels, st.binary(max_size=64), max_size=4),
+        metrics=st.dictionaries(
+            labels,
+            st.dictionaries(labels, finite, max_size=3),
+            max_size=4,
+        ),
+        observer=st.fixed_dictionaries(
+            {"offload_on": st.lists(labels, max_size=3), "peak_eu": finite}
+        ),
+        rng_states=st.dictionaries(labels, st.integers(), max_size=3),
+        digest=st.none() | st.text("0123456789abcdef", min_size=32,
+                                   max_size=32),
+    )
+
+
+class TestFileFormatRoundTrip:
+    @SETTINGS
+    @given(checkpoint=synthetic_checkpoints())
+    def test_save_load_identity(self, checkpoint, tmp_path_factory):
+        path = tmp_path_factory.mktemp("rckpt") / "ckpt-00000001.rckpt"
+        save_checkpoint(checkpoint, path)
+        assert load_checkpoint(path) == checkpoint
+
+    @SETTINGS
+    @given(
+        checkpoint=synthetic_checkpoints(),
+        fraction=st.floats(min_value=0.0, max_value=1.0, exclude_max=True),
+    )
+    def test_any_truncation_detected(
+        self, checkpoint, fraction, tmp_path_factory
+    ):
+        # A crash can tear a non-atomic write anywhere; every proper
+        # prefix of a valid file must be rejected, never half-loaded.
+        path = tmp_path_factory.mktemp("rckpt") / "ckpt-00000001.rckpt"
+        save_checkpoint(checkpoint, path)
+        payload = path.read_bytes()
+        path.write_bytes(payload[: int(len(payload) * fraction)])
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+
+class TestRngRoundTrip:
+    @SETTINGS
+    @given(
+        seed=st.integers(0, 1 << 32),
+        shard=st.integers(0, 64),
+        draws=st.integers(0, 50),
+    )
+    def test_state_restores_future_draws(self, seed, shard, draws):
+        rng = ShardRng(seed, shard, "netflow")
+        for _ in range(draws):
+            rng.random()
+        state = rng.getstate()
+        expected = [rng.random() for _ in range(10)]
+        replica = ShardRng(seed, shard, "netflow")
+        replica.setstate(state)
+        assert [replica.random() for _ in range(10)] == expected
+
+
+class TestRegistryRoundTrip:
+    @SETTINGS
+    @given(
+        increments=st.lists(
+            st.tuples(labels, labels, st.floats(min_value=0.0,
+                                                max_value=1e9,
+                                                allow_nan=False)),
+            max_size=20,
+        )
+    )
+    def test_snapshot_absorb_identity(self, increments):
+        original = MetricsRegistry()
+        for family, label, amount in increments:
+            original.counter(family, labelnames=("kind",)).labels(
+                label
+            ).inc(amount)
+        restored = MetricsRegistry()
+        restored.absorb_snapshot(original.snapshot())
+        assert restored.snapshot() == original.snapshot()
+        assert snapshot_delta(restored.snapshot(), original.snapshot()) == {}
+
+
+class TestStoreRoundTrip:
+    @SETTINGS
+    @given(
+        count=st.integers(min_value=0, max_value=60),
+        segment_rows=st.integers(min_value=1, max_value=16),
+    )
+    def test_dump_restore_identity(self, count, segment_rows):
+        original = MeasurementStore(segment_rows=segment_rows)
+        rows = [
+            measurement(
+                float(index * 10),
+                [f"17.0.0.{1 + index % 9}"] if index % 5 else [],
+                probe=index % 4,
+                continent=list(Continent)[index % len(Continent)],
+                rcode="NOERROR" if index % 5 else "SERVFAIL",
+            )
+            for index in range(count)
+        ]
+        for row in rows:
+            original.add_dns(row)
+        restored = MeasurementStore(segment_rows=segment_rows)
+        restored.restore_state(original.dump_state())
+        assert list(restored.dns) == rows
+        assert restored.segment_summaries() == original.segment_summaries()
+        assert restored.dns_count == original.dns_count

@@ -1,0 +1,163 @@
+"""The shard supervisor: heal crashed/stalled/diverged workers without
+letting any of it show in the outputs.
+
+``run_sharded`` owns its worker processes: a SIGKILLed worker is
+respawned (replaying its warm-up plus every chunk it already answered),
+a stalled worker trips the heartbeat timeout and is restarted the same
+way, and a diverging replica is quarantined and replayed before the
+coordinator gives up.  In every case the merged run must stay
+byte-identical to the serial reference — recovery that changes results
+is not recovery.
+"""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.faults import FaultSchedule
+from repro.obs import MetricsRegistry, use_registry
+from repro.simulation import ScenarioConfig, Sep2017Scenario, SimulationEngine
+from repro.simulation.concurrency import run_sharded
+from repro.simulation.engine import RunSummary
+from repro.workload import TIMELINE
+
+CFG = dict(global_probe_count=16, isp_probe_count=8, traceroute_probe_count=2)
+STEP = 1800.0
+START = TIMELINE.at(9, 18)
+
+# Processes alive before a test runs (pytest-xdist workers, fixtures'
+# leftovers) are not the supervisor's to reap.
+def _children():
+    return {p.pid for p in multiprocessing.active_children()}
+
+
+def run_window(ticks, workers, faults=None, corrupt=None, heartbeat=60.0,
+               **kwargs):
+    end = START + ticks * STEP
+    with use_registry(MetricsRegistry()):
+        scenario = Sep2017Scenario(ScenarioConfig(**CFG), faults=faults)
+        engine = SimulationEngine(scenario, step_seconds=STEP)
+        if corrupt is not None:
+            engine.debug_corrupt = corrupt
+        reports = []
+        if workers == 1:
+            engine.run(START, end, progress=reports.append)
+        else:
+            run_sharded(
+                engine,
+                START,
+                end,
+                progress=reports.append,
+                workers=workers,
+                chunk_ticks=4,
+                heartbeat_timeout=heartbeat,
+                **kwargs,
+            )
+    summary = RunSummary.from_run(scenario, reports)
+    return engine, json.dumps(summary.to_json_dict(), sort_keys=True)
+
+
+class TestWorkerCrashRecovery:
+    def test_sigkilled_worker_respawned_identically(self):
+        # Shard w0 SIGKILLs itself during its second chunk; the
+        # supervisor must respawn it mid-run with zero divergence.
+        kill = FaultSchedule.parse(
+            [f"worker-kill@w0:{START + 4 * STEP:g}-{START + 6 * STEP:g}"]
+        )
+        before = _children()
+        _, reference = run_window(12, workers=1, faults=kill)
+        engine, merged = run_window(
+            12, workers=3, faults=kill, heartbeat=2.0
+        )
+        assert engine.run_stats["worker_restarts"] >= 1
+        assert merged == reference
+        assert _children() <= before
+
+    def test_stalled_worker_times_out_and_recovers(self):
+        # Shard w1 hangs for 5s without heartbeating; with a 1s
+        # heartbeat timeout the supervisor declares it dead, respawns
+        # it, and re-dispatches the unanswered chunk.
+        stall = FaultSchedule.parse(
+            [f"worker-stall@w1:{START + 2 * STEP:g}-{START + 3 * STEP:g}:5.0"]
+        )
+        _, reference = run_window(12, workers=1, faults=stall)
+        engine, merged = run_window(
+            12, workers=3, faults=stall, heartbeat=1.0
+        )
+        assert engine.run_stats["worker_restarts"] >= 1
+        assert merged == reference
+
+    def test_repeated_kills_exhaust_max_restarts(self):
+        # severity N = "die N times"; more deaths than max_restarts
+        # must surface as a hard failure, not an infinite respawn loop.
+        kill = FaultSchedule.parse(
+            [f"worker-kill@w0:{START:g}-{START + 12 * STEP:g}:99"]
+        )
+        with pytest.raises(RuntimeError, match="restart"):
+            run_window(
+                12, workers=3, faults=kill, heartbeat=2.0, max_restarts=2
+            )
+
+
+class TestDivergenceQuarantine:
+    def test_corrupt_replica_quarantined_and_replayed(self):
+        # debug_corrupt perturbs shard 0's incarnation-0 replica at one
+        # tick; the digest vote must finger it, quarantine it, and the
+        # replayed (clean) incarnation must restore byte-identity.
+        _, reference = run_window(8, workers=1)
+        engine, merged = run_window(
+            8, workers=3, corrupt=(0, START + 5 * STEP)
+        )
+        assert engine.run_stats["divergence_replays"] >= 1
+        assert engine.run_stats["worker_restarts"] >= 1
+        assert merged == reference
+
+
+class _CrashOnWorkerBuild(Sep2017Scenario):
+    """Builds fine in the coordinator, raises in any other process."""
+
+    boot_pid = os.getpid()
+
+    def __init__(self, *args, **kwargs):
+        if os.getpid() != type(self).boot_pid:
+            raise RuntimeError("worker-side scenario build exploded")
+        super().__init__(*args, **kwargs)
+
+
+class TestNoLeakedWorkers:
+    def test_raising_shard_reaps_all_workers(self):
+        # Regression: a shard failure used to leave the pool's
+        # processes running.  Whatever goes wrong, run_sharded owns the
+        # teardown of every process it spawned.
+        before = _children()
+        with use_registry(MetricsRegistry()):
+            scenario = _CrashOnWorkerBuild(ScenarioConfig(**CFG))
+            engine = SimulationEngine(scenario, step_seconds=STEP)
+            with pytest.raises(RuntimeError, match="worker"):
+                run_sharded(
+                    engine, START, START + 8 * STEP, workers=3, chunk_ticks=4
+                )
+        assert _children() <= before
+
+    def test_clean_run_reaps_all_workers(self):
+        before = _children()
+        run_window(8, workers=3)
+        assert _children() <= before
+
+
+class TestSupervisorArguments:
+    def test_rejects_nonpositive_heartbeat(self):
+        with use_registry(MetricsRegistry()):
+            engine = SimulationEngine(
+                Sep2017Scenario(ScenarioConfig(**CFG)), step_seconds=STEP
+            )
+            with pytest.raises(ValueError, match="heartbeat"):
+                run_sharded(
+                    engine,
+                    START,
+                    START + 4 * STEP,
+                    workers=2,
+                    heartbeat_timeout=0.0,
+                )
