@@ -162,6 +162,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--admin-port", type=int, default=9900,
                        help="admin endpoint (/metrics, /healthz, /traces) "
                             "port (default 9900; 0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="serve worker processes sharing the ports via "
+                            "SO_REUSEPORT (default 1 = single loop; the "
+                            "admin plane then merges worker metrics)")
 
     loadgen = commands.add_parser(
         "loadgen", help="drive the load generator against a running serve pair"
@@ -172,6 +176,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="HTTP endpoint of a running `repro serve`")
     loadgen.add_argument("--requests", type=int, default=1000)
     loadgen.add_argument("--concurrency", type=int, default=32)
+    loadgen.add_argument("--arrival", choices=("flash-crowd", "uniform"),
+                         default=None,
+                         help="open-loop arrival process driven by the "
+                              "workload model (default: closed loop)")
+    loadgen.add_argument("--duration", type=float, default=None,
+                         help="seconds the arrival schedule spans "
+                              "(open-loop only; default 10)")
+    loadgen.add_argument("--processes", type=int, default=1,
+                         help="generator processes to fan the load across "
+                              "(default 1 = in-process)")
     loadgen.add_argument("--trace-sample", type=float, default=1.0,
                          metavar="RATE",
                          help="fraction of requests to trace end-to-end "
@@ -195,6 +209,19 @@ def build_parser() -> argparse.ArgumentParser:
     selftest_cmd.add_argument("--trace-out", metavar="PATH", default=None,
                               help="write the full causal-chain trace here "
                                    "(JSONL; enables tracing)")
+    selftest_cmd.add_argument("--workers", type=int, default=1,
+                              help="serve worker processes (default 1 = the "
+                                   "classic single-loop selftest; >= 2 runs "
+                                   "the scaled fleet selftest)")
+    selftest_cmd.add_argument("--processes", type=int, default=None,
+                              help="loadgen processes for the fleet selftest "
+                                   "(default: max(2, workers))")
+    selftest_cmd.add_argument("--arrival", choices=("flash-crowd", "uniform"),
+                              default=None,
+                              help="drive the fleet open-loop with this "
+                                   "arrival process instead of closed-loop")
+    selftest_cmd.add_argument("--duration", type=float, default=None,
+                              help="seconds the open-loop schedule spans")
 
     chaos = commands.add_parser(
         "chaos", help="run the fault-injection drill against live + engine"
@@ -219,6 +246,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--workers", type=int, default=1,
                        help="worker processes for the simulation phase "
                             "(default 1 = serial)")
+    chaos.add_argument("--serve-workers", type=int, default=1,
+                       help="serve worker processes for the live phase "
+                            "(default 1 = single loop; >= 2 runs the drill "
+                            "against a reuseport fleet mid-flash-crowd)")
     _add_flight_args(chaos)
 
     top = commands.add_parser(
@@ -709,6 +740,8 @@ def _parse_endpoint(text: str) -> tuple[str, int]:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.workers > 1:
+        return _cmd_serve_fleet(args)
     # A standing server always carries live instruments — that is what
     # the admin endpoint (and `repro top`) reads.  Installed ambiently
     # so the estate's construction-time cache counters land in the same
@@ -746,6 +779,48 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_fleet(args: argparse.Namespace) -> int:
+    """`repro serve --workers N`: a reuseport fleet + merged admin plane."""
+    from .serve import AdminServer, FleetConfig, ServeFleet
+
+    fleet = ServeFleet(FleetConfig(
+        workers=args.workers,
+        cluster=ClusterConfig(object_size=args.object_size),
+    ))
+    fleet.start(
+        host=args.host, dns_port=args.dns_port, http_port=args.http_port
+    )
+
+    async def _run() -> None:
+        # One admin plane in the parent; every scrape merges the latest
+        # registry snapshot from each worker.
+        admin = AdminServer(
+            registry=MetricsRegistry(),
+            registry_provider=fleet.admin_registry_provider(),
+        )
+        await admin.start(host=args.host, port=args.admin_port)
+        dns_host, dns_port = fleet.dns_endpoint
+        http_host, http_port = fleet.http_endpoint
+        admin_host, admin_port = admin.endpoint
+        print(f"dns   {dns_host}:{dns_port}  (udp + tcp fallback, "
+              f"{args.workers} reuseport workers)")
+        print(f"http  {http_host}:{http_port}")
+        print(f"admin {admin_host}:{admin_port}  (/metrics merges all workers)")
+        print("serving the Figure 2 estate; Ctrl-C to stop")
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await admin.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("\nstopped")
+    finally:
+        fleet.stop()
+    return 0
+
+
 def _trace_stats_line(tracer) -> Optional[str]:
     """Span accounting for the run report; None for the null tracer."""
     if not isinstance(tracer, EventTracer):
@@ -758,6 +833,34 @@ def _trace_stats_line(tracer) -> Optional[str]:
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
+    arrival = None
+    if args.arrival is not None:
+        from .workload.arrival import ArrivalSchedule
+
+        arrival = ArrivalSchedule.named(
+            args.arrival, args.requests, args.duration or 10.0
+        )
+    elif args.duration is not None:
+        raise SystemExit("--duration requires --arrival")
+    config = LoadConfig(
+        requests=args.requests,
+        concurrency=args.concurrency,
+        trace_sample=args.trace_sample,
+        arrival=arrival,
+    )
+    if args.processes > 1:
+        if args.trace_out:
+            raise SystemExit(
+                "--trace-out needs the in-process generator (--processes 1)"
+            )
+        from .serve import run_loadgen_fleet
+
+        report = run_loadgen_fleet(
+            _parse_endpoint(args.dns), _parse_endpoint(args.http),
+            config, args.processes,
+        )
+        print(report.render())
+        return 0 if report.healthy() else 1
     # A live tracer whenever spans are wanted on disk or sampling is in
     # play (sampled-out counts are part of the report either way).
     traced = bool(args.trace_out) or args.trace_sample < 1.0
@@ -766,11 +869,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         dns_endpoint=_parse_endpoint(args.dns),
         http_endpoint=_parse_endpoint(args.http),
         directory=ClientDirectory.from_adoption(),
-        config=LoadConfig(
-            requests=args.requests,
-            concurrency=args.concurrency,
-            trace_sample=args.trace_sample,
-        ),
+        config=config,
         tracer=tracer,
     )
     report = asyncio.run(generator.run())
@@ -785,6 +884,19 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
 
 def _cmd_selftest(args: argparse.Namespace) -> int:
+    if args.workers > 1:
+        from .serve import fleet_selftest, render_fleet_selftest
+
+        result = fleet_selftest(
+            workers=args.workers,
+            requests=args.requests,
+            concurrency=args.concurrency,
+            processes=args.processes,
+            arrival=args.arrival,
+            duration=args.duration,
+        )
+        print(render_fleet_selftest(result, qps_floor=args.qps_floor))
+        return 0 if result.passed(qps_floor=args.qps_floor) else 1
     traced = bool(args.trace_out) or args.trace_sample < 1.0
     tracer = EventTracer() if traced else NULL_TRACER
     report, registry = selftest(
@@ -823,6 +935,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         run_simulation=not args.skip_simulation,
         workers=args.workers,
         steering=args.steering,
+        serve_workers=args.serve_workers,
     )
     with _flight_scope(args):
         report, _registry, _tracer = run_chaos(config)

@@ -83,6 +83,11 @@ class AuthoritativeServer:
         self._zones.sort(key=lambda z: z.origin.count("."), reverse=True)
         return zone
 
+    @property
+    def zones(self) -> tuple[Zone, ...]:
+        """Every hosted zone, most specific first."""
+        return tuple(self._zones)
+
     def zone_for(self, name: str) -> Optional[Zone]:
         """The most specific zone covering ``name``, if any."""
         for zone in self._zones:

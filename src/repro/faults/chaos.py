@@ -107,6 +107,11 @@ class ChaosConfig:
     servers_per_metro: int = 4
     workers: int = 1                  # worker processes for the simulation phase
     steering: str = "dns"             # dns | anycast | hybrid
+    # Live phase scale: 1 = the classic single-loop cluster; >= 2 boots
+    # a multi-process ServeFleet and drives it with an open-loop
+    # flash-crowd arrival while the faults bite.
+    serve_workers: int = 1
+    loadgen_processes: int = 2        # generator processes for the fleet phase
 
     def __post_init__(self) -> None:
         if self.steering not in ("dns", "anycast", "hybrid"):
@@ -120,6 +125,8 @@ class ChaosConfig:
             raise ValueError("error_budget must be a fraction in (0, 1)")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.serve_workers < 1 or self.loadgen_processes < 1:
+            raise ValueError("serve_workers and loadgen_processes must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -155,6 +162,9 @@ class ChaosReport:
     sim_worker_restarts: Optional[int] = None
     sim_worker_identical: Optional[bool] = None
     sim_worker_divergence: Optional[str] = None
+    # multi-process live phase (serve_workers >= 2)
+    serve_workers: int = 1
+    shed: int = 0
     checks: tuple = field(default_factory=tuple)
 
     def passed(self) -> bool:
@@ -175,6 +185,13 @@ class ChaosReport:
                 "",
                 f"live requests   {self.requests}  (ok {self.ok}, errors {self.errors}, "
                 f"rate {self.error_rate:.2%})",
+            ]
+            if self.serve_workers > 1:
+                lines.append(
+                    f"serve fleet     {self.serve_workers} workers, "
+                    f"open-loop flash crowd ({self.shed} arrivals shed)"
+                )
+            lines += [
                 f"resilience      {self.retries} retries, "
                 f"{self.reresolutions} TTL re-resolutions, {self.hedged} hedged lookups",
                 f"failovers       {self.unhealthy_events} member(s) marked unhealthy",
@@ -397,6 +414,184 @@ async def _live_phase(config: ChaosConfig, schedule: FaultSchedule,
     }
 
 
+async def _fleet_watch(dns_endpoint, directory, config: ChaosConfig,
+                       registry, blackout: Optional[FaultWindow],
+                       clock, stop_at: float, rounds: list) -> int:
+    """The :func:`_watch_resteer` logic against a fleet's shared port.
+
+    The fleet's tracer events live in its worker processes, so re-steer
+    *and* recovery are judged from the wire alone: ``rounds`` records
+    ``(t, limelight_seen)`` past the end of the fault window too, and
+    the caller derives recovery from Limelight's reappearance.
+    """
+    from ..serve.loadgen import AsyncDnsClient, DnsClientError
+
+    dns = await AsyncDnsClient.open(
+        *dns_endpoint, timeout=1.0, retries=1, metrics=registry
+    )
+    try:
+        entry = "appldnld.apple.com"
+        watched = []
+        for index in range(config.watch_candidates):
+            client = directory.sample(index)
+            try:
+                resolution = await dns.resolve(entry, client.address)
+            except DnsClientError:
+                continue
+            if any("llnw" in name for name in resolution.chain_names):
+                watched.append(client.address)
+            if len(watched) >= config.watch_clients:
+                break
+        if not watched or blackout is None:
+            return len(watched)
+        while clock() < stop_at:
+            seen = False
+            for address in watched:
+                try:
+                    resolution = await dns.resolve(entry, address)
+                except DnsClientError:
+                    continue
+                if any("llnw" in name for name in resolution.chain_names):
+                    seen = True
+                    break
+            rounds.append((clock(), seen))
+            await asyncio.sleep(config.watch_interval)
+        return len(watched)
+    finally:
+        dns.close()
+
+
+def _recovery_from_rounds(rounds, blackout: Optional[FaultWindow]) -> Optional[float]:
+    """Seconds from the fault clearing until Limelight answered again."""
+    if blackout is None:
+        return None
+    for t, seen in rounds:
+        if t >= blackout.end and seen:
+            return t - blackout.end
+    return None
+
+
+def _fleet_live_phase(config: ChaosConfig, schedule: FaultSchedule,
+                      registry) -> dict:
+    """The live drill against a multi-process fleet, mid-flash-crowd.
+
+    An open-loop flash-crowd arrival (sliced across generator
+    processes) runs in a background thread for the whole schedule while
+    the watcher resolves from the parent; worker metrics are absorbed
+    into ``registry`` at the end so failover counts and per-status
+    totals read exactly like the single-loop drill's.
+    """
+    import threading
+    import time
+
+    from ..serve.cluster import ClusterConfig
+    from ..serve.fleet import FleetConfig, ServeFleet, run_loadgen_fleet
+    from ..serve.loadgen import LoadConfig
+    from ..workload.arrival import ArrivalSchedule
+
+    blackouts = [w for w in schedule
+                 if w.kind is FaultKind.CDN_BLACKOUT and w.target != "Apple"]
+    blackout = blackouts[0] if blackouts else None
+    failover = FailoverConfig(
+        probe_interval=config.probe_interval,
+        cooldown=config.probe_cooldown,
+        fault_seed=config.seed,
+    )
+    cluster_config = ClusterConfig(servers_per_metro=config.servers_per_metro)
+    fleet = ServeFleet(FleetConfig(
+        workers=config.serve_workers,
+        cluster=cluster_config,
+        steering=config.steering,
+        faults=schedule,
+        failover=failover,
+    ))
+    end_at = schedule.end_time() + config.recovery_margin
+    total = max(config.batch_requests, int(config.batch_requests * end_at / 2.0))
+    arrival = ArrivalSchedule.flash_crowd(total, end_at)
+    load_config = LoadConfig(
+        requests=total,
+        concurrency=config.concurrency,
+        http_retries=2,
+        dns_timeout=1.0,
+        arrival=arrival,
+    )
+    fleet.start()
+    t0 = time.monotonic()
+    clock = lambda: time.monotonic() - t0  # noqa: E731 - run-relative seconds
+    holder: dict = {}
+
+    def _drive() -> None:
+        try:
+            holder["report"] = run_loadgen_fleet(
+                fleet.dns_endpoint, fleet.http_endpoint, load_config,
+                config.loadgen_processes, directory=fleet.spec.directory(),
+            )
+        except Exception as exc:  # surfaced as a failed drill, not a crash
+            holder["error"] = exc
+
+    rounds: list = []
+    try:
+        driver = threading.Thread(target=_drive, daemon=True)
+        driver.start()
+        watched = asyncio.run(_fleet_watch(
+            fleet.dns_endpoint, fleet.spec.directory(), config, registry,
+            blackout, clock, end_at, rounds,
+        ))
+        driver.join(timeout=max(60.0, end_at * 4))
+    finally:
+        fleet.stop()
+    registry.absorb_snapshot(fleet.merged_registry().snapshot())
+    if "error" in holder:
+        raise holder["error"]
+    report = holder.get("report")
+    if report is None:
+        raise RuntimeError("loadgen fleet did not finish within its deadline")
+    unhealthy = 0
+    failover_family = registry.get("cdn_failovers_total")
+    if failover_family is not None:
+        unhealthy = int(
+            sum(child.value for _labels, child in failover_family.children())
+        )
+    anycast_routed = 0
+    catchment_shift: tuple[str, ...] = ()
+    if config.steering != "dns":
+        family = registry.get("serve_anycast_routed_total")
+        if family is not None:
+            anycast_routed = int(
+                sum(child.value for _labels, child in family.children())
+            )
+        from ..serve.steering import build_serve_plane
+        from ..serve.cluster import build_serve_estate
+
+        plane = build_serve_plane(
+            build_serve_estate(cluster_config), fleet.spec.directory(),
+            schedule=schedule,
+        )
+        flaps = [w for w in schedule if w.kind in
+                 (FaultKind.ROUTE_WITHDRAW, FaultKind.ROUTE_PREPEND)]
+        if flaps:
+            window = flaps[0]
+            before = plane.catchment_map(window.start - 1.0)
+            during = plane.catchment_map((window.start + window.end) / 2.0)
+            catchment_shift = before.diff(during)
+    return {
+        "requests": report.requests,
+        "ok": report.ok,
+        "errors": report.errors,
+        "retries": report.retries,
+        "reresolutions": report.reresolutions,
+        "hedged": report.hedged,
+        "watched": watched,
+        "resteer": _resteer_from_rounds(rounds, blackout),
+        "recovery": _recovery_from_rounds(rounds, blackout),
+        "unhealthy": unhealthy,
+        "blackout": blackout,
+        "anycast_routed": anycast_routed,
+        "catchment_shift": catchment_shift,
+        "shed": report.shed,
+    }
+
+
 def _simulation_phase(config: ChaosConfig) -> dict:
     from ..isp.classify import TrafficClassifier
     from ..simulation.engine import SimulationEngine
@@ -605,6 +800,14 @@ def run_chaos(
             # the whole drill is the sharded-vs-serial engine run.
             live = _NO_LIVE_PHASE
             sim = _worker_crash_phase(config, schedule)
+        elif config.serve_workers > 1:
+            live = _fleet_live_phase(config, schedule, registry)
+            sim = None
+            if config.run_simulation:
+                if config.steering == "anycast":
+                    sim = _anycast_simulation_phase(config)
+                else:
+                    sim = _simulation_phase(config)
         else:
             live = asyncio.run(_live_phase(config, schedule, registry, tracer))
             sim = None
@@ -708,6 +911,8 @@ def run_chaos(
         sim_worker_restarts=None if sim is None else sim.get("worker_restarts"),
         sim_worker_identical=None if sim is None else sim.get("identical"),
         sim_worker_divergence=None if sim is None else sim.get("divergence"),
+        serve_workers=config.serve_workers,
+        shed=live.get("shed", 0),
         checks=tuple(checks),
     )
     if not report.passed():

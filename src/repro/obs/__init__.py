@@ -65,6 +65,7 @@ from .registry import (
     MetricsRegistry,
     NullRegistry,
     get_registry,
+    merge_registry_snapshots,
     set_registry,
     snapshot_delta,
     use_registry,
@@ -101,6 +102,7 @@ __all__ = [
     "MetricError",
     "DEFAULT_BUCKETS",
     "get_registry",
+    "merge_registry_snapshots",
     "set_registry",
     "snapshot_delta",
     "use_registry",

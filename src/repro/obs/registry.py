@@ -178,6 +178,34 @@ class HistogramChild:
         }
 
     @classmethod
+    def merge(cls, children: Sequence["HistogramChild"]) -> "HistogramChild":
+        """A new child summing ``children`` bucket for bucket.
+
+        Every input must share the same bucket bounds (merging across
+        schemas would silently misplace observations).  Merging is
+        exact — bucket counts, sums and observation counts are plain
+        additions — so quantiles of the merged child equal quantiles of
+        a single child that saw every observation, regardless of how
+        the observations were partitioned across processes.
+        """
+        inputs = list(children)
+        if not inputs:
+            raise MetricError("merge needs at least one histogram child")
+        uppers = inputs[0].uppers
+        for child in inputs[1:]:
+            if tuple(child.uppers) != tuple(uppers):
+                raise MetricError(
+                    "cannot merge histograms with different bucket bounds"
+                )
+        merged = cls(tuple(uppers))
+        for child in inputs:
+            for index, n in enumerate(child.bucket_counts):
+                merged.bucket_counts[index] += n
+            merged.sum += child.sum
+            merged.count += child.count
+        return merged
+
+    @classmethod
     def from_cumulative(
         cls,
         buckets: Sequence[tuple[float, float]],
@@ -572,6 +600,22 @@ def snapshot_delta(new: dict, base: dict) -> dict:
         if children:
             delta[name] = {**entry, "children": children}
     return delta
+
+
+def merge_registry_snapshots(snapshots: Sequence[dict]) -> MetricsRegistry:
+    """A fresh registry absorbing every snapshot in ``snapshots``.
+
+    The cross-process aggregation primitive of the serve fleet: each
+    worker ships :meth:`MetricsRegistry.snapshot` dumps to the parent,
+    which merges the latest per-worker dump into one registry for the
+    admin plane's ``/metrics``.  Absorption is commutative and
+    associative (plain additions per child), so merge order and the
+    partition of observations across workers never change the result.
+    """
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        merged.absorb_snapshot(snapshot)
+    return merged
 
 
 _default_registry: Union[MetricsRegistry, NullRegistry] = NULL_REGISTRY

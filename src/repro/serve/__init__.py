@@ -17,7 +17,11 @@ the flash-crowd workload — is made network-reachable here:
 * :mod:`repro.serve.cluster` — the one-call loopback topology and the
   ``repro selftest`` entry point;
 * :mod:`repro.serve.admin` — the live admin plane (``/metrics``,
-  ``/healthz``, ``/traces``) the ``repro top`` dashboard polls.
+  ``/healthz``, ``/traces``) the ``repro top`` dashboard polls;
+* :mod:`repro.serve.snapshot` — the mmap-backed read-only fleet spec
+  every worker process serves from;
+* :mod:`repro.serve.fleet` — the multi-process ``SO_REUSEPORT`` edge
+  fleet plus the loadgen fleet and the scaled selftest.
 """
 
 from .admin import AdminServer
@@ -31,6 +35,15 @@ from .cluster import (
     selftest_checks,
 )
 from .dnsserver import AsyncDnsServer, ZoneFrontend
+from .fleet import (
+    FleetConfig,
+    FleetSelftestReport,
+    ServeFleet,
+    fleet_selftest,
+    fleet_supported,
+    render_fleet_selftest,
+    run_loadgen_fleet,
+)
 from .httpserver import AsyncHttpEdge, estate_router
 from .loadgen import (
     AsyncDnsClient,
@@ -40,8 +53,10 @@ from .loadgen import (
     LoadReport,
     PooledHttpClient,
     WireResolution,
+    merge_load_reports,
 )
 from .resilience import BackoffPolicy, CircuitBreaker, HedgePolicy
+from .snapshot import FleetSpec, estate_signature, load_snapshot, write_snapshot
 
 __all__ = [
     "AdminServer",
@@ -69,4 +84,16 @@ __all__ = [
     "selftest",
     "selftest_checks",
     "render_selftest",
+    "merge_load_reports",
+    "FleetSpec",
+    "estate_signature",
+    "write_snapshot",
+    "load_snapshot",
+    "FleetConfig",
+    "ServeFleet",
+    "fleet_supported",
+    "run_loadgen_fleet",
+    "FleetSelftestReport",
+    "fleet_selftest",
+    "render_fleet_selftest",
 ]

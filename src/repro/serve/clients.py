@@ -131,6 +131,24 @@ class ClientDirectory:
         for weight in self._weights:
             running += weight / total
             self._cumulative.append(running)
+        # Per-region index lists + cumulative weights, for arrival
+        # schedules that fix the region before the vantage is drawn.
+        self._region_indexes: dict[MappingRegion, list[int]] = {}
+        for index, vantage in enumerate(self._vantages):
+            self._region_indexes.setdefault(vantage.region, []).append(index)
+        self._region_cumulative: dict[MappingRegion, list[float]] = {}
+        for region, indexes in self._region_indexes.items():
+            region_total = sum(self._weights[i] for i in indexes)
+            bounds: list[float] = []
+            acc = 0.0
+            for i in indexes:
+                share = (
+                    self._weights[i] / region_total if region_total > 0.0
+                    else 1.0 / len(indexes)
+                )
+                acc += share
+                bounds.append(acc)
+            self._region_cumulative[region] = bounds
 
     @classmethod
     def from_adoption(
@@ -171,6 +189,35 @@ class ClientDirectory:
         vantage = self._vantages[index]
         # Spread clients over the block's host space, skipping the
         # network address so /24 ECS prefixes stay distinguishable.
+        host_space = (1 << (32 - vantage.prefix.length)) - 2
+        offset = 1 + (sequence % max(1, host_space))
+        address = IPv4Address(vantage.prefix.network.value + offset)
+        return SampledClient(address=address, vantage=vantage)
+
+    def weights(self) -> dict[str, float]:
+        """Sampling weight per vantage name (the snapshot payload)."""
+        return {v.name: w for v, w in zip(self._vantages, self._weights)}
+
+    def sample_in_region(self, region: MappingRegion, sequence: int,
+                         salt: str = "") -> SampledClient:
+        """The deterministic client for ``sequence``, pinned to ``region``.
+
+        Used by open-loop arrival schedules: the workload model decides
+        *which region* wakes up at each instant (diurnal ramp), and the
+        directory only picks the vantage within it.  Regions with no
+        vantage fall back to the unconstrained draw.
+        """
+        indexes = self._region_indexes.get(region)
+        if not indexes:
+            return self.sample(sequence, salt)
+        fraction = stable_fraction("serve-client-region", region.value,
+                                   sequence, salt)
+        bounds = self._region_cumulative[region]
+        position = 0
+        for position, bound in enumerate(bounds):
+            if fraction < bound:
+                break
+        vantage = self._vantages[indexes[position]]
         host_space = (1 << (32 - vantage.prefix.length)) - 2
         offset = 1 + (sequence % max(1, host_space))
         address = IPv4Address(vantage.prefix.network.value + offset)

@@ -256,12 +256,20 @@ class ServeCluster:
             await asyncio.sleep(interval)
 
     async def start(self, host: str = "127.0.0.1", dns_port: int = 0,
-                    http_port: int = 0, admin_port: int = 0) -> "ServeCluster":
-        """Boot both servers plus the admin plane (ephemeral ports)."""
+                    http_port: int = 0, admin_port: Optional[int] = 0,
+                    reuse_port: bool = False) -> "ServeCluster":
+        """Boot both servers plus the admin plane (ephemeral ports).
+
+        ``admin_port=None`` skips the admin listener — fleet workers do
+        that, since the fleet parent serves one merged admin plane.
+        ``reuse_port`` binds the data-path sockets ``SO_REUSEPORT`` so
+        sibling workers can share the same ports.
+        """
         self._t0 = time.monotonic()
-        await self.dns.start(host=host, port=dns_port)
-        await self.http.start(host=host, port=http_port)
-        await self.admin.start(host=host, port=admin_port)
+        await self.dns.start(host=host, port=dns_port, reuse_port=reuse_port)
+        await self.http.start(host=host, port=http_port, reuse_port=reuse_port)
+        if admin_port is not None:
+            await self.admin.start(host=host, port=admin_port)
         if self.failover_loop is not None:
             interval = max(0.05, self._failover_cfg.probe_interval / 2.0)
             self._failover_task = asyncio.create_task(

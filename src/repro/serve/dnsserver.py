@@ -202,25 +202,34 @@ class AsyncDnsServer:
             raise RuntimeError("server is not started")
         return self._host, self._port
 
-    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
-        """Bind UDP and TCP on the same port; returns the endpoint."""
+    async def start(self, host: str = "127.0.0.1", port: int = 0,
+                    reuse_port: bool = False) -> tuple[str, int]:
+        """Bind UDP and TCP on the same port; returns the endpoint.
+
+        With ``reuse_port`` both sockets are bound ``SO_REUSEPORT``, so
+        N server processes can share one port: the kernel hashes UDP
+        datagrams by 4-tuple and spreads TCP accepts across the group.
+        Every member must bind with the flag (see
+        :func:`repro.serve.fleet.reserve_shared_port`).
+        """
         if self._udp_transport is not None:
             raise RuntimeError("server already started")
         if self._clock is None:
             origin = time.monotonic()
             self._clock = lambda: time.monotonic() - origin
         loop = asyncio.get_running_loop()
+        extra = {"reuse_port": True} if reuse_port else {}
         # UDP and TCP are separate port spaces; retry a few times in
         # case an ephemeral UDP port is taken on the TCP side.
         last_error: Optional[OSError] = None
         for _ in range(5):
             transport, _protocol = await loop.create_datagram_endpoint(
-                lambda: _UdpProtocol(self), local_addr=(host, port)
+                lambda: _UdpProtocol(self), local_addr=(host, port), **extra
             )
             bound_host, bound_port = transport.get_extra_info("sockname")[:2]
             try:
                 tcp_server = await asyncio.start_server(
-                    self._handle_tcp, host=bound_host, port=bound_port
+                    self._handle_tcp, host=bound_host, port=bound_port, **extra
                 )
             except OSError as exc:
                 transport.close()

@@ -1,0 +1,848 @@
+"""Multi-process serve fleet: N workers behind one ``SO_REUSEPORT`` port.
+
+The single-loop :class:`~repro.serve.cluster.ServeCluster` serves the
+whole estate from one asyncio loop — one CPU, however many the host
+has.  :class:`ServeFleet` scales it out the way real edges do:
+
+* the parent reserves the listen ports with ``SO_REUSEPORT``
+  placeholder sockets, writes the shared :class:`~repro.serve.snapshot.
+  FleetSpec` snapshot, and **forks** N worker processes;
+* each worker closes the inherited placeholders (an unread inherited
+  UDP socket would silently steal a share of the reuseport group's
+  datagrams), rebuilds the estate from the snapshot's config, verifies
+  its :func:`~repro.serve.snapshot.estate_signature` against the
+  snapshot, and binds its own ``SO_REUSEPORT`` sockets on the shared
+  ports — the kernel then spreads UDP datagrams and TCP accepts across
+  the fleet while pinning each flow to one worker (a keep-alive
+  connection always talks to the same process's cache);
+* workers ship full :meth:`~repro.obs.registry.MetricsRegistry.
+  snapshot` dumps to the parent over pipes; the parent's admin plane
+  merges the latest dump per worker at scrape time, so ``/metrics``
+  shows fleet-wide totals.
+
+Answer equivalence across fleet sizes is by construction — every
+worker builds the same deterministic estate and the policies are pure
+functions of (client, now) — and enforced twice: the signature check at
+boot and the wire-level equivalence pass in :func:`fleet_selftest`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import shutil
+import signal
+import socket
+import sys
+import tempfile
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field, replace
+from multiprocessing import connection as mp_connection
+from typing import Optional
+
+from ..apple.mapping import NAMES
+from ..faults import FailoverConfig, FaultSchedule
+from ..obs import NULL_TRACER, MetricsRegistry, merge_registry_snapshots, use_registry, use_tracer
+from ..workload.arrival import ArrivalSchedule
+from .clients import ClientDirectory
+from .cluster import ClusterConfig, ServeCluster, build_serve_estate, selftest
+from .loadgen import (
+    AsyncDnsClient,
+    LoadConfig,
+    LoadGenerator,
+    LoadReport,
+    PooledHttpClient,
+    merge_load_reports,
+)
+from .snapshot import FleetSpec, estate_signature, load_snapshot, write_snapshot
+
+__all__ = [
+    "FleetConfig",
+    "ServeFleet",
+    "fleet_supported",
+    "reserve_shared_port",
+    "run_loadgen_fleet",
+    "FleetSelftestReport",
+    "fleet_selftest",
+    "render_fleet_selftest",
+]
+
+_READY_TIMEOUT = 60.0
+_STOP_TIMEOUT = 15.0
+
+
+def fleet_supported() -> bool:
+    """Whether this platform can run a reuseport fork fleet."""
+    return (
+        hasattr(socket, "SO_REUSEPORT")
+        and sys.platform != "win32"
+        and "fork" in multiprocessing.get_all_start_methods()
+    )
+
+
+def _reuseport_socket(kind: int, host: str, port: int) -> socket.socket:
+    sock = socket.socket(socket.AF_INET, kind)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    try:
+        sock.bind((host, port))
+    except OSError:
+        sock.close()
+        raise
+    return sock
+
+
+def reserve_shared_port(
+    host: str, port: int = 0, udp: bool = True
+) -> tuple[int, list[socket.socket]]:
+    """Reserve one port for a reuseport group; returns (port, holders).
+
+    With ``udp`` the port is reserved in *both* address spaces (the DNS
+    server binds UDP and TCP on the same number).  The placeholder
+    sockets keep the port allocated while workers boot; callers must
+    close them before traffic starts — a bound-but-unread UDP socket is
+    a live member of the reuseport group and eats its share of
+    datagrams.
+    """
+    last_error: Optional[OSError] = None
+    for _ in range(20):
+        holders: list[socket.socket] = []
+        try:
+            if udp:
+                udp_sock = _reuseport_socket(socket.SOCK_DGRAM, host, port)
+                holders.append(udp_sock)
+                bound = udp_sock.getsockname()[1]
+                holders.append(
+                    _reuseport_socket(socket.SOCK_STREAM, host, bound)
+                )
+            else:
+                tcp_sock = _reuseport_socket(socket.SOCK_STREAM, host, port)
+                holders.append(tcp_sock)
+                bound = tcp_sock.getsockname()[1]
+            return bound, holders
+        except OSError as exc:
+            for sock in holders:
+                sock.close()
+            if port != 0:
+                raise
+            last_error = exc
+    raise RuntimeError(f"could not reserve a shared port: {last_error}")
+
+
+@dataclass
+class FleetConfig:
+    """Topology and policy of one serve fleet."""
+
+    workers: int = 2
+    cluster: Optional[ClusterConfig] = None
+    steering: str = "dns"
+    hybrid_dns_share: float = 0.5
+    faults: Optional[FaultSchedule] = None
+    failover: Optional[FailoverConfig] = None
+    # Pin every worker's cluster clock (equivalence runs); None = live.
+    pin_clock: Optional[float] = None
+    snapshot_dir: Optional[str] = None
+    metrics_interval: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.workers <= 0:
+            raise ValueError("workers must be positive")
+        if self.metrics_interval <= 0:
+            raise ValueError("metrics_interval must be positive")
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+
+
+def _worker_main(worker_id: int, snapshot_path: str, host: str,
+                 dns_port: int, http_port: int, conn, stop_event,
+                 interval: float, placeholder_fds: tuple[int, ...]) -> None:
+    """Entry point of one forked serve worker."""
+    # A terminal Ctrl-C signals the whole foreground process group;
+    # shutdown is the parent's call (via the stop event), so workers
+    # must not die — traceback and all — on their own SIGINT.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # Inherited placeholder sockets would join the reuseport group as
+    # dead members; drop them before binding our own.
+    for fd in placeholder_fds:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    try:
+        asyncio.run(
+            _worker_async(
+                worker_id, snapshot_path, host, dns_port, http_port,
+                conn, stop_event, interval,
+            )
+        )
+    except Exception:
+        try:
+            conn.send(("error", worker_id, traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+        os._exit(1)
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+async def _worker_async(worker_id: int, snapshot_path: str, host: str,
+                        dns_port: int, http_port: int, conn, stop_event,
+                        interval: float) -> None:
+    registry = MetricsRegistry()
+    with load_snapshot(snapshot_path) as snapshot:
+        spec = snapshot.spec
+        directory = spec.directory()
+        clock = (
+            (lambda: spec.pin_clock) if spec.pin_clock is not None else None
+        )
+        with use_registry(registry), use_tracer(NULL_TRACER):
+            if spec.faults is not None and len(spec.faults):
+                cluster = ServeCluster(
+                    directory=directory,
+                    config=spec.cluster,
+                    clock=clock,
+                    metrics=registry,
+                    faults=spec.faults,
+                    failover=spec.failover,
+                    steering=spec.steering,
+                    hybrid_dns_share=spec.hybrid_dns_share,
+                )
+            else:
+                estate = build_serve_estate(spec.cluster)
+                cluster = ServeCluster(
+                    estate=estate,
+                    directory=directory,
+                    config=spec.cluster,
+                    clock=clock,
+                    metrics=registry,
+                    steering=spec.steering,
+                    hybrid_dns_share=spec.hybrid_dns_share,
+                )
+            snapshot.verify_estate(cluster.estate)
+            if spec.catchment_sig and cluster.anycast is not None:
+                local = cluster.anycast.catchment_map(0.0).signature
+                if local != spec.catchment_sig:
+                    raise RuntimeError(
+                        f"worker {worker_id} catchment signature {local} "
+                        f"!= snapshot {spec.catchment_sig}"
+                    )
+            registry.gauge(
+                "serve_fleet_worker_up",
+                "Fleet workers serving (1 per live worker)",
+                ("worker",),
+            ).labels(f"w{worker_id}").set(1.0)
+            await cluster.start(
+                host=host, dns_port=dns_port, http_port=http_port,
+                admin_port=None, reuse_port=True,
+            )
+            try:
+                conn.send((
+                    "ready", worker_id,
+                    {"dns": cluster.dns.endpoint, "http": cluster.http.endpoint},
+                ))
+                while not stop_event.is_set():
+                    await asyncio.sleep(interval)
+                    conn.send(("metrics", worker_id, registry.snapshot()))
+            finally:
+                await cluster.stop()
+                try:
+                    conn.send(("bye", worker_id, registry.snapshot()))
+                except (BrokenPipeError, OSError):
+                    pass
+
+
+# ----------------------------------------------------------------------
+# parent
+# ----------------------------------------------------------------------
+
+
+class ServeFleet:
+    """Boots, monitors and tears down N reuseport serve workers."""
+
+    def __init__(self, config: Optional[FleetConfig] = None) -> None:
+        if not fleet_supported():
+            raise RuntimeError(
+                "this platform lacks SO_REUSEPORT or fork; "
+                "run the single-loop ServeCluster instead"
+            )
+        self.config = config if config is not None else FleetConfig()
+        self.spec: Optional[FleetSpec] = None
+        self._processes: list = []
+        self._conns: dict = {}
+        self._snapshots: dict[int, dict] = {}
+        self._errors: dict[int, str] = {}
+        self._lock = threading.Lock()
+        self._reader: Optional[threading.Thread] = None
+        self._stop_event = None
+        self._host: Optional[str] = None
+        self._dns_port: Optional[int] = None
+        self._http_port: Optional[int] = None
+        self._snapshot_path: Optional[str] = None
+        self._tempdir: Optional[str] = None
+
+    # -- endpoints -----------------------------------------------------
+
+    @property
+    def dns_endpoint(self) -> tuple[str, int]:
+        if self._host is None or self._dns_port is None:
+            raise RuntimeError("fleet is not started")
+        return self._host, self._dns_port
+
+    @property
+    def http_endpoint(self) -> tuple[str, int]:
+        if self._host is None or self._http_port is None:
+            raise RuntimeError("fleet is not started")
+        return self._host, self._http_port
+
+    @property
+    def workers(self) -> int:
+        return self.config.workers
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _build_spec(self) -> FleetSpec:
+        cluster_config = (
+            self.config.cluster if self.config.cluster is not None
+            else ClusterConfig()
+        )
+        directory = ClientDirectory.from_adoption()
+        estate = build_serve_estate(cluster_config)
+        catchment_sig = ""
+        if self.config.steering != "dns":
+            from .steering import build_serve_plane
+
+            plane = build_serve_plane(
+                estate, directory, schedule=self.config.faults
+            )
+            catchment_sig = plane.catchment_map(0.0).signature
+        return FleetSpec(
+            cluster=cluster_config,
+            vantages=directory.vantages,
+            weights=directory.weights(),
+            steering=self.config.steering,
+            hybrid_dns_share=self.config.hybrid_dns_share,
+            faults=self.config.faults,
+            failover=self.config.failover,
+            pin_clock=self.config.pin_clock,
+            estate_sig=estate_signature(estate),
+            catchment_sig=catchment_sig,
+        )
+
+    def start(self, host: str = "127.0.0.1", dns_port: int = 0,
+              http_port: int = 0) -> "ServeFleet":
+        """Write the snapshot, reserve ports, fork and await the fleet."""
+        if self._processes:
+            raise RuntimeError("fleet already started")
+        if self.config.snapshot_dir is not None:
+            os.makedirs(self.config.snapshot_dir, exist_ok=True)
+            base = self.config.snapshot_dir
+        else:
+            self._tempdir = tempfile.mkdtemp(prefix="rsnap-")
+            base = self._tempdir
+        self.spec = self._build_spec()
+        self._snapshot_path = write_snapshot(
+            os.path.join(base, "fleet.rsnap"), self.spec
+        )
+        bound_dns, dns_holders = reserve_shared_port(host, dns_port, udp=True)
+        try:
+            bound_http, http_holders = reserve_shared_port(
+                host, http_port, udp=False
+            )
+        except OSError:
+            for sock in dns_holders:
+                sock.close()
+            raise
+        holders = dns_holders + http_holders
+        holder_fds = tuple(sock.fileno() for sock in holders)
+        ctx = multiprocessing.get_context("fork")
+        self._stop_event = ctx.Event()
+        try:
+            for worker_id in range(self.config.workers):
+                recv_conn, send_conn = ctx.Pipe(duplex=False)
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        worker_id, self._snapshot_path, host, bound_dns,
+                        bound_http, send_conn, self._stop_event,
+                        self.config.metrics_interval, holder_fds,
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                send_conn.close()
+                self._processes.append(process)
+                self._conns[recv_conn] = worker_id
+            self._await_ready()
+        except Exception:
+            for sock in holders:
+                sock.close()
+            self._teardown(force=True)
+            raise
+        # Every worker is bound: release the placeholders so the
+        # workers alone make up the reuseport group.
+        for sock in holders:
+            sock.close()
+        self._host = host
+        self._dns_port = bound_dns
+        self._http_port = bound_http
+        self._reader = threading.Thread(target=self._drain, daemon=True)
+        self._reader.start()
+        return self
+
+    def _await_ready(self) -> None:
+        pending = set(self._conns)
+        deadline = time.monotonic() + _READY_TIMEOUT
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RuntimeError(
+                    f"{len(pending)} fleet worker(s) not ready after "
+                    f"{_READY_TIMEOUT:.0f}s"
+                )
+            for conn in mp_connection.wait(list(pending), timeout=remaining):
+                worker_id = self._conns[conn]
+                try:
+                    message = conn.recv()
+                except EOFError:
+                    raise RuntimeError(
+                        f"fleet worker {worker_id} died during boot"
+                    ) from None
+                kind = message[0]
+                if kind == "ready":
+                    pending.discard(conn)
+                elif kind == "error":
+                    raise RuntimeError(
+                        f"fleet worker {worker_id} failed to boot:\n"
+                        f"{message[2]}"
+                    )
+
+    def _drain(self) -> None:
+        """Reader thread: keep the latest registry snapshot per worker."""
+        conns = dict(self._conns)
+        while conns:
+            ready = mp_connection.wait(list(conns), timeout=0.2)
+            for conn in ready:
+                worker_id = conns[conn]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    del conns[conn]
+                    continue
+                kind = message[0]
+                if kind in ("metrics", "bye"):
+                    with self._lock:
+                        self._snapshots[worker_id] = message[2]
+                elif kind == "error":
+                    with self._lock:
+                        self._errors[worker_id] = message[2]
+
+    def merged_registry(self) -> MetricsRegistry:
+        """Fleet-wide metrics: the latest snapshot of every worker, merged."""
+        with self._lock:
+            snapshots = list(self._snapshots.values())
+        return merge_registry_snapshots(snapshots)
+
+    def worker_errors(self) -> dict[int, str]:
+        with self._lock:
+            return dict(self._errors)
+
+    def admin_registry_provider(self):
+        """The callable an :class:`~repro.serve.admin.AdminServer` scrapes."""
+        return self.merged_registry
+
+    def _teardown(self, force: bool = False) -> None:
+        if self._stop_event is not None:
+            self._stop_event.set()
+        for process in self._processes:
+            process.join(0.0 if force else _STOP_TIMEOUT)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(5.0)
+        if self._reader is not None:
+            self._reader.join(timeout=5.0)
+            self._reader = None
+        for conn in self._conns:
+            # A final drain: the reader thread may have exited before
+            # the "bye" snapshots landed.
+            try:
+                while conn.poll(0):
+                    message = conn.recv()
+                    if message[0] in ("metrics", "bye"):
+                        self._snapshots[self._conns[conn]] = message[2]
+            except (EOFError, OSError):
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._processes = []
+        self._conns = {}
+        if self._tempdir is not None:
+            shutil.rmtree(self._tempdir, ignore_errors=True)
+            self._tempdir = None
+        self._host = self._dns_port = self._http_port = None
+
+    def stop(self) -> None:
+        """Signal, join and reap every worker; keeps final snapshots."""
+        if not self._processes:
+            return
+        self._teardown()
+
+    def __enter__(self) -> "ServeFleet":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+# ----------------------------------------------------------------------
+# loadgen fleet
+# ----------------------------------------------------------------------
+
+
+def _loadgen_main(conn, dns_endpoint, http_endpoint, config: LoadConfig,
+                  vantages, weights) -> None:
+    """One forked generator process: run a LoadGenerator, ship the report."""
+    directory = (
+        ClientDirectory(vantages, weights)
+        if vantages else ClientDirectory.from_adoption()
+    )
+
+    async def _run() -> LoadReport:
+        generator = LoadGenerator(
+            dns_endpoint=dns_endpoint,
+            http_endpoint=http_endpoint,
+            directory=directory,
+            config=config,
+            metrics=MetricsRegistry(),
+            tracer=NULL_TRACER,
+        )
+        return await generator.run()
+
+    try:
+        conn.send(("report", asyncio.run(_run())))
+    except KeyboardInterrupt:
+        # Terminal Ctrl-C reaches the whole process group; the parent
+        # reports the abort, workers just leave quietly.
+        os._exit(130)
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+        os._exit(1)
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+def run_loadgen_fleet(
+    dns_endpoint: tuple[str, int],
+    http_endpoint: tuple[str, int],
+    config: LoadConfig,
+    processes: int,
+    directory: Optional[ClientDirectory] = None,
+    timeout: float = 600.0,
+) -> LoadReport:
+    """Drive ``processes`` generator processes and merge their reports.
+
+    Open-loop configs (``config.arrival`` set) are sliced by striding
+    the shared schedule — process ``k`` replays arrivals ``k, k+P,
+    ...`` at their scheduled times, so the union offered to the servers
+    is exactly the single-process schedule.  Closed-loop configs split
+    the request count into disjoint sequence ranges instead.
+    """
+    if processes <= 0:
+        raise ValueError("processes must be positive")
+    shared = directory if directory is not None else ClientDirectory.from_adoption()
+    vantages, weights = shared.vantages, shared.weights()
+    slices: list[LoadConfig] = []
+    if config.arrival is not None:
+        for index in range(processes):
+            slices.append(
+                replace(config, arrival_offset=index, arrival_stride=processes)
+            )
+    else:
+        base, extra = divmod(config.requests, processes)
+        start = 0
+        for index in range(processes):
+            count = base + (1 if index < extra else 0)
+            if count == 0:
+                continue
+            slices.append(replace(config, requests=count, seq_start=start))
+            start += count
+    ctx = multiprocessing.get_context("fork")
+    procs = []
+    conns = []
+    for piece in slices:
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_loadgen_main,
+            args=(send_conn, dns_endpoint, http_endpoint, piece,
+                  vantages, weights),
+            daemon=True,
+        )
+        process.start()
+        send_conn.close()
+        procs.append(process)
+        conns.append(recv_conn)
+    reports: list[LoadReport] = []
+    failures: list[str] = []
+    deadline = time.monotonic() + timeout
+    try:
+        for conn in conns:
+            remaining = max(0.1, deadline - time.monotonic())
+            if not conn.poll(remaining):
+                failures.append("generator process timed out")
+                continue
+            try:
+                message = conn.recv()
+            except EOFError:
+                failures.append("generator process died without a report")
+                continue
+            if message[0] == "report":
+                reports.append(message[1])
+            else:
+                failures.append(message[1])
+    finally:
+        for process in procs:
+            process.join(5.0)
+        for process in procs:
+            if process.is_alive():
+                process.terminate()
+                process.join(5.0)
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+    if failures and not reports:
+        raise RuntimeError(f"every generator process failed: {failures[0]}")
+    return merge_load_reports(reports)
+
+
+# ----------------------------------------------------------------------
+# scaled selftest
+# ----------------------------------------------------------------------
+
+_SPEEDUP_MIN_CPUS = 4
+
+
+@dataclass
+class FleetSelftestReport:
+    """Everything the scaled selftest measured and checked."""
+
+    report: LoadReport
+    reference: LoadReport
+    registry: MetricsRegistry
+    workers: int
+    processes: int
+    cpus: int
+    speedup: float
+    equivalence_failures: tuple[str, ...] = field(default_factory=tuple)
+    worker_errors: dict = field(default_factory=dict)
+
+    def checks(self, qps_floor: float = 1000.0,
+               speedup_target: float = 5.0) -> list[tuple[str, bool]]:
+        family = self.registry.get("serve_fleet_worker_up")
+        workers_up = len(list(family.children())) if family is not None else 0
+        results = [
+            ("all requests ok",
+             self.report.errors == 0 and self.report.ok == self.report.requests),
+            (f"fleet dns >= {qps_floor:.0f} qps sustained",
+             self.report.dns_qps >= qps_floor),
+            ("fleet answers byte-equivalent to single loop",
+             not self.equivalence_failures),
+            (f"metrics merged from {self.workers} workers",
+             workers_up == self.workers and not self.worker_errors),
+            ("latency percentiles non-zero",
+             self.report.dns_p50_ms > 0.0 and self.report.http_p50_ms > 0.0),
+        ]
+        speedup_label = (
+            f"fleet >= {speedup_target:.0f}x single-loop qps "
+            f"(enforced on {_SPEEDUP_MIN_CPUS}+ cpus; this host: {self.cpus})"
+        )
+        if self.cpus >= _SPEEDUP_MIN_CPUS:
+            results.append((speedup_label, self.speedup >= speedup_target))
+        else:
+            # Too few cores to demonstrate parallel speedup honestly;
+            # record the measured ratio instead of asserting it.
+            results.append((speedup_label + f" [recorded {self.speedup:.2f}x]",
+                            True))
+        return results
+
+    def passed(self, qps_floor: float = 1000.0,
+               speedup_target: float = 5.0) -> bool:
+        return all(ok for _, ok in self.checks(qps_floor, speedup_target))
+
+
+async def _verify_fleet_equivalence(
+    fleet: ServeFleet,
+    estate,
+    directory: ClientDirectory,
+    samples: int = 16,
+) -> list[str]:
+    """Wire answers from the fleet vs the in-memory resolver, plus the
+    per-connection cache behaviour a single loop would show."""
+    failures: list[str] = []
+    resolver = estate.resolver(cache=False)
+    pinned_now = fleet.spec.pin_clock if fleet.spec is not None else 0.0
+    if pinned_now is None:
+        return ["equivalence requires a pinned fleet clock"]
+    dns_client = await AsyncDnsClient.open(
+        *fleet.dns_endpoint, source_prefix_len=32
+    )
+    try:
+        for sequence in range(samples):
+            sampled = directory.sample(sequence)
+            wire = await dns_client.resolve(NAMES.entry_point, sampled.address)
+            memory = resolver.resolve(
+                NAMES.entry_point, sampled.context(pinned_now)
+            )
+            if wire.chain_names != memory.chain_names:
+                failures.append(
+                    f"seq {sequence}: chain {wire.chain_names} != "
+                    f"{memory.chain_names}"
+                )
+            elif tuple(wire.addresses) != tuple(memory.addresses):
+                failures.append(
+                    f"seq {sequence}: addresses {wire.addresses} != "
+                    f"{memory.addresses}"
+                )
+    finally:
+        dns_client.close()
+    # Cache behaviour: a keep-alive connection is pinned to one worker,
+    # so a repeated fetch must warm exactly like the single-loop edge —
+    # miss first, hit after.
+    http = PooledHttpClient(*fleet.http_endpoint, pool_size=1)
+    try:
+        vip = estate.apple.sites[0].vip_addresses[0]
+        client_addr = directory.sample(0).address
+        path = "/content/fleet-selftest-cachecheck.ipsw"
+        verdicts = []
+        for _ in range(2):
+            _status, headers, _length = await http.get(
+                path, host=NAMES.entry_point, vip=vip, client=client_addr,
+                range_bytes=(0, 1023),
+            )
+            verdicts.append((headers.get("X-Cache") or "").split(",")[0].strip())
+        if verdicts[0].startswith("hit"):
+            failures.append(f"first fetch unexpectedly warm: {verdicts[0]!r}")
+        if not verdicts[1].startswith("hit"):
+            failures.append(f"repeat fetch not a cache hit: {verdicts[1]!r}")
+    finally:
+        await http.close()
+    return failures
+
+
+def fleet_selftest(
+    workers: int = 4,
+    requests: int = 5000,
+    concurrency: int = 64,
+    processes: Optional[int] = None,
+    cluster_config: Optional[ClusterConfig] = None,
+    steering: str = "dns",
+    duration: Optional[float] = None,
+    arrival: Optional[str] = None,
+    reference_requests: Optional[int] = None,
+) -> FleetSelftestReport:
+    """Boot a fleet, drive a loadgen fleet, verify, measure speedup.
+
+    The single-loop reference run uses the same cluster config, so the
+    speedup ratio compares like with like.  With ``arrival`` set the
+    load is open-loop (the flash-crowd replay); otherwise the classic
+    closed loop, split across generator processes.
+    """
+    processes = processes if processes is not None else max(2, workers)
+    ref_count = (
+        reference_requests if reference_requests is not None
+        else max(500, requests // 4)
+    )
+    reference, _ = selftest(
+        requests=ref_count, concurrency=concurrency,
+        cluster_config=cluster_config,
+    )
+    config = FleetConfig(
+        workers=workers, cluster=cluster_config, steering=steering,
+        pin_clock=0.0,
+    )
+    fleet = ServeFleet(config)
+    fleet.start()
+    try:
+        load = LoadConfig(requests=requests, concurrency=concurrency)
+        if arrival is not None:
+            if duration is None:
+                duration = max(2.0, requests / max(reference.dns_qps, 500.0))
+            load = replace(
+                load,
+                arrival=ArrivalSchedule.named(arrival, requests, duration),
+            )
+        directory = fleet.spec.directory() if fleet.spec is not None else None
+        report = run_loadgen_fleet(
+            fleet.dns_endpoint, fleet.http_endpoint, load, processes,
+            directory=directory,
+        )
+        estate = build_serve_estate(
+            fleet.spec.cluster if fleet.spec is not None else cluster_config
+        )
+        equivalence = asyncio.run(
+            _verify_fleet_equivalence(fleet, estate, directory)
+        )
+        worker_errors = fleet.worker_errors()
+    finally:
+        fleet.stop()
+    registry = fleet.merged_registry()
+    speedup = (
+        report.dns_qps / reference.dns_qps if reference.dns_qps > 0 else 0.0
+    )
+    return FleetSelftestReport(
+        report=report,
+        reference=reference,
+        registry=registry,
+        workers=workers,
+        processes=processes,
+        cpus=os.cpu_count() or 1,
+        speedup=speedup,
+        equivalence_failures=tuple(equivalence),
+        worker_errors=worker_errors,
+    )
+
+
+def render_fleet_selftest(result: FleetSelftestReport,
+                          qps_floor: float = 1000.0,
+                          speedup_target: float = 5.0) -> str:
+    """Terminal verdict for ``repro selftest --workers N``."""
+    checks = result.checks(qps_floor, speedup_target)
+    lines = [
+        result.report.render(),
+        "",
+        "fleet",
+        "-----",
+        f"serve workers        {result.workers}  "
+        f"(loadgen processes {result.processes}, cpus {result.cpus})",
+        f"single-loop ref      {result.reference.dns_qps:,.0f} qps "
+        f"({result.reference.requests} requests)",
+        f"fleet speedup        {result.speedup:.2f}x",
+        "",
+    ]
+    for label, passed in checks:
+        lines.append(f"{'PASS' if passed else 'FAIL'}  {label}")
+    for failure in result.equivalence_failures[:3]:
+        lines.append(f"equivalence: {failure}")
+    lines.append("")
+    lines.append(
+        "fleet selftest "
+        + ("PASSED" if all(p for _, p in checks) else "FAILED")
+    )
+    return "\n".join(lines)

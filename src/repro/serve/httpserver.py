@@ -127,14 +127,24 @@ class AsyncHttpEdge:
             raise RuntimeError("server is not started")
         return self._host, self._port
 
-    async def start(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
-        """Start listening; returns the bound endpoint."""
+    async def start(self, host: str = "127.0.0.1", port: int = 0,
+                    reuse_port: bool = False) -> tuple[str, int]:
+        """Start listening; returns the bound endpoint.
+
+        ``reuse_port`` binds ``SO_REUSEPORT`` so a fleet of edge
+        processes shares one port, the kernel spreading accepts across
+        the group while each accepted connection stays pinned to its
+        worker (keep-alive requests hit the same process's cache).
+        """
         if self._server is not None:
             raise RuntimeError("server already started")
         if self._clock is None:
             origin = time.monotonic()
             self._clock = lambda: time.monotonic() - origin
-        self._server = await asyncio.start_server(self._handle, host=host, port=port)
+        extra = {"reuse_port": True} if reuse_port else {}
+        self._server = await asyncio.start_server(
+            self._handle, host=host, port=port, **extra
+        )
         sockname = self._server.sockets[0].getsockname()
         self._host, self._port = sockname[0], sockname[1]
         return self.endpoint

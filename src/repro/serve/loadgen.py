@@ -40,6 +40,7 @@ from ..obs import (
     use_context,
 )
 from ..obs.registry import HistogramChild
+from ..workload.arrival import ArrivalSchedule
 from .clients import ClientDirectory
 from .resilience import BackoffPolicy, CircuitBreaker, HedgePolicy
 
@@ -51,6 +52,7 @@ __all__ = [
     "LoadConfig",
     "LoadReport",
     "LoadGenerator",
+    "merge_load_reports",
 ]
 
 _MAX_CHAIN = 16
@@ -205,9 +207,17 @@ class AsyncDnsClient:
         return client
 
     def close(self) -> None:
-        """Close the UDP endpoint."""
-        if self._protocol is not None and self._protocol.transport is not None:
-            self._protocol.transport.close()
+        """Close the UDP endpoint and fail any in-flight waiters."""
+        if self._protocol is not None:
+            # Waiters still registered belong to tasks that were
+            # cancelled (or are about to be): cancel the futures so
+            # nothing holds a reference into a dead transport.
+            for waiter in list(self._protocol.waiters.values()):
+                if not waiter.done():
+                    waiter.cancel()
+            self._protocol.waiters.clear()
+            if self._protocol.transport is not None:
+                self._protocol.transport.close()
         self._protocol = None
 
     def _next_id(self) -> int:
@@ -245,11 +255,16 @@ class AsyncDnsClient:
             try:
                 raw = await asyncio.wait_for(waiter, timeout=self._timeout)
             except asyncio.TimeoutError:
-                self._protocol.waiters.pop(message_id, None)
                 self.timeouts += 1
                 self._m_timeouts.inc()
                 last_error = f"timeout after {self._timeout}s"
                 continue
+            finally:
+                # The success path pops the waiter in datagram_received,
+                # but a timeout — or the caller being *cancelled* while
+                # awaiting (a generator torn down mid-ramp) — must not
+                # leave the future registered forever.
+                self._protocol.waiters.pop(message_id, None)
             try:
                 response = decode_message(raw)
             except WireError as exc:
@@ -307,6 +322,13 @@ class AsyncDnsClient:
             )
         except asyncio.TimeoutError:
             pass
+        except asyncio.CancelledError:
+            # The *caller* was cancelled mid-budget (fleet teardown).
+            # The shield deliberately kept ``primary`` alive — reap it
+            # here or it leaks as a forever-pending task.
+            primary.cancel()
+            await asyncio.gather(primary, return_exceptions=True)
+            raise
         except DnsClientError:
             # Primary failed outright within budget: go straight to the
             # alternate name rather than giving up.
@@ -395,25 +417,31 @@ class PooledHttpClient:
         self._pool: asyncio.LifoQueue = asyncio.LifoQueue(maxsize=pool_size)
         self._created = 0
         self._pool_size = pool_size
+        # Every writer ever opened, pooled *or checked out*: close()
+        # must find connections a cancelled task abandoned mid-request,
+        # or their sockets leak past the run.
+        self._writers: set[asyncio.StreamWriter] = set()
 
     async def _acquire(self):
         try:
             return self._pool.get_nowait()
         except asyncio.QueueEmpty:
             pass
-        return await asyncio.wait_for(
+        connection = await asyncio.wait_for(
             asyncio.open_connection(self._host, self._port),
             timeout=self._timeout,
         )
+        self._writers.add(connection[1])
+        return connection
 
     def _release(self, connection) -> None:
         try:
             self._pool.put_nowait(connection)
         except asyncio.QueueFull:
-            connection[1].close()
+            self._discard(connection)
 
-    @staticmethod
-    def _discard(connection) -> None:
+    def _discard(self, connection) -> None:
+        self._writers.discard(connection[1])
         connection[1].close()
 
     async def get(
@@ -481,13 +509,30 @@ class PooledHttpClient:
         return status, headers, received
 
     async def close(self) -> None:
-        """Close every pooled connection."""
+        """Close every connection — pooled or abandoned — and wait.
+
+        Closing without awaiting ``wait_closed`` leaves transports to
+        be reaped by GC after the loop is gone, which surfaces as
+        ``ResourceWarning: unclosed transport`` at scale.  The wait is
+        what makes a fleet teardown FD-clean.
+        """
         while True:
             try:
-                connection = self._pool.get_nowait()
+                self._pool.get_nowait()
             except asyncio.QueueEmpty:
                 break
-            connection[1].close()
+        writers, self._writers = list(self._writers), set()
+        for writer in writers:
+            writer.close()
+
+        async def _wait(writer: asyncio.StreamWriter) -> None:
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - race
+                pass
+
+        if writers:
+            await asyncio.gather(*(_wait(w) for w in writers))
 
 
 @dataclass
@@ -516,10 +561,31 @@ class LoadConfig:
     # Fraction of traces recorded when a tracer is active; the decision
     # is deterministic per trace id, so client and servers agree.
     trace_sample: float = 1.0
+    # Open-loop mode: when an arrival schedule is set, requests fire at
+    # the schedule's times regardless of completions (``requests`` and
+    # ``concurrency`` stop driving the count — they only size the
+    # connection pool and the in-flight cap).  ``arrival_offset`` /
+    # ``arrival_stride`` select this process's slice of a fleet-shared
+    # schedule.  Arrivals past the in-flight cap are *shed* (counted,
+    # not queued): an open loop must never convert overload into
+    # backpressure, that's the closed loop's behaviour.
+    arrival: Optional[ArrivalSchedule] = None
+    arrival_offset: int = 0
+    arrival_stride: int = 1
+    # Closed-loop fleet splitting: this process owns sequence numbers
+    # [seq_start, seq_start + requests), so N processes cover disjoint
+    # slices of the same deterministic client/path sequence.
+    seq_start: int = 0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.trace_sample <= 1.0:
             raise ValueError("trace_sample must be in [0, 1]")
+        if self.seq_start < 0:
+            raise ValueError("seq_start must be non-negative")
+        if self.arrival_stride <= 0:
+            raise ValueError("arrival_stride must be positive")
+        if not 0 <= self.arrival_offset < self.arrival_stride:
+            raise ValueError("arrival_offset must be in [0, arrival_stride)")
         if self.requests <= 0:
             raise ValueError("requests must be positive")
         if self.concurrency <= 0:
@@ -557,6 +623,14 @@ class LoadReport:
     # Full p50/p95/p99/p999 panels (ms), from percentile_summary.
     dns_percentiles_ms: dict = field(default_factory=dict)
     http_percentiles_ms: dict = field(default_factory=dict)
+    # Open-loop arrivals dropped at the in-flight cap (overload is
+    # recorded, never queued).
+    shed: int = 0
+    # Raw latency histogram payloads — (uppers, bucket_counts, sum,
+    # count) — so a fleet of generator processes can merge reports
+    # with exact percentiles (see merge_load_reports).
+    dns_hist: Optional[tuple] = None
+    http_hist: Optional[tuple] = None
 
     @property
     def dns_qps(self) -> float:
@@ -597,6 +671,8 @@ class LoadReport:
                     self.http_percentiles_ms.get("p999", 0.0),
                 )
             )
+        if self.shed:
+            lines.append(f"shed arrivals   {self.shed}  (open-loop in-flight cap)")
         if self.retries:
             lines.append(f"http retries    {self.retries}")
         if self.reresolutions:
@@ -664,11 +740,18 @@ class LoadGenerator:
             "loadgen_reresolutions_total",
             "Retries that re-resolved because the cached chain's TTL expired",
         )
+        self._m_shed = registry.counter(
+            "loadgen_shed_total",
+            "Open-loop arrivals dropped at the in-flight cap",
+        )
         self._errors: list[str] = []
         self._ok_count = 0
         self._body_bytes = 0
         self._retry_count = 0
         self._reresolution_count = 0
+        self._shed_count = 0
+        self._dispatched = 0
+        self._inflight = 0
         self._breaker = CircuitBreaker(
             failure_threshold=self.config.breaker_failures,
             cooldown=self.config.breaker_cooldown,
@@ -694,19 +777,37 @@ class LoadGenerator:
             tracer=self._tracer,
         )
         in_flight = asyncio.Semaphore(config.max_in_flight or config.concurrency)
-        sequence = itertools.count()
+        sequence = itertools.count(config.seq_start)
         started = time.perf_counter()
         self._t0 = started
+        workers: list[asyncio.Task] = []
         try:
-            workers = [
-                asyncio.create_task(self._worker(dns, http, sequence, in_flight))
-                for _ in range(config.concurrency)
-            ]
-            await asyncio.gather(*workers)
+            if config.arrival is not None:
+                await self._run_open_loop(dns, http)
+            else:
+                workers = [
+                    asyncio.create_task(
+                        self._worker(dns, http, sequence, in_flight)
+                    )
+                    for _ in range(config.concurrency)
+                ]
+                await asyncio.gather(*workers)
+        except asyncio.CancelledError:
+            # Mid-ramp teardown (fleet SIGTERM): cancel the closed-loop
+            # workers and *wait* for them — each worker's finally block
+            # must run before the clients close underneath it.
+            for task in workers:
+                task.cancel()
+            if workers:
+                await asyncio.gather(*workers, return_exceptions=True)
+            raise
         finally:
             elapsed = time.perf_counter() - started
             dns.close()
             await http.close()
+        requests = (
+            self._dispatched if config.arrival is not None else config.requests
+        )
         dns_panel = {
             k: v * 1000.0 for k, v in self._dns_hist.percentile_summary().items()
         }
@@ -714,7 +815,7 @@ class LoadGenerator:
             k: v * 1000.0 for k, v in self._http_hist.percentile_summary().items()
         }
         return LoadReport(
-            requests=config.requests,
+            requests=requests,
             ok=self._ok_count,
             errors=len(self._errors),
             elapsed_seconds=elapsed,
@@ -732,13 +833,26 @@ class LoadGenerator:
             hedged=dns.hedged_queries,
             dns_percentiles_ms=dns_panel,
             http_percentiles_ms=http_panel,
+            shed=self._shed_count,
+            dns_hist=(
+                tuple(self._dns_hist.uppers),
+                list(self._dns_hist.bucket_counts),
+                self._dns_hist.sum,
+                self._dns_hist.count,
+            ),
+            http_hist=(
+                tuple(self._http_hist.uppers),
+                list(self._http_hist.bucket_counts),
+                self._http_hist.sum,
+                self._http_hist.count,
+            ),
         )
 
     async def _worker(self, dns: AsyncDnsClient, http: PooledHttpClient,
                       sequence, in_flight: asyncio.Semaphore) -> None:
         while True:
             seq = next(sequence)
-            if seq >= self.config.requests:
+            if seq >= self.config.seq_start + self.config.requests:
                 return
             async with in_flight:
                 self._m_in_flight.inc()
@@ -752,6 +866,64 @@ class LoadGenerator:
                         self._errors.append(f"seq={seq}: {exc}")
                 finally:
                     self._m_in_flight.dec()
+
+    async def _run_open_loop(self, dns: AsyncDnsClient,
+                             http: PooledHttpClient) -> None:
+        """Fire requests at the arrival schedule's times.
+
+        The dispatcher sleeps until each arrival is due, then launches
+        it as an independent task — completions never gate arrivals.
+        The only coupling to server health is the in-flight cap:
+        arrivals that would exceed it are shed and counted, exactly
+        what a saturated open-loop generator should report.
+        """
+        config = self.config
+        assert config.arrival is not None
+        limit = config.max_in_flight or config.concurrency * 4
+        tasks: set[asyncio.Task] = set()
+        try:
+            for seq, due, region in config.arrival.events(
+                config.arrival_offset, config.arrival_stride
+            ):
+                delay = due - (time.perf_counter() - self._t0)
+                if delay > 0.0:
+                    await asyncio.sleep(delay)
+                if self._inflight >= limit:
+                    self._shed_count += 1
+                    self._m_shed.inc()
+                    continue
+                self._inflight += 1
+                self._dispatched += 1
+                task = asyncio.create_task(
+                    self._one_arrival(dns, http, seq, region)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*tasks)
+        except asyncio.CancelledError:
+            for task in list(tasks):
+                task.cancel()
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            raise
+
+    async def _one_arrival(self, dns: AsyncDnsClient, http: PooledHttpClient,
+                           seq: int, region) -> None:
+        self._m_in_flight.inc()
+        try:
+            await self._one_request(dns, http, seq, region=region)
+            self._ok_count += 1
+            self._m_ok.inc()
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # open-loop arrivals must not cascade
+            self._m_error.inc()
+            if len(self._errors) < 100:
+                self._errors.append(f"seq={seq}: {exc}")
+        finally:
+            self._inflight -= 1
+            self._m_in_flight.dec()
 
     def _now(self) -> float:
         """Run-relative seconds, the ts stamped on client spans."""
@@ -795,9 +967,9 @@ class LoadGenerator:
         return rotated[0]
 
     async def _one_request(self, dns: AsyncDnsClient, http: PooledHttpClient,
-                           seq: int) -> None:
+                           seq: int, region=None) -> None:
         if not self._tracer.enabled:
-            return await self._attempts(dns, http, seq)
+            return await self._attempts(dns, http, seq, region)
         # Root one trace per logical request.  The id is deterministic
         # in ``seq`` and the sampling decision deterministic in the id,
         # so a re-run traces the same requests.
@@ -810,13 +982,18 @@ class LoadGenerator:
             with self._tracer.span(
                 "client.request", ts=self._now(), seq=seq
             ) as span:
-                await self._attempts(dns, http, seq)
+                await self._attempts(dns, http, seq, region)
                 span.annotate(outcome="ok")
 
     async def _attempts(self, dns: AsyncDnsClient, http: PooledHttpClient,
-                        seq: int) -> None:
+                        seq: int, region=None) -> None:
         config = self.config
-        client = self.directory.sample(seq)
+        # Open-loop arrivals come with the region the workload model
+        # woke up; closed-loop draws the full weighted mix.
+        client = (
+            self.directory.sample_in_region(region, seq)
+            if region is not None else self.directory.sample(seq)
+        )
         path = f"/content/ios11-part{seq % config.object_count:03d}.ipsw"
         resolution: Optional[WireResolution] = None
         resolved_at = 0.0
@@ -880,3 +1057,80 @@ class LoadGenerator:
         raise last_exc if last_exc is not None else RuntimeError(
             f"request seq={seq} failed with no recorded cause"
         )
+
+
+def _hist_from_payload(payload: Optional[tuple]) -> HistogramChild:
+    """Rebuild a latency histogram from a report's raw payload."""
+    if payload is None:
+        return HistogramChild(_LATENCY_BUCKETS)
+    uppers, buckets, total, count = payload
+    child = HistogramChild(tuple(uppers))
+    child.bucket_counts = list(buckets)
+    child.sum = total
+    child.count = count
+    return child
+
+
+def merge_load_reports(reports: list) -> LoadReport:
+    """One report for a fleet of generator processes.
+
+    Counts add; elapsed is the *maximum* (the processes ran
+    concurrently, so rates divide by the longest run, which slightly
+    understates qps rather than inflating it); percentiles come from
+    merging the raw histograms, so the fleet's p999 is exact to bucket
+    resolution — not an average of per-process percentiles, which
+    would be meaningless.
+    """
+    inputs = [r for r in reports if r is not None]
+    if not inputs:
+        raise ValueError("merge_load_reports needs at least one report")
+    if len(inputs) == 1:
+        return inputs[0]
+    dns_merged = HistogramChild.merge(
+        [_hist_from_payload(r.dns_hist) for r in inputs]
+    )
+    http_merged = HistogramChild.merge(
+        [_hist_from_payload(r.http_hist) for r in inputs]
+    )
+    dns_panel = {
+        k: v * 1000.0 for k, v in dns_merged.percentile_summary().items()
+    }
+    http_panel = {
+        k: v * 1000.0 for k, v in http_merged.percentile_summary().items()
+    }
+    samples: list[str] = []
+    for report in inputs:
+        samples.extend(report.error_samples)
+    return LoadReport(
+        requests=sum(r.requests for r in inputs),
+        ok=sum(r.ok for r in inputs),
+        errors=sum(r.errors for r in inputs),
+        elapsed_seconds=max(r.elapsed_seconds for r in inputs),
+        dns_queries=sum(r.dns_queries for r in inputs),
+        dns_timeouts=sum(r.dns_timeouts for r in inputs),
+        tcp_fallbacks=sum(r.tcp_fallbacks for r in inputs),
+        body_bytes=sum(r.body_bytes for r in inputs),
+        dns_p50_ms=dns_panel["p50"],
+        dns_p99_ms=dns_panel["p99"],
+        http_p50_ms=http_panel["p50"],
+        http_p99_ms=http_panel["p99"],
+        error_samples=tuple(samples[:5]),
+        retries=sum(r.retries for r in inputs),
+        reresolutions=sum(r.reresolutions for r in inputs),
+        hedged=sum(r.hedged for r in inputs),
+        dns_percentiles_ms=dns_panel,
+        http_percentiles_ms=http_panel,
+        shed=sum(r.shed for r in inputs),
+        dns_hist=(
+            tuple(dns_merged.uppers),
+            list(dns_merged.bucket_counts),
+            dns_merged.sum,
+            dns_merged.count,
+        ),
+        http_hist=(
+            tuple(http_merged.uppers),
+            list(http_merged.bucket_counts),
+            http_merged.sum,
+            http_merged.count,
+        ),
+    )

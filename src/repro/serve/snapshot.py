@@ -1,0 +1,188 @@
+"""Shared read-only serve state: one snapshot file, N worker processes.
+
+A fleet of ``SO_REUSEPORT`` workers must agree on *everything* that
+shapes an answer — the estate's zones, the vantage directory, the
+steering mode, the catchment table — or the same query would resolve
+differently depending on which worker the kernel picked.  The
+:class:`FleetSpec` snapshot is that agreement, written once by the
+fleet parent and mapped read-only by every worker:
+
+* the file is **mmap-backed** (``RSNAP1`` header, BLAKE2b-checksummed
+  payload, same framing discipline as the RCKPT/RSEG1 formats), so the
+  kernel shares one page-cache copy of the spec across the whole
+  fleet instead of N heap copies;
+* estate construction is deterministic from :class:`~repro.serve.
+  cluster.ClusterConfig`, so workers rebuild the zones locally and then
+  *verify* their build against the snapshot's :func:`estate_signature`
+  — a worker whose estate drifted (version skew, non-deterministic
+  build) refuses to serve rather than answer differently;
+* under anycast steering the parent also pins the catchment map's
+  signature at time zero, so every worker proves it routes the same
+  client to the same site before taking traffic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import mmap
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..faults import FailoverConfig, FaultSchedule
+from .clients import ClientDirectory, Vantage
+from .cluster import ClusterConfig
+
+__all__ = [
+    "FleetSpec",
+    "ServeSnapshot",
+    "estate_signature",
+    "write_snapshot",
+    "load_snapshot",
+]
+
+_MAGIC = b"RSNAP1\n"
+_DIGEST_SIZE = 16
+
+
+def estate_signature(estate) -> str:
+    """A stable digest of the estate's zone structure.
+
+    Hashes every operator's zones — origins and the sorted owner names
+    bound in each — which pins the answer space: two estates with equal
+    signatures were built from the same config by the same code, so
+    their (deterministic) policies answer identically.
+    """
+    digest = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    for server in sorted(estate.servers, key=lambda s: s.operator):
+        digest.update(server.operator.encode())
+        for zone in sorted(server.zones, key=lambda z: z.origin):
+            digest.update(b"|" + zone.origin.encode())
+            for name in sorted(zone.names()):
+                digest.update(b";" + name.encode())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Everything a worker needs to serve exactly like its siblings."""
+
+    cluster: ClusterConfig
+    vantages: tuple[Vantage, ...]
+    weights: dict[str, float]
+    steering: str = "dns"
+    hybrid_dns_share: float = 0.5
+    faults: Optional[FaultSchedule] = None
+    failover: Optional[FailoverConfig] = None
+    # Pinned cluster clock for equivalence runs (None = live clock).
+    pin_clock: Optional[float] = None
+    estate_sig: str = ""
+    catchment_sig: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def directory(self) -> ClientDirectory:
+        """The shared vantage directory, rebuilt from the spec."""
+        return ClientDirectory(self.vantages, dict(self.weights))
+
+
+class ServeSnapshot:
+    """A loaded snapshot: the spec plus the mmap keeping pages shared."""
+
+    def __init__(self, path: str, spec: FleetSpec, mapped: mmap.mmap,
+                 handle) -> None:
+        self.path = path
+        self.spec = spec
+        self._mmap = mapped
+        self._handle = handle
+
+    def close(self) -> None:
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ServeSnapshot":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def verify_estate(self, estate) -> None:
+        """Refuse to serve from an estate that drifted from the spec."""
+        local = estate_signature(estate)
+        if self.spec.estate_sig and local != self.spec.estate_sig:
+            raise RuntimeError(
+                f"estate signature mismatch: snapshot {self.spec.estate_sig} "
+                f"!= locally built {local} — refusing to serve divergently"
+            )
+
+
+def write_snapshot(path: str, spec: FleetSpec) -> str:
+    """Write ``spec`` atomically; returns ``path``.
+
+    Layout: ``RSNAP1\\n`` + 16-byte BLAKE2b of the payload + 8-byte
+    big-endian payload length + pickled :class:`FleetSpec`.
+    """
+    payload = pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.blake2b(payload, digest_size=_DIGEST_SIZE).digest()
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(digest)
+        handle.write(len(payload).to_bytes(8, "big"))
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def load_snapshot(path: str) -> ServeSnapshot:
+    """Map ``path`` read-only, verify the checksum, unpickle the spec.
+
+    The returned object keeps the mapping open: the pickled bytes are
+    read straight out of the shared page cache, and every worker that
+    loads the same file shares those physical pages.
+    """
+    handle = open(path, "rb")
+    try:
+        mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    except (ValueError, OSError):
+        handle.close()
+        raise RuntimeError(f"snapshot {path} is empty or unmappable")
+    view = memoryview(mapped)
+    payload = None
+    try:
+        if bytes(view[: len(_MAGIC)]) != _MAGIC:
+            raise RuntimeError(f"{path} is not an RSNAP1 snapshot")
+        offset = len(_MAGIC)
+        digest = bytes(view[offset:offset + _DIGEST_SIZE])
+        offset += _DIGEST_SIZE
+        length = int.from_bytes(bytes(view[offset:offset + 8]), "big")
+        offset += 8
+        payload = view[offset:offset + length]
+        if len(payload) != length:
+            raise RuntimeError(f"snapshot {path} is truncated")
+        actual = hashlib.blake2b(payload, digest_size=_DIGEST_SIZE).digest()
+        if actual != digest:
+            raise RuntimeError(f"snapshot {path} failed its checksum")
+        spec = pickle.loads(payload)
+    except Exception:
+        # Release the sub-view before the parent, or mmap.close()
+        # raises BufferError over the exported buffer.
+        if payload is not None:
+            payload.release()
+        view.release()
+        mapped.close()
+        handle.close()
+        raise
+    payload.release()
+    view.release()
+    if not isinstance(spec, FleetSpec):
+        mapped.close()
+        handle.close()
+        raise RuntimeError(f"snapshot {path} does not hold a FleetSpec")
+    return ServeSnapshot(path, spec, mapped, handle)

@@ -2,6 +2,7 @@
 diurnal demand shapes and the iOS 11 flash crowd."""
 
 from .adoption import DEFAULT_ADOPTION_SHARES, AdoptionModel
+from .arrival import ArrivalSchedule
 from .diurnal import APAC_PROFILE, EU_PROFILE, US_PROFILE, DiurnalProfile
 from .flashcrowd import (
     REGION_PROFILES,
@@ -19,6 +20,7 @@ from .timeline import TIMELINE, MeasurementWindow, Timeline
 __all__ = [
     "Timeline",
     "AdoptionModel",
+    "ArrivalSchedule",
     "DEFAULT_ADOPTION_SHARES",
     "TIMELINE",
     "MeasurementWindow",

@@ -1,0 +1,126 @@
+"""Property: merging per-worker histogram snapshots is partition-proof.
+
+The fleet's percentiles are computed by merging each worker's
+``HistogramChild`` — the whole design rests on the merge being exact:
+however the observations were partitioned across workers, and in
+whatever order the partitions are merged, the result must equal the
+histogram a single registry would have built from every observation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.obs import MetricsRegistry, merge_registry_snapshots
+from repro.obs.registry import HistogramChild, MetricError
+
+BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0)
+
+observations = st.lists(
+    st.floats(min_value=0.0, max_value=2.0, allow_nan=False,
+              allow_infinity=False),
+    min_size=0, max_size=120,
+)
+
+
+def _partition(values, boundaries):
+    """Split ``values`` into contiguous runs at the given cut points."""
+    cuts = sorted({min(b, len(values)) for b in boundaries})
+    parts, start = [], 0
+    for cut in cuts:
+        parts.append(values[start:cut])
+        start = cut
+    parts.append(values[start:])
+    return parts
+
+
+def _observe_all(values) -> HistogramChild:
+    child = HistogramChild(BUCKETS)
+    for value in values:
+        child.observe(value)
+    return child
+
+
+def _unlabelled_child(registry, name) -> HistogramChild:
+    """The family's unlabelled child; an empty one when never observed
+    (unlabelled children are created lazily on first observe)."""
+    family = registry.get(name)
+    if family is None:
+        return HistogramChild(BUCKETS)
+    return dict(family.children()).get((), HistogramChild(BUCKETS))
+
+
+class TestHistogramMergeProperty:
+    @given(
+        values=observations,
+        boundaries=st.lists(st.integers(min_value=0, max_value=120),
+                            min_size=0, max_size=5),
+        order=st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_any_partition_any_order_equals_single_histogram(
+        self, values, boundaries, order
+    ):
+        reference = _observe_all(values)
+        parts = [_observe_all(part) for part in _partition(values, boundaries)]
+        order.shuffle(parts)
+        merged = HistogramChild.merge(parts)
+        assert merged.bucket_counts == reference.bucket_counts
+        assert merged.count == reference.count
+        assert merged.sum == pytest.approx(reference.sum)
+        # Quantiles are a pure function of the buckets, so exact
+        # equality — not bucket-resolution tolerance — must hold.
+        for key, value in reference.percentile_summary().items():
+            assert merged.percentile_summary()[key] == pytest.approx(value)
+
+    @given(
+        values=observations,
+        boundaries=st.lists(st.integers(min_value=0, max_value=120),
+                            min_size=1, max_size=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_registry_snapshot_merge_matches_single_registry(
+        self, values, boundaries
+    ):
+        single = MetricsRegistry()
+        hist = single.histogram("fleet_latency_seconds", buckets=BUCKETS)
+        for value in values:
+            hist.observe(value)
+
+        snapshots = []
+        for part in _partition(values, boundaries):
+            worker = MetricsRegistry()
+            child = worker.histogram("fleet_latency_seconds", buckets=BUCKETS)
+            for value in part:
+                child.observe(value)
+            snapshots.append(worker.snapshot())
+
+        merged = merge_registry_snapshots(snapshots)
+        merged_child = _unlabelled_child(merged, "fleet_latency_seconds")
+        single_child = _unlabelled_child(single, "fleet_latency_seconds")
+        assert merged_child.bucket_counts == single_child.bucket_counts
+        assert merged_child.count == single_child.count
+        assert merged_child.sum == pytest.approx(single_child.sum)
+        assert (
+            merged_child.percentile_summary()
+            == pytest.approx(single_child.percentile_summary())
+        )
+
+    def test_merge_is_associative_on_a_fixed_example(self):
+        a = _observe_all([0.002, 0.004, 0.3])
+        b = _observe_all([0.02, 0.9])
+        c = _observe_all([1.5])
+        left = HistogramChild.merge([HistogramChild.merge([a, b]), c])
+        right = HistogramChild.merge([a, HistogramChild.merge([b, c])])
+        assert left.bucket_counts == right.bucket_counts
+        assert left.count == right.count
+        assert left.sum == pytest.approx(right.sum)
+
+    def test_mismatched_buckets_refused(self):
+        with pytest.raises(MetricError, match="different bucket bounds"):
+            HistogramChild.merge([
+                HistogramChild(BUCKETS), HistogramChild((0.1, 1.0)),
+            ])
+        with pytest.raises(MetricError):
+            HistogramChild.merge([])
