@@ -1,0 +1,111 @@
+"""Resolver-population overhead: the shared POP caches on the hot path.
+
+Times the same bench-scale window twice —
+
+* **isp**: every probe on its own per-client resolver context, the
+  engine as the other benches run it;
+* **public**: every probe routed through the shared public-resolver
+  POP caches (ECS on, /24 announcements);
+
+— and writes ``benchmarks/output/BENCH_resolver.json``.  The guard
+compares ``overhead_ratio`` (public / isp steps per second) against
+the committed ``benchmarks/BENCH_resolver.baseline.json``: the shared
+caches *save* upstream resolutions, so routing through them must never
+silently become a tax.  The ratio is machine-portable (same host, same
+run, divided out), so it must stay within ±30% of the baseline.
+
+The mapping-accuracy numbers the population exists for (cache-hit
+dilution, mis-mapping delta) are recorded alongside and sanity-checked
+for a nonzero effect — drift in their exact values is the golden
+snapshot's job, not the bench's.
+
+Refresh the baseline by copying the output file over the committed
+one after an intentional perf change and reviewing the diff.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.analysis import ResolverAccuracy
+from repro.simulation import ScenarioConfig, Sep2017Scenario, SimulationEngine
+from repro.workload import TIMELINE
+
+from conftest import write_json
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "BENCH_resolver.baseline.json"
+RATIO_TOLERANCE = 0.30
+
+START, END = TIMELINE.at(9, 17), TIMELINE.at(9, 20)
+STEP_SECONDS = 1800.0
+
+
+def timed_run(population: str):
+    config = ScenarioConfig(
+        global_probe_count=160,
+        isp_probe_count=80,
+        global_dns_interval=1800.0,
+        isp_dns_interval=43200.0,
+        traceroute_probe_count=16,
+        resolver_population=population,
+    )
+    scenario = Sep2017Scenario(config)
+    engine = SimulationEngine(scenario, step_seconds=STEP_SECONDS)
+    started = time.perf_counter()
+    steps = engine.run(START, END)
+    elapsed = time.perf_counter() - started
+    return scenario, steps, steps / elapsed
+
+
+@pytest.fixture(scope="module")
+def resolver_bench():
+    _, steps, isp_rate = timed_run("isp")
+    scenario, _, public_rate = timed_run("public")
+    accuracy = ResolverAccuracy.from_scenario(scenario)
+    results = {
+        "scenario": "bench-scale Sep 17-20, 1800 s steps",
+        "steps": steps,
+        "cpus": os.cpu_count() or 1,
+        "isp_steps_per_sec": round(isp_rate, 2),
+        "public_steps_per_sec": round(public_rate, 2),
+        "overhead_ratio": round(public_rate / isp_rate, 3),
+        "public_hit_ratio": round(accuracy.public_hit_ratio, 4),
+        "cache_hit_dilution": round(accuracy.cache_hit_dilution, 4),
+        "public_mismap_delta_km": round(accuracy.public_mismap_delta_km, 1),
+        "isp_mismap_delta_km": round(accuracy.isp_mismap_delta_km, 1),
+    }
+    write_json("BENCH_resolver.json", results)
+    return results
+
+
+def test_resolver_bench_recorded(resolver_bench):
+    assert resolver_bench["steps"] == 144
+    assert resolver_bench["isp_steps_per_sec"] > 0
+    assert resolver_bench["public_steps_per_sec"] > 0
+
+
+def test_population_effects_are_nonzero(resolver_bench):
+    # The axis only earns its keep if shared caches visibly move the
+    # paper's metrics at bench scale.
+    assert resolver_bench["public_hit_ratio"] > 0.0
+    assert resolver_bench["cache_hit_dilution"] != 0.0
+    assert (
+        resolver_bench["public_mismap_delta_km"]
+        != resolver_bench["isp_mismap_delta_km"]
+    )
+
+
+def test_overhead_ratio_within_baseline(resolver_bench):
+    baseline = json.loads(BASELINE_PATH.read_text())
+    expected = baseline["overhead_ratio"]
+    ratio = resolver_bench["overhead_ratio"] / expected
+    assert (1 - RATIO_TOLERANCE) <= ratio <= (1 + RATIO_TOLERANCE), (
+        f"resolver overhead ratio {resolver_bench['overhead_ratio']} "
+        f"drifted more than ±{RATIO_TOLERANCE:.0%} from baseline "
+        f"{expected}; if intended, refresh "
+        f"benchmarks/BENCH_resolver.baseline.json from "
+        f"benchmarks/output/BENCH_resolver.json"
+    )

@@ -42,6 +42,7 @@ from .scoreboard import (
     evaluate_scoreboard,
     render_scoreboard,
 )
+from .resolver_accuracy import ResolverAccuracy
 from .sites import SiteDiscovery, SiteRecord, discover_sites
 from .unique_ips import (
     UniqueIpPoint,
@@ -93,4 +94,5 @@ __all__ = [
     "peak_share",
     "OverflowSummary",
     "summarize_overflow",
+    "ResolverAccuracy",
 ]

@@ -167,4 +167,16 @@ def generate_report(scenario, timeline: Optional[Timeline] = None) -> str:
             f"(anycast cost +{analysis.mapping_distance_delta_km:.0f} km)"
         )
 
+    # --- Resolver populations: mapping accuracy (beyond the paper) --------
+    resolver_plane = getattr(scenario, "resolver_plane", None)
+    if resolver_plane is not None:
+        from .resolver_accuracy import ResolverAccuracy
+
+        accuracy = ResolverAccuracy.from_scenario(scenario)
+        lines += _section(
+            "Resolver populations — mapping accuracy through shared POP caches"
+        )
+        for row in accuracy.render().splitlines():
+            lines.append(f"    {row}")
+
     return "\n".join(lines)

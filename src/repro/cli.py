@@ -100,6 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker processes for the sharded engine "
                                "(default 1 = serial)")
     _add_steering_args(simulate)
+    _add_resolver_args(simulate)
     simulate.add_argument("--fault", action="append", default=None,
                           metavar="SPEC",
                           help="fault window as kind@target:start-end"
@@ -121,6 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker processes for the sharded engine "
                              "(default 1 = serial)")
     _add_steering_args(report)
+    _add_resolver_args(report)
     _add_store_args(report)
     _add_checkpoint_args(report)
     _add_telemetry_args(report)
@@ -166,6 +168,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve worker processes sharing the ports via "
                             "SO_REUSEPORT (default 1 = single loop; the "
                             "admin plane then merges worker metrics)")
+    serve.add_argument("--resolver-port", type=int, default=0,
+                       help="UDP port for the public-resolver front when a "
+                            "public population is enabled (default 0 = "
+                            "ephemeral; fleets always pick ephemeral)")
+    _add_resolver_args(serve)
 
     loadgen = commands.add_parser(
         "loadgen", help="drive the load generator against a running serve pair"
@@ -192,6 +199,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "(deterministic per trace id; default 1.0)")
     loadgen.add_argument("--trace-out", metavar="PATH", default=None,
                          help="write the client-side span trace here (JSONL)")
+    loadgen.add_argument("--resolver", metavar="HOST:PORT", default=None,
+                         help="public-resolver front endpoint of a running "
+                              "`repro serve` with a public population")
+    loadgen.add_argument("--public-resolver-share", type=float, default=0.0,
+                         metavar="FRACTION",
+                         help="fraction of clients resolving through "
+                              "--resolver instead of directly (default 0.0)")
 
     selftest_cmd = commands.add_parser(
         "selftest", help="boot a loopback cluster, drive it, verify health"
@@ -222,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
                                    "arrival process instead of closed-loop")
     selftest_cmd.add_argument("--duration", type=float, default=None,
                               help="seconds the open-loop schedule spans")
+    _add_resolver_args(selftest_cmd)
 
     chaos = commands.add_parser(
         "chaos", help="run the fault-injection drill against live + engine"
@@ -307,6 +322,28 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(repeatable; seconds relative to --start)")
     catchments.add_argument("--json", action="store_true",
                             help="print the catchment analysis as JSON")
+
+    resolvers = commands.add_parser(
+        "resolvers",
+        help="run a window with a public-resolver population and print "
+             "the mapping-accuracy analysis",
+    )
+    resolvers.add_argument("--start", default="9-18", metavar="M-D",
+                           help="start date in 2017 (default 9-18)")
+    resolvers.add_argument("--end", default="9-20", metavar="M-D",
+                           help="end date in 2017 (default 9-20)")
+    resolvers.add_argument("--step", type=float, default=1800.0,
+                           help="engine step in seconds (default 1800)")
+    resolvers.add_argument("--probes", type=int, default=60,
+                           help="global probe count (default 60)")
+    resolvers.add_argument("--isp-probes", type=int, default=30,
+                           help="ISP probe count (default 30)")
+    resolvers.add_argument("--workers", type=int, default=1,
+                           help="worker processes for the sharded engine "
+                                "(default 1 = serial)")
+    _add_resolver_args(resolvers, default_population="mixed")
+    resolvers.add_argument("--json", action="store_true",
+                           help="print the mapping-accuracy analysis as JSON")
     return parser
 
 
@@ -320,6 +357,43 @@ def _add_steering_args(sub: argparse.ArgumentParser) -> None:
                      metavar="FRACTION",
                      help="DNS-steered demand share under hybrid "
                           "(default 0.5)")
+
+
+def _add_resolver_args(
+    sub: argparse.ArgumentParser, *, default_population: str = "isp"
+) -> None:
+    sub.add_argument("--resolver-population",
+                     choices=("isp", "public", "mixed"),
+                     default=default_population,
+                     help="who resolves for the probes: isp (per-client "
+                          "resolvers), public (every probe behind a shared "
+                          "POP cache), or mixed (--public-resolver-share "
+                          f"of them; default {default_population})")
+    sub.add_argument("--public-resolver-share", type=float, default=0.5,
+                     metavar="FRACTION",
+                     help="probe fraction behind public resolvers under "
+                          "mixed (default 0.5)")
+    sub.add_argument("--public-resolver-ecs", choices=("on", "off"),
+                     default="on",
+                     help="whether the POPs announce EDNS Client Subnet "
+                          "upstream (default on)")
+    sub.add_argument("--public-resolver-scope", type=int, default=24,
+                     metavar="BITS",
+                     help="ECS scope the POPs announce (default 24)")
+    sub.add_argument("--public-resolver-cache-capacity", type=int,
+                     default=4096, metavar="N",
+                     help="live entries per shared POP cache (default 4096)")
+
+
+def _resolver_config_kwargs(args: argparse.Namespace) -> dict:
+    """ScenarioConfig keywords for the resolver-population flags."""
+    return {
+        "resolver_population": args.resolver_population,
+        "public_resolver_share": args.public_resolver_share,
+        "public_resolver_ecs": args.public_resolver_ecs == "on",
+        "public_resolver_scope": args.public_resolver_scope,
+        "public_resolver_cache_capacity": args.public_resolver_cache_capacity,
+    }
 
 
 def _parse_date(text: str) -> float:
@@ -490,6 +564,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 isp_probe_count=args.isp_probes,
                 steering=args.steering,
                 hybrid_dns_share=args.hybrid_dns_share,
+                **_resolver_config_kwargs(args),
                 **_store_config_kwargs(args),
             ),
             faults=_parse_fault_schedule(args, start),
@@ -531,6 +606,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
               f"{analysis.shifted_gbps_total:.0f} Gbps shifted, "
               f"mapping distance {analysis.mapping_distance_km:.0f} km "
               f"(+{analysis.mapping_distance_delta_km:.0f} vs nearest-site)")
+    if scenario.resolver_plane is not None:
+        from .analysis import ResolverAccuracy
+
+        accuracy = ResolverAccuracy.from_scenario(scenario)
+        print(f"resolvers ({args.resolver_population} population): "
+              f"{accuracy.public_probes} public / {accuracy.isp_probes} ISP "
+              f"probes, {accuracy.pops_live} POPs live, "
+              f"shared-cache hit ratio {accuracy.public_hit_ratio:.1%} "
+              f"(dilution {accuracy.cache_hit_dilution:+.1%} vs ISP), "
+              f"mis-mapping {accuracy.public_mismap_delta_km:+.0f} km "
+              f"vs nearest edge")
     if args.store_budget_mb is not None or args.store_spill_dir is not None:
         print(_store_stats_line(scenario))
     _write_telemetry(args, registry, tracer)
@@ -546,6 +632,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 isp_probe_count=args.isp_probes,
                 steering=args.steering,
                 hybrid_dns_share=args.hybrid_dns_share,
+                **_resolver_config_kwargs(args),
                 **_store_config_kwargs(args),
             )
         )
@@ -673,6 +760,35 @@ def _cmd_catchments(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resolvers(args: argparse.Namespace) -> int:
+    import json
+
+    from .analysis import ResolverAccuracy
+
+    if args.resolver_population == "isp":
+        raise SystemExit(
+            "`repro resolvers` needs a public-resolver population; "
+            "pass --resolver-population public or mixed"
+        )
+    start = _parse_date(args.start)
+    end = _parse_date(args.end)
+    scenario = Sep2017Scenario(
+        ScenarioConfig(
+            global_probe_count=args.probes,
+            isp_probe_count=args.isp_probes,
+            **_resolver_config_kwargs(args),
+        )
+    )
+    engine = SimulationEngine(scenario, step_seconds=args.step)
+    engine.run(start, end, workers=args.workers)
+    accuracy = ResolverAccuracy.from_scenario(scenario)
+    if args.json:
+        print(json.dumps(accuracy.to_json_dict(), indent=2, sort_keys=True))
+        return 0
+    print(accuracy.render())
+    return 0
+
+
 def _cmd_survey(_args: argparse.Namespace) -> int:
     scenario = Sep2017Scenario(
         ScenarioConfig(global_probe_count=1, isp_probe_count=1)
@@ -751,19 +867,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     async def _run() -> None:
         cluster = ServeCluster(
-            config=ClusterConfig(object_size=args.object_size),
+            config=ClusterConfig(
+                object_size=args.object_size,
+                **_resolver_config_kwargs(args),
+            ),
             metrics=registry,
             tracer=tracer,
         )
         await cluster.start(
             host=args.host, dns_port=args.dns_port, http_port=args.http_port,
-            admin_port=args.admin_port,
+            resolver_port=args.resolver_port, admin_port=args.admin_port,
         )
         dns_host, dns_port = cluster.dns.endpoint
         http_host, http_port = cluster.http.endpoint
         admin_host, admin_port = cluster.admin.endpoint
         print(f"dns   {dns_host}:{dns_port}  (udp + tcp fallback)")
         print(f"http  {http_host}:{http_port}")
+        if cluster.resolver_front is not None:
+            res_host, res_port = cluster.resolver_front.endpoint
+            print(f"rslv  {res_host}:{res_port}  "
+                  f"(public-resolver front, {args.resolver_population} "
+                  f"population)")
         print(f"admin {admin_host}:{admin_port}  (/metrics /healthz /traces)")
         print("serving the Figure 2 estate; Ctrl-C to stop")
         try:
@@ -785,7 +909,10 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
 
     fleet = ServeFleet(FleetConfig(
         workers=args.workers,
-        cluster=ClusterConfig(object_size=args.object_size),
+        cluster=ClusterConfig(
+            object_size=args.object_size,
+            **_resolver_config_kwargs(args),
+        ),
     ))
     fleet.start(
         host=args.host, dns_port=args.dns_port, http_port=args.http_port
@@ -805,6 +932,10 @@ def _cmd_serve_fleet(args: argparse.Namespace) -> int:
         print(f"dns   {dns_host}:{dns_port}  (udp + tcp fallback, "
               f"{args.workers} reuseport workers)")
         print(f"http  {http_host}:{http_port}")
+        if fleet.resolver_endpoint is not None:
+            res_host, res_port = fleet.resolver_endpoint
+            print(f"rslv  {res_host}:{res_port}  "
+                  f"(public-resolver front, shared across workers)")
         print(f"admin {admin_host}:{admin_port}  (/metrics merges all workers)")
         print("serving the Figure 2 estate; Ctrl-C to stop")
         try:
@@ -842,11 +973,20 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         )
     elif args.duration is not None:
         raise SystemExit("--duration requires --arrival")
+    if args.public_resolver_share > 0.0 and args.resolver is None:
+        raise SystemExit("--public-resolver-share requires --resolver")
+    resolver_endpoint = (
+        _parse_endpoint(args.resolver) if args.resolver is not None else None
+    )
     config = LoadConfig(
         requests=args.requests,
         concurrency=args.concurrency,
         trace_sample=args.trace_sample,
         arrival=arrival,
+        public_resolver_share=(
+            args.public_resolver_share if resolver_endpoint is not None
+            else 0.0
+        ),
     )
     if args.processes > 1:
         if args.trace_out:
@@ -858,6 +998,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         report = run_loadgen_fleet(
             _parse_endpoint(args.dns), _parse_endpoint(args.http),
             config, args.processes,
+            resolver_endpoint=resolver_endpoint,
         )
         print(report.render())
         return 0 if report.healthy() else 1
@@ -871,6 +1012,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         directory=ClientDirectory.from_adoption(),
         config=config,
         tracer=tracer,
+        resolver_endpoint=resolver_endpoint,
     )
     report = asyncio.run(generator.run())
     print(report.render())
@@ -884,6 +1026,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
 
 def _cmd_selftest(args: argparse.Namespace) -> int:
+    cluster_config = ClusterConfig(**_resolver_config_kwargs(args))
     if args.workers > 1:
         from .serve import fleet_selftest, render_fleet_selftest
 
@@ -894,6 +1037,7 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
             processes=args.processes,
             arrival=args.arrival,
             duration=args.duration,
+            cluster_config=cluster_config,
         )
         print(render_fleet_selftest(result, qps_floor=args.qps_floor))
         return 0 if result.passed(qps_floor=args.qps_floor) else 1
@@ -902,6 +1046,7 @@ def _cmd_selftest(args: argparse.Namespace) -> int:
     report, registry = selftest(
         requests=args.requests,
         concurrency=args.concurrency,
+        cluster_config=cluster_config,
         tracer=tracer,
         trace_sample=args.trace_sample,
     )
@@ -1121,6 +1266,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "top": _cmd_top,
         "profile": _cmd_profile,
         "catchments": _cmd_catchments,
+        "resolvers": _cmd_resolvers,
     }
     return handlers[args.command](args)
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
-from ..net.ipv4 import IPv4Address
+from ..net.ipv4 import IPv4Address, IPv4Prefix
 from ..obs import get_registry
 from .query import DnsResponse, Question, QueryContext, RCode
 from .records import RecordType, ResourceRecord, normalize_name
@@ -155,6 +155,19 @@ class RecursiveResolver:
     local resolver, so each probe owns a resolver instance.  Pass
     ``cache=False`` for the always-fresh behaviour used by one-shot
     measurements.
+
+    ``cache_scope`` turns the cache *shared-safe*: a per-client resolver
+    keys entries by qname alone (the degenerate key — answers computed
+    for its one client are trivially valid for it), but a cache shared
+    across clients must partition answers by the geography the answer
+    was computed for, or one client's steering answer leaks to clients
+    elsewhere.  With ``cache_scope=s`` entries are keyed by ``(qname,
+    client-prefix/s)`` — the announced ECS scope of a public resolver —
+    so two clients only share an entry when they share the scope-``s``
+    prefix.  ``cache_scope=0`` models an ECS-off shared cache: one
+    worldwide partition per name.  ``cache_capacity`` bounds the number
+    of *live* entries; overflow evicts the entry closest to expiry
+    (deterministic tie-break on the key).
     """
 
     def __init__(
@@ -163,10 +176,25 @@ class RecursiveResolver:
         cache: bool = True,
         wire_mode: bool = False,
         metrics=None,
+        cache_scope: Optional[int] = None,
+        cache_capacity: Optional[int] = None,
     ) -> None:
+        if cache_scope is not None and not 0 <= cache_scope <= 32:
+            raise ValueError("cache_scope must be within [0, 32]")
+        if cache_capacity is not None and cache_capacity <= 0:
+            raise ValueError("cache_capacity must be positive")
         self._servers = list(servers)
         self._cache_enabled = cache
-        self._cache: dict[str, _CacheEntry] = {}
+        self._cache_scope = cache_scope
+        self._cache_capacity = cache_capacity
+        # Keys are the bare qname for per-client resolvers (degenerate
+        # key, byte-identical to the historical behaviour) or
+        # ``(qname, scope-truncated client network)`` for shared caches.
+        self._cache: dict = {}
+        # The latest query time seen; lazy expiry means entries whose
+        # TTL has passed linger until next touch, so size accounting
+        # filters against this horizon instead of trusting len().
+        self._horizon = float("-inf")
         # wire_mode exchanges RFC 1035 bytes with every server (encode
         # the query, decode the answer) instead of passing objects —
         # byte-level fidelity at a small cost; resolutions are
@@ -264,6 +292,21 @@ class RecursiveResolver:
             seen.add(current)
         raise ResolutionError(f"chain longer than {_MAX_CHAIN} for {question.name!r}")
 
+    def cache_key(self, name: str, context: QueryContext):
+        """The cache key for ``name`` asked from ``context``.
+
+        Per-client resolvers use the bare qname; shared caches append
+        the client's scope-truncated network so answers computed for
+        one geography are never served to another (the partition a real
+        ECS-aware public resolver keeps per announced scope).
+        """
+        if self._cache_scope is None:
+            return name
+        return (
+            name,
+            IPv4Prefix.containing(context.client, self._cache_scope).network,
+        )
+
     def _query_one(
         self,
         name: str,
@@ -271,7 +314,10 @@ class RecursiveResolver:
         locate: Optional[Callable[[str], "tuple[Optional[AuthoritativeServer], Optional[Zone]]"]] = None,
     ) -> ResolutionStep:
         if self._cache_enabled:
-            entry = self._cache.get(name)
+            if context.now > self._horizon:
+                self._horizon = context.now
+            key = self.cache_key(name, context)
+            entry = self._cache.get(key)
             if entry is not None:
                 if entry.expires_at > context.now:
                     self._hits += 1
@@ -283,7 +329,7 @@ class RecursiveResolver:
                         from_cache=True,
                     )
                 # TTL expired: drop the stale entry and fall through.
-                del self._cache[name]
+                del self._cache[key]
                 self._evictions += 1
                 self._m_cache_evictions.inc()
             self._misses += 1
@@ -314,12 +360,35 @@ class RecursiveResolver:
             self._m_answers.labels(server.operator).inc(len(records))
         if self._cache_enabled and records:
             ttl = min(record.ttl for record in records)
-            self._cache[name] = _CacheEntry(
+            self._cache[self.cache_key(name, context)] = _CacheEntry(
                 records=records,
                 operator=server.operator,
                 expires_at=context.now + ttl,
             )
+            if (
+                self._cache_capacity is not None
+                and len(self._cache) > self._cache_capacity
+            ):
+                self._enforce_capacity(context.now)
         return ResolutionStep(name=name, operator=server.operator, records=records)
+
+    def _enforce_capacity(self, now: float) -> None:
+        """Shrink to capacity: expired entries first, then soonest-to-expire.
+
+        Both passes count as evictions — capacity pressure is the other
+        way a shared cache loses entries, and the POP-cache metrics
+        must see it.  The overflow victim is the live entry closest to
+        expiry, tie-broken on the key repr, so eviction order is
+        deterministic across runs and worker counts.
+        """
+        self.sweep(now)
+        while len(self._cache) > self._cache_capacity:
+            victim = min(
+                self._cache.items(), key=lambda kv: (kv[1].expires_at, repr(kv[0]))
+            )[0]
+            del self._cache[victim]
+            self._evictions += 1
+            self._m_cache_evictions.inc()
 
     def _query_wire(
         self, server: AuthoritativeServer, name: str, context: QueryContext
@@ -355,18 +424,47 @@ class RecursiveResolver:
         """Drop all cached entries (not counted as evictions)."""
         self._cache.clear()
 
+    def sweep(self, now: Optional[float] = None) -> int:
+        """Drop every entry expired at ``now`` (default: latest seen).
+
+        Lazy expiry only removes an entry when its key is touched
+        again, which a shared cache's long tail of one-off partitions
+        may never be; the sweep makes capacity and eviction accounting
+        truthful.  Swept entries count as evictions (their TTL passed),
+        unlike :meth:`flush`.  Returns the number removed.
+        """
+        horizon = self._horizon if now is None else now
+        expired = [
+            key for key, entry in self._cache.items()
+            if entry.expires_at <= horizon
+        ]
+        for key in expired:
+            del self._cache[key]
+        if expired:
+            self._evictions += len(expired)
+            self._m_cache_evictions.inc(len(expired))
+        return len(expired)
+
     @property
     def cache_size(self) -> int:
-        """Number of cached names (expired entries included until reuse)."""
-        return len(self._cache)
+        """Number of *live* cached entries.
+
+        Entries whose TTL has passed the latest query time are excluded
+        even before lazy expiry removes them, so a shared cache's size
+        reflects what could still be served, not dict occupancy.
+        """
+        return sum(
+            1 for entry in self._cache.values()
+            if entry.expires_at > self._horizon
+        )
 
     def cache_stats(self) -> ResolverCacheStats:
-        """Hit/miss/eviction counters plus the current cache size."""
+        """Hit/miss/eviction counters plus the current live size."""
         return ResolverCacheStats(
             hits=self._hits,
             misses=self._misses,
             evictions=self._evictions,
-            size=len(self._cache),
+            size=self.cache_size,
         )
 
 

@@ -432,14 +432,19 @@ def _decode_options(
     return ecs, trace
 
 
-def answer_wire(server, payload: bytes, context) -> bytes:
+def answer_wire(server, payload: bytes, context, ecs_scope=None) -> bytes:
     """Serve one wire-format query against an authoritative server.
 
     Decodes ``payload``, answers the first question with ``server``
     (a :class:`~repro.dns.zone.AuthoritativeServer`) for the client in
     ``context``, and encodes the response — the byte-level face of the
     authoritative substrate.  An ECS option in the query is echoed back
-    with full scope, as CDN mapping DNS does.
+    with ``ecs_scope`` as its scope — the granularity the answer
+    actually depended on.  ``None`` keeps the legacy full-source-scope
+    echo for callers whose ``context`` really is per-client; callers
+    that derived the context from a coarser geography lookup must pass
+    that lookup's granularity, or downstream shared caches partition
+    answers more finely than they were computed (RFC 7871 §7.3.1).
     """
     query = decode_message(payload)
     if not query.questions:
@@ -448,9 +453,12 @@ def answer_wire(server, payload: bytes, context) -> bytes:
     response = server.query(question, context)
     ecs = None
     if query.client_subnet is not None:
+        scope = (
+            query.client_subnet.prefix.length if ecs_scope is None else ecs_scope
+        )
         ecs = ClientSubnet(
             prefix=query.client_subnet.prefix,
-            scope_length=query.client_subnet.prefix.length,
+            scope_length=scope,
         )
     return encode_message(
         WireMessage(

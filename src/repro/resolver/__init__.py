@@ -1,0 +1,22 @@
+"""Public-resolver populations: shared POP caches between client and CDN.
+
+The paper's probes resolve locally, so every vantage point sees its own
+TTL-cached view of the mapping chain.  Real client populations are
+split: many sit behind large public resolvers (8.8.8.8, 1.1.1.1) whose
+frontend POPs serve *shared* caches — which changes what the Meta-CDN's
+location-based DNS can see (the POP's geography, or an ECS prefix) and
+how fast a 15 s selection CNAME propagates.  This package models that
+axis: POP placement, the per-POP shared ECS-scope-aware caches, and the
+probe-side stubs that route resolutions through them.
+"""
+
+from .plane import PopStubResolver, ResolverPlane
+from .pops import DEFAULT_POPS, ResolverPop, nearest_pop
+
+__all__ = [
+    "DEFAULT_POPS",
+    "PopStubResolver",
+    "ResolverPlane",
+    "ResolverPop",
+    "nearest_pop",
+]

@@ -14,6 +14,9 @@ the flash-crowd workload — is made network-reachable here:
   downloads;
 * :mod:`repro.serve.clients` — the shared client-address ⇄ geography
   contract both ends rely on;
+* :mod:`repro.serve.resolverfront` — a caching public-resolver front
+  (shared POP caches, honest ECS scopes) the loadgen's public share
+  resolves through;
 * :mod:`repro.serve.cluster` — the one-call loopback topology and the
   ``repro selftest`` entry point;
 * :mod:`repro.serve.admin` — the live admin plane (``/metrics``,
@@ -56,6 +59,7 @@ from .loadgen import (
     merge_load_reports,
 )
 from .resilience import BackoffPolicy, CircuitBreaker, HedgePolicy
+from .resolverfront import PublicResolverFront
 from .snapshot import FleetSpec, estate_signature, load_snapshot, write_snapshot
 
 __all__ = [
@@ -78,6 +82,7 @@ __all__ = [
     "LoadConfig",
     "LoadReport",
     "LoadGenerator",
+    "PublicResolverFront",
     "ClusterConfig",
     "build_serve_estate",
     "ServeCluster",

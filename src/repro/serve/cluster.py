@@ -66,10 +66,38 @@ class ClusterConfig:
     min_third_party_share: float = 0.35
     servers_per_metro: int = 8
     max_udp_payload: Optional[int] = None
+    # Resolver population: "isp" keeps the classic per-client path;
+    # "public"/"mixed" boot a PublicResolverFront (shared POP caches)
+    # the load generator resolves through for the public share.
+    resolver_population: str = "isp"
+    public_resolver_share: float = 0.5
+    public_resolver_ecs: bool = True
+    public_resolver_scope: int = 24
+    public_resolver_cache_capacity: int = 4096
 
     def __post_init__(self) -> None:
         if self.servers_per_metro <= 0:
             raise ValueError("servers_per_metro must be positive")
+        if self.resolver_population not in ("isp", "public", "mixed"):
+            raise ValueError(
+                f"unknown resolver population {self.resolver_population!r} "
+                "(valid: isp, public, mixed)"
+            )
+        if not 0.0 <= self.public_resolver_share <= 1.0:
+            raise ValueError("public_resolver_share must be in [0, 1]")
+        if not 0 <= self.public_resolver_scope <= 32:
+            raise ValueError("public_resolver_scope must be in [0, 32]")
+        if self.public_resolver_cache_capacity <= 0:
+            raise ValueError("public_resolver_cache_capacity must be positive")
+
+    @property
+    def loadgen_resolver_share(self) -> float:
+        """The client fraction that resolves through the front."""
+        if self.resolver_population == "isp":
+            return 0.0
+        if self.resolver_population == "public":
+            return 1.0
+        return self.public_resolver_share
 
 
 def build_serve_estate(
@@ -237,6 +265,22 @@ class ServeCluster:
             tracer=tracer,
             health_monitor=self.health_monitor,
         )
+        # A public-resolver front between the loadgen and the DNS
+        # server, when the config asks for a public population.  Built
+        # lazily at start() — it needs the DNS endpoint to forward to.
+        self.resolver_front = None
+        if self.config.resolver_population != "isp":
+            from .resolverfront import PublicResolverFront
+
+            self.resolver_front = PublicResolverFront(
+                upstream=("127.0.0.1", 0),  # rebound at start()
+                directory=self.directory,
+                ecs=self.config.public_resolver_ecs,
+                scope=self.config.public_resolver_scope,
+                cache_capacity=self.config.public_resolver_cache_capacity,
+                metrics=registry,
+                clock=clock,
+            )
         self._registry = registry
 
     def _cluster_clock(self) -> float:
@@ -257,17 +301,24 @@ class ServeCluster:
 
     async def start(self, host: str = "127.0.0.1", dns_port: int = 0,
                     http_port: int = 0, admin_port: Optional[int] = 0,
+                    resolver_port: int = 0,
                     reuse_port: bool = False) -> "ServeCluster":
         """Boot both servers plus the admin plane (ephemeral ports).
 
         ``admin_port=None`` skips the admin listener — fleet workers do
         that, since the fleet parent serves one merged admin plane.
         ``reuse_port`` binds the data-path sockets ``SO_REUSEPORT`` so
-        sibling workers can share the same ports.
+        sibling workers can share the same ports.  ``resolver_port``
+        binds the public-resolver front (when the config enables one).
         """
         self._t0 = time.monotonic()
         await self.dns.start(host=host, port=dns_port, reuse_port=reuse_port)
         await self.http.start(host=host, port=http_port, reuse_port=reuse_port)
+        if self.resolver_front is not None:
+            self.resolver_front._upstream = self.dns.endpoint
+            await self.resolver_front.start(
+                host=host, port=resolver_port, reuse_port=reuse_port
+            )
         if admin_port is not None:
             await self.admin.start(host=host, port=admin_port)
         if self.failover_loop is not None:
@@ -287,6 +338,8 @@ class ServeCluster:
                 pass
             self._failover_task = None
         await self.admin.stop()
+        if self.resolver_front is not None:
+            await self.resolver_front.stop()
         await self.http.stop()
         await self.dns.stop()
 
@@ -297,7 +350,21 @@ class ServeCluster:
         await self.stop()
 
     async def drive(self, config: Optional[LoadConfig] = None) -> LoadReport:
-        """Run the load generator against this cluster's endpoints."""
+        """Run the load generator against this cluster's endpoints.
+
+        With a public-resolver front live, the config's resolver share
+        defaults to the cluster's (``loadgen_resolver_share``) so the
+        public population reaches the shared POP caches.
+        """
+        resolver_endpoint = None
+        if self.resolver_front is not None:
+            resolver_endpoint = self.resolver_front.endpoint
+            config = config if config is not None else LoadConfig()
+            if config.public_resolver_share == 0.0:
+                config = replace(
+                    config,
+                    public_resolver_share=self.config.loadgen_resolver_share,
+                )
         generator = LoadGenerator(
             dns_endpoint=self.dns.endpoint,
             http_endpoint=self.http.endpoint,
@@ -305,6 +372,7 @@ class ServeCluster:
             config=config,
             metrics=self._registry,
             tracer=self._tracer,
+            resolver_endpoint=resolver_endpoint,
         )
         return await generator.run()
 
@@ -318,6 +386,20 @@ def _cache_hits_and_misses(registry) -> tuple[int, int]:
                 hits += int(child.value)
             else:
                 misses += int(child.value)
+    return hits, misses
+
+
+def _resolver_front_counts(registry) -> Optional[tuple[int, int]]:
+    """(hits, misses) of the public-resolver front, or None when absent."""
+    family = registry.get("resolver_front_cache_total")
+    if family is None:
+        return None
+    hits = misses = 0
+    for labels, child in family.children():
+        if labels[-1] == "hit":
+            hits += int(child.value)
+        else:
+            misses += int(child.value)
     return hits, misses
 
 
@@ -361,7 +443,7 @@ def selftest_checks(
 ) -> list[tuple[str, bool]]:
     """The acceptance checks a selftest run must satisfy."""
     hits, misses = _cache_hits_and_misses(registry)
-    return [
+    checks = [
         ("all requests ok", report.healthy()),
         (f"dns >= {qps_floor:.0f} qps sustained", report.dns_qps >= qps_floor),
         ("dns latency percentiles non-zero",
@@ -370,6 +452,14 @@ def selftest_checks(
          report.http_p50_ms > 0.0 and report.http_p99_ms > 0.0),
         ("cache hit metrics present", hits + misses > 0),
     ]
+    front = _resolver_front_counts(registry)
+    if front is not None:
+        front_hits, front_misses = front
+        checks.append(
+            ("public-resolver cache-dilution metrics present",
+             front_hits + front_misses > 0)
+        )
+    return checks
 
 
 def render_selftest(
@@ -392,8 +482,18 @@ def render_selftest(
         f"dns queries served   {served}",
         f"cache lookups        {total}  (hits {hits}, misses {misses}, "
         f"hit rate {hit_rate:.1%})",
-        "",
     ]
+    front = _resolver_front_counts(registry)
+    if front is not None:
+        front_hits, front_misses = front
+        front_total = front_hits + front_misses
+        front_rate = front_hits / front_total if front_total else 0.0
+        lines.append(
+            f"public resolver      {front_total} lookups  "
+            f"(hits {front_hits}, hit rate {front_rate:.1%} — "
+            f"shared POP caches)"
+        )
+    lines.append("")
     for label, passed in checks:
         lines.append(f"{'PASS' if passed else 'FAIL'}  {label}")
     lines.append("")

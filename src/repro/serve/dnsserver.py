@@ -69,8 +69,20 @@ class ZoneFrontend:
         self._memo[name] = best
         return best
 
-    def answer(self, query: WireMessage, context: QueryContext) -> WireMessage:
-        """The response message for one decoded query."""
+    def answer(
+        self,
+        query: WireMessage,
+        context: QueryContext,
+        ecs_scope: Optional[int] = None,
+    ) -> WireMessage:
+        """The response message for one decoded query.
+
+        ``ecs_scope`` is the prefix length the geography lookup behind
+        ``context`` actually used (``AsyncDnsServer`` passes its client
+        directory's vantage granularity).  ``None`` falls back to the
+        legacy full-source-scope echo for standalone frontend use where
+        the context genuinely is per-client.
+        """
         if not query.questions:
             raise WireError("query carries no question")
         question = query.questions[0]
@@ -81,11 +93,19 @@ class ZoneFrontend:
             response = server.query(question, context)
         ecs = None
         if query.client_subnet is not None:
-            # Echo the option back with full scope, as CDN mapping DNS
-            # does (the answer really did depend on the whole prefix).
+            # Echo the option back with the scope the answer really
+            # depended on: over-claiming full source scope would make a
+            # downstream shared resolver cache partition per /24 even
+            # though the directory only looked at the /16 — diluting
+            # its hit rate — while under-claiming would leak one
+            # geography's steering answers to another.
+            scope = (
+                query.client_subnet.prefix.length
+                if ecs_scope is None else ecs_scope
+            )
             ecs = ClientSubnet(
                 prefix=query.client_subnet.prefix,
-                scope_length=query.client_subnet.prefix.length,
+                scope_length=scope,
             )
         return WireMessage(
             message_id=query.message_id,
@@ -275,6 +295,18 @@ class AsyncDnsServer:
             self.directory.vantages[0].prefix.network, now
         )
 
+    def _ecs_scope_for(self, query: WireMessage) -> Optional[int]:
+        """The scope the directory lookup behind the answer resolved at.
+
+        This is what goes back in the echoed ECS option: the matched
+        vantage's prefix length (the granularity ``context_for`` used),
+        or 0 when no vantage matched and the answer fell back to the
+        default geography — i.e. did not depend on the client at all.
+        """
+        if query.client_subnet is None:
+            return None
+        return self.directory.scope_for(query.client_subnet.prefix.network)
+
     def _dns_fault(self, query: WireMessage) -> tuple[Optional[str], float, float]:
         """(action, delay, staleness) the fault plane injects for ``query``."""
         question = query.questions[0] if query.questions else None
@@ -330,7 +362,11 @@ class AsyncDnsServer:
                     if span is not None:
                         span.annotate(outcome="servfail-fault")
                     return self._servfail_for(payload), None, None, delay
-            response = self.frontend.answer(query, self._context_for(query, staleness))
+            response = self.frontend.answer(
+                query,
+                self._context_for(query, staleness),
+                ecs_scope=self._ecs_scope_for(query),
+            )
         except Exception:
             self._m_malformed.inc()
             if span is not None:

@@ -159,7 +159,8 @@ class FleetConfig:
 
 
 def _worker_main(worker_id: int, snapshot_path: str, host: str,
-                 dns_port: int, http_port: int, conn, stop_event,
+                 dns_port: int, http_port: int, resolver_port: int,
+                 conn, stop_event,
                  interval: float, placeholder_fds: tuple[int, ...]) -> None:
     """Entry point of one forked serve worker."""
     # A terminal Ctrl-C signals the whole foreground process group;
@@ -177,7 +178,7 @@ def _worker_main(worker_id: int, snapshot_path: str, host: str,
         asyncio.run(
             _worker_async(
                 worker_id, snapshot_path, host, dns_port, http_port,
-                conn, stop_event, interval,
+                resolver_port, conn, stop_event, interval,
             )
         )
     except Exception:
@@ -194,7 +195,8 @@ def _worker_main(worker_id: int, snapshot_path: str, host: str,
 
 
 async def _worker_async(worker_id: int, snapshot_path: str, host: str,
-                        dns_port: int, http_port: int, conn, stop_event,
+                        dns_port: int, http_port: int, resolver_port: int,
+                        conn, stop_event,
                         interval: float) -> None:
     registry = MetricsRegistry()
     with load_snapshot(snapshot_path) as snapshot:
@@ -241,13 +243,17 @@ async def _worker_async(worker_id: int, snapshot_path: str, host: str,
             ).labels(f"w{worker_id}").set(1.0)
             await cluster.start(
                 host=host, dns_port=dns_port, http_port=http_port,
+                resolver_port=resolver_port,
                 admin_port=None, reuse_port=True,
             )
             try:
-                conn.send((
-                    "ready", worker_id,
-                    {"dns": cluster.dns.endpoint, "http": cluster.http.endpoint},
-                ))
+                endpoints = {
+                    "dns": cluster.dns.endpoint,
+                    "http": cluster.http.endpoint,
+                }
+                if cluster.resolver_front is not None:
+                    endpoints["resolver"] = cluster.resolver_front.endpoint
+                conn.send(("ready", worker_id, endpoints))
                 while not stop_event.is_set():
                     await asyncio.sleep(interval)
                     conn.send(("metrics", worker_id, registry.snapshot()))
@@ -285,6 +291,7 @@ class ServeFleet:
         self._host: Optional[str] = None
         self._dns_port: Optional[int] = None
         self._http_port: Optional[int] = None
+        self._resolver_port: Optional[int] = None
         self._snapshot_path: Optional[str] = None
         self._tempdir: Optional[str] = None
 
@@ -301,6 +308,15 @@ class ServeFleet:
         if self._host is None or self._http_port is None:
             raise RuntimeError("fleet is not started")
         return self._host, self._http_port
+
+    @property
+    def resolver_endpoint(self) -> Optional[tuple[str, int]]:
+        """The shared public-resolver front port, or None without one."""
+        if self._host is None:
+            raise RuntimeError("fleet is not started")
+        if self._resolver_port is None:
+            return None
+        return self._host, self._resolver_port
 
     @property
     def workers(self) -> int:
@@ -360,7 +376,21 @@ class ServeFleet:
             for sock in dns_holders:
                 sock.close()
             raise
-        holders = dns_holders + http_holders
+        # A public resolver population needs one more shared UDP port:
+        # the caching front every worker joins with SO_REUSEPORT.
+        needs_front = self.spec.cluster.resolver_population != "isp"
+        resolver_holders: list[socket.socket] = []
+        bound_resolver = 0
+        if needs_front:
+            try:
+                bound_resolver, resolver_holders = reserve_shared_port(
+                    host, 0, udp=True
+                )
+            except OSError:
+                for sock in dns_holders + http_holders:
+                    sock.close()
+                raise
+        holders = dns_holders + http_holders + resolver_holders
         holder_fds = tuple(sock.fileno() for sock in holders)
         ctx = multiprocessing.get_context("fork")
         self._stop_event = ctx.Event()
@@ -371,7 +401,8 @@ class ServeFleet:
                     target=_worker_main,
                     args=(
                         worker_id, self._snapshot_path, host, bound_dns,
-                        bound_http, send_conn, self._stop_event,
+                        bound_http, bound_resolver, send_conn,
+                        self._stop_event,
                         self.config.metrics_interval, holder_fds,
                     ),
                     daemon=True,
@@ -393,6 +424,7 @@ class ServeFleet:
         self._host = host
         self._dns_port = bound_dns
         self._http_port = bound_http
+        self._resolver_port = bound_resolver if needs_front else None
         self._reader = threading.Thread(target=self._drain, daemon=True)
         self._reader.start()
         return self
@@ -490,6 +522,7 @@ class ServeFleet:
             shutil.rmtree(self._tempdir, ignore_errors=True)
             self._tempdir = None
         self._host = self._dns_port = self._http_port = None
+        self._resolver_port = None
 
     def stop(self) -> None:
         """Signal, join and reap every worker; keeps final snapshots."""
@@ -510,7 +543,7 @@ class ServeFleet:
 
 
 def _loadgen_main(conn, dns_endpoint, http_endpoint, config: LoadConfig,
-                  vantages, weights) -> None:
+                  vantages, weights, resolver_endpoint=None) -> None:
     """One forked generator process: run a LoadGenerator, ship the report."""
     directory = (
         ClientDirectory(vantages, weights)
@@ -525,6 +558,7 @@ def _loadgen_main(conn, dns_endpoint, http_endpoint, config: LoadConfig,
             config=config,
             metrics=MetricsRegistry(),
             tracer=NULL_TRACER,
+            resolver_endpoint=resolver_endpoint,
         )
         return await generator.run()
 
@@ -554,6 +588,7 @@ def run_loadgen_fleet(
     processes: int,
     directory: Optional[ClientDirectory] = None,
     timeout: float = 600.0,
+    resolver_endpoint: Optional[tuple[str, int]] = None,
 ) -> LoadReport:
     """Drive ``processes`` generator processes and merge their reports.
 
@@ -590,7 +625,7 @@ def run_loadgen_fleet(
         process = ctx.Process(
             target=_loadgen_main,
             args=(send_conn, dns_endpoint, http_endpoint, piece,
-                  vantages, weights),
+                  vantages, weights, resolver_endpoint),
             daemon=True,
         )
         process.start()
@@ -780,7 +815,14 @@ def fleet_selftest(
     fleet = ServeFleet(config)
     fleet.start()
     try:
-        load = LoadConfig(requests=requests, concurrency=concurrency)
+        effective_cluster = (
+            fleet.spec.cluster if fleet.spec is not None
+            else (cluster_config or ClusterConfig())
+        )
+        load = LoadConfig(
+            requests=requests, concurrency=concurrency,
+            public_resolver_share=effective_cluster.loadgen_resolver_share,
+        )
         if arrival is not None:
             if duration is None:
                 duration = max(2.0, requests / max(reference.dns_qps, 500.0))
@@ -792,6 +834,7 @@ def fleet_selftest(
         report = run_loadgen_fleet(
             fleet.dns_endpoint, fleet.http_endpoint, load, processes,
             directory=directory,
+            resolver_endpoint=fleet.resolver_endpoint,
         )
         estate = build_serve_estate(
             fleet.spec.cluster if fleet.spec is not None else cluster_config

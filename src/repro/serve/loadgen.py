@@ -40,6 +40,7 @@ from ..obs import (
     use_context,
 )
 from ..obs.registry import HistogramChild
+from ..dns.policies import stable_fraction
 from ..workload.arrival import ArrivalSchedule
 from .clients import ClientDirectory
 from .resilience import BackoffPolicy, CircuitBreaker, HedgePolicy
@@ -576,10 +577,18 @@ class LoadConfig:
     # [seq_start, seq_start + requests), so N processes cover disjoint
     # slices of the same deterministic client/path sequence.
     seq_start: int = 0
+    # Fraction of clients resolving through a public-resolver front
+    # (see repro.serve.resolverfront) instead of the authoritative
+    # directly.  Only effective when the generator is handed a
+    # resolver endpoint; assignment is stable per sequence number, so
+    # fleet slices agree on who is public.
+    public_resolver_share: float = 0.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.trace_sample <= 1.0:
             raise ValueError("trace_sample must be in [0, 1]")
+        if not 0.0 <= self.public_resolver_share <= 1.0:
+            raise ValueError("public_resolver_share must be in [0, 1]")
         if self.seq_start < 0:
             raise ValueError("seq_start must be non-negative")
         if self.arrival_stride <= 0:
@@ -695,9 +704,14 @@ class LoadGenerator:
         config: Optional[LoadConfig] = None,
         metrics=None,
         tracer=None,
+        resolver_endpoint: Optional[tuple[str, int]] = None,
     ) -> None:
         self.dns_endpoint = dns_endpoint
         self.http_endpoint = http_endpoint
+        # A public-resolver front; the config's share of clients
+        # resolve through it instead of the authoritative endpoint.
+        self.resolver_endpoint = resolver_endpoint
+        self._public_dns: Optional[AsyncDnsClient] = None
         self.directory = (
             directory if directory is not None else ClientDirectory.from_adoption()
         )
@@ -770,6 +784,23 @@ class LoadGenerator:
             hedge=config.hedge,
             tracer=self._tracer,
         )
+        if (
+            self.resolver_endpoint is not None
+            and config.public_resolver_share > 0.0
+        ):
+            # The front answers non-authoritatively from its POP
+            # caches; hedging stays client-side, exactly as with a
+            # real public resolver.
+            self._public_dns = await AsyncDnsClient.open(
+                *self.resolver_endpoint,
+                timeout=config.dns_timeout,
+                retries=config.retries,
+                source_prefix_len=config.source_prefix_len,
+                metrics=self._registry,
+                backoff=config.backoff,
+                hedge=config.hedge,
+                tracer=self._tracer,
+            )
         http = PooledHttpClient(
             *self.http_endpoint,
             pool_size=config.concurrency,
@@ -804,10 +835,17 @@ class LoadGenerator:
         finally:
             elapsed = time.perf_counter() - started
             dns.close()
+            if self._public_dns is not None:
+                self._public_dns.close()
             await http.close()
         requests = (
             self._dispatched if config.arrival is not None else config.requests
         )
+        public = self._public_dns
+        dns_queries = dns.queries_sent + (public.queries_sent if public else 0)
+        dns_timeouts = dns.timeouts + (public.timeouts if public else 0)
+        tcp_fallbacks = dns.tcp_fallbacks + (public.tcp_fallbacks if public else 0)
+        hedged = dns.hedged_queries + (public.hedged_queries if public else 0)
         dns_panel = {
             k: v * 1000.0 for k, v in self._dns_hist.percentile_summary().items()
         }
@@ -819,9 +857,9 @@ class LoadGenerator:
             ok=self._ok_count,
             errors=len(self._errors),
             elapsed_seconds=elapsed,
-            dns_queries=dns.queries_sent,
-            dns_timeouts=dns.timeouts,
-            tcp_fallbacks=dns.tcp_fallbacks,
+            dns_queries=dns_queries,
+            dns_timeouts=dns_timeouts,
+            tcp_fallbacks=tcp_fallbacks,
             body_bytes=self._body_bytes,
             dns_p50_ms=dns_panel["p50"],
             dns_p99_ms=dns_panel["p99"],
@@ -830,7 +868,7 @@ class LoadGenerator:
             error_samples=tuple(self._errors[:5]),
             retries=self._retry_count,
             reresolutions=self._reresolution_count,
-            hedged=dns.hedged_queries,
+            hedged=hedged,
             dns_percentiles_ms=dns_panel,
             http_percentiles_ms=http_panel,
             shed=self._shed_count,
@@ -985,9 +1023,24 @@ class LoadGenerator:
                 await self._attempts(dns, http, seq, region)
                 span.annotate(outcome="ok")
 
+    def _dns_for(self, dns: AsyncDnsClient, seq: int) -> AsyncDnsClient:
+        """The resolver this client uses: ISP path or the public front.
+
+        Assignment is stable in the sequence number (the same keying
+        the engine's resolver plane uses for its mixed population), so
+        re-runs and fleet slices agree on who resolves where.
+        """
+        if self._public_dns is None:
+            return dns
+        share = self.config.public_resolver_share
+        if share >= 1.0 or stable_fraction("resolver-population", seq) < share:
+            return self._public_dns
+        return dns
+
     async def _attempts(self, dns: AsyncDnsClient, http: PooledHttpClient,
                         seq: int, region=None) -> None:
         config = self.config
+        dns = self._dns_for(dns, seq)
         # Open-loop arrivals come with the region the workload model
         # woke up; closed-loop draws the full weighted mix.
         client = (

@@ -1,0 +1,408 @@
+"""A live public-resolver front: shared POP caches over real sockets.
+
+:class:`PublicResolverFront` is the serving-layer twin of the engine's
+:class:`~repro.resolver.ResolverPlane`: a UDP DNS forwarder that sits
+between the load generator and the authoritative
+:class:`~repro.serve.dnsserver.AsyncDnsServer`, acting as a small
+anycast fleet of public-resolver POPs.  Each query is attributed to the
+POP nearest the acting client (the EDNS Client Subnet option names the
+client; the shared :class:`~repro.serve.clients.ClientDirectory` maps
+it to geography), answered from that POP's shared TTL cache when
+possible, and forwarded upstream otherwise.
+
+Caching is ECS-scope honest (RFC 7871 §7.3.1): an answer is stored
+under the *echoed* scope the authoritative returned — the granularity
+the answer actually depended on — so one cached entry serves exactly
+the clients the authority said it may serve.  With ECS disabled the
+front announces its POP anchor address instead of the client, so every
+client behind the POP shares one entry per name: the paper's
+mis-mapping and cache-dilution effects, live on the wire.
+
+POP anchors live in the ``.255.1`` tail of the directory's CGNAT
+vantage blocks, so an ECS-off upstream query geolocates to the POP's
+metro through the very same directory the authoritative consults.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+import time
+from typing import Callable, Optional
+
+from ..dns.query import RCode
+from ..dns.records import ResourceRecord
+from ..dns.wire import ClientSubnet, WireMessage, decode_message, encode_message
+from ..net.ipv4 import IPv4Address, IPv4Prefix
+from ..obs import get_registry
+from ..resolver import DEFAULT_POPS, ResolverPop, nearest_pop
+from .clients import ClientDirectory
+from .loadgen import AsyncDnsClient, DnsClientError
+
+__all__ = ["PublicResolverFront"]
+
+
+class _FrontProtocol(asyncio.DatagramProtocol):
+    def __init__(self, front: "PublicResolverFront") -> None:
+        self._front = front
+        self.transport: Optional[asyncio.DatagramTransport] = None
+
+    def connection_made(self, transport) -> None:  # pragma: no cover - trivial
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self._front._dispatch(data, addr)
+
+
+class _CacheEntry:
+    __slots__ = ("answers", "rcode", "authoritative", "scope", "expires_at")
+
+    def __init__(self, answers: tuple[ResourceRecord, ...], rcode: RCode,
+                 authoritative: bool, scope: int, expires_at: float) -> None:
+        self.answers = answers
+        self.rcode = rcode
+        self.authoritative = authoritative
+        self.scope = scope
+        self.expires_at = expires_at
+
+
+class PublicResolverFront:
+    """An asyncio UDP caching forwarder fronting the authoritative server.
+
+    ``upstream`` is the (host, port) of a running
+    :class:`~repro.serve.dnsserver.AsyncDnsServer`.  ``ecs`` controls
+    whether the front forwards the client's subnet (truncated to
+    ``scope`` bits) or hides it behind the POP anchor;
+    ``cache_capacity`` bounds the live entries per POP cache.
+    """
+
+    def __init__(
+        self,
+        upstream: tuple[str, int],
+        directory: Optional[ClientDirectory] = None,
+        pops: tuple[ResolverPop, ...] = DEFAULT_POPS,
+        ecs: bool = True,
+        scope: int = 24,
+        cache_capacity: int = 4096,
+        timeout: float = 2.0,
+        retries: int = 2,
+        metrics=None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if not pops:
+            raise ValueError("a resolver front needs at least one POP")
+        if not 0 <= scope <= 32:
+            raise ValueError("scope must be in [0, 32]")
+        if cache_capacity <= 0:
+            raise ValueError("cache_capacity must be positive")
+        self._upstream = upstream
+        self.directory = (
+            directory if directory is not None else ClientDirectory()
+        )
+        self._pops = tuple(pops)
+        self.ecs = ecs
+        self.scope = scope
+        self._capacity = cache_capacity
+        self._timeout = timeout
+        self._retries = retries
+        self._clock = clock
+        # The wire ECS option needs a positive prefix length; scope 0
+        # (or ECS off) degrades to announcing the POP anchor itself.
+        self._announce_clients = ecs and scope > 0
+        # One cache per POP: (qname, network_value, scope) -> entry.
+        self._caches: dict[str, dict[tuple, _CacheEntry]] = {}
+        # The last echoed scope per (pop, qname): where to look on the
+        # next query for the same name (real ECS caches keep the same
+        # per-name scope memo).
+        self._scope_memo: dict[tuple[str, str], int] = {}
+        # Concurrent misses for the same entry coalesce onto one
+        # upstream query.
+        self._inflight: dict[tuple, asyncio.Future] = {}
+        self._pop_memo: dict[IPv4Address, ResolverPop] = {}
+        self._client: Optional[AsyncDnsClient] = None
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self._tasks: set[asyncio.Task] = set()
+        self._host: Optional[str] = None
+        self._port: Optional[int] = None
+        self.hits = 0
+        self.misses = 0
+        registry = metrics if metrics is not None else get_registry()
+        self._m_queries = registry.counter(
+            "resolver_front_queries_total",
+            "Queries handled by the public-resolver front, per POP",
+            ("pop",),
+        )
+        self._m_cache = registry.counter(
+            "resolver_front_cache_total",
+            "Shared POP cache lookups, by outcome",
+            ("outcome",),
+        )
+        self._m_hit = self._m_cache.labels("hit")
+        self._m_miss = self._m_cache.labels("miss")
+        self._m_upstream = registry.counter(
+            "resolver_front_upstream_total",
+            "Queries the front forwarded to the authoritative server",
+        )
+        self._m_evictions = registry.counter(
+            "resolver_front_evictions_total",
+            "Cache entries evicted at the per-POP capacity bound",
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        """(host, port) once started."""
+        if self._host is None or self._port is None:
+            raise RuntimeError("resolver front is not started")
+        return self._host, self._port
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0,
+                    reuse_port: bool = False) -> tuple[str, int]:
+        """Bind the UDP listener and connect the upstream client."""
+        if self._transport is not None:
+            raise RuntimeError("resolver front already started")
+        if self._clock is None:
+            origin = time.monotonic()
+            self._clock = lambda: time.monotonic() - origin
+        loop = asyncio.get_running_loop()
+        extra = {"reuse_port": True} if reuse_port else {}
+        transport, _protocol = await loop.create_datagram_endpoint(
+            lambda: _FrontProtocol(self), local_addr=(host, port), **extra
+        )
+        self._transport = transport
+        self._host, self._port = transport.get_extra_info("sockname")[:2]
+        self._client = await AsyncDnsClient.open(
+            *self._upstream,
+            timeout=self._timeout,
+            retries=self._retries,
+            source_prefix_len=self.scope if self._announce_clients else 32,
+        )
+        return self.endpoint
+
+    async def stop(self) -> None:
+        """Close the listener, the upstream client and in-flight work."""
+        if self._transport is not None:
+            self._transport.close()
+            self._transport = None
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+        self._inflight.clear()
+        self._host = self._port = None
+
+    # ------------------------------------------------------------------
+    # POP attribution and cache keys
+    # ------------------------------------------------------------------
+
+    def _pop_for(self, client: Optional[IPv4Address]) -> ResolverPop:
+        """The POP serving ``client`` (nearest by great circle)."""
+        if client is None:
+            return self._pops[0]
+        cached = self._pop_memo.get(client)
+        if cached is not None:
+            return cached
+        context = self.directory.context_for(client)
+        pop = nearest_pop(context.coordinates, self._pops)
+        self._pop_memo[client] = pop
+        return pop
+
+    def _announced(self, client: Optional[IPv4Address],
+                   pop: ResolverPop) -> tuple[IPv4Address, int]:
+        """(address, prefix length) the front presents upstream."""
+        if self._announce_clients and client is not None:
+            return client, self.scope
+        return pop.anchor, 32
+
+    @staticmethod
+    def _truncate(address: IPv4Address, scope: int) -> int:
+        return IPv4Prefix.containing(address, scope).network.value
+
+    def cache_stats(self) -> dict:
+        """Plain counters for reports (work under the null registry)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": sum(len(cache) for cache in self._caches.values()),
+            "pops": len(self._caches),
+        }
+
+    # ------------------------------------------------------------------
+    # query handling
+    # ------------------------------------------------------------------
+
+    def _dispatch(self, data: bytes, addr) -> None:
+        task = asyncio.create_task(self._serve_one(data, addr))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _serve_one(self, data: bytes, addr) -> None:
+        try:
+            query = decode_message(data)
+        except Exception:
+            reply = self._servfail_for(data)
+            if reply is not None and self._transport is not None:
+                self._transport.sendto(reply, addr)
+            return
+        if not query.questions:
+            reply = self._servfail_for(data)
+            if reply is not None and self._transport is not None:
+                self._transport.sendto(reply, addr)
+            return
+        question = query.questions[0]
+        client = (
+            query.client_subnet.prefix.network
+            if query.client_subnet is not None else None
+        )
+        pop = self._pop_for(client)
+        self._m_queries.labels(pop.pop_id).inc()
+        announced, _announced_len = self._announced(client, pop)
+        try:
+            entry = await self._lookup(pop, question.name, announced)
+        except DnsClientError:
+            reply = self._servfail_for(data)
+            if reply is not None and self._transport is not None:
+                self._transport.sendto(reply, addr)
+            return
+        ecs = None
+        if query.client_subnet is not None:
+            # The front is the recursive here: echo the client's option
+            # with the scope the cached answer is really valid for.
+            ecs = ClientSubnet(
+                prefix=query.client_subnet.prefix,
+                scope_length=min(entry.scope, query.client_subnet.prefix.length),
+            )
+        reply = encode_message(
+            WireMessage(
+                message_id=query.message_id,
+                is_response=True,
+                authoritative=False,
+                recursion_desired=query.recursion_desired,
+                recursion_available=True,
+                rcode=entry.rcode,
+                questions=[question],
+                answers=list(entry.answers),
+                client_subnet=ecs,
+                trace_context=query.trace_context,
+            )
+        )
+        if self._transport is not None:
+            self._transport.sendto(reply, addr)
+
+    async def _lookup(self, pop: ResolverPop, qname: str,
+                      announced: IPv4Address) -> _CacheEntry:
+        """The cached (or freshly fetched) entry for one query."""
+        assert self._clock is not None
+        now = self._clock()
+        cache = self._caches.setdefault(pop.pop_id, {})
+        memo_scope = self._scope_memo.get((pop.pop_id, qname))
+        if memo_scope is not None:
+            key = (qname, self._truncate(announced, memo_scope), memo_scope)
+            entry = cache.get(key)
+            if entry is not None:
+                if entry.expires_at > now:
+                    self.hits += 1
+                    self._m_hit.inc()
+                    return entry
+                del cache[key]
+        self.misses += 1
+        self._m_miss.inc()
+        # Coalesce concurrent misses at the announced granularity: the
+        # answer's true partition is only known once the echo arrives.
+        flight_key = (
+            pop.pop_id, qname,
+            self._truncate(
+                announced, self.scope if self._announce_clients else 32
+            ),
+        )
+        waiter = self._inflight.get(flight_key)
+        if waiter is not None:
+            return await asyncio.shield(waiter)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[flight_key] = future
+        try:
+            entry = await self._fetch(pop, qname, announced, cache)
+        except Exception as exc:
+            if not future.done():
+                future.set_exception(exc)
+            # The exception is delivered to every waiter; retrieving it
+            # here too keeps the future from logging "never retrieved".
+            future.exception()
+            raise
+        else:
+            if not future.done():
+                future.set_result(entry)
+            return entry
+        finally:
+            self._inflight.pop(flight_key, None)
+
+    async def _fetch(self, pop: ResolverPop, qname: str,
+                     announced: IPv4Address, cache: dict) -> _CacheEntry:
+        """One upstream round trip; stores at the echoed scope."""
+        assert self._client is not None and self._clock is not None
+        self._m_upstream.inc()
+        response = await self._client.query(qname, announced)
+        echoed = (
+            response.client_subnet.scope_length
+            if response.client_subnet is not None else 0
+        )
+        answers = tuple(response.answers)
+        now = self._clock()
+        entry = _CacheEntry(
+            answers=answers,
+            rcode=response.rcode,
+            authoritative=response.authoritative,
+            scope=echoed,
+            expires_at=now,
+        )
+        if response.rcode is RCode.NOERROR and answers:
+            ttl = min(record.ttl for record in answers)
+            if ttl > 0:
+                entry.expires_at = now + ttl
+                self._store(
+                    cache, pop, qname,
+                    (qname, self._truncate(announced, echoed), echoed),
+                    entry, now,
+                )
+        return entry
+
+    def _store(self, cache: dict, pop: ResolverPop, qname: str,
+               key: tuple, entry: _CacheEntry, now: float) -> None:
+        self._scope_memo[(pop.pop_id, qname)] = entry.scope
+        cache[key] = entry
+        if len(cache) <= self._capacity:
+            return
+        # Expired entries go first; then the soonest-to-expire live one
+        # (deterministic tie-break on the key repr).
+        for stale in [k for k, e in cache.items() if e.expires_at <= now]:
+            if len(cache) <= self._capacity:
+                return
+            del cache[stale]
+            self._m_evictions.inc()
+        while len(cache) > self._capacity:
+            victim = min(
+                cache, key=lambda k: (cache[k].expires_at, repr(k))
+            )
+            del cache[victim]
+            self._m_evictions.inc()
+
+    @staticmethod
+    def _servfail_for(payload: bytes) -> Optional[bytes]:
+        if len(payload) < 12:
+            return None
+        (message_id,) = struct.unpack("!H", payload[:2])
+        return encode_message(
+            WireMessage(
+                message_id=message_id,
+                is_response=True,
+                rcode=RCode.SERVFAIL,
+                recursion_desired=False,
+            )
+        )

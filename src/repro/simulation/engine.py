@@ -73,6 +73,11 @@ class RunSummary:
     # golden snapshot byte-identical).
     steering: str = "dns"
     catchments: dict = field(default_factory=dict)
+    # Resolver-population mode and mapping-accuracy aggregates: same
+    # contract as steering/catchments — "isp" runs leave them out of
+    # the JSON form so the original golden snapshot stays byte-stable.
+    resolver_population: str = "isp"
+    resolver: dict = field(default_factory=dict)
 
     @classmethod
     def from_reports(cls, reports: Iterable[StepReport]) -> "RunSummary":
@@ -144,6 +149,14 @@ class RunSummary:
             from ..anycast.analysis import CatchmentAnalysis
 
             catchments = CatchmentAnalysis.from_plane(anycast).to_json_dict()
+        resolver_population = getattr(
+            scenario.config, "resolver_population", "isp"
+        )
+        resolver: dict = {}
+        if getattr(scenario, "resolver_plane", None) is not None:
+            from ..analysis.resolver_accuracy import ResolverAccuracy
+
+            resolver = ResolverAccuracy.from_scenario(scenario).to_json_dict()
         return replace(
             base,
             unique_ips=unique_ips,
@@ -151,6 +164,8 @@ class RunSummary:
             overflow_share=overflow_share,
             steering=steering,
             catchments=catchments,
+            resolver_population=resolver_population,
+            resolver=resolver,
         )
 
     def to_json_dict(self) -> dict:
@@ -198,6 +213,9 @@ class RunSummary:
         if self.steering != "dns" or self.catchments:
             result["steering"] = self.steering
             result["catchments"] = self.catchments
+        if self.resolver_population != "isp" or self.resolver:
+            result["resolver_population"] = self.resolver_population
+            result["resolver"] = self.resolver
         return result
 
 

@@ -45,6 +45,7 @@ from ..faults import (
     FaultSchedule,
 )
 from ..anycast.plane import AnycastPlane, AnycastSite, ClientGroup
+from ..resolver import ResolverPlane
 from ..isp.bgp import BgpRib, BgpRoute
 from ..isp.netflow import NetflowCollector
 from ..isp.snmp import SnmpCounters
@@ -158,6 +159,13 @@ class ScenarioConfig:
     hybrid_dns_share: float = 0.5          # DNS-steered demand share under
     # hybrid; the rest is pinned to the anycast VIP and never re-steered
 
+    # --- resolver population ----------------------------------------------
+    resolver_population: str = "isp"       # "isp" | "public" | "mixed"
+    public_resolver_share: float = 0.5     # public fraction under "mixed"
+    public_resolver_ecs: bool = True       # POPs announce ECS upstream
+    public_resolver_scope: int = 24        # announced ECS scope (bits)
+    public_resolver_cache_capacity: int = 4096  # live entries per POP cache
+
     # --- fault plane (used only when a FaultSchedule is passed) -----------
     fault_probe_interval: float = 60.0     # health-probe cadence
     fault_k_failures: int = 3              # probes before failover
@@ -202,6 +210,14 @@ class Sep2017Scenario:
             )
         if not 0.0 <= self.config.hybrid_dns_share <= 1.0:
             raise ValueError("hybrid_dns_share must be within [0, 1]")
+        if self.config.resolver_population not in ("isp", "public", "mixed"):
+            raise ValueError(
+                f"unknown resolver population "
+                f"{self.config.resolver_population!r} "
+                "(valid: isp, public, mixed)"
+            )
+        if not 0.0 <= self.config.public_resolver_share <= 1.0:
+            raise ValueError("public_resolver_share must be within [0, 1]")
         self.timeline = timeline
         # The raw schedule (not the injector built from it) so sharded
         # runs can rebuild bit-identical scenario replicas in workers.
@@ -258,6 +274,15 @@ class Sep2017Scenario:
             count=self.config.isp_probe_count,
             country="de",
             locations=self.locations,
+        )
+        # Resolver-population plane: built only when a run actually
+        # routes probes through shared public-resolver POPs, so plain
+        # ISP-path runs stay bit-identical to the seed.  The plane must
+        # rebind probe resolvers before the campaigns first measure.
+        self.resolver_plane: Optional[ResolverPlane] = (
+            self._build_resolver_plane()
+            if self.config.resolver_population != "isp"
+            else None
         )
         self.global_campaign = DnsCampaign(
             probes=self.global_probes,
@@ -344,6 +369,31 @@ class Sep2017Scenario:
             for probe in (*self.global_probes, *self.isp_probes)
         ]
         return AnycastPlane(sites, groups, schedule=self.fault_schedule)
+
+    def _build_resolver_plane(self) -> ResolverPlane:
+        """Route the configured probe share through public-resolver POPs.
+
+        Per-campaign shared caches with canonical contexts (see
+        :mod:`repro.resolver.plane`); everything derives from the
+        scenario config and the full probe placement, so sharded worker
+        replicas rebuild an identical plane.  The AWS VM campaign stays
+        on its datacenter resolvers — cloud vantages resolve locally.
+        """
+        config = self.config
+        plane = ResolverPlane(
+            servers=self.estate.servers,
+            populations={
+                "ripe-global": self.global_probes,
+                "ripe-isp": self.isp_probes,
+            },
+            population=config.resolver_population,
+            public_share=config.public_resolver_share,
+            ecs=config.public_resolver_ecs,
+            scope=config.public_resolver_scope,
+            cache_capacity=config.public_resolver_cache_capacity,
+        )
+        plane.install()
+        return plane
 
     def _measurement_store(self, name: str) -> MeasurementStore:
         """A campaign store wired to the config's columnar/spill knobs.

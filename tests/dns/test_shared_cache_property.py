@@ -1,0 +1,77 @@
+"""Property tests for shared-cache key partitioning.
+
+The invariant behind the public-resolver model: two query contexts
+share a cache entry *iff* their clients agree on the announced ECS
+scope's prefix bits.  Checked for arbitrary (client, scope) pairs so
+the partition rule cannot drift from prefix arithmetic.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.dns.policies import CnamePolicy  # noqa: E402
+from repro.dns.query import QueryContext  # noqa: E402
+from repro.dns.resolver import RecursiveResolver  # noqa: E402
+from repro.dns.zone import AuthoritativeServer, Zone  # noqa: E402
+from repro.net.geo import Continent, Coordinates  # noqa: E402
+from repro.net.ipv4 import IPv4Address, IPv4Prefix  # noqa: E402
+
+addresses = st.integers(min_value=0, max_value=2**32 - 1).map(IPv4Address)
+scopes = st.integers(min_value=0, max_value=32)
+
+
+def make_estate():
+    zone = Zone("apple.com")
+    zone.bind("appldnld.apple.com", CnamePolicy("x.akadns.net", ttl=300))
+    return [AuthoritativeServer("Apple", [zone])]
+
+
+def context_for(client: IPv4Address) -> QueryContext:
+    return QueryContext(
+        client=client,
+        coordinates=Coordinates(0.0, 0.0),
+        continent=Continent.EUROPE,
+        country="de",
+        now=0.0,
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=addresses, b=addresses, scope=scopes)
+def test_keys_collide_iff_scope_prefixes_match(a, b, scope):
+    resolver = RecursiveResolver(make_estate(), cache_scope=scope)
+    key_a = resolver.cache_key("appldnld.apple.com", context_for(a))
+    key_b = resolver.cache_key("appldnld.apple.com", context_for(b))
+    same_partition = (
+        IPv4Prefix.containing(a, scope).network
+        == IPv4Prefix.containing(b, scope).network
+    )
+    assert (key_a == key_b) == same_partition
+
+
+@settings(max_examples=100, deadline=None)
+@given(client=addresses, scope=scopes)
+def test_scope_zero_degenerates_to_one_partition(client, scope):
+    blind = RecursiveResolver(make_estate(), cache_scope=0)
+    anchor = blind.cache_key("appldnld.apple.com", context_for(IPv4Address(0)))
+    assert blind.cache_key("appldnld.apple.com", context_for(client)) == anchor
+    # While the per-client (degenerate) key never partitions at all.
+    per_client = RecursiveResolver(make_estate())
+    assert (
+        per_client.cache_key("appldnld.apple.com", context_for(client))
+        == "appldnld.apple.com"
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(client=addresses, scope=scopes, qname_bits=st.integers(0, 2**16 - 1))
+def test_distinct_names_never_share_an_entry(client, scope, qname_bits):
+    resolver = RecursiveResolver(make_estate(), cache_scope=scope)
+    ctx = context_for(client)
+    key_a = resolver.cache_key(f"a{qname_bits}.apple.com", ctx)
+    key_b = resolver.cache_key(f"b{qname_bits}.apple.com", ctx)
+    assert key_a != key_b

@@ -224,6 +224,37 @@ class TestAnswerWire:
         # ECS echoed with full scope, like CDN mapping DNS.
         assert response.client_subnet.scope_length == 24
 
+    def test_ecs_scope_override_is_echoed(self):
+        # A caller whose context came from a coarser geography lookup
+        # passes that lookup's granularity; the echoed ECS must carry
+        # it instead of the client's full source prefix length
+        # (RFC 7871 §7.3.1 — over-claimed scope poisons shared caches).
+        from repro.dns.policies import CnamePolicy
+        from repro.dns.zone import AuthoritativeServer, Zone
+
+        zone = Zone("apple.com")
+        zone.bind("appldnld.apple.com", CnamePolicy("x.akadns.net", ttl=21600))
+        server = AuthoritativeServer("Apple", [zone])
+        context = QueryContext(
+            client=IPv4Address.parse("89.0.0.7"),
+            coordinates=Coordinates(52.52, 13.40),
+            continent=Continent.EUROPE,
+            country="de",
+        )
+        query = encode_message(
+            WireMessage(
+                message_id=9,
+                questions=[Question("appldnld.apple.com")],
+                client_subnet=ClientSubnet(IPv4Prefix.parse("89.0.0.0/24")),
+            )
+        )
+        scoped = decode_message(answer_wire(server, query, context, ecs_scope=16))
+        assert scoped.client_subnet.scope_length == 16
+        assert scoped.client_subnet.prefix == IPv4Prefix.parse("89.0.0.0/24")
+        # Scope 0: the answer did not depend on the client at all.
+        blind = decode_message(answer_wire(server, query, context, ecs_scope=0))
+        assert blind.client_subnet.scope_length == 0
+
     def test_question_required(self):
         from repro.dns.zone import AuthoritativeServer
 

@@ -49,9 +49,45 @@ class TestAsyncDnsServer:
                 assert cname.rtype is RecordType.CNAME
                 assert cname.target == NAMES.akadns_entry
                 assert cname.ttl == ENTRY_TTL
-                # The ECS option comes back with full scope.
+                # The ECS option comes back scoped to the directory's
+                # lookup granularity (/16 vantages), not the client's
+                # full /24 source prefix.
                 assert response.client_subnet is not None
-                assert response.client_subnet.scope_length == 24
+                assert response.client_subnet.scope_length == 16
+            finally:
+                client.close()
+                await server.stop()
+
+        run(scenario())
+
+    def test_advertised_scope_matches_directory_granularity(self, serve_estate):
+        # The server answers from the geography of the *vantage block*
+        # the ECS prefix fell into, so the honest scope is the vantage
+        # prefix length — and 0 for clients outside every block, where
+        # the fallback geography ignores the client entirely.  Echoing
+        # the client's full source prefix instead would over-claim and
+        # let a shared downstream cache partition answers more finely
+        # than they were computed (RFC 7871 §7.3.1).
+        async def scenario():
+            server = AsyncDnsServer(serve_estate.servers, clock=lambda: 0.0)
+            host, port = await server.start()
+            client = await AsyncDnsClient.open(host, port)
+            try:
+                directory = ClientDirectory()
+                for vantage in directory.vantages:
+                    inside = vantage.prefix.host(77)
+                    response = await client.query(NAMES.entry_point, inside)
+                    assert response.client_subnet.scope_length == vantage.prefix.length
+                    assert server._ecs_scope_for(response) == vantage.prefix.length
+                # Outside the CGNAT vantage range: fallback geography,
+                # which consults no bit of the client address.
+                from repro.net.ipv4 import IPv4Address
+
+                outside = IPv4Address.parse("203.0.113.5")
+                assert directory.scope_for(outside) == 0
+                response = await client.query(NAMES.entry_point, outside)
+                assert response.client_subnet is not None
+                assert response.client_subnet.scope_length == 0
             finally:
                 client.close()
                 await server.stop()

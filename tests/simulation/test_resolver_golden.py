@@ -1,0 +1,100 @@
+"""Resolver-population golden run: the mixed public/ISP scenario must
+keep producing the exact same ``RunSummary``, byte for byte.
+
+The committed ``run_summary.json`` golden freezes the default ISP
+population; this snapshot freezes the resolver axis on top of it — the
+shared POP caches, the ECS announcements, and the mapping-accuracy
+section the population adds to the summary.  Regenerate intentionally:
+
+    PYTHONPATH=src python -m pytest \
+        tests/simulation/test_resolver_golden.py --update-golden
+
+and commit ``tests/simulation/golden/resolver_summary.json`` with the
+change that moved it.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ResolverAccuracy
+from repro.simulation.engine import RunSummary, SimulationEngine
+from repro.simulation.scenario import ScenarioConfig, Sep2017Scenario
+from repro.workload import TIMELINE
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "resolver_summary.json"
+
+
+def resolver_scenario(**config_overrides):
+    """The frozen mixed-population configuration behind the snapshot."""
+    config = ScenarioConfig(
+        global_probe_count=24,
+        isp_probe_count=12,
+        traceroute_probe_count=4,
+        resolver_population="mixed",
+        public_resolver_share=0.5,
+        **config_overrides,
+    )
+    return Sep2017Scenario(config)
+
+
+def run_resolver_golden(workers: int = 1, **config_overrides):
+    scenario = resolver_scenario(**config_overrides)
+    engine = SimulationEngine(scenario, step_seconds=1800.0)
+    reports = []
+    engine.run(
+        TIMELINE.at(9, 18),
+        TIMELINE.at(9, 20),
+        progress=reports.append,
+        workers=workers,
+    )
+    return scenario, RunSummary.from_run(scenario, reports)
+
+
+def render(summary: RunSummary) -> str:
+    return json.dumps(summary.to_json_dict(), sort_keys=True, indent=2) + "\n"
+
+
+def test_resolver_golden_summary(update_golden):
+    _, summary = run_resolver_golden()
+    text = render(summary)
+    if update_golden:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(text)
+        pytest.skip("golden snapshot rewritten")
+    assert GOLDEN_PATH.exists(), (
+        "missing golden snapshot; generate with --update-golden"
+    )
+    assert text == GOLDEN_PATH.read_text(), (
+        "mixed-population RunSummary drifted from the golden snapshot; "
+        "if intended, regenerate with --update-golden and commit the diff"
+    )
+
+
+def test_resolver_golden_render_is_byte_stable():
+    _, first = run_resolver_golden()
+    _, second = run_resolver_golden()
+    assert render(first) == render(second)
+
+
+def test_resolver_golden_workers_4():
+    # The sharded engine must reproduce the serial mixed-population
+    # snapshot byte for byte — the shared POP caches are part of the
+    # deterministic replay, not worker-local state.
+    assert GOLDEN_PATH.exists(), (
+        "missing golden snapshot; generate with --update-golden"
+    )
+    _, summary = run_resolver_golden(workers=4)
+    assert render(summary) == GOLDEN_PATH.read_text()
+
+
+def test_resolver_golden_effects_are_nonzero():
+    # The snapshot is only worth freezing if the population actually
+    # moves the paper's metrics: shared caches dilute per-client
+    # mapping accuracy and lift the hit ratio.
+    scenario, _ = run_resolver_golden()
+    accuracy = ResolverAccuracy.from_scenario(scenario)
+    assert accuracy.public_probes > 0 and accuracy.isp_probes > 0
+    assert accuracy.cache_hit_dilution != 0.0
+    assert accuracy.public_mismap_delta_km != accuracy.isp_mismap_delta_km
